@@ -1,0 +1,235 @@
+//! The **certificate forger** — resilience-boundary attack for the
+//! iteration family (experiment E4).
+//!
+//! A static adversary corrupting `f` nodes tries to fabricate, from corrupt
+//! credentials alone, a full decision chain for the *wrong* bit: an
+//! iteration-1 vote certificate, a commit quorum, and a `Terminate`
+//! message, then delivers it to honest nodes.
+//!
+//! * Quadratic protocol (quorum `f* + 1 = ⌊n/2⌋ + 1`): the forgery needs
+//!   `quorum ≤ f` — possible exactly when `f` reaches a majority. This is
+//!   the `f < n/2` resilience bound.
+//! * Subquadratic protocol (quorum `λ/2`): the forgery needs at least `λ/2`
+//!   corrupt nodes eligible to vote *and* `λ/2` eligible to commit for the
+//!   target bit. By the Chernoff argument of Lemma 11 this has probability
+//!   `exp(−Ω(ε²λ))` when `f ≤ (1/2 − ε)n` and probability `Ω(1)` once
+//!   `f/n` crosses 1/2 — the measured success rate traces the resilience
+//!   threshold.
+
+use ba_core::auth::Auth;
+use ba_core::cert::{Certificate, CommitRef, VoteRef};
+use ba_core::iter::IterMsg;
+use ba_fmine::{MineTag, MsgKind};
+use ba_sim::{AdvCtx, Adversary, Bit, NodeId, Recipient};
+
+/// How the forged `Terminate` is delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delivery {
+    /// Multicast to everyone (aims at a validity violation).
+    All,
+    /// Unicast to the odd-indexed honest nodes only (aims at a consistency
+    /// violation).
+    HalfHonest,
+}
+
+/// Static certificate-forging adversary (see module docs).
+#[derive(Clone, Debug)]
+pub struct CertForger {
+    /// Nodes to corrupt at setup.
+    pub corrupt: Vec<NodeId>,
+    /// The bit to force (experiments run honest inputs `= !target`).
+    pub target: Bit,
+    /// Vote/commit quorum of the attacked protocol.
+    pub quorum: usize,
+    /// Delivery strategy.
+    pub delivery: Delivery,
+    /// Authentication services (shared with the protocol).
+    pub auth: Auth,
+    /// Statistics: whether the full chain was forged.
+    pub forged: bool,
+}
+
+impl CertForger {
+    /// Creates the adversary corrupting the `f` highest-numbered nodes.
+    pub fn new(n: usize, f: usize, target: Bit, quorum: usize, auth: Auth) -> CertForger {
+        CertForger {
+            corrupt: (n - f..n).map(NodeId).collect(),
+            target,
+            quorum,
+            delivery: Delivery::All,
+            auth,
+            forged: false,
+        }
+    }
+
+    /// Switches to split delivery (consistency attack).
+    pub fn with_split_delivery(mut self) -> CertForger {
+        self.delivery = Delivery::HalfHonest;
+        self
+    }
+}
+
+impl Adversary<IterMsg> for CertForger {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, IterMsg>) {
+        for &node in &self.corrupt {
+            ctx.corrupt(node).expect("corrupt set exceeds budget");
+        }
+    }
+
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, IterMsg>) {
+        if ctx.round().0 != 0 || self.forged {
+            return; // forge against iteration 1, whose votes need no
+                    // leader-proposal justification
+        }
+        let iter = 1u64;
+        let bit = self.target;
+
+        // 1. Vote certificate from corrupt credentials.
+        let vote_tag = MineTag::new(MsgKind::Vote, iter, bit);
+        let mut votes: Vec<VoteRef> = Vec::new();
+        for &node in &self.corrupt {
+            if votes.len() >= self.quorum {
+                break;
+            }
+            if let Some(ev) = self.auth.attest(node, &vote_tag) {
+                votes.push(VoteRef { from: node, ev });
+            }
+        }
+        if votes.len() < self.quorum {
+            return; // Lemma 11 held: not enough corrupt eligible voters
+        }
+        let cert = Certificate { iter, bit, votes };
+
+        // 2. Commit quorum.
+        let commit_tag = MineTag::new(MsgKind::Commit, iter, bit);
+        let mut commits: Vec<CommitRef> = Vec::new();
+        for &node in &self.corrupt {
+            if commits.len() >= self.quorum {
+                break;
+            }
+            if let Some(ev) = self.auth.attest(node, &commit_tag) {
+                commits.push(CommitRef { from: node, ev });
+            }
+        }
+        if commits.len() < self.quorum {
+            return;
+        }
+
+        // 3. A terminate-eligible corrupt node to front the message.
+        let term_tag = MineTag::terminate(bit);
+        let Some((speaker, term_ev)) = self
+            .corrupt
+            .iter()
+            .find_map(|&node| self.auth.attest(node, &term_tag).map(|ev| (node, ev)))
+        else {
+            return;
+        };
+
+        let msg = IterMsg::Terminate { iter, bit, commits, ev: term_ev };
+        let _ = cert; // the commit quorum alone decides; cert kept for clarity
+        match self.delivery {
+            Delivery::All => {
+                ctx.inject(speaker, Recipient::All, msg).expect("speaker is corrupt");
+            }
+            Delivery::HalfHonest => {
+                let n = ctx.n();
+                for i in (0..n).filter(|i| i % 2 == 1) {
+                    if !ctx.is_corrupt(NodeId(i)) {
+                        ctx.inject(speaker, Recipient::One(NodeId(i)), msg.clone())
+                            .expect("speaker is corrupt");
+                    }
+                }
+            }
+        }
+        self.forged = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::iter::{self, IterConfig};
+    use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
+    use ba_sim::{CorruptionModel, SimConfig};
+
+    fn run_attack_quadratic(n: usize, f: usize, seed: u64) -> bool {
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let cfg = IterConfig::quadratic_half(n, kc, seed);
+        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
+        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+        // Honest nodes all input 0; a validity violation means some honest
+        // node output 1.
+        let (_report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
+        !verdict.all_ok()
+    }
+
+    fn run_attack_subq(n: usize, f: usize, lambda: f64, seed: u64) -> bool {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
+        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+        let (_report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
+        !verdict.all_ok()
+    }
+
+    #[test]
+    fn quadratic_protocol_safe_below_majority() {
+        // f = quorum - 1 = n/2: forging is impossible, the run stays clean.
+        for seed in 0..3 {
+            assert!(!run_attack_quadratic(9, 4, seed), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn quadratic_protocol_broken_at_majority() {
+        // f = n/2 + 1 >= quorum: the forged terminate wins every time.
+        for seed in 0..3 {
+            assert!(run_attack_quadratic(9, 5, seed), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn subq_protocol_safe_at_low_corruption() {
+        // f = n/4 << n/2: corrupt eligible voters << lambda/2.
+        let n = 200;
+        let mut wins = 0;
+        for seed in 0..5 {
+            if run_attack_subq(n, n / 4, 24.0, seed) {
+                wins += 1;
+            }
+        }
+        assert!(wins <= 1, "forgery should rarely succeed at f = n/4: wins={wins}");
+    }
+
+    #[test]
+    fn subq_protocol_broken_beyond_half() {
+        // f = 0.7n: expected corrupt eligible = 0.7*lambda >> lambda/2.
+        let n = 200;
+        let mut wins = 0;
+        for seed in 0..5 {
+            if run_attack_subq(n, 7 * n / 10, 24.0, seed) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "forgery should usually succeed at f = 0.7n: wins={wins}");
+    }
+
+    #[test]
+    fn split_delivery_still_defeats_the_protocol() {
+        let n = 9;
+        let seed = 2;
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let cfg = IterConfig::quadratic_half(n, kc, seed);
+        let adv =
+            CertForger::new(n, 5, true, cfg.quorum, cfg.auth.clone()).with_split_delivery();
+        let sim = SimConfig::new(n, 5, CorruptionModel::Static, seed);
+        let (report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
+        // The Terminate relay gadget heals the split: the targeted nodes
+        // relay the forged terminate, so everyone converges on the forged
+        // bit — consistency survives but validity is destroyed.
+        assert!(!verdict.all_ok(), "{report:?}");
+        assert!(!verdict.valid);
+    }
+}

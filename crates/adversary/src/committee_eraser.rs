@@ -1,0 +1,152 @@
+//! The strongly adaptive **committee eraser** — the attack behind Theorem 1.
+//!
+//! The adversary watches each round's honest traffic (rushing), adaptively
+//! corrupts honest senders, and performs *after-the-fact removal* of the
+//! messages they just sent. It is an **omission adversary** in the paper's
+//! sense: corrupted nodes keep executing the honest protocol, nothing is
+//! ever forged.
+//!
+//! The `cap` parameter implements the quorum-starvation strategy from the
+//! Theorem 1 intuition: per round, at most `cap` honest messages are allowed
+//! to survive (set `cap = quorum − 1` and no quorum can ever form). Starving
+//! a protocol whose per-round honest traffic is `m` costs about `m − cap`
+//! corruptions per round — affordable for the entire execution precisely
+//! when the protocol is subquadratic (`m ≈ λ ≪ f`), and unaffordable against
+//! quadratic protocols (`m ≈ n > f` burns the budget within one round).
+//! This is the communication/resilience trade-off the lower bound encodes.
+//!
+//! The attack is protocol-agnostic: it never parses message contents.
+
+use ba_sim::{AdvCtx, Adversary, Message, MsgId, NodeId};
+
+/// Strongly adaptive quorum-starvation adversary (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct CommitteeEraser {
+    /// Honest messages allowed to survive per round (`quorum − 1` starves
+    /// every quorum; `0` erases everything).
+    pub cap: usize,
+    /// Statistics: messages removed.
+    pub removed: u64,
+    /// Statistics: corruptions spent.
+    pub corrupted: u64,
+}
+
+impl CommitteeEraser {
+    /// Erase-everything configuration.
+    pub fn new() -> CommitteeEraser {
+        CommitteeEraser::default()
+    }
+
+    /// Quorum-starvation configuration: keep `quorum - 1` messages per
+    /// round.
+    pub fn starve_quorum(quorum: usize) -> CommitteeEraser {
+        CommitteeEraser { cap: quorum.saturating_sub(1), ..CommitteeEraser::default() }
+    }
+}
+
+impl<M: Message> Adversary<M> for CommitteeEraser {
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        let pending: Vec<(MsgId, NodeId, bool, bool)> = ctx
+            .pending()
+            .iter()
+            .map(|e| (e.id, e.from, e.removed, e.honest_send))
+            .collect();
+        let mut kept = 0usize;
+        for (id, from, removed, honest_send) in pending {
+            if removed {
+                continue;
+            }
+            // Messages sent by already-corrupt (muted) nodes are erased for
+            // free; honest sends within the cap survive.
+            if honest_send && kept < self.cap {
+                kept += 1;
+                continue;
+            }
+            if !ctx.is_corrupt(from) {
+                if ctx.budget_left() == 0 {
+                    continue; // out of corruptions; the message survives
+                }
+                ctx.corrupt(from).expect("budget checked");
+                self.corrupted += 1;
+            }
+            if ctx.remove(id).is_ok() {
+                self.removed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::epoch::{self, EpochConfig};
+    use ba_core::iter::{self, IterConfig};
+    use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
+    use ba_sim::{Bit, CorruptionModel, SimConfig};
+
+    #[test]
+    fn eraser_starves_the_subquadratic_protocol() {
+        // n = 400, f = 190 < n/2, lambda = 16 (quorum 8). Starving every
+        // quorum costs ~lambda/2 corruptions per active round, so the budget
+        // outlasts the entire schedule: no certificate ever forms.
+        let n = 400;
+        let elig = Arc::new(IdealMine::new(5, MineParams::new(n, 16.0)));
+        let mut cfg = IterConfig::subq_half(n, elig);
+        cfg.max_iters = 6;
+        let sim = SimConfig::new(n, 190, CorruptionModel::StronglyAdaptive, 5);
+        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
+        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
+        let (report, verdict) = iter::run(&cfg, &sim, inputs, adversary);
+        assert!(
+            !verdict.all_ok(),
+            "Theorem 1: the strongly adaptive eraser must defeat a subquadratic protocol"
+        );
+        assert!(report.metrics.removals > 0, "the attack actually removed messages");
+    }
+
+    #[test]
+    fn eraser_fails_against_the_quadratic_protocol() {
+        // n = 13, f = 6 < n/2: every round has ~n honest senders; the budget
+        // evaporates in round 0 and the protocol still terminates correctly.
+        let n = 13;
+        let kc = Arc::new(Keychain::from_seed(3, n, SigMode::Ideal));
+        let cfg = IterConfig::quadratic_half(n, kc, 3);
+        let sim = SimConfig::new(n, 6, CorruptionModel::StronglyAdaptive, 3);
+        let (report, verdict) = iter::run(&cfg, &sim, vec![true; n], CommitteeEraser::new());
+        assert!(verdict.all_ok(), "{verdict:?}");
+        // The budget is gone after round 0 (6 corruptions); the muted nodes'
+        // later sends keep being erased for free, so removals >= 6.
+        assert_eq!(report.metrics.corruptions, 6, "budget spent in the first round");
+        assert!(report.metrics.removals >= 6);
+    }
+
+    #[test]
+    fn eraser_blinds_epoch_protocol_with_mixed_inputs() {
+        // With committee quorums starved, epoch-protocol nodes keep their
+        // inputs forever: mixed inputs end inconsistent.
+        let n = 300;
+        let elig = Arc::new(IdealMine::new(9, MineParams::new(n, 12.0)));
+        let cfg = EpochConfig::subq_third(n, 6, elig);
+        let sim = SimConfig::new(n, 95, CorruptionModel::StronglyAdaptive, 9);
+        let inputs: Vec<Bit> = (0..n).map(|i| i < n / 2).collect();
+        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
+        let (_report, verdict) = epoch::run(&cfg, &sim, inputs, adversary);
+        assert!(!verdict.consistent, "erased committees must leave beliefs split");
+    }
+
+    #[test]
+    fn eraser_respects_the_adaptive_model_boundary() {
+        // Under the (plain) adaptive model removal is illegal; the eraser
+        // degenerates and the subquadratic protocol survives.
+        let n = 120;
+        let elig = Arc::new(IdealMine::new(7, MineParams::new(n, 20.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 10, CorruptionModel::Adaptive, 7);
+        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
+        let (report, verdict) = iter::run(&cfg, &sim, vec![true; n], adversary);
+        assert_eq!(report.metrics.removals, 0, "no after-the-fact removal when adaptive");
+        assert!(verdict.all_ok(), "{verdict:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Simple baseline adversaries: crash-stop and send-omission.
+//!
+//! These are the weakest fault models and serve as sanity baselines in the
+//! resilience sweeps (a protocol that can't survive crashes is broken long
+//! before Byzantine behaviour matters).
+
+use ba_sim::{AdvCtx, Adversary, Message, NodeId, Recipient, Round};
+
+/// Corrupts a fixed set of nodes at setup and silences them from a given
+/// round on (crash-stop). Before the crash round they behave honestly.
+#[derive(Clone, Debug)]
+pub struct CrashAt {
+    /// Nodes to crash.
+    pub nodes: Vec<NodeId>,
+    /// First round in which the nodes are silent.
+    pub at_round: u64,
+}
+
+impl<M: Message> Adversary<M> for CrashAt {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        for &node in &self.nodes {
+            ctx.corrupt(node).expect("crash set exceeds corruption budget");
+        }
+    }
+
+    fn corrupt_outbox(
+        &mut self,
+        _node: NodeId,
+        planned: Vec<(Recipient, M)>,
+        round: Round,
+    ) -> Vec<(Recipient, M)> {
+        if round.0 >= self.at_round {
+            Vec::new()
+        } else {
+            planned
+        }
+    }
+}
+
+/// Send-omission adversary: corrupt nodes run the honest protocol but every
+/// send is dropped with probability `drop_permille / 1000` (deterministic
+/// per (node, round) for replayability).
+#[derive(Clone, Debug)]
+pub struct Omission {
+    /// Nodes to corrupt.
+    pub nodes: Vec<NodeId>,
+    /// Drop probability in permille (0..=1000).
+    pub drop_permille: u32,
+}
+
+impl Omission {
+    fn drops(&self, node: NodeId, round: Round, idx: usize) -> bool {
+        // Cheap deterministic hash of (node, round, idx).
+        let mut h = 0xcbf29ce484222325u64;
+        for v in [node.index() as u64, round.0, idx as u64, 0x9e3779b9] {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % 1000) < self.drop_permille as u64
+    }
+}
+
+impl<M: Message> Adversary<M> for Omission {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        for &node in &self.nodes {
+            ctx.corrupt(node).expect("omission set exceeds corruption budget");
+        }
+    }
+
+    fn corrupt_outbox(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(Recipient, M)>,
+        round: Round,
+    ) -> Vec<(Recipient, M)> {
+        planned
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !self.drops(node, round, *i))
+            .map(|(_, send)| send)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{CorruptionModel, Sim, SimConfig};
+    use ba_sim::{Bit, Incoming, Outbox, Protocol};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Beep;
+    impl Message for Beep {
+        fn size_bits(&self) -> usize {
+            8
+        }
+    }
+
+    struct Chatter {
+        heard: usize,
+        done: bool,
+    }
+    impl Protocol<Beep> for Chatter {
+        fn step(&mut self, round: Round, inbox: &[Incoming<Beep>], out: &mut Outbox<Beep>) {
+            match round.0 {
+                0..=2 => out.multicast(Beep),
+                3 => {
+                    self.heard = inbox.len();
+                    self.done = true;
+                }
+                _ => {}
+            }
+        }
+        fn output(&self) -> Option<Bit> {
+            self.done.then_some(self.heard > 0)
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn crash_silences_from_round() {
+        let cfg = SimConfig::new(4, 1, CorruptionModel::Static, 0);
+        let adv = CrashAt { nodes: vec![NodeId(0)], at_round: 1 };
+        let report = Sim::run_protocol(&cfg, vec![true; 4], adv, |_, _| {
+            Box::new(Chatter { heard: 0, done: false })
+        });
+        // Node 0 spoke in round 0 only: corrupt sends = 1.
+        assert_eq!(report.metrics.corrupt_sends, 1);
+        assert_eq!(report.metrics.honest_multicasts, 3 * 3);
+    }
+
+    #[test]
+    fn omission_drops_a_fraction() {
+        let cfg = SimConfig::new(4, 2, CorruptionModel::Static, 0);
+        let adv = Omission { nodes: vec![NodeId(0), NodeId(1)], drop_permille: 1000 };
+        let report = Sim::run_protocol(&cfg, vec![true; 4], adv, |_, _| {
+            Box::new(Chatter { heard: 0, done: false })
+        });
+        assert_eq!(report.metrics.corrupt_sends, 0, "full omission drops everything");
+
+        let adv = Omission { nodes: vec![NodeId(0), NodeId(1)], drop_permille: 0 };
+        let report = Sim::run_protocol(&cfg, vec![true; 4], adv, |_, _| {
+            Box::new(Chatter { heard: 0, done: false })
+        });
+        assert_eq!(report.metrics.corrupt_sends, 6, "zero omission keeps all sends");
+    }
+
+    #[test]
+    fn omission_is_deterministic() {
+        let o = Omission { nodes: vec![], drop_permille: 500 };
+        for idx in 0..20 {
+            assert_eq!(
+                o.drops(NodeId(3), Round(7), idx),
+                o.drops(NodeId(3), Round(7), idx)
+            );
+        }
+    }
+}

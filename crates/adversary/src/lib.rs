@@ -1,0 +1,31 @@
+//! # ba-adversary
+//!
+//! Adversary strategies for the BA-revisited reproduction. Each strategy
+//! realizes an attack the paper describes or relies on:
+//!
+//! * [`committee_eraser::CommitteeEraser`] — the strongly adaptive
+//!   after-the-fact-removal attack behind **Theorem 1**: starve every quorum
+//!   by erasing just-sent committee messages. Defeats any subquadratic
+//!   protocol; runs out of budget against quadratic ones.
+//! * [`vote_flipper::VoteFlipper`] — the adaptive corrupt-and-flip attack
+//!   from the **Remark in §3.3**: breaks shared-committee eligibility,
+//!   bounces off bit-specific eligibility and off memory-erased
+//!   forward-secure keys.
+//! * [`cert_forger::CertForger`] — fabricates a full wrong-bit decision
+//!   chain from corrupt credentials; its success rate traces the
+//!   `f < (1/2 − ε)n` resilience threshold (Lemma 11).
+//! * [`crash::CrashAt`] / [`crash::Omission`] — benign-fault baselines.
+//!
+//! The Dolev–Reischuk adversary pair of Theorem 4 and the `Q — 1 — Q'`
+//! simulation of Theorem 3 live in `ba-lowerbound`, next to the toy
+//! protocols they dismantle.
+
+pub mod cert_forger;
+pub mod committee_eraser;
+pub mod crash;
+pub mod vote_flipper;
+
+pub use cert_forger::{CertForger, Delivery};
+pub use committee_eraser::CommitteeEraser;
+pub use crash::{CrashAt, Omission};
+pub use vote_flipper::{forge_flipped, VoteFlipper};

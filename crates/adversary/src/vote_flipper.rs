@@ -1,0 +1,291 @@
+//! The adaptive **vote flipper** — the attack from the Remark in §3.3.
+//!
+//! > "Had [eligibility] not been [bit-specific], the adversary could observe
+//! > whenever an honest node sends `(ACK, r, b)`, and immediately corrupt
+//! > the node in the same round and make it send `(ACK, r, 1 − b)` too."
+//!
+//! Each ack round the flipper watches the honest acks, corrupts just enough
+//! ackers of each bit, and injects flipped acks reusing their (shared)
+//! eligibility tickets — pushing **both** bits past the ample-ack quorum, so
+//! every node sticks to its own belief and mixed-input executions never
+//! converge.
+//!
+//! Against bit-specific eligibility the forged ack needs a fresh ticket for
+//! `(Ack, r, 1−b)`, which a just-corrupted acker holds only with probability
+//! `λ/n`; against the Chen–Micali regime with memory erasure the slot key is
+//! already gone. Experiment E8 sweeps all four regimes.
+
+use ba_core::auth::{Auth, Evidence};
+use ba_core::epoch::EpochMsg;
+use ba_fmine::{MineTag, MsgKind};
+use ba_sim::{AdvCtx, Adversary, NodeId, Recipient};
+
+/// Attempts to forge evidence for `flip_tag` as `node`, given the evidence
+/// observed in the node's original message. Returns `None` when the regime
+/// resists the forgery.
+pub fn forge_flipped(
+    auth: &Auth,
+    node: NodeId,
+    flip_tag: &MineTag,
+    observed: &Evidence,
+) -> Option<Evidence> {
+    match (auth, observed) {
+        // The paper's construction: need a *new* ticket for the flipped tag.
+        (Auth::Mined { elig, bit_specific: true, .. }, _) => {
+            elig.mine(node, flip_tag).map(Evidence::Ticket)
+        }
+        // Shared committee: the stolen ticket is bit-agnostic; re-sign.
+        (Auth::Mined { bit_specific: false, keychain: Some(kc), .. }, Evidence::TicketSig(t, _)) => {
+            Some(Evidence::TicketSig(*t, kc.sign(node, &flip_tag.to_bytes())))
+        }
+        // Chen–Micali: works iff the slot key was not erased.
+        (Auth::FsMined { fs, .. }, Evidence::FsTicketSig(t, _)) => {
+            let slot = flip_tag.iter.unwrap_or(0) as usize;
+            fs.sign(node, slot, &flip_tag.to_bytes())
+                .ok()
+                .map(|s| Evidence::FsTicketSig(*t, Box::new(s)))
+        }
+        // Full-participation signed mode: a corrupt node signs anything.
+        (Auth::Signed { keychain }, _) => {
+            Some(Evidence::Sig(keychain.sign(node, &flip_tag.to_bytes())))
+        }
+        _ => None,
+    }
+}
+
+/// The §3.3-Remark adversary for the epoch family (see module docs).
+#[derive(Clone)]
+pub struct VoteFlipper {
+    /// The protocol's authentication regime (services shared with nodes).
+    pub auth: Auth,
+    /// The ample-ack quorum to fabricate.
+    pub quorum: usize,
+    /// Statistics: successfully injected flipped acks.
+    pub flips_injected: u64,
+    /// Statistics: forgery attempts that the regime blocked.
+    pub flips_blocked: u64,
+}
+
+impl VoteFlipper {
+    /// Creates the adversary for a protocol using `auth` with the given
+    /// ample-ack `quorum`.
+    pub fn new(auth: Auth, quorum: usize) -> VoteFlipper {
+        VoteFlipper { auth, quorum, flips_injected: 0, flips_blocked: 0 }
+    }
+
+    /// Mines a brand-new credential for a freshly corrupted node (no
+    /// observed evidence to steal). Works only where the regime's own
+    /// election lets it.
+    fn mine_fresh(&self, node: NodeId, tag: &MineTag) -> Option<Evidence> {
+        match &self.auth {
+            Auth::Mined { elig, bit_specific: true, .. } => {
+                elig.mine(node, tag).map(Evidence::Ticket)
+            }
+            Auth::Mined { elig, bit_specific: false, keychain: Some(kc) } => {
+                let ticket = elig.mine(node, &tag.sharedized())?;
+                Some(Evidence::TicketSig(ticket, kc.sign(node, &tag.to_bytes())))
+            }
+            Auth::FsMined { elig, fs, .. } => {
+                let ticket = elig.mine(node, &tag.sharedized())?;
+                let slot = tag.iter.unwrap_or(0) as usize;
+                // With the erasure discipline the victim already destroyed
+                // this slot's key during its own step; without erasure the
+                // key is still there for the taking.
+                fs.sign(node, slot, &tag.to_bytes())
+                    .ok()
+                    .map(|s| Evidence::FsTicketSig(ticket, Box::new(s)))
+            }
+            Auth::Signed { keychain } => {
+                Some(Evidence::Sig(keychain.sign(node, &tag.to_bytes())))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Adversary<EpochMsg> for VoteFlipper {
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, EpochMsg>) {
+        // Ack rounds are the odd rounds (epoch = round / 2).
+        if ctx.round().0 % 2 != 1 {
+            return;
+        }
+        // Collect this round's honest acks by bit.
+        let mut ackers: [Vec<(NodeId, Evidence)>; 2] = [Vec::new(), Vec::new()];
+        let mut epoch = None;
+        for e in ctx.pending() {
+            if !e.honest_send {
+                continue;
+            }
+            if let EpochMsg::Ack { epoch: ep, bit, ev } = &e.msg {
+                epoch = Some(*ep);
+                ackers[*bit as usize].push((e.from, ev.clone()));
+            }
+        }
+        let Some(epoch) = epoch else { return };
+
+        // To make bit b ample we flip acks of (1-b)-ackers toward b.
+        for target in [false, true] {
+            let have = ackers[target as usize].len();
+            let mut needed = self.quorum.saturating_sub(have);
+            if needed == 0 {
+                continue;
+            }
+            let flip_tag = MineTag::new(MsgKind::Ack, epoch, target);
+            let donors: Vec<(NodeId, Evidence)> =
+                ackers[(!target) as usize].iter().cloned().collect();
+            for (node, observed) in donors {
+                if needed == 0 || (ctx.budget_left() == 0 && !ctx.is_corrupt(node)) {
+                    break;
+                }
+                if !ctx.is_corrupt(node) && ctx.corrupt(node).is_err() {
+                    break;
+                }
+                match forge_flipped(&self.auth, node, &flip_tag, &observed) {
+                    Some(ev) => {
+                        ctx.inject(
+                            node,
+                            Recipient::All,
+                            EpochMsg::Ack { epoch, bit: target, ev },
+                        )
+                        .expect("node is corrupt");
+                        self.flips_injected += 1;
+                        needed -= 1;
+                    }
+                    None => self.flips_blocked += 1,
+                }
+            }
+            // Fallback: not enough donors — corrupt fresh (silent) nodes and
+            // try to mine their credentials directly. Bit specificity and
+            // memory erasure survive this too: a fresh bit-specific ticket
+            // succeeds only with probability lambda/n, and the victim
+            // already erased its slot key during its own step.
+            if needed > 0 {
+                let spoke: Vec<NodeId> = ackers[0]
+                    .iter()
+                    .chain(ackers[1].iter())
+                    .map(|(id, _)| *id)
+                    .collect();
+                // Pass 1: already-corrupt silent nodes (no budget cost);
+                // pass 2: fresh corruptions.
+                for fresh in [false, true] {
+                    for i in 0..ctx.n() {
+                        if needed == 0 {
+                            break;
+                        }
+                        let node = NodeId(i);
+                        if spoke.contains(&node) || ctx.is_corrupt(node) == fresh {
+                            continue;
+                        }
+                        if fresh && (ctx.budget_left() == 0 || ctx.corrupt(node).is_err()) {
+                            break;
+                        }
+                        match self.mine_fresh(node, &flip_tag) {
+                            Some(ev) => {
+                                ctx.inject(
+                                    node,
+                                    Recipient::All,
+                                    EpochMsg::Ack { epoch, bit: target, ev },
+                                )
+                                .expect("node is corrupt");
+                                self.flips_injected += 1;
+                                needed -= 1;
+                            }
+                            None => self.flips_blocked += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::auth::FsService;
+    use ba_core::epoch::{self, EpochConfig};
+    use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
+    use ba_sim::{Bit, CorruptionModel, SimConfig};
+
+    const N: usize = 240;
+    const LAMBDA: f64 = 18.0;
+    const EPOCHS: u64 = 8;
+
+    fn mixed_inputs() -> Vec<Bit> {
+        (0..N).map(|i| i < N / 2).collect()
+    }
+
+    fn violation_rate(mk: impl Fn(u64) -> (EpochConfig, VoteFlipper), seeds: u64) -> f64 {
+        let mut violations = 0;
+        for seed in 0..seeds {
+            let (cfg, adv) = mk(seed);
+            let sim = SimConfig::new(N, N / 3, CorruptionModel::Adaptive, seed);
+            let (_report, verdict) = epoch::run(&cfg, &sim, mixed_inputs(), adv);
+            if !verdict.consistent {
+                violations += 1;
+            }
+        }
+        violations as f64 / seeds as f64
+    }
+
+    #[test]
+    fn flipper_breaks_shared_committees() {
+        let rate = violation_rate(
+            |seed| {
+                let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
+                let kc = Arc::new(Keychain::from_seed(seed, N, SigMode::Ideal));
+                let cfg = EpochConfig::subq_shared(N, EPOCHS, elig, kc);
+                let adv = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+                (cfg, adv)
+            },
+            8,
+        );
+        assert!(rate > 0.6, "shared committees should usually break: rate={rate}");
+    }
+
+    #[test]
+    fn flipper_fails_against_bit_specific_committees() {
+        let rate = violation_rate(
+            |seed| {
+                let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
+                let cfg = EpochConfig::subq_third(N, EPOCHS, elig);
+                let adv = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+                (cfg, adv)
+            },
+            8,
+        );
+        assert!(rate < 0.3, "bit-specific committees should resist: rate={rate}");
+    }
+
+    #[test]
+    fn flipper_fails_against_chen_micali_with_erasure() {
+        let rate = violation_rate(
+            |seed| {
+                let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
+                let fs = Arc::new(FsService::from_seed(seed, N, EPOCHS as usize + 1));
+                let cfg = EpochConfig::chen_micali(N, EPOCHS, elig, fs, true);
+                let adv = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+                (cfg, adv)
+            },
+            6,
+        );
+        assert!(rate < 0.3, "erasure should block the flipper: rate={rate}");
+    }
+
+    #[test]
+    fn flipper_breaks_chen_micali_without_erasure() {
+        let rate = violation_rate(
+            |seed| {
+                let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
+                let fs = Arc::new(FsService::from_seed(seed, N, EPOCHS as usize + 1));
+                let cfg = EpochConfig::chen_micali(N, EPOCHS, elig, fs, false);
+                let adv = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+                (cfg, adv)
+            },
+            6,
+        );
+        assert!(rate > 0.5, "without erasure the flipper should win: rate={rate}");
+    }
+}

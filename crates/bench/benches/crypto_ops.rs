@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the cryptographic substrate: the
+//! primitives whose cost dominates the real-world (Appendix D) protocol.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ba_crypto::bigint::{ModCtx, U256};
+use ba_crypto::dleq;
+use ba_crypto::group::Group;
+use ba_crypto::hmac::hmac_sha256;
+use ba_crypto::schnorr::SigningKey;
+use ba_crypto::sha256::Sha256;
+use ba_crypto::vrf::VrfSecretKey;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data_1k = vec![0xA5u8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| Sha256::digest(&data_1k)));
+    c.bench_function("hmac_sha256/64B", |b| {
+        b.iter(|| hmac_sha256(b"key-material", &data_1k[..64]))
+    });
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let g = Group::standard();
+    let ctx = ModCtx::new(*g.prime());
+    let base = U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff")
+        .unwrap();
+    let exp = *g.order();
+    c.bench_function("modpow/256bit", |b| b.iter(|| ctx.pow(&base, &exp)));
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let key = SigningKey::from_seed(b"bench");
+    let msg = b"(Vote, r=3, b=1)";
+    let sig = key.sign(msg);
+    c.bench_function("schnorr/sign", |b| b.iter(|| key.sign(msg)));
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| assert!(key.verifying_key().verify(msg, &sig)))
+    });
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let key = VrfSecretKey::from_seed(b"bench");
+    let msg = b"(ACK, epoch=4, bit=1)";
+    let out = key.evaluate(msg);
+    c.bench_function("vrf/evaluate", |b| b.iter(|| key.evaluate(msg)));
+    c.bench_function("vrf/verify", |b| {
+        b.iter(|| assert!(key.public_key().verify(msg, &out)))
+    });
+}
+
+fn bench_dleq(c: &mut Criterion) {
+    let g = Group::standard();
+    let sk = g.scalar_from_bytes(b"bench-dleq");
+    let pk = g.pow_g(&sk);
+    let h = g.hash_to_group(b"bench", b"input");
+    let v = g.pow(&h, &sk);
+    let proof = dleq::prove(&sk, &h, &v);
+    c.bench_function("dleq/prove", |b| b.iter(|| dleq::prove(&sk, &h, &v)));
+    c.bench_function("dleq/verify", |b| {
+        b.iter(|| assert!(dleq::verify(&pk, &h, &v, &proof)))
+    });
+}
+
+fn bench_eligibility(c: &mut Criterion) {
+    use ba_fmine::{Eligibility, IdealMine, MineParams, MineTag, MsgKind, RealMine};
+    use ba_sim::NodeId;
+    let params = MineParams::new(256, 32.0);
+    let tag = MineTag::new(MsgKind::Vote, 1, true);
+
+    let real = RealMine::from_seed(1, params);
+    c.bench_function("fmine/real/mine", |b| b.iter(|| real.mine(NodeId(7), &tag)));
+    let ticket = (0..256)
+        .find_map(|i| real.mine(NodeId(i), &tag).map(|t| (NodeId(i), t)))
+        .expect("lambda=32: someone is eligible");
+    c.bench_function("fmine/real/verify", |b| {
+        b.iter(|| assert!(real.verify(ticket.0, &tag, &ticket.1)))
+    });
+
+    c.bench_function("fmine/ideal/mine", |b| {
+        b.iter_batched(
+            || IdealMine::new(9, params),
+            |ideal| ideal.mine(NodeId(7), &tag),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = crypto;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_modpow, bench_schnorr, bench_vrf, bench_dleq, bench_eligibility
+}
+criterion_main!(crypto);

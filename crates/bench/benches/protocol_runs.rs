@@ -1,0 +1,94 @@
+//! Criterion benchmarks for end-to-end protocol executions: the wall-clock
+//! cost of one simulated agreement at various scales, in both the hybrid
+//! and the real-crypto world.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ba_core::epoch::{self, EpochConfig};
+use ba_core::iter::{self, IterConfig};
+use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, RealMine, SigMode};
+use ba_sim::{Bit, CorruptionModel, Passive, SimConfig};
+
+fn mixed_inputs(n: usize) -> Vec<Bit> {
+    (0..n).map(|i| i % 2 == 0).collect()
+}
+
+fn bench_subq_half(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subq_half");
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, &n| {
+            b.iter(|| {
+                let elig = Arc::new(IdealMine::new(7, MineParams::new(n, 24.0)));
+                let cfg = IterConfig::subq_half(n, elig);
+                let sim = SimConfig::new(n, 0, CorruptionModel::Static, 7);
+                let (_, verdict) = iter::run(&cfg, &sim, mixed_inputs(n), Passive);
+                assert!(verdict.consistent);
+            })
+        });
+    }
+    // Real crypto is ~3 orders of magnitude slower per primitive; bench the
+    // small size only.
+    group.sample_size(10);
+    group.bench_function("real_crypto/n=64", |b| {
+        b.iter(|| {
+            let n = 64;
+            let elig: Arc<dyn Eligibility> =
+                Arc::new(RealMine::from_seed(7, MineParams::new(n, 16.0)));
+            let cfg = IterConfig::subq_half(n, elig);
+            let sim = SimConfig::new(n, 0, CorruptionModel::Static, 7);
+            let (_, verdict) = iter::run(&cfg, &sim, mixed_inputs(n), Passive);
+            assert!(verdict.consistent);
+        })
+    });
+    group.finish();
+}
+
+fn bench_quadratic_half(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadratic_half");
+    for n in [33usize, 65] {
+        group.bench_with_input(BenchmarkId::new("ideal_sigs", n), &n, |b, &n| {
+            b.iter(|| {
+                let kc = Arc::new(Keychain::from_seed(7, n, SigMode::Ideal));
+                let cfg = IterConfig::quadratic_half(n, kc, 7);
+                let sim = SimConfig::new(n, 0, CorruptionModel::Static, 7);
+                let (_, verdict) = iter::run(&cfg, &sim, mixed_inputs(n), Passive);
+                assert!(verdict.consistent);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_family");
+    group.bench_function("subq_third/n=256/R=8", |b| {
+        b.iter(|| {
+            let n = 256;
+            let elig = Arc::new(IdealMine::new(3, MineParams::new(n, 24.0)));
+            let cfg = EpochConfig::subq_third(n, 8, elig);
+            let sim = SimConfig::new(n, 0, CorruptionModel::Static, 3);
+            let (_, verdict) = epoch::run(&cfg, &sim, mixed_inputs(n), Passive);
+            assert!(verdict.terminated);
+        })
+    });
+    group.bench_function("warmup_third/n=64/R=8", |b| {
+        b.iter(|| {
+            let n = 64;
+            let kc = Arc::new(Keychain::from_seed(3, n, SigMode::Ideal));
+            let cfg = EpochConfig::warmup_third(n, 8, kc);
+            let sim = SimConfig::new(n, 0, CorruptionModel::Static, 3);
+            let (_, verdict) = epoch::run(&cfg, &sim, mixed_inputs(n), Passive);
+            assert!(verdict.terminated);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = protocols;
+    config = Criterion::default().sample_size(10);
+    targets = bench_subq_half, bench_quadratic_half, bench_epoch_protocols
+}
+criterion_main!(protocols);

@@ -1,0 +1,43 @@
+//! E5 — Theorem 3: without setup assumptions, a protocol with multicast
+//! complexity `C` cannot tolerate `C` adaptive corruptions.
+//!
+//! Runs the `Q — 1 — Q′` merged execution across committee sizes and
+//! reports: both sides' validity, node 1's forced inconsistency, and the
+//! number of adaptive corruptions the honest-1 interpretation needs
+//! (= distinct speakers ≤ multicast complexity).
+
+use ba_bench::{header, row};
+use ba_lowerbound::theorem3::run_experiment;
+
+fn main() {
+    println!("# E5 — Theorem 3: the Q — 1 — Q' hypothetical experiment\n");
+    println!("Candidate: committee-echo broadcast without PKI (C = committee + 1 multicasts).\n");
+
+    header(&[
+        "n per side",
+        "committee",
+        "Q valid (out 0)",
+        "Q' valid (out 1)",
+        "node-1 output",
+        "corruptions needed",
+        "contradiction",
+    ]);
+    for (n, committee) in [(12usize, 2usize), (20, 4), (50, 6), (100, 8), (200, 12)] {
+        let rep = run_experiment(n, committee);
+        row(&[
+            format!("{n}"),
+            format!("{committee}"),
+            format!("{}", rep.q_valid),
+            format!("{}", rep.q_prime_valid),
+            format!("{:?}", rep.node1_output.map(|b| b as u8)),
+            format!("{}", rep.corruptions_needed),
+            format!("{}", rep.contradiction_established()),
+        ]);
+    }
+
+    println!("\nReading the table: each world's validity pins its outputs, so whatever");
+    println!("node 1 outputs contradicts consistency in one of the two interpretations;");
+    println!("the adversary implementing the honest-1 interpretation corrupts only the");
+    println!("speakers — sublinear in n. Hence no setup-free BA with sublinear multicast");
+    println!("complexity tolerates that many adaptive corruptions.");
+}

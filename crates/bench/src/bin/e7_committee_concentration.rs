@@ -1,0 +1,86 @@
+//! E7 — Lemmas 10 and 11: committee concentration.
+//!
+//! * Lemma 11(i): fewer than `λ/2` already-corrupt nodes are eligible for
+//!   any given message — failure probability `exp(−Ω(ε²λ))`.
+//! * Lemma 11(ii): at least `λ/2` so-far-honest nodes are eligible —
+//!   same decay.
+//! * Lemma 10: if `εn/2` honest nodes have terminated, some terminated node
+//!   is eligible to send `Terminate` except with probability
+//!   `(1 − λ/n)^{εn/2} < exp(−ελ/2)`.
+//!
+//! The sweep over λ shows the exponential decay of each bad event.
+
+use ba_bench::{header, row};
+use ba_fmine::{Eligibility, IdealMine, MineParams, MineTag, MsgKind};
+use ba_sim::NodeId;
+
+fn bad_event_rates(n: usize, f: usize, lambda: f64, trials: u64) -> (f64, f64, f64) {
+    let mut corrupt_quorums = 0u64; // Lemma 11(i) failure
+    let mut honest_starved = 0u64; // Lemma 11(ii) failure
+    let mut terminate_mute = 0u64; // Lemma 10 failure
+    let quorum = (lambda / 2.0).ceil() as usize;
+    let eps = 0.5 - f as f64 / n as f64;
+    let terminators = ((eps * n as f64) / 2.0).ceil() as usize;
+    for t in 0..trials {
+        let fmine = IdealMine::new(t.wrapping_mul(0x9E37).wrapping_add(11), MineParams::new(n, lambda));
+        let tag = MineTag::new(MsgKind::Vote, t, true);
+        let corrupt_eligible =
+            (n - f..n).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
+        let honest_eligible =
+            (0..n - f).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
+        if corrupt_eligible >= quorum {
+            corrupt_quorums += 1;
+        }
+        if honest_eligible < quorum {
+            honest_starved += 1;
+        }
+        // Lemma 10: the first `terminators` honest nodes have terminated;
+        // does any of them hold a Terminate ticket?
+        let term_tag = MineTag::terminate(true);
+        let any = (0..terminators.min(n - f))
+            .any(|i| fmine.mine(NodeId(i), &term_tag).is_some());
+        if !any {
+            terminate_mute += 1;
+        }
+    }
+    (
+        corrupt_quorums as f64 / trials as f64,
+        honest_starved as f64 / trials as f64,
+        terminate_mute as f64 / trials as f64,
+    )
+}
+
+fn main() {
+    let trials = 3_000u64;
+    println!("# E7 — Lemmas 10/11: committee concentration ({trials} trials per cell)\n");
+
+    let n = 600;
+    let f = 240; // f/n = 0.4 => eps = 0.1
+    println!("n = {n}, f = {f} (eps = 0.1), quorum = lambda/2\n");
+    header(&[
+        "lambda",
+        "P[corrupt >= quorum] (L11.i)",
+        "P[honest < quorum] (L11.ii)",
+        "P[no terminator ticket] (L10)",
+    ]);
+    for lambda in [8.0f64, 16.0, 24.0, 32.0, 48.0, 64.0] {
+        let (ci, hs, tm) = bad_event_rates(n, f, lambda, trials);
+        row(&[
+            format!("{lambda:.0}"),
+            format!("{ci:.4}"),
+            format!("{hs:.4}"),
+            format!("{tm:.4}"),
+        ]);
+    }
+
+    println!("\n## Sensitivity to the corruption fraction (lambda = 32)\n");
+    header(&["f/n", "P[corrupt >= quorum]", "P[honest < quorum]"]);
+    for frac in [0.25f64, 0.35, 0.45, 0.50, 0.55] {
+        let f = (n as f64 * frac) as usize;
+        let (ci, hs, _) = bad_event_rates(n, f, 32.0, trials);
+        row(&[format!("{frac:.2}"), format!("{ci:.4}"), format!("{hs:.4}")]);
+    }
+
+    println!("\nExpected shape: all three bad-event rates decay exponentially in lambda");
+    println!("(Chernoff); the corrupt-quorum rate jumps from ~0 to ~1 as f/n crosses 1/2.");
+}

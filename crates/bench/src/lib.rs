@@ -1,0 +1,93 @@
+//! # ba-bench
+//!
+//! Experiment harnesses regenerating every quantitative claim of the paper
+//! (see EXPERIMENTS.md for the experiment ↔ claim index):
+//!
+//! | Binary | Claim |
+//! |--------|-------|
+//! | `e1_theorem4` | Thm 1/4 — Ω(f²) under strong adaptivity |
+//! | `e2_multicast_complexity` | Thm 2 / Lemma 15 — polylog multicast complexity |
+//! | `e3_round_complexity` | Cor. 16 — expected O(1) rounds |
+//! | `e4_resilience` | Thm 2 — `f < (1/2 − ε)n` resilience threshold |
+//! | `e5_theorem3` | Thm 3 — no setup-free sublinear multicast BA |
+//! | `e6_good_iteration` | Lemma 12 — good iterations at rate ≥ 1/(2e) |
+//! | `e7_committee_concentration` | Lemmas 10/11 — committee Chernoff bounds |
+//! | `e8_bit_specific_ablation` | §3.3 Remark — bit-specific eligibility is necessary |
+//! | `e9_real_vs_ideal` | App. D/E — the VRF compiler preserves behaviour |
+//! | `e10_comparison` | §1 — the cross-protocol property table |
+//!
+//! Run any of them with `cargo run -p ba-bench --release --bin <name>`.
+//! Criterion microbenches live under `benches/`.
+
+use std::fmt::Display;
+
+/// Prints a markdown-style table row.
+pub fn row<D: Display>(cells: &[D]) {
+    let mut line = String::from("|");
+    for c in cells {
+        line.push_str(&format!(" {c} |"));
+    }
+    println!("{line}");
+}
+
+/// Prints a markdown-style header with separator.
+pub fn header(cells: &[&str]) {
+    row(cells);
+    let mut line = String::from("|");
+    for _ in cells {
+        line.push_str("---|");
+    }
+    println!("{line}");
+}
+
+/// Simple descriptive statistics over `f64` samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+}
+
+impl Stats {
+    /// Computes statistics over the samples (zeroed for empty input).
+    pub fn of(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (count.max(2) - 1) as f64;
+        Stats { count, mean, min, max, stddev: var.sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Certificates: quorums of votes, ranked by iteration (Appendix C).
+//!
+//! A collection of `quorum` (signed or mined) iteration-`r` `Vote` messages
+//! for the same bit `b` from distinct nodes is an *iteration-`r` certificate
+//! for `b`*. A bit without any certificate is treated as having an
+//! "iteration-0 certificate", the lowest rank.
+
+use ba_fmine::{MineTag, MsgKind};
+use ba_sim::{Bit, NodeId};
+
+use crate::auth::{Auth, Evidence};
+
+/// One vote inside a certificate: the voter and its evidence for the vote
+/// statement `(Vote, iter, bit)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VoteRef {
+    /// The voter.
+    pub from: NodeId,
+    /// Evidence for `(Vote, iter, bit)`.
+    pub ev: Evidence,
+}
+
+/// An iteration-`r` certificate for a bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// The iteration whose votes form the certificate (1-based; rank 0 is
+    /// reserved for "no certificate").
+    pub iter: u64,
+    /// The certified bit.
+    pub bit: Bit,
+    /// The quorum of votes.
+    pub votes: Vec<VoteRef>,
+}
+
+impl Certificate {
+    /// The rank of an optional certificate: `0` for `None` (the paper's
+    /// "iteration-0 certificate"), else the certificate's iteration.
+    pub fn rank(cert: &Option<Certificate>) -> u64 {
+        cert.as_ref().map_or(0, |c| c.iter)
+    }
+
+    /// Verifies the certificate: at least `quorum` votes from distinct nodes,
+    /// each carrying valid evidence for `(Vote, iter, bit)`.
+    pub fn verify(&self, auth: &Auth, quorum: usize) -> bool {
+        if self.iter == 0 || self.votes.len() < quorum {
+            return false;
+        }
+        let mut seen: Vec<NodeId> = Vec::with_capacity(self.votes.len());
+        let tag = MineTag::new(MsgKind::Vote, self.iter, self.bit);
+        for vote in &self.votes {
+            if seen.contains(&vote.from) {
+                return false; // duplicate voter
+            }
+            seen.push(vote.from);
+            if !auth.verify(vote.from, &tag, &vote.ev) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Estimated wire size in bits (votes dominate).
+    pub fn size_bits(&self) -> usize {
+        64 + 8 + self.votes.iter().map(|v| 32 + v.ev.size_bits()).sum::<usize>()
+    }
+}
+
+/// One commit reference inside a `Terminate` message: evidence that `from`
+/// sent `(Commit, iter, bit)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitRef {
+    /// The committing node.
+    pub from: NodeId,
+    /// Evidence for `(Commit, iter, bit)`.
+    pub ev: Evidence,
+}
+
+/// Verifies a quorum of commit references for `(iter, bit)`: distinct nodes,
+/// valid evidence, at least `quorum` of them.
+pub fn verify_commit_quorum(
+    commits: &[CommitRef],
+    iter: u64,
+    bit: Bit,
+    auth: &Auth,
+    quorum: usize,
+) -> bool {
+    if commits.len() < quorum {
+        return false;
+    }
+    let tag = MineTag::new(MsgKind::Commit, iter, bit);
+    let mut seen: Vec<NodeId> = Vec::with_capacity(commits.len());
+    for c in commits {
+        if seen.contains(&c.from) {
+            return false;
+        }
+        seen.push(c.from);
+        if !auth.verify(c.from, &tag, &c.ev) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_fmine::{Keychain, SigMode};
+    use std::sync::Arc;
+
+    fn signed_auth(n: usize) -> Auth {
+        Auth::Signed { keychain: Arc::new(Keychain::from_seed(1, n, SigMode::Ideal)) }
+    }
+
+    fn make_cert(auth: &Auth, iter: u64, bit: Bit, voters: &[usize]) -> Certificate {
+        let tag = MineTag::new(MsgKind::Vote, iter, bit);
+        Certificate {
+            iter,
+            bit,
+            votes: voters
+                .iter()
+                .map(|&i| VoteRef {
+                    from: NodeId(i),
+                    ev: auth.attest(NodeId(i), &tag).expect("signed mode always attests"),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let auth = signed_auth(5);
+        let cert = make_cert(&auth, 2, true, &[0, 1, 2]);
+        assert!(cert.verify(&auth, 3));
+        assert!(cert.verify(&auth, 2)); // higher quorum than needed
+        assert!(!cert.verify(&auth, 4)); // not enough votes
+    }
+
+    #[test]
+    fn duplicate_voters_rejected() {
+        let auth = signed_auth(5);
+        let mut cert = make_cert(&auth, 2, true, &[0, 1]);
+        cert.votes.push(cert.votes[0].clone());
+        assert!(!cert.verify(&auth, 3), "padding with a duplicate must not reach quorum");
+    }
+
+    #[test]
+    fn vote_for_other_bit_rejected() {
+        let auth = signed_auth(5);
+        // Evidence actually covers bit=false, certificate claims bit=true.
+        let mut cert = make_cert(&auth, 2, true, &[0, 1]);
+        let wrong_tag = MineTag::new(MsgKind::Vote, 2, false);
+        cert.votes.push(VoteRef {
+            from: NodeId(2),
+            ev: auth.attest(NodeId(2), &wrong_tag).unwrap(),
+        });
+        assert!(!cert.verify(&auth, 3));
+    }
+
+    #[test]
+    fn iteration_zero_certificates_invalid() {
+        let auth = signed_auth(5);
+        let cert = make_cert(&auth, 0, true, &[0, 1, 2]);
+        assert!(!cert.verify(&auth, 3), "iteration 0 is the reserved no-certificate rank");
+    }
+
+    #[test]
+    fn rank_ordering() {
+        let auth = signed_auth(5);
+        let none: Option<Certificate> = None;
+        let low = Some(make_cert(&auth, 1, true, &[0, 1, 2]));
+        let high = Some(make_cert(&auth, 7, false, &[0, 1, 2]));
+        assert_eq!(Certificate::rank(&none), 0);
+        assert!(Certificate::rank(&low) < Certificate::rank(&high));
+    }
+
+    #[test]
+    fn commit_quorum_verification() {
+        let auth = signed_auth(5);
+        let tag = MineTag::new(MsgKind::Commit, 3, true);
+        let commits: Vec<CommitRef> = (0..3)
+            .map(|i| CommitRef { from: NodeId(i), ev: auth.attest(NodeId(i), &tag).unwrap() })
+            .collect();
+        assert!(verify_commit_quorum(&commits, 3, true, &auth, 3));
+        assert!(!verify_commit_quorum(&commits, 3, true, &auth, 4));
+        assert!(!verify_commit_quorum(&commits, 3, false, &auth, 3)); // wrong bit
+        assert!(!verify_commit_quorum(&commits, 4, true, &auth, 3)); // wrong iter
+        // Two distinct commits padded with a duplicate must not reach quorum.
+        let dup = vec![commits[0].clone(), commits[1].clone(), commits[0].clone()];
+        assert!(!verify_commit_quorum(&dup, 3, true, &auth, 3));
+    }
+
+    #[test]
+    fn size_grows_with_votes() {
+        let auth = signed_auth(5);
+        let small = make_cert(&auth, 1, true, &[0, 1]);
+        let large = make_cert(&auth, 1, true, &[0, 1, 2, 3]);
+        assert!(small.size_bits() < large.size_bits());
+    }
+}

@@ -1,0 +1,355 @@
+//! White-box tests driving `IterNode` step by step through hand-crafted
+//! inboxes — the corner cases of the Appendix C state machine.
+
+use std::sync::Arc;
+
+use ba_core::auth::Auth;
+use ba_core::cert::{Certificate, CommitRef, VoteRef};
+use ba_core::iter::{IterConfig, IterMsg, IterNode, ProposalRef};
+use ba_fmine::{Keychain, MineTag, MsgKind, SigMode};
+use ba_sim::{Incoming, NodeId, Outbox, Protocol, Round};
+
+const N: usize = 7;
+const QUORUM: usize = 4; // n/2 + 1
+
+fn setup(seed: u64) -> (IterConfig, Arc<Keychain>) {
+    let kc = Arc::new(Keychain::from_seed(seed, N, SigMode::Ideal));
+    let cfg = IterConfig::quadratic_half(N, kc.clone(), seed);
+    (cfg, kc)
+}
+
+fn attest(auth: &Auth, node: usize, tag: MineTag) -> ba_core::auth::Evidence {
+    auth.attest(NodeId(node), &tag).expect("signed mode always attests")
+}
+
+fn vote_msg(auth: &Auth, node: usize, iter: u64, bit: bool, just: Option<ProposalRef>) -> Incoming<IterMsg> {
+    Incoming {
+        from: NodeId(node),
+        msg: IterMsg::Vote {
+            iter,
+            bit,
+            just,
+            ev: attest(auth, node, MineTag::new(MsgKind::Vote, iter, bit)),
+        },
+    }
+}
+
+fn cert_for(auth: &Auth, iter: u64, bit: bool, voters: &[usize]) -> Certificate {
+    Certificate {
+        iter,
+        bit,
+        votes: voters
+            .iter()
+            .map(|&i| VoteRef {
+                from: NodeId(i),
+                ev: attest(auth, i, MineTag::new(MsgKind::Vote, iter, bit)),
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn iteration1_votes_own_input_and_commits_on_quorum() {
+    let (cfg, _kc) = setup(1);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg, NodeId(0), true, 99);
+
+    // Round 0: vote own input.
+    let mut out = Outbox::new();
+    node.step(Round(0), &[], &mut out);
+    let sends = out.take();
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(
+        &sends[0].1,
+        IterMsg::Vote { iter: 1, bit: true, just: None, .. }
+    ));
+
+    // Round 1 (commit phase): deliver quorum of matching votes.
+    let inbox: Vec<Incoming<IterMsg>> =
+        (1..QUORUM).map(|i| vote_msg(&auth, i, 1, true, None)).collect();
+    let mut out = Outbox::new();
+    node.step(Round(1), &inbox, &mut out);
+    let sends = out.take();
+    assert_eq!(sends.len(), 1, "quorum + no opposition => commit");
+    match &sends[0].1 {
+        IterMsg::Commit { iter: 1, bit: true, cert, .. } => {
+            assert!(cert.verify(&auth, QUORUM));
+        }
+        other => panic!("expected commit, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_opposing_vote_blocks_commit() {
+    let (cfg, _kc) = setup(2);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg, NodeId(0), true, 99);
+    let mut out = Outbox::new();
+    node.step(Round(0), &[], &mut out);
+
+    let mut inbox: Vec<Incoming<IterMsg>> =
+        (1..=QUORUM).map(|i| vote_msg(&auth, i, 1, true, None)).collect();
+    // One justified opposing vote (iteration-1 votes need no proposal).
+    inbox.push(vote_msg(&auth, 6, 1, false, None));
+    let mut out = Outbox::new();
+    node.step(Round(1), &inbox, &mut out);
+    assert!(out.take().is_empty(), "a conflicting vote must block the commit");
+}
+
+#[test]
+fn unjustified_vote_is_ignored_after_iteration1() {
+    let (cfg, _kc) = setup(3);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg.clone(), NodeId(0), true, 99);
+    // Fast-forward to iteration 2's commit round (round 5) by stepping
+    // through empty rounds.
+    for r in 0..5u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    // Deliver a quorum of iteration-2 votes WITHOUT justification: all
+    // dropped, so no commit.
+    let inbox: Vec<Incoming<IterMsg>> =
+        (1..=QUORUM).map(|i| vote_msg(&auth, i, 2, true, None)).collect();
+    let mut out = Outbox::new();
+    node.step(Round(5), &inbox, &mut out);
+    assert!(out.take().is_empty(), "unjustified iteration-2 votes must not count");
+    let _ = cfg;
+}
+
+#[test]
+fn status_reports_bot_without_certificate() {
+    let (cfg, _kc) = setup(4);
+    let mut node = IterNode::new(cfg, NodeId(0), false, 99);
+    for r in 0..2u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    // Round 2 = iteration 2 status phase; no certificate known -> ⊥ status.
+    let mut out = Outbox::new();
+    node.step(Round(2), &[], &mut out);
+    let sends = out.take();
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(
+        &sends[0].1,
+        IterMsg::Status { iter: 2, bit: None, cert: None, .. }
+    ));
+}
+
+#[test]
+fn status_reports_highest_certificate() {
+    let (cfg, _kc) = setup(5);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg, NodeId(0), false, 99);
+    let mut out = Outbox::new();
+    node.step(Round(0), &[], &mut out);
+    // Deliver an iteration-1 certificate for bit true inside a commit.
+    let cert = cert_for(&auth, 1, true, &[1, 2, 3, 4]);
+    let commit = Incoming {
+        from: NodeId(1),
+        msg: IterMsg::Commit {
+            iter: 1,
+            bit: true,
+            cert: cert.clone(),
+            ev: attest(&auth, 1, MineTag::new(MsgKind::Commit, 1, true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(1), &[commit], &mut out);
+    // Iteration 2 status round: report (true, cert@1).
+    let mut out = Outbox::new();
+    node.step(Round(2), &[], &mut out);
+    let sends = out.take();
+    match &sends[0].1 {
+        IterMsg::Status { iter: 2, bit: Some(true), cert: Some(c), .. } => {
+            assert_eq!(c.iter, 1);
+        }
+        other => panic!("expected certified status, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_proposal_certificate_is_dropped() {
+    let (cfg, _kc) = setup(6);
+    let auth = cfg.auth.clone();
+    let leader = cfg.oracle_leader(2).unwrap();
+    let mut node = IterNode::new(cfg.clone(), NodeId(0), false, 99);
+    for r in 0..3u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    // Proposal whose attached certificate certifies the OTHER bit: dropped,
+    // so the node abstains at the vote phase.
+    let wrong_cert = cert_for(&auth, 1, false, &[1, 2, 3, 4]);
+    let prop = Incoming {
+        from: leader,
+        msg: IterMsg::Propose {
+            iter: 2,
+            bit: true,
+            cert: Some(wrong_cert),
+            ev: attest(&auth, leader.index(), MineTag::new(MsgKind::Propose, 2, true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(4), &[prop], &mut out); // vote phase of iteration 2
+    assert!(out.take().is_empty(), "malformed proposal must not induce a vote");
+}
+
+#[test]
+fn conflicting_proposals_cause_abstention() {
+    let (cfg, _kc) = setup(7);
+    let auth = cfg.auth.clone();
+    let leader = cfg.oracle_leader(2).unwrap();
+    let mut node = IterNode::new(cfg.clone(), NodeId(0), false, 99);
+    for r in 0..4u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    // Vote phase receives two conflicting (valid) proposals from the leader.
+    let mk = |bit: bool| Incoming {
+        from: leader,
+        msg: IterMsg::Propose {
+            iter: 2,
+            bit,
+            cert: None,
+            ev: attest(&auth, leader.index(), MineTag::new(MsgKind::Propose, 2, bit)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(4), &[mk(false), mk(true)], &mut out);
+    assert!(out.take().is_empty(), "equivocating leader => abstain");
+}
+
+#[test]
+fn proposal_from_non_leader_is_ignored_in_oracle_mode() {
+    let (cfg, _kc) = setup(8);
+    let auth = cfg.auth.clone();
+    let leader = cfg.oracle_leader(2).unwrap();
+    let impostor = NodeId((leader.index() + 1) % N);
+    let mut node = IterNode::new(cfg.clone(), NodeId(0), false, 99);
+    for r in 0..4u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    let prop = Incoming {
+        from: impostor,
+        msg: IterMsg::Propose {
+            iter: 2,
+            bit: true,
+            cert: None,
+            ev: attest(&auth, impostor.index(), MineTag::new(MsgKind::Propose, 2, true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(4), &[prop], &mut out);
+    assert!(out.take().is_empty(), "non-leader proposals must be ignored");
+}
+
+#[test]
+fn valid_terminate_adopts_and_relays() {
+    let (cfg, _kc) = setup(9);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg, NodeId(0), false, 99);
+    let mut out = Outbox::new();
+    node.step(Round(0), &[], &mut out);
+
+    let commits: Vec<CommitRef> = (1..=QUORUM)
+        .map(|i| CommitRef {
+            from: NodeId(i),
+            ev: attest(&auth, i, MineTag::new(MsgKind::Commit, 1, true)),
+        })
+        .collect();
+    let term = Incoming {
+        from: NodeId(1),
+        msg: IterMsg::Terminate {
+            iter: 1,
+            bit: true,
+            commits,
+            ev: attest(&auth, 1, MineTag::terminate(true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(1), &[term], &mut out);
+    let sends = out.take();
+    assert_eq!(node.output(), Some(true));
+    assert!(node.halted());
+    assert_eq!(sends.len(), 1, "the node must relay Terminate");
+    assert!(matches!(&sends[0].1, IterMsg::Terminate { bit: true, .. }));
+}
+
+#[test]
+fn terminate_with_underfilled_commits_is_rejected() {
+    let (cfg, _kc) = setup(10);
+    let auth = cfg.auth.clone();
+    let mut node = IterNode::new(cfg, NodeId(0), false, 99);
+    let mut out = Outbox::new();
+    node.step(Round(0), &[], &mut out);
+
+    let commits: Vec<CommitRef> = (1..QUORUM) // one short of quorum
+        .map(|i| CommitRef {
+            from: NodeId(i),
+            ev: attest(&auth, i, MineTag::new(MsgKind::Commit, 1, true)),
+        })
+        .collect();
+    let term = Incoming {
+        from: NodeId(1),
+        msg: IterMsg::Terminate {
+            iter: 1,
+            bit: true,
+            commits,
+            ev: attest(&auth, 1, MineTag::terminate(true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(1), &[term], &mut out);
+    assert_eq!(node.output(), None, "underfilled Terminate must be ignored");
+    assert!(!node.halted());
+}
+
+#[test]
+fn higher_opposite_certificate_blocks_vote() {
+    let (cfg, _kc) = setup(11);
+    let auth = cfg.auth.clone();
+    let leader3 = cfg.oracle_leader(3).unwrap();
+    let mut node = IterNode::new(cfg.clone(), NodeId(0), false, 99);
+    for r in 0..6u64 {
+        let mut out = Outbox::new();
+        node.step(Round(r), &[], &mut out);
+    }
+    // Round 6 = iteration 3 status. Teach the node an iteration-2 cert for
+    // bit false via a status message.
+    let cert2 = cert_for(&auth, 2, false, &[1, 2, 3, 4]);
+    let status = Incoming {
+        from: NodeId(2),
+        msg: IterMsg::Status {
+            iter: 3,
+            bit: Some(false),
+            cert: Some(cert2),
+            ev: attest(&auth, 2, MineTag::new(MsgKind::Status, 3, false)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(6), &[status], &mut out);
+    let mut out = Outbox::new();
+    node.step(Round(7), &[], &mut out); // propose phase (we are not leader... may be)
+    // Vote phase: leader proposes TRUE with only an iteration-1 cert — the
+    // node knows a strictly higher cert for FALSE, so it must abstain.
+    let cert1 = cert_for(&auth, 1, true, &[1, 2, 3, 4]);
+    let prop = Incoming {
+        from: leader3,
+        msg: IterMsg::Propose {
+            iter: 3,
+            bit: true,
+            cert: Some(cert1),
+            ev: attest(&auth, leader3.index(), MineTag::new(MsgKind::Propose, 3, true)),
+        },
+    };
+    let mut out = Outbox::new();
+    node.step(Round(8), &[prop], &mut out);
+    let votes: Vec<_> = out
+        .take()
+        .into_iter()
+        .filter(|(_, m)| matches!(m, IterMsg::Vote { .. }))
+        .collect();
+    assert!(votes.is_empty(), "stale proposal must lose to the higher certificate");
+}

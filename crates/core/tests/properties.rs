@@ -1,0 +1,151 @@
+//! Property-based tests for certificates, evidence, and tag handling.
+
+use std::sync::Arc;
+
+use ba_core::auth::Auth;
+use ba_core::cert::{verify_commit_quorum, Certificate, CommitRef, VoteRef};
+use ba_fmine::{Keychain, MineTag, MsgKind, SigMode};
+use ba_sim::NodeId;
+use proptest::prelude::*;
+
+fn signed_auth(n: usize) -> Auth {
+    Auth::Signed { keychain: Arc::new(Keychain::from_seed(1, n, SigMode::Ideal)) }
+}
+
+fn arb_kind() -> impl Strategy<Value = MsgKind> {
+    prop_oneof![
+        Just(MsgKind::Propose),
+        Just(MsgKind::Ack),
+        Just(MsgKind::Status),
+        Just(MsgKind::Vote),
+        Just(MsgKind::Commit),
+        Just(MsgKind::Terminate),
+    ]
+}
+
+fn arb_tag() -> impl Strategy<Value = MineTag> {
+    (arb_kind(), any::<u64>(), any::<Option<bool>>(), any::<bool>()).prop_map(
+        |(kind, iter, bit, shared)| match (bit, shared) {
+            (_, true) => MineTag::shared(kind, iter),
+            (Some(b), false) => MineTag::new(kind, iter, b),
+            (None, false) => MineTag::bot(kind, iter),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tag_encoding_is_injective(a in arb_tag(), b in arb_tag()) {
+        if a != b {
+            prop_assert_ne!(a.to_bytes(), b.to_bytes(), "{} vs {}", a, b);
+        } else {
+            prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        }
+    }
+
+    #[test]
+    fn sharedized_tags_are_bit_independent(kind in arb_kind(), iter in any::<u64>()) {
+        let t0 = MineTag::new(kind, iter, false).sharedized();
+        let t1 = MineTag::new(kind, iter, true).sharedized();
+        prop_assert_eq!(t0, t1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn certificates_verify_iff_quorum_distinct_valid(
+        voters in prop::collection::btree_set(0usize..20, 1..20),
+        quorum in 1usize..20,
+        iter in 1u64..50,
+        bit in any::<bool>(),
+    ) {
+        let auth = signed_auth(20);
+        let tag = MineTag::new(MsgKind::Vote, iter, bit);
+        let votes: Vec<VoteRef> = voters
+            .iter()
+            .map(|&i| VoteRef { from: NodeId(i), ev: auth.attest(NodeId(i), &tag).unwrap() })
+            .collect();
+        let cert = Certificate { iter, bit, votes };
+        prop_assert_eq!(cert.verify(&auth, quorum), voters.len() >= quorum);
+    }
+
+    #[test]
+    fn duplicated_votes_never_help(
+        voters in prop::collection::btree_set(0usize..10, 1..6),
+        dup_count in 1usize..5,
+        iter in 1u64..10,
+    ) {
+        let auth = signed_auth(10);
+        let tag = MineTag::new(MsgKind::Vote, iter, true);
+        let mut votes: Vec<VoteRef> = voters
+            .iter()
+            .map(|&i| VoteRef { from: NodeId(i), ev: auth.attest(NodeId(i), &tag).unwrap() })
+            .collect();
+        let first = votes[0].clone();
+        for _ in 0..dup_count {
+            votes.push(first.clone());
+        }
+        let cert = Certificate { iter, bit: true, votes };
+        // Quorum above the distinct count must fail despite padding.
+        prop_assert!(!cert.verify(&auth, voters.len() + 1));
+    }
+
+    #[test]
+    fn commit_quorum_rejects_wrong_context(
+        voters in prop::collection::btree_set(0usize..12, 3..12),
+        iter in 1u64..20,
+        bit in any::<bool>(),
+    ) {
+        let auth = signed_auth(12);
+        let tag = MineTag::new(MsgKind::Commit, iter, bit);
+        let commits: Vec<CommitRef> = voters
+            .iter()
+            .map(|&i| CommitRef { from: NodeId(i), ev: auth.attest(NodeId(i), &tag).unwrap() })
+            .collect();
+        let q = voters.len();
+        prop_assert!(verify_commit_quorum(&commits, iter, bit, &auth, q));
+        prop_assert!(!verify_commit_quorum(&commits, iter + 1, bit, &auth, q));
+        prop_assert!(!verify_commit_quorum(&commits, iter, !bit, &auth, q));
+        prop_assert!(!verify_commit_quorum(&commits, iter, bit, &auth, q + 1));
+    }
+
+    #[test]
+    fn evidence_does_not_transfer_between_nodes(
+        signer in 0usize..8,
+        claimer in 0usize..8,
+        iter in 1u64..20,
+    ) {
+        let auth = signed_auth(8);
+        let tag = MineTag::new(MsgKind::Vote, iter, true);
+        let ev = auth.attest(NodeId(signer), &tag).unwrap();
+        let transferable = auth.verify(NodeId(claimer), &tag, &ev);
+        prop_assert_eq!(transferable, signer == claimer);
+    }
+
+    #[test]
+    fn rank_respects_iteration_order(i1 in 1u64..100, i2 in 1u64..100) {
+        let auth = signed_auth(4);
+        let tag = |it| MineTag::new(MsgKind::Vote, it, true);
+        let mk = |it| {
+            Some(Certificate {
+                iter: it,
+                bit: true,
+                votes: vec![VoteRef {
+                    from: NodeId(0),
+                    ev: auth.attest(NodeId(0), &tag(it)).unwrap(),
+                }],
+            })
+        };
+        let c1 = mk(i1);
+        let c2 = mk(i2);
+        prop_assert_eq!(
+            Certificate::rank(&c1) < Certificate::rank(&c2),
+            i1 < i2
+        );
+        prop_assert!(Certificate::rank(&None) < Certificate::rank(&c1));
+    }
+}

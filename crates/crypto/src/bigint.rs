@@ -1,0 +1,787 @@
+//! Fixed-width big-integer arithmetic: [`U256`], [`U512`], and Montgomery
+//! modular arithmetic ([`ModCtx`]).
+//!
+//! Everything in this module is implemented from scratch on `u64` limbs
+//! (little-endian limb order). It is the numeric substrate for the Schnorr
+//! group, signatures, DLEQ proofs, and the VRF in the rest of the crate.
+//!
+//! The implementation favours clarity and testability over constant-time
+//! behaviour; see the crate-level documentation for the threat model.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 256-bit unsigned integer stored as four little-endian `u64` limbs.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::bigint::U256;
+///
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(5);
+/// let (sum, carry) = a.overflowing_add(&b);
+/// assert_eq!(sum, U256::from_u64(12));
+/// assert!(!carry);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// A 512-bit unsigned integer stored as eight little-endian `u64` limbs.
+///
+/// Used as the intermediate type for 256x256-bit products before modular
+/// reduction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{:016x}{:016x}{:016x}{:016x})", self.0[3], self.0[2], self.0[1], self.0[0])
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}{:016x}{:016x}{:016x}", self.0[3], self.0[2], self.0[1], self.0[0])
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}{:016x}{:016x}", self.0[3], self.0[2], self.0[1], self.0[0])
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(0x")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..8).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value one.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a `U256` from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a `U256` from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Returns bit `i` (0 = least significant). Bits at or above 256 are zero.
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the number of significant bits (`0` for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Addition returning the wrapped sum and a carry flag.
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtraction returning the wrapped difference and a borrow flag.
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping addition (mod 2^256).
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction (mod 2^256).
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
+        let (d, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Full 256x256 -> 512-bit product.
+    pub fn mul_wide(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u64 = 0;
+            for j in 0..4 {
+                let prod = (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + (out[i + j] as u128)
+                    + (carry as u128);
+                out[i + j] = prod as u64;
+                carry = (prod >> 64) as u64;
+            }
+            out[i + 4] = carry;
+        }
+        U512(out)
+    }
+
+    /// Logical right shift by one bit.
+    pub fn shr1(&self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.0[i] >> 1;
+            if i + 1 < 4 {
+                out[i] |= self.0[i + 1] << 63;
+            }
+        }
+        U256(out)
+    }
+
+    /// Logical left shift by one bit (wrapping).
+    pub fn shl1(&self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            out[i] = self.0[i] << 1;
+            if i > 0 {
+                out[i] |= self.0[i - 1] >> 63;
+            }
+        }
+        U256(out)
+    }
+
+    /// Interprets 32 big-endian bytes as a `U256`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[start..start + 8]);
+            *limb = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let start = 32 - 8 * (i + 1);
+            out[start..start + 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix required, case
+    /// insensitive, at most 64 digits).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on invalid characters or overly long input.
+    pub fn from_hex(s: &str) -> Option<U256> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut out = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16)? as u64;
+            // out = out * 16 + d
+            let mut shifted = out;
+            for _ in 0..4 {
+                shifted = shifted.shl1();
+            }
+            out = shifted.wrapping_add(&U256::from_u64(d));
+        }
+        Some(out)
+    }
+
+    /// Computes `self mod m` for nonzero `m` via widening to `U512`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn reduce_mod(&self, m: &U256) -> U256 {
+        U512::from_u256(self).rem(m)
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl U512 {
+    /// The value zero.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Widens a `U256` into the low half of a `U512`.
+    pub fn from_u256(v: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        out[..4].copy_from_slice(&v.0);
+        U512(out)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 8]
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= 512 {
+            return false;
+        }
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the number of significant bits (`0` for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Subtraction returning the wrapped difference and a borrow flag.
+    pub fn overflowing_sub(&self, rhs: &U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut borrow = false;
+        for i in 0..8 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U512(out), borrow)
+    }
+
+    /// Logical left shift by one bit (wrapping).
+    pub fn shl1(&self) -> U512 {
+        let mut out = [0u64; 8];
+        for i in (0..8).rev() {
+            out[i] = self.0[i] << 1;
+            if i > 0 {
+                out[i] |= self.0[i - 1] >> 63;
+            }
+        }
+        U512(out)
+    }
+
+    /// Truncates to the low 256 bits.
+    pub fn low_u256(&self) -> U256 {
+        U256([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// Computes `self mod m` by binary long division.
+    ///
+    /// This is the slow, general-purpose reduction used only for one-off
+    /// setup computations (e.g. deriving Montgomery constants); the hot path
+    /// uses [`ModCtx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero");
+        let mbits = m.bits();
+        let xbits = self.bits();
+        if xbits < mbits {
+            return self.low_u256();
+        }
+        let mut rem = U256::ZERO;
+        for i in (0..xbits).rev() {
+            // rem = (rem * 2 + bit) mod m, guarding against 256-bit overflow
+            // when m is close to 2^256.
+            rem = mod_double(&rem, m);
+            if self.bit(i) {
+                let inc = rem.wrapping_add(&U256::ONE);
+                rem = if inc == *m { U256::ZERO } else { inc };
+            }
+        }
+        rem
+    }
+}
+
+/// A Montgomery-form modular-arithmetic context for an odd 256-bit modulus.
+///
+/// All group and field operations in this crate go through a `ModCtx`.
+/// Values passed to [`ModCtx::mul`], [`ModCtx::sqr`], and [`ModCtx::pow`] are
+/// ordinary (non-Montgomery) residues; conversion happens internally, so the
+/// API stays misuse-resistant at a modest constant-factor cost for `mul`.
+/// [`ModCtx::pow`] converts once and is the intended hot path.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::bigint::{ModCtx, U256};
+///
+/// // Arithmetic modulo the prime 101.
+/// let ctx = ModCtx::new(U256::from_u64(101));
+/// let x = ctx.pow(&U256::from_u64(2), &U256::from_u64(100));
+/// assert_eq!(x, U256::ONE); // Fermat's little theorem
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModCtx {
+    m: U256,
+    /// -m^{-1} mod 2^64
+    n0inv: u64,
+    /// R^2 mod m where R = 2^256
+    r2: U256,
+    /// R mod m
+    r1: U256,
+}
+
+impl ModCtx {
+    /// Creates a context for the odd modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or zero.
+    pub fn new(m: U256) -> ModCtx {
+        assert!(m.is_odd(), "Montgomery modulus must be odd");
+        // n0inv = -m^{-1} mod 2^64 via Newton iteration.
+        let m0 = m.0[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let n0inv = inv.wrapping_neg();
+
+        // r1 = 2^256 mod m: start from 1, double 256 times mod m.
+        let mut r1 = U256::ONE.reduce_mod(&m);
+        for _ in 0..256 {
+            r1 = mod_double(&r1, &m);
+        }
+        // r2 = 2^512 mod m: double r1 another 256 times.
+        let mut r2 = r1;
+        for _ in 0..256 {
+            r2 = mod_double(&r2, &m);
+        }
+        ModCtx { m, n0inv, r2, r1 }
+    }
+
+    /// Returns the modulus.
+    pub fn modulus(&self) -> &U256 {
+        &self.m
+    }
+
+    /// Montgomery reduction of a 512-bit value: returns `t * R^{-1} mod m`.
+    ///
+    /// Requires `t < m * R` (always true for products of reduced values),
+    /// which guarantees the result fits after at most one subtraction.
+    fn redc(&self, t: &U512) -> U256 {
+        let mut a = [0u64; 9];
+        a[..8].copy_from_slice(&t.0);
+        for i in 0..4 {
+            let u = a[i].wrapping_mul(self.n0inv);
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let prod = (u as u128) * (self.m.0[j] as u128) + (a[i + j] as u128) + carry;
+                a[i + j] = prod as u64;
+                carry = prod >> 64;
+            }
+            let mut k = i + 4;
+            while carry != 0 && k < 9 {
+                let s = a[k] as u128 + carry;
+                a[k] = s as u64;
+                carry = s >> 64;
+                k += 1;
+            }
+        }
+        let mut r = U256([a[4], a[5], a[6], a[7]]);
+        if a[8] != 0 || r >= self.m {
+            r = r.wrapping_sub(&self.m);
+        }
+        r
+    }
+
+    /// Converts an ordinary residue into Montgomery form.
+    fn to_mont(&self, x: &U256) -> U256 {
+        self.redc(&x.mul_wide(&self.r2))
+    }
+
+    /// Converts a Montgomery-form value back to an ordinary residue.
+    fn from_mont(&self, x: &U256) -> U256 {
+        self.redc(&U512::from_u256(x))
+    }
+
+    /// Modular addition of ordinary residues (inputs must be `< m`).
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (sum, carry) = a.overflowing_add(b);
+        if carry || sum >= self.m {
+            sum.wrapping_sub(&self.m)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction of ordinary residues (inputs must be `< m`).
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (diff, borrow) = a.overflowing_sub(b);
+        if borrow {
+            diff.wrapping_add(&self.m)
+        } else {
+            diff
+        }
+    }
+
+    /// Modular negation of an ordinary residue (`< m`).
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.m.wrapping_sub(a)
+        }
+    }
+
+    /// Modular multiplication of ordinary residues (inputs must be `< m`).
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.redc(&am.mul_wide(&bm)))
+    }
+
+    /// Modular squaring of an ordinary residue (`< m`).
+    pub fn sqr(&self, a: &U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// Modular exponentiation `base^exp mod m` by left-to-right square and
+    /// multiply, entirely in Montgomery form.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        if exp.is_zero() {
+            return U256::ONE.reduce_mod(&self.m);
+        }
+        let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
+        let bm = self.to_mont(&base);
+        let mut acc = self.r1; // 1 in Montgomery form
+        let top = exp.bits();
+        for i in (0..top).rev() {
+            acc = self.redc(&acc.mul_wide(&acc));
+            if exp.bit(i) {
+                acc = self.redc(&acc.mul_wide(&bm));
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular inverse for a prime modulus via Fermat's little theorem:
+    /// `a^{m-2} mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero (zero has no inverse).
+    pub fn inv_prime(&self, a: &U256) -> U256 {
+        assert!(!a.reduce_mod(&self.m).is_zero(), "zero has no modular inverse");
+        let exp = self.m.wrapping_sub(&U256::from_u64(2));
+        self.pow(a, &exp)
+    }
+
+    /// Reduces an arbitrary 512-bit value modulo `m` using Montgomery
+    /// arithmetic (`redc` then multiply by `R^2`, i.e. `x mod m`).
+    pub fn reduce_wide(&self, x: &U512) -> U256 {
+        // redc(x) = x * R^{-1}; multiplying by R^2 then redc again gives x mod m.
+        let xr = self.redc(x); // x * R^{-1}
+        self.redc(&xr.mul_wide(&self.r2)) // x * R^{-1} * R^2 * R^{-1} = x
+    }
+}
+
+fn mod_double(x: &U256, m: &U256) -> U256 {
+    let hi_bit = x.bit(255);
+    let dbl = x.shl1();
+    if hi_bit || dbl >= *m {
+        dbl.wrapping_sub(m)
+    } else {
+        dbl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256([u64::MAX, 0, u64::MAX, 1]);
+        let b = U256([1, u64::MAX, 2, 3]);
+        let (s, _) = a.overflowing_add(&b);
+        let (d, borrow) = s.overflowing_sub(&b);
+        assert!(!borrow);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let a = U256([u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+        let (s, carry) = a.overflowing_add(&U256::ONE);
+        assert!(carry);
+        assert_eq!(s, U256::ZERO);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let a = u(0xFFFF_FFFF);
+        let b = u(0xFFFF_FFFF);
+        let p = a.mul_wide(&b);
+        assert_eq!(p.low_u256(), U256::from_u128(0xFFFF_FFFE_0000_0001));
+    }
+
+    #[test]
+    fn mul_wide_max() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let p = U256::MAX.mul_wide(&U256::MAX);
+        assert_eq!(p.0[0], 1);
+        for i in 1..4 {
+            assert_eq!(p.0[i], 0);
+        }
+        assert_eq!(p.0[4], u64::MAX - 1);
+        for i in 5..8 {
+            assert_eq!(p.0[i], u64::MAX);
+        }
+    }
+
+    #[test]
+    fn cmp_orders_lexicographically_from_high_limb() {
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(u(5) < u(6));
+        assert_eq!(u(7).cmp(&u(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256([0, 1, 0, 0]).bits(), 65);
+        assert!(U256([0, 1, 0, 0]).bit(64));
+        assert!(!U256([0, 1, 0, 0]).bit(63));
+        assert_eq!(U256::MAX.bits(), 256);
+    }
+
+    #[test]
+    fn shl_shr_inverse_on_small_values() {
+        let a = u(0x1234_5678_9abc_def0);
+        assert_eq!(a.shl1().shr1(), a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let a = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+        let bytes = a.to_be_bytes();
+        assert_eq!(bytes[31], 1); // least significant byte of limb 0
+        assert_eq!(bytes[0..8], 4u64.to_be_bytes()); // most significant limb
+    }
+
+    #[test]
+    fn from_hex_parses() {
+        assert_eq!(U256::from_hex("ff"), Some(u(255)));
+        assert_eq!(U256::from_hex("0x10"), Some(u(16)));
+        assert_eq!(
+            U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef"),
+            Some(U256([0xffffffffffff72ef, u64::MAX, u64::MAX, u64::MAX]))
+        );
+        assert_eq!(U256::from_hex(""), None);
+        assert_eq!(U256::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn u512_rem_basic() {
+        let x = U512::from_u256(&u(100));
+        assert_eq!(x.rem(&u(7)), u(2));
+        let big = U256::MAX.mul_wide(&U256::MAX);
+        // (2^256-1)^2 mod (2^256-1) == 0
+        assert_eq!(big.rem(&U256::MAX), U256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn u512_rem_zero_modulus_panics() {
+        let _ = U512::from_u256(&u(1)).rem(&U256::ZERO);
+    }
+
+    #[test]
+    fn montgomery_matches_naive_small_modulus() {
+        let m = u(1_000_003); // prime
+        let ctx = ModCtx::new(m);
+        for a in [0u64, 1, 2, 999_999, 123_456] {
+            for b in [0u64, 1, 7, 999_999, 654_321] {
+                let expect = (a as u128 * b as u128 % 1_000_003) as u64;
+                assert_eq!(ctx.mul(&u(a), &u(b)), u(expect), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_pow_fermat() {
+        let m = u(1_000_003);
+        let ctx = ModCtx::new(m);
+        // a^(p-1) = 1 mod p
+        assert_eq!(ctx.pow(&u(2), &u(1_000_002)), U256::ONE);
+        assert_eq!(ctx.pow(&u(42), &u(1_000_002)), U256::ONE);
+        // a^0 = 1
+        assert_eq!(ctx.pow(&u(99), &U256::ZERO), U256::ONE);
+        // a^1 = a
+        assert_eq!(ctx.pow(&u(99), &U256::ONE), u(99));
+    }
+
+    #[test]
+    fn montgomery_inverse() {
+        let m = u(1_000_003);
+        let ctx = ModCtx::new(m);
+        for a in [1u64, 2, 3, 999_999, 500_000] {
+            let inv = ctx.inv_prime(&u(a));
+            assert_eq!(ctx.mul(&u(a), &inv), U256::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inverse_of_zero_panics() {
+        let ctx = ModCtx::new(u(1_000_003));
+        let _ = ctx.inv_prime(&U256::ZERO);
+    }
+
+    #[test]
+    fn montgomery_256bit_modulus() {
+        // p = 2^256 - 36113, the group prime used by the crate.
+        let p = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef")
+            .unwrap();
+        let ctx = ModCtx::new(p);
+        // Fermat: 2^(p-1) mod p = 1.
+        let pm1 = p.wrapping_sub(&U256::ONE);
+        assert_eq!(ctx.pow(&u(2), &pm1), U256::ONE);
+        // Inverse sanity.
+        let x = U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff")
+            .unwrap();
+        let xinv = ctx.inv_prime(&x);
+        assert_eq!(ctx.mul(&x, &xinv), U256::ONE);
+    }
+
+    #[test]
+    fn add_sub_mod() {
+        let m = u(97);
+        let ctx = ModCtx::new(m);
+        assert_eq!(ctx.add(&u(96), &u(5)), u(4));
+        assert_eq!(ctx.sub(&u(3), &u(5)), u(95));
+        assert_eq!(ctx.neg(&u(1)), u(96));
+        assert_eq!(ctx.neg(&U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn reduce_wide_matches_binary_rem() {
+        let p = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef")
+            .unwrap();
+        let ctx = ModCtx::new(p);
+        let a = U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff")
+            .unwrap();
+        let wide = a.mul_wide(&a);
+        assert_eq!(ctx.reduce_wide(&wide), wide.rem(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "Montgomery modulus must be odd")]
+    fn even_modulus_panics() {
+        let _ = ModCtx::new(u(100));
+    }
+
+    #[test]
+    fn reduce_mod_u256() {
+        assert_eq!(u(100).reduce_mod(&u(7)), u(2));
+        assert_eq!(U256::MAX.reduce_mod(&U256::MAX), U256::ZERO);
+    }
+}

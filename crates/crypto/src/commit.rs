@@ -1,0 +1,302 @@
+//! Commitment schemes (Appendix D.2 of the paper).
+//!
+//! Two flavours:
+//!
+//! * [`HashCommitment`] — `C = SHA256(tag || v || ρ)`. Computationally
+//!   binding and hiding; cheap, used wherever the paper only needs a
+//!   commitment in the random-oracle sense.
+//! * [`ElGamalCommitment`] — `C = (g^ρ, g^v · pk_c^ρ)` under a CRS key
+//!   `pk_c`. **Perfectly binding** (an ElGamal ciphertext determines its
+//!   plaintext) and computationally hiding under DDH — exactly the property
+//!   profile Appendix D.2 demands for committing to nodes' PRF keys.
+
+use crate::group::{Element, Group, Scalar};
+use crate::sha256::Sha256;
+
+/// A 32-byte hash commitment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HashCommitment(pub [u8; 32]);
+
+impl HashCommitment {
+    /// Commits to `value` with blinding randomness `rho`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ba_crypto::commit::HashCommitment;
+    ///
+    /// let c = HashCommitment::commit(b"bid: 42", b"blinding-randomness");
+    /// assert!(c.verify(b"bid: 42", b"blinding-randomness"));
+    /// assert!(!c.verify(b"bid: 43", b"blinding-randomness"));
+    /// ```
+    pub fn commit(value: &[u8], rho: &[u8]) -> HashCommitment {
+        HashCommitment(Sha256::digest_parts(&[
+            b"ba-crypto/hash-commit/v1",
+            &(value.len() as u64).to_be_bytes(),
+            value,
+            rho,
+        ]))
+    }
+
+    /// Verifies an opening `(value, rho)`.
+    pub fn verify(&self, value: &[u8], rho: &[u8]) -> bool {
+        HashCommitment::commit(value, rho) == *self
+    }
+}
+
+/// The CRS for ElGamal commitments: a commitment public key with unknown
+/// discrete log (derived by hash-to-group, so nobody knows `log_g(pk_c)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommitmentCrs {
+    /// The commitment key `pk_c`.
+    pub key: Element,
+}
+
+impl CommitmentCrs {
+    /// Derives the CRS deterministically from a setup transcript label.
+    ///
+    /// Using hash-to-group means the discrete log of `key` is unknown to
+    /// everyone — the "trusted setup" is a public coin.
+    pub fn from_label(label: &[u8]) -> CommitmentCrs {
+        let g = Group::standard();
+        CommitmentCrs { key: g.hash_to_group(b"ba-crypto/elgamal-crs/v1", label) }
+    }
+}
+
+/// A perfectly binding ElGamal commitment `(c1, c2) = (g^ρ, g^v · pk_c^ρ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ElGamalCommitment {
+    /// `c1 = g^ρ`.
+    pub c1: Element,
+    /// `c2 = g^v * pk_c^ρ`.
+    pub c2: Element,
+}
+
+impl ElGamalCommitment {
+    /// Commits to the scalar `v` with blinding scalar `rho` under `crs`.
+    pub fn commit(crs: &CommitmentCrs, v: &Scalar, rho: &Scalar) -> ElGamalCommitment {
+        let g = Group::standard();
+        let c1 = g.pow_g(rho);
+        let c2 = g.mul(&g.pow_g(v), &g.pow(&crs.key, rho));
+        ElGamalCommitment { c1, c2 }
+    }
+
+    /// Verifies an opening `(v, rho)`.
+    pub fn verify(&self, crs: &CommitmentCrs, v: &Scalar, rho: &Scalar) -> bool {
+        *self == ElGamalCommitment::commit(crs, v, rho)
+    }
+
+    /// Canonical 64-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.c1.to_bytes());
+        out[32..].copy_from_slice(&self.c2.to_bytes());
+        out
+    }
+}
+
+/// A compact Merkle tree over 32-byte leaves (SHA-256, second-preimage
+/// hardened with distinct leaf/node tags).
+///
+/// Used by the forward-secure signature scheme to commit to a vector of
+/// per-slot public keys with logarithmic openings.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes, levels.last() = [root]
+    levels: Vec<Vec<[u8; 32]>>,
+}
+
+/// A Merkle inclusion proof: sibling hashes from leaf to root.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes, one per level, bottom-up.
+    pub siblings: Vec<[u8; 32]>,
+}
+
+fn leaf_hash(data: &[u8]) -> [u8; 32] {
+    Sha256::digest_parts(&[b"\x00merkle-leaf", data])
+}
+
+fn node_hash(l: &[u8; 32], r: &[u8; 32]) -> [u8; 32] {
+    Sha256::digest_parts(&[b"\x01merkle-node", l, r])
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaves (duplicating the last leaf of odd
+    /// levels, Bitcoin style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty.
+    pub fn build(leaves: &[Vec<u8>]) -> MerkleTree {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l)).collect::<Vec<_>>()];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let l = &pair[0];
+                let r = pair.get(1).unwrap_or(l);
+                next.push(node_hash(l, r));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The Merkle root.
+    pub fn root(&self) -> [u8; 32] {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.len(), "leaf index out of bounds");
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if idx % 2 == 0 {
+                *level.get(idx + 1).unwrap_or(&level[idx])
+            } else {
+                level[idx - 1]
+            };
+            siblings.push(sib);
+            idx /= 2;
+        }
+        MerkleProof { index, siblings }
+    }
+
+    /// Verifies an inclusion proof against a root.
+    pub fn verify(root: &[u8; 32], leaf_data: &[u8], proof: &MerkleProof) -> bool {
+        let mut h = leaf_hash(leaf_data);
+        let mut idx = proof.index;
+        for sib in &proof.siblings {
+            h = if idx % 2 == 0 { node_hash(&h, sib) } else { node_hash(sib, &h) };
+            idx /= 2;
+        }
+        h == *root
+    }
+}
+
+/// Helper: derives a deterministic blinding scalar from a seed (used by the
+/// PKI setup when committing to node keys).
+pub fn blinding_scalar(seed: &[u8], label: &[u8]) -> Scalar {
+    let g = Group::standard();
+    g.scalar_from_digest(&Sha256::digest_parts(&[b"ba-crypto/blinding/v1", seed, label]))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_commit_binding_and_hiding_shape() {
+        let c = HashCommitment::commit(b"v", b"r");
+        assert!(c.verify(b"v", b"r"));
+        assert!(!c.verify(b"v", b"r2"));
+        assert!(!c.verify(b"w", b"r"));
+        // Length-prefixing prevents concatenation ambiguity.
+        let a = HashCommitment::commit(b"ab", b"c");
+        let b = HashCommitment::commit(b"a", b"bc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn elgamal_commit_roundtrip() {
+        let g = Group::standard();
+        let crs = CommitmentCrs::from_label(b"test-crs");
+        let v = g.scalar_from_bytes(b"value");
+        let rho = g.scalar_from_bytes(b"blind");
+        let c = ElGamalCommitment::commit(&crs, &v, &rho);
+        assert!(c.verify(&crs, &v, &rho));
+        assert!(!c.verify(&crs, &g.scalar_from_bytes(b"other"), &rho));
+        assert!(!c.verify(&crs, &v, &g.scalar_from_bytes(b"other"))); // wrong opening
+    }
+
+    #[test]
+    fn elgamal_perfectly_binding_structure() {
+        // Perfect binding: c1 = g^rho determines rho (information
+        // theoretically), and then c2/pk^rho determines g^v. We check the
+        // structural consequence: two different values cannot share a
+        // commitment under the SAME rho, and differing rho changes c1.
+        let g = Group::standard();
+        let crs = CommitmentCrs::from_label(b"binding");
+        let rho = g.scalar_from_bytes(b"rho");
+        let c_a = ElGamalCommitment::commit(&crs, &g.scalar_from_u64(1), &rho);
+        let c_b = ElGamalCommitment::commit(&crs, &g.scalar_from_u64(2), &rho);
+        assert_eq!(c_a.c1, c_b.c1);
+        assert_ne!(c_a.c2, c_b.c2);
+    }
+
+    #[test]
+    fn crs_is_deterministic_per_label() {
+        assert_eq!(CommitmentCrs::from_label(b"x"), CommitmentCrs::from_label(b"x"));
+        assert_ne!(CommitmentCrs::from_label(b"x"), CommitmentCrs::from_label(b"y"));
+    }
+
+    #[test]
+    fn merkle_single_leaf() {
+        let t = MerkleTree::build(&[b"only".to_vec()]);
+        let p = t.prove(0);
+        assert!(MerkleTree::verify(&t.root(), b"only", &p));
+        assert!(!MerkleTree::verify(&t.root(), b"fake", &p));
+    }
+
+    #[test]
+    fn merkle_power_of_two_and_odd_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 13, 16] {
+            let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let t = MerkleTree::build(&leaves);
+            assert_eq!(t.len(), n);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let p = t.prove(i);
+                assert!(MerkleTree::verify(&t.root(), leaf, &p), "n={n} i={i}");
+                // Wrong index fails.
+                let mut bad = p.clone();
+                bad.index = (i + 1) % n;
+                if n > 1 && leaves[bad.index] != *leaf {
+                    assert!(!MerkleTree::verify(&t.root(), leaf, &bad), "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merkle_proof_for_wrong_root_fails() {
+        let t1 = MerkleTree::build(&[b"a".to_vec(), b"b".to_vec()]);
+        let t2 = MerkleTree::build(&[b"a".to_vec(), b"c".to_vec()]);
+        let p = t1.prove(0);
+        assert!(!MerkleTree::verify(&t2.root(), b"a", &p) || t1.root() == t2.root());
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn merkle_empty_panics() {
+        let _ = MerkleTree::build(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn merkle_prove_out_of_bounds_panics() {
+        let t = MerkleTree::build(&[b"a".to_vec()]);
+        let _ = t.prove(1);
+    }
+}

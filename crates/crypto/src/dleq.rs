@@ -1,0 +1,197 @@
+//! Chaum–Pedersen discrete-log-equality (DLEQ) proofs, made non-interactive
+//! with the Fiat–Shamir transform.
+//!
+//! This is the NIZK of the paper's Appendix D compiler: it proves, for the
+//! statement `(g, pk, h, v)`, knowledge of `sk` with `pk = g^sk` and
+//! `v = h^sk` — i.e. that a VRF evaluation `v` is correct with respect to the
+//! committed key `pk` (which is itself a perfectly binding commitment to
+//! `sk`). See DESIGN.md §3 for the substitution argument.
+
+use crate::group::{Element, Group, Scalar};
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+
+/// A non-interactive DLEQ proof `(a1, a2, s)` for challenge
+/// `e = H(g, pk, h, v, a1, a2)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DleqProof {
+    /// Commitment `a1 = g^k`.
+    pub a1: Element,
+    /// Commitment `a2 = h^k`.
+    pub a2: Element,
+    /// Response `s = k + e * sk (mod q)`.
+    pub s: Scalar,
+}
+
+impl DleqProof {
+    /// Canonical 96-byte encoding (a1 || a2 || s).
+    pub fn to_bytes(&self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..32].copy_from_slice(&self.a1.to_bytes());
+        out[32..64].copy_from_slice(&self.a2.to_bytes());
+        out[64..].copy_from_slice(&self.s.to_bytes());
+        out
+    }
+}
+
+/// Produces a DLEQ proof that `log_g(pk) == log_h(v) == sk`.
+///
+/// The nonce is derived deterministically from `(sk, h, v)`.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::dleq::{prove, verify};
+/// use ba_crypto::group::Group;
+///
+/// let g = Group::standard();
+/// let sk = g.scalar_from_bytes(b"secret");
+/// let pk = g.pow_g(&sk);
+/// let h = g.hash_to_group(b"vrf", b"round-3/bit-1");
+/// let v = g.pow(&h, &sk);
+/// let proof = prove(&sk, &h, &v);
+/// assert!(verify(&pk, &h, &v, &proof));
+/// ```
+pub fn prove(sk: &Scalar, h: &Element, v: &Element) -> DleqProof {
+    let g = Group::standard();
+    let pk = g.pow_g(sk);
+    let nonce_material =
+        Sha256::digest_parts(&[b"dleq-nonce/v1", &h.to_bytes(), &v.to_bytes()]);
+    let mut k = g.scalar_from_digest(&hmac_sha256(&sk.to_bytes(), &nonce_material));
+    if k.is_zero() {
+        k = g.scalar_from_u64(1);
+    }
+    let a1 = g.pow_g(&k);
+    let a2 = g.pow(h, &k);
+    let e = challenge(&pk, h, v, &a1, &a2);
+    let s = g.scalar_add(&k, &g.scalar_mul(&e, sk));
+    DleqProof { a1, a2, s }
+}
+
+/// Verifies a DLEQ proof: `g^s == a1 * pk^e` and `h^s == a2 * v^e`.
+pub fn verify(pk: &Element, h: &Element, v: &Element, proof: &DleqProof) -> bool {
+    let g = Group::standard();
+    for e in [pk, h, v, &proof.a1, &proof.a2] {
+        if !g.is_valid_element(e) {
+            return false;
+        }
+    }
+    let e = challenge(pk, h, v, &proof.a1, &proof.a2);
+    let lhs1 = g.pow_g(&proof.s);
+    let rhs1 = g.mul(&proof.a1, &g.pow(pk, &e));
+    if lhs1 != rhs1 {
+        return false;
+    }
+    let lhs2 = g.pow(h, &proof.s);
+    let rhs2 = g.mul(&proof.a2, &g.pow(v, &e));
+    lhs2 == rhs2
+}
+
+fn challenge(pk: &Element, h: &Element, v: &Element, a1: &Element, a2: &Element) -> Scalar {
+    let g = Group::standard();
+    let d = Sha256::digest_parts(&[
+        b"dleq-challenge/v1",
+        &g.generator().to_bytes(),
+        &pk.to_bytes(),
+        &h.to_bytes(),
+        &v.to_bytes(),
+        &a1.to_bytes(),
+        &a2.to_bytes(),
+    ]);
+    g.scalar_from_digest(&d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Scalar, Element, Element, Element) {
+        let g = Group::standard();
+        let sk = g.scalar_from_bytes(b"dleq-test-secret");
+        let pk = g.pow_g(&sk);
+        let h = g.hash_to_group(b"dleq-test", b"input");
+        let v = g.pow(&h, &sk);
+        (sk, pk, h, v)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        let (sk, pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        assert!(verify(&pk, &h, &v, &proof));
+    }
+
+    #[test]
+    fn wrong_value_rejected() {
+        let g = Group::standard();
+        let (sk, pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        // A different claimed evaluation must not verify.
+        let v_bad = g.mul(&v, &g.generator());
+        assert!(!verify(&pk, &h, &v_bad, &proof));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let g = Group::standard();
+        let (sk, _pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        let other_pk = g.pow_g(&g.scalar_from_bytes(b"other"));
+        assert!(!verify(&other_pk, &h, &v, &proof));
+    }
+
+    #[test]
+    fn wrong_base_rejected() {
+        let g = Group::standard();
+        let (sk, pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        let h_bad = g.hash_to_group(b"dleq-test", b"different-input");
+        assert!(!verify(&pk, &h_bad, &v, &proof));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let g = Group::standard();
+        let (sk, pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        let bad = DleqProof { s: g.scalar_add(&proof.s, &g.scalar_from_u64(1)), ..proof };
+        assert!(!verify(&pk, &h, &v, &bad));
+        let bad = DleqProof { a1: g.mul(&proof.a1, &g.generator()), ..proof };
+        assert!(!verify(&pk, &h, &v, &bad));
+        let bad = DleqProof { a2: g.mul(&proof.a2, &g.generator()), ..proof };
+        assert!(!verify(&pk, &h, &v, &bad));
+    }
+
+    #[test]
+    fn mismatched_exponent_cannot_be_proven() {
+        // Prover uses sk for v but claims pk' = g^sk': the relation does not
+        // hold, so an honestly-computed "proof" must fail verification.
+        let g = Group::standard();
+        let sk = g.scalar_from_bytes(b"real");
+        let sk2 = g.scalar_from_bytes(b"claimed");
+        let pk2 = g.pow_g(&sk2);
+        let h = g.hash_to_group(b"t", b"m");
+        let v = g.pow(&h, &sk);
+        let proof = prove(&sk, &h, &v);
+        assert!(!verify(&pk2, &h, &v, &proof));
+    }
+
+    #[test]
+    fn invalid_elements_rejected() {
+        let (sk, pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        let bogus = Element::from_raw_unchecked(crate::bigint::U256::ZERO);
+        assert!(!verify(&bogus, &h, &v, &proof));
+        assert!(!verify(&pk, &bogus, &v, &proof));
+        assert!(!verify(&pk, &h, &bogus, &proof));
+    }
+
+    #[test]
+    fn proof_bytes_roundtrip_shape() {
+        let (sk, _pk, h, v) = setup();
+        let proof = prove(&sk, &h, &v);
+        let bytes = proof.to_bytes();
+        assert_eq!(bytes.len(), 96);
+        assert_eq!(&bytes[..32], &proof.a1.to_bytes());
+    }
+}

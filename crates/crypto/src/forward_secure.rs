@@ -1,0 +1,244 @@
+//! Forward-secure signatures via per-slot keys under a Merkle root
+//! ("ephemeral keys" in Chen–Micali's terminology; the "memory-erasure
+//! model" in this paper's).
+//!
+//! A signer generates one Schnorr key pair per slot `t < T`, publishes the
+//! Merkle root of the per-slot public keys as its long-term key, and — in the
+//! memory-erasure model — destroys `sk_t` immediately after signing for slot
+//! `t`. An adversary corrupting the node *after* the erasure learns nothing
+//! that lets it sign for slot `t` again.
+//!
+//! This module exists to reproduce the paper's ablation: the Chen–Micali
+//! strawman (shared committees + ephemeral keys) is secure *only if* erasure
+//! actually happens; the paper's bit-specific eligibility removes the need
+//! for erasure entirely (experiment E8).
+
+use crate::commit::{MerkleProof, MerkleTree};
+use crate::schnorr::{Signature, SigningKey, VerifyingKey};
+
+/// A forward-secure signing key covering slots `0..T`.
+#[derive(Clone, Debug)]
+pub struct ForwardSecureKey {
+    /// `None` once erased.
+    slot_keys: Vec<Option<SigningKey>>,
+    tree: MerkleTree,
+}
+
+/// The long-term public key: the Merkle root over per-slot public keys plus
+/// the slot count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ForwardSecurePublicKey {
+    /// Merkle root of all per-slot verifying keys.
+    pub root: [u8; 32],
+    /// Number of slots the key supports.
+    pub slots: usize,
+}
+
+/// A forward-secure signature: the slot's Schnorr signature, the slot
+/// verifying key, and its Merkle inclusion proof.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ForwardSecureSignature {
+    /// Slot the signature is valid for.
+    pub slot: usize,
+    /// The per-slot Schnorr signature.
+    pub sig: Signature,
+    /// The per-slot verifying key.
+    pub slot_vk: VerifyingKey,
+    /// Inclusion proof of `slot_vk` under the long-term root.
+    pub proof: MerkleProof,
+}
+
+/// Errors from forward-secure signing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SignSlotError {
+    /// The slot index is at or beyond the key's slot count.
+    SlotOutOfRange,
+    /// The slot's secret key was already erased.
+    KeyErased,
+}
+
+impl std::fmt::Display for SignSlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignSlotError::SlotOutOfRange => write!(f, "slot index out of range"),
+            SignSlotError::KeyErased => write!(f, "slot key was erased"),
+        }
+    }
+}
+
+impl std::error::Error for SignSlotError {}
+
+impl ForwardSecureKey {
+    /// Generates a key for `slots` slots from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ba_crypto::forward_secure::ForwardSecureKey;
+    ///
+    /// let mut key = ForwardSecureKey::generate(b"node-1", 8);
+    /// let pk = key.public_key();
+    /// let sig = key.sign_slot(3, b"vote for 1")?;
+    /// assert!(pk.verify(3, b"vote for 1", &sig));
+    ///
+    /// // Memory-erasure model: after erasing, slot 3 can never sign again.
+    /// key.erase_through(3);
+    /// assert!(key.sign_slot(3, b"vote for 0").is_err());
+    /// # Ok::<(), ba_crypto::forward_secure::SignSlotError>(())
+    /// ```
+    pub fn generate(seed: &[u8], slots: usize) -> ForwardSecureKey {
+        assert!(slots > 0, "need at least one slot");
+        let slot_keys: Vec<Option<SigningKey>> = (0..slots)
+            .map(|t| {
+                let mut s = Vec::with_capacity(seed.len() + 24);
+                s.extend_from_slice(b"fs-slot/v1/");
+                s.extend_from_slice(&(t as u64).to_be_bytes());
+                s.extend_from_slice(seed);
+                Some(SigningKey::from_seed(&s))
+            })
+            .collect();
+        let leaves: Vec<Vec<u8>> = slot_keys
+            .iter()
+            .map(|k| k.as_ref().expect("fresh").verifying_key().to_bytes().to_vec())
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        ForwardSecureKey { slot_keys, tree }
+    }
+
+    /// Returns the long-term public key.
+    pub fn public_key(&self) -> ForwardSecurePublicKey {
+        ForwardSecurePublicKey { root: self.tree.root(), slots: self.slot_keys.len() }
+    }
+
+    /// Signs `msg` for `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignSlotError::SlotOutOfRange`] for bad slots and
+    /// [`SignSlotError::KeyErased`] if the slot key was destroyed.
+    pub fn sign_slot(&self, slot: usize, msg: &[u8]) -> Result<ForwardSecureSignature, SignSlotError> {
+        let key = self
+            .slot_keys
+            .get(slot)
+            .ok_or(SignSlotError::SlotOutOfRange)?
+            .as_ref()
+            .ok_or(SignSlotError::KeyErased)?;
+        let mut slot_msg = Vec::with_capacity(msg.len() + 8);
+        slot_msg.extend_from_slice(&(slot as u64).to_be_bytes());
+        slot_msg.extend_from_slice(msg);
+        Ok(ForwardSecureSignature {
+            slot,
+            sig: key.sign(&slot_msg),
+            slot_vk: key.verifying_key(),
+            proof: self.tree.prove(slot),
+        })
+    }
+
+    /// Destroys all slot keys for slots `<= through` (the memory-erasure
+    /// step). Idempotent.
+    pub fn erase_through(&mut self, through: usize) {
+        for k in self.slot_keys.iter_mut().take(through.saturating_add(1)) {
+            *k = None;
+        }
+    }
+
+    /// Returns `true` if the slot's key is still available.
+    pub fn slot_available(&self, slot: usize) -> bool {
+        matches!(self.slot_keys.get(slot), Some(Some(_)))
+    }
+}
+
+impl ForwardSecurePublicKey {
+    /// Verifies a slot signature: Merkle membership of the slot key plus the
+    /// Schnorr signature itself.
+    pub fn verify(&self, slot: usize, msg: &[u8], sig: &ForwardSecureSignature) -> bool {
+        if sig.slot != slot || slot >= self.slots || sig.proof.index != slot {
+            return false;
+        }
+        if !MerkleTree::verify(&self.root, &sig.slot_vk.to_bytes(), &sig.proof) {
+            return false;
+        }
+        let mut slot_msg = Vec::with_capacity(msg.len() + 8);
+        slot_msg.extend_from_slice(&(slot as u64).to_be_bytes());
+        slot_msg.extend_from_slice(msg);
+        sig.slot_vk.verify(&slot_msg, &sig.sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_all_slots() {
+        let key = ForwardSecureKey::generate(b"seed", 5);
+        let pk = key.public_key();
+        for slot in 0..5 {
+            let sig = key.sign_slot(slot, b"message").expect("key available");
+            assert!(pk.verify(slot, b"message", &sig));
+        }
+    }
+
+    #[test]
+    fn slot_binding() {
+        // A signature for slot 2 must not verify for slot 3 even though the
+        // Merkle proof and the Schnorr signature are individually honest.
+        let key = ForwardSecureKey::generate(b"seed", 5);
+        let pk = key.public_key();
+        let sig = key.sign_slot(2, b"m").unwrap();
+        assert!(!pk.verify(3, b"m", &sig));
+    }
+
+    #[test]
+    fn erased_key_cannot_sign() {
+        let mut key = ForwardSecureKey::generate(b"seed", 5);
+        assert!(key.slot_available(2));
+        key.erase_through(2);
+        assert!(!key.slot_available(0));
+        assert!(!key.slot_available(2));
+        assert!(key.slot_available(3));
+        assert_eq!(key.sign_slot(2, b"m"), Err(SignSlotError::KeyErased));
+        assert!(key.sign_slot(3, b"m").is_ok());
+    }
+
+    #[test]
+    fn out_of_range_slot() {
+        let key = ForwardSecureKey::generate(b"seed", 3);
+        assert_eq!(key.sign_slot(3, b"m"), Err(SignSlotError::SlotOutOfRange));
+    }
+
+    #[test]
+    fn cross_key_rejection() {
+        let k1 = ForwardSecureKey::generate(b"a", 4);
+        let k2 = ForwardSecureKey::generate(b"b", 4);
+        let sig = k1.sign_slot(1, b"m").unwrap();
+        assert!(!k2.public_key().verify(1, b"m", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let key = ForwardSecureKey::generate(b"seed", 4);
+        let sig = key.sign_slot(1, b"m").unwrap();
+        assert!(!key.public_key().verify(1, b"n", &sig));
+    }
+
+    #[test]
+    fn forged_slot_key_rejected() {
+        // Substitute a different (valid) verifying key: Merkle check fails.
+        let key = ForwardSecureKey::generate(b"seed", 4);
+        let other = SigningKey::from_seed(b"intruder");
+        let mut sig = key.sign_slot(1, b"m").unwrap();
+        sig.slot_vk = other.verifying_key();
+        assert!(!key.public_key().verify(1, b"m", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = ForwardSecureKey::generate(b"s", 0);
+    }
+}

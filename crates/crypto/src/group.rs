@@ -1,0 +1,357 @@
+//! The prime-order group used by every discrete-log primitive in this crate.
+//!
+//! We work in the order-`q` subgroup of quadratic residues of `Z_p^*` where
+//! `p = 2^256 - 36113` is a safe prime (`q = (p-1)/2` prime) and `g = 4` is a
+//! generator. The constant was found by a deterministic downward search
+//! ([`crate::prime::find_safe_prime`]) and is re-verified by tests.
+//!
+//! Exposed operations: exponentiation, multiplication, inversion, membership
+//! checks, hash-to-group, and scalar (mod-`q`) arithmetic — everything the
+//! Schnorr signature, Chaum–Pedersen DLEQ proof, and DDH VRF need.
+
+use std::sync::OnceLock;
+
+use crate::bigint::{ModCtx, U256};
+use crate::sha256::Sha256;
+
+/// Hex of the group prime `p = 2^256 - 36113` (a safe prime).
+pub const P_HEX: &str = "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef";
+/// Hex of the subgroup order `q = (p - 1) / 2` (prime).
+pub const Q_HEX: &str = "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffb977";
+
+/// A group element: an integer in the order-`q` subgroup of `Z_p^*`.
+///
+/// Elements are created only through the smart constructors on [`Group`], so
+/// a value of this type is always a valid subgroup member.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Element(U256);
+
+impl Element {
+    /// Returns the canonical 32-byte big-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the underlying residue (for serialization/tests).
+    pub fn as_u256(&self) -> &U256 {
+        &self.0
+    }
+
+    /// Constructs an element without validating subgroup membership.
+    ///
+    /// This exists so adversarial tests can hand protocols malformed
+    /// elements; honest code must use [`Group::element_from_bytes`].
+    #[doc(hidden)]
+    pub fn from_raw_unchecked(v: U256) -> Element {
+        Element(v)
+    }
+}
+
+/// A scalar: an integer modulo the subgroup order `q`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// Returns the canonical 32-byte big-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the underlying integer.
+    pub fn as_u256(&self) -> &U256 {
+        &self.0
+    }
+
+    /// Returns `true` if the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
+/// The shared group context: moduli contexts for `p` and `q` plus the
+/// generator.
+///
+/// Obtain the process-wide instance with [`Group::standard`]; constructing a
+/// custom group (e.g. a small one for tests) is possible via [`Group::new`].
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::group::Group;
+///
+/// let g = Group::standard();
+/// let sk = g.scalar_from_bytes(b"any 32+ bytes of key material ..");
+/// let pk = g.pow_g(&sk);              // pk = g^sk
+/// assert!(g.is_valid_element(&pk));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Group {
+    p_ctx: ModCtx,
+    q_ctx: ModCtx,
+    g: Element,
+    q: U256,
+}
+
+static STANDARD: OnceLock<Group> = OnceLock::new();
+
+impl Group {
+    /// Returns the process-wide standard 256-bit group.
+    pub fn standard() -> &'static Group {
+        STANDARD.get_or_init(|| {
+            let p = U256::from_hex(P_HEX).expect("valid constant");
+            let q = U256::from_hex(Q_HEX).expect("valid constant");
+            Group::new(p, q, U256::from_u64(4))
+        })
+    }
+
+    /// Creates a group from explicit parameters.
+    ///
+    /// `p` must be a safe prime, `q = (p-1)/2`, and `g` must generate the
+    /// order-`q` subgroup. Basic structural relations are asserted; full
+    /// primality is the caller's responsibility (tests verify the standard
+    /// constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p != 2q + 1`, or `g` is not in the subgroup, or `g == 1`.
+    pub fn new(p: U256, q: U256, g: U256) -> Group {
+        assert_eq!(q.shl1().wrapping_add(&U256::ONE), p, "p must equal 2q + 1");
+        let p_ctx = ModCtx::new(p);
+        let q_ctx = ModCtx::new(q);
+        assert!(g > U256::ONE && g < p, "generator out of range");
+        assert_eq!(p_ctx.pow(&g, &q), U256::ONE, "generator must have order q");
+        Group { p_ctx, q_ctx, g: Element(g), q }
+    }
+
+    /// The generator `g`.
+    pub fn generator(&self) -> Element {
+        self.g
+    }
+
+    /// The subgroup order `q`.
+    pub fn order(&self) -> &U256 {
+        &self.q
+    }
+
+    /// The field prime `p`.
+    pub fn prime(&self) -> &U256 {
+        self.p_ctx.modulus()
+    }
+
+    /// Checks subgroup membership: `1 <= x < p` and `x^q == 1`.
+    pub fn is_valid_element(&self, e: &Element) -> bool {
+        let x = e.0;
+        !x.is_zero() && x < *self.prime() && self.p_ctx.pow(&x, &self.q) == U256::ONE
+    }
+
+    /// Deserializes and validates a group element.
+    ///
+    /// Returns `None` if the bytes do not encode a subgroup member.
+    pub fn element_from_bytes(&self, bytes: &[u8; 32]) -> Option<Element> {
+        let x = U256::from_be_bytes(bytes);
+        let e = Element(x);
+        if self.is_valid_element(&e) {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Group multiplication.
+    pub fn mul(&self, a: &Element, b: &Element) -> Element {
+        Element(self.p_ctx.mul(&a.0, &b.0))
+    }
+
+    /// Group inversion.
+    pub fn inv(&self, a: &Element) -> Element {
+        Element(self.p_ctx.inv_prime(&a.0))
+    }
+
+    /// Exponentiation `base^e`.
+    pub fn pow(&self, base: &Element, e: &Scalar) -> Element {
+        Element(self.p_ctx.pow(&base.0, &e.0))
+    }
+
+    /// Exponentiation of the generator, `g^e`.
+    pub fn pow_g(&self, e: &Scalar) -> Element {
+        self.pow(&self.g, e)
+    }
+
+    /// Hashes arbitrary bytes into the subgroup.
+    ///
+    /// `u = SHA256(domain || counter || msg)` is mapped to `u^2 mod p`, which
+    /// lands in the quadratic-residue subgroup; the counter is bumped in the
+    /// (cryptographically negligible) event the result is the identity.
+    pub fn hash_to_group(&self, domain: &[u8], msg: &[u8]) -> Element {
+        for counter in 0u8..=255 {
+            let d = Sha256::digest_parts(&[b"ba-crypto/hash-to-group/v1", domain, &[counter], msg]);
+            let u = U256::from_be_bytes(&d).reduce_mod(self.prime());
+            let h = self.p_ctx.sqr(&u);
+            if h != U256::ONE && !h.is_zero() {
+                return Element(h);
+            }
+        }
+        unreachable!("256 consecutive hash-to-group failures is cryptographically impossible")
+    }
+
+    // ---- scalar (mod q) arithmetic ----
+
+    /// Reduces 32 bytes (big-endian) into a scalar mod `q`.
+    pub fn scalar_from_bytes(&self, bytes: &[u8]) -> Scalar {
+        let d = Sha256::digest_parts(&[b"ba-crypto/scalar/v1", bytes]);
+        Scalar(U256::from_be_bytes(&d).reduce_mod(&self.q))
+    }
+
+    /// Interprets a digest directly as a scalar mod `q` (for Fiat–Shamir
+    /// challenges that are already uniform digests).
+    pub fn scalar_from_digest(&self, digest: &[u8; 32]) -> Scalar {
+        Scalar(U256::from_be_bytes(digest).reduce_mod(&self.q))
+    }
+
+    /// Builds a scalar from a `u64`.
+    pub fn scalar_from_u64(&self, v: u64) -> Scalar {
+        Scalar(U256::from_u64(v).reduce_mod(&self.q))
+    }
+
+    /// Scalar addition mod `q`.
+    pub fn scalar_add(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q_ctx.add(&a.0, &b.0))
+    }
+
+    /// Scalar subtraction mod `q`.
+    pub fn scalar_sub(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q_ctx.sub(&a.0, &b.0))
+    }
+
+    /// Scalar multiplication mod `q`.
+    pub fn scalar_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q_ctx.mul(&a.0, &b.0))
+    }
+
+    /// Scalar inversion mod `q` (prime order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn scalar_inv(&self, a: &Scalar) -> Scalar {
+        Scalar(self.q_ctx.inv_prime(&a.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::is_probable_prime;
+
+    #[test]
+    fn standard_constants_are_safe_prime() {
+        let g = Group::standard();
+        assert!(is_probable_prime(g.prime(), 64), "p must be prime");
+        assert!(is_probable_prime(g.order(), 64), "q must be prime");
+        assert_eq!(
+            g.order().shl1().wrapping_add(&U256::ONE),
+            *g.prime(),
+            "p = 2q + 1"
+        );
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let g = Group::standard();
+        assert!(g.is_valid_element(&g.generator()));
+        // g^q == 1 (validity check) but g^1 != 1
+        let one = g.scalar_from_u64(1);
+        assert_ne!(g.pow_g(&one).as_u256(), &U256::ONE);
+    }
+
+    #[test]
+    fn exponent_laws() {
+        let g = Group::standard();
+        let a = g.scalar_from_bytes(b"a");
+        let b = g.scalar_from_bytes(b"b");
+        // g^(a+b) == g^a * g^b
+        let lhs = g.pow_g(&g.scalar_add(&a, &b));
+        let rhs = g.mul(&g.pow_g(&a), &g.pow_g(&b));
+        assert_eq!(lhs, rhs);
+        // (g^a)^b == (g^b)^a
+        assert_eq!(g.pow(&g.pow_g(&a), &b), g.pow(&g.pow_g(&b), &a));
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let g = Group::standard();
+        let a = g.scalar_from_bytes(b"x");
+        let e = g.pow_g(&a);
+        let prod = g.mul(&e, &g.inv(&e));
+        assert_eq!(prod.as_u256(), &U256::ONE);
+    }
+
+    #[test]
+    fn hash_to_group_valid_and_distinct() {
+        let g = Group::standard();
+        let h1 = g.hash_to_group(b"test", b"message-1");
+        let h2 = g.hash_to_group(b"test", b"message-2");
+        let h3 = g.hash_to_group(b"other", b"message-1");
+        assert!(g.is_valid_element(&h1));
+        assert!(g.is_valid_element(&h2));
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        // Deterministic.
+        assert_eq!(h1, g.hash_to_group(b"test", b"message-1"));
+    }
+
+    #[test]
+    fn element_roundtrip_and_rejection() {
+        let g = Group::standard();
+        let e = g.hash_to_group(b"t", b"m");
+        let rt = g.element_from_bytes(&e.to_bytes()).expect("valid element");
+        assert_eq!(rt, e);
+        // 0 and p are invalid.
+        assert!(g.element_from_bytes(&U256::ZERO.to_be_bytes()).is_none());
+        assert!(g.element_from_bytes(&g.prime().to_be_bytes()).is_none());
+        // A quadratic non-residue must be rejected: -1 is a non-residue mod a
+        // safe prime p == 3 mod 4.
+        let minus_one = g.prime().wrapping_sub(&U256::ONE);
+        assert!(g.element_from_bytes(&minus_one.to_be_bytes()).is_none());
+    }
+
+    #[test]
+    fn scalar_field_laws() {
+        let g = Group::standard();
+        let a = g.scalar_from_bytes(b"p");
+        let b = g.scalar_from_bytes(b"q");
+        let c = g.scalar_from_bytes(b"r");
+        // Distributivity: a(b + c) = ab + ac
+        let lhs = g.scalar_mul(&a, &g.scalar_add(&b, &c));
+        let rhs = g.scalar_add(&g.scalar_mul(&a, &b), &g.scalar_mul(&a, &c));
+        assert_eq!(lhs, rhs);
+        // Inverse.
+        let ainv = g.scalar_inv(&a);
+        assert_eq!(g.scalar_mul(&a, &ainv), g.scalar_from_u64(1));
+        // Subtraction.
+        assert_eq!(g.scalar_sub(&a, &a), g.scalar_from_u64(0));
+    }
+
+    #[test]
+    fn small_test_group() {
+        // p = 23 = 2*11 + 1, g = 4 (QR). Useful to show Group::new works for
+        // custom parameters.
+        let g = Group::new(U256::from_u64(23), U256::from_u64(11), U256::from_u64(4));
+        assert!(g.is_valid_element(&g.generator()));
+        let two = g.scalar_from_u64(2);
+        assert_eq!(g.pow_g(&two).as_u256(), &U256::from_u64(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must equal 2q + 1")]
+    fn bad_group_relation_panics() {
+        let _ = Group::new(U256::from_u64(23), U256::from_u64(7), U256::from_u64(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "generator must have order q")]
+    fn bad_generator_panics() {
+        // 5 is a non-residue mod 23 (order 22, not 11).
+        let _ = Group::new(U256::from_u64(23), U256::from_u64(11), U256::from_u64(5));
+    }
+}

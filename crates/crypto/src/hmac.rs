@@ -1,0 +1,179 @@
+//! HMAC-SHA-256 (RFC 2104) and a deterministic hash-DRBG built on it.
+//!
+//! The DRBG ([`HmacDrbg`]) is the crate's only source of "randomness": every
+//! nonce, key, and simulated coin in the repository is derived from explicit
+//! seeds through it, which keeps all executions replayable.
+
+use crate::sha256::Sha256;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     ba_crypto::sha256::to_hex(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let inner = Sha256::digest_parts(&[&ipad, message]);
+    Sha256::digest_parts(&[&opad, &inner])
+}
+
+/// A deterministic byte-stream generator: counter-mode HMAC-SHA-256.
+///
+/// Not an exact NIST SP 800-90A HMAC_DRBG (no reseeding machinery), but the
+/// same construction shape: output block `i` is `HMAC(key, domain || i)`.
+/// Collision-free domain separation is the caller's responsibility via the
+/// `domain` argument to [`HmacDrbg::new`].
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::hmac::HmacDrbg;
+///
+/// let mut a = HmacDrbg::new(b"seed", b"domain");
+/// let mut b = HmacDrbg::new(b"seed", b"domain");
+/// assert_eq!(a.next_bytes32(), b.next_bytes32()); // fully deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacDrbg {
+    key: [u8; 32],
+    counter: u64,
+    buffer: [u8; 32],
+    buffer_pos: usize,
+}
+
+impl HmacDrbg {
+    /// Creates a generator keyed by `HMAC(seed, domain)`.
+    pub fn new(seed: &[u8], domain: &[u8]) -> HmacDrbg {
+        HmacDrbg {
+            key: hmac_sha256(seed, domain),
+            counter: 0,
+            buffer: [0; 32],
+            buffer_pos: 32, // empty
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buffer = hmac_sha256(&self.key, &self.counter.to_be_bytes());
+        self.counter += 1;
+        self.buffer_pos = 0;
+    }
+
+    /// Returns the next byte of the stream.
+    pub fn next_byte(&mut self) -> u8 {
+        if self.buffer_pos == 32 {
+            self.refill();
+        }
+        let b = self.buffer[self.buffer_pos];
+        self.buffer_pos += 1;
+        b
+    }
+
+    /// Fills `out` with the next bytes of the stream.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for b in out {
+            *b = self.next_byte();
+        }
+    }
+
+    /// Returns the next 32 bytes of the stream.
+    pub fn next_bytes32(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.fill(&mut out);
+        out
+    }
+
+    /// Returns the next 8 bytes of the stream as a big-endian `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut out = [0u8; 8];
+        self.fill(&mut out);
+        u64::from_be_bytes(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_long_key() {
+        // Test with a key larger than 64 bytes (must be hashed first).
+        let key = [0xaau8; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        let tag = hmac_sha256(&key, msg);
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn drbg_determinism_and_divergence() {
+        let mut a = HmacDrbg::new(b"seed", b"d1");
+        let mut b = HmacDrbg::new(b"seed", b"d1");
+        let mut c = HmacDrbg::new(b"seed", b"d2");
+        let av: Vec<u8> = (0..100).map(|_| a.next_byte()).collect();
+        let bv: Vec<u8> = (0..100).map(|_| b.next_byte()).collect();
+        let cv: Vec<u8> = (0..100).map(|_| c.next_byte()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn drbg_fill_matches_bytewise() {
+        let mut a = HmacDrbg::new(b"s", b"d");
+        let mut b = HmacDrbg::new(b"s", b"d");
+        let mut buf = [0u8; 77];
+        a.fill(&mut buf);
+        let each: Vec<u8> = (0..77).map(|_| b.next_byte()).collect();
+        assert_eq!(buf.to_vec(), each);
+    }
+
+    #[test]
+    fn drbg_u64_is_big_endian_of_stream() {
+        let mut a = HmacDrbg::new(b"s", b"d");
+        let mut b = HmacDrbg::new(b"s", b"d");
+        let x = a.next_u64();
+        let mut buf = [0u8; 8];
+        b.fill(&mut buf);
+        assert_eq!(x, u64::from_be_bytes(buf));
+    }
+}

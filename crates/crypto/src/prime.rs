@@ -1,0 +1,182 @@
+//! Miller–Rabin primality testing and deterministic safe-prime search.
+//!
+//! The production group parameters in [`crate::group`] are a hardcoded
+//! 256-bit safe prime found by [`find_safe_prime`]; a unit test re-verifies
+//! the constant with 64 Miller–Rabin rounds at every build.
+
+use crate::bigint::{ModCtx, U256};
+use crate::hmac::HmacDrbg;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Probabilistic primality test: trial division then `rounds` Miller–Rabin
+/// iterations with witnesses drawn from a deterministic DRBG seeded by `n`.
+///
+/// For `rounds = 64` the error probability is at most `4^-64`, far below the
+/// simulation's other error sources.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::bigint::U256;
+/// use ba_crypto::prime::is_probable_prime;
+///
+/// assert!(is_probable_prime(&U256::from_u64(104_729), 32)); // 10_000th prime
+/// assert!(!is_probable_prime(&U256::from_u64(104_730), 32));
+/// ```
+pub fn is_probable_prime(n: &U256, rounds: usize) -> bool {
+    if n < &U256::from_u64(2) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pv = U256::from_u64(p);
+        if *n == pv {
+            return true;
+        }
+        if n.reduce_mod(&pv).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^r with d odd.
+    let n_minus_1 = n.wrapping_sub(&U256::ONE);
+    let mut d = n_minus_1;
+    let mut r = 0u32;
+    while !d.is_odd() {
+        d = d.shr1();
+        r += 1;
+    }
+    let ctx = ModCtx::new(*n);
+    let mut drbg = HmacDrbg::new(&n.to_be_bytes(), b"miller-rabin-witnesses");
+    'witness: for _ in 0..rounds {
+        // Witness a in [2, n-2]; sample until in range (n >= 127 here so the
+        // rejection rate is negligible).
+        let a = loop {
+            let candidate = U256::from_be_bytes(&drbg.next_bytes32()).reduce_mod(n);
+            if candidate >= U256::from_u64(2) && candidate < n_minus_1 {
+                break candidate;
+            }
+        };
+        let mut x = ctx.pow(&a, &d);
+        if x == U256::ONE || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = ctx.sqr(&x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Deterministically searches downward from `2^bits - 1` for a safe prime
+/// `p = 2q + 1` (with `q` prime), returning `(p, q)`.
+///
+/// Only `bits` in `[16, 256]` are supported. This is expensive for large
+/// sizes and exists so the hardcoded group constant is independently
+/// re-derivable; tests exercise it at small sizes.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `[16, 256]`.
+pub fn find_safe_prime(bits: usize, rounds: usize) -> (U256, U256) {
+    assert!((16..=256).contains(&bits), "bits must be in [16, 256]");
+    // Start at 2^bits - 1 and step down by 2 over odd numbers with p % 4 == 3
+    // (safe primes > 5 are 3 mod 4 because q must be odd).
+    let mut p = if bits == 256 {
+        U256::MAX
+    } else {
+        // 2^bits - 1
+        let mut v = U256::ONE;
+        for _ in 0..bits {
+            v = v.shl1();
+        }
+        v.wrapping_sub(&U256::ONE)
+    };
+    // Ensure p % 4 == 3.
+    while p.0[0] & 3 != 3 {
+        p = p.wrapping_sub(&U256::ONE);
+    }
+    loop {
+        let q = p.shr1();
+        // Cheap screen on q first (q odd since p % 4 == 3).
+        if is_probable_prime(&q, 2) && is_probable_prime(&p, 2) {
+            if is_probable_prime(&q, rounds) && is_probable_prime(&p, rounds) {
+                return (p, q);
+            }
+        }
+        p = p.wrapping_sub(&U256::from_u64(4));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u64, 3, 5, 7, 127, 7919, 104_729, 1_000_003];
+        let composites = [1u64, 4, 9, 100, 7917, 104_731, 1_000_001];
+        for p in primes {
+            assert!(is_probable_prime(&U256::from_u64(p), 16), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_probable_prime(&U256::from_u64(c), 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_are_not_prime() {
+        assert!(!is_probable_prime(&U256::ZERO, 8));
+        assert!(!is_probable_prime(&U256::ONE, 8));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 294409] {
+            assert!(!is_probable_prime(&U256::from_u64(c), 16), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^89 - 1 is a Mersenne prime.
+        let mut p = U256::ONE;
+        for _ in 0..89 {
+            p = p.shl1();
+        }
+        p = p.wrapping_sub(&U256::ONE);
+        assert!(is_probable_prime(&p, 32));
+        // 2^89 + 1 = 3 * 179951 * ... is composite.
+        let mut c = U256::ONE;
+        for _ in 0..89 {
+            c = c.shl1();
+        }
+        c = c.wrapping_add(&U256::ONE);
+        assert!(!is_probable_prime(&c, 32));
+    }
+
+    #[test]
+    fn find_small_safe_primes() {
+        for bits in [16usize, 20, 24] {
+            let (p, q) = find_safe_prime(bits, 16);
+            assert!(is_probable_prime(&p, 32));
+            assert!(is_probable_prime(&q, 32));
+            assert_eq!(q.shl1().wrapping_add(&U256::ONE), p);
+            assert!(p.bits() <= bits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in [16, 256]")]
+    fn find_safe_prime_rejects_tiny() {
+        let _ = find_safe_prime(8, 4);
+    }
+}

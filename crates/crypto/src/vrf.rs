@@ -1,0 +1,220 @@
+//! A DDH-based verifiable random function (VRF).
+//!
+//! This realizes the adaptively-secure VRF the paper builds in Appendix D
+//! from PRF + NIZK + perfectly-binding commitment (see DESIGN.md §3 for the
+//! faithfulness argument):
+//!
+//! * secret key `sk`, public key `pk = g^sk` — a perfectly binding,
+//!   computationally hiding commitment to `sk`;
+//! * evaluation `v = HashToGroup(m)^sk` — a PRF under DDH;
+//! * proof — a Chaum–Pedersen DLEQ NIZK that `v` matches `pk`;
+//! * output `ρ = SHA256("vrf-output" || v)`, 32 uniform bytes.
+//!
+//! The output is **unique**: for a fixed `(pk, m)` there is exactly one `v`
+//! that can pass verification, so a corrupt node cannot grind eligibility.
+//! This is the property the bit-specific committee election of §3.2 needs.
+
+use crate::dleq::{self, DleqProof};
+use crate::group::{Element, Group, Scalar};
+use crate::sha256::Sha256;
+
+/// Domain-separation tag for VRF hash-to-group.
+const H2G_DOMAIN: &[u8] = b"ba-crypto/vrf/h2g/v1";
+
+/// A VRF key pair.
+#[derive(Clone, Debug)]
+pub struct VrfSecretKey {
+    sk: Scalar,
+    pk: VrfPublicKey,
+}
+
+/// A VRF public key (`g^sk`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VrfPublicKey(pub Element);
+
+/// A VRF evaluation: the 32-byte pseudorandom output and the correctness
+/// proof. Both travel with the message that was evaluated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VrfOutput {
+    /// The group element `v = H(m)^sk` (needed by the verifier).
+    pub gamma: Element,
+    /// DLEQ proof that `gamma` is consistent with the public key.
+    pub proof: DleqProof,
+}
+
+impl VrfOutput {
+    /// The 32-byte pseudorandom string `ρ = SHA256(tag || gamma)`.
+    pub fn rho(&self) -> [u8; 32] {
+        Sha256::digest_parts(&[b"ba-crypto/vrf/output/v1", &self.gamma.to_bytes()])
+    }
+
+    /// Interprets the first 8 bytes of `ρ` as a uniform `u64` — the value
+    /// compared against a difficulty threshold for committee eligibility.
+    pub fn rho_u64(&self) -> u64 {
+        let rho = self.rho();
+        u64::from_be_bytes(rho[..8].try_into().expect("32-byte digest"))
+    }
+}
+
+impl VrfSecretKey {
+    /// Derives a key pair deterministically from seed bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ba_crypto::vrf::VrfSecretKey;
+    ///
+    /// let key = VrfSecretKey::from_seed(b"node-3");
+    /// let out = key.evaluate(b"(ACK, round=2, bit=1)");
+    /// assert!(key.public_key().verify(b"(ACK, round=2, bit=1)", &out));
+    /// // Pseudorandom output, uniform in [0, 2^64):
+    /// let _score: u64 = out.rho_u64();
+    /// ```
+    pub fn from_seed(seed: &[u8]) -> VrfSecretKey {
+        let g = Group::standard();
+        let mut sk = g.scalar_from_bytes(seed);
+        if sk.is_zero() {
+            sk = g.scalar_from_u64(1);
+        }
+        let pk = VrfPublicKey(g.pow_g(&sk));
+        VrfSecretKey { sk, pk }
+    }
+
+    /// Builds a VRF key from an existing Schnorr secret scalar so a node can
+    /// share one identity key across signing and eligibility.
+    pub fn from_scalar(sk: Scalar) -> VrfSecretKey {
+        let g = Group::standard();
+        assert!(!sk.is_zero(), "VRF secret key must be nonzero");
+        let pk = VrfPublicKey(g.pow_g(&sk));
+        VrfSecretKey { sk, pk }
+    }
+
+    /// Returns the public key.
+    pub fn public_key(&self) -> VrfPublicKey {
+        self.pk
+    }
+
+    /// Evaluates the VRF on `m`, returning output and proof.
+    pub fn evaluate(&self, m: &[u8]) -> VrfOutput {
+        let g = Group::standard();
+        let h = g.hash_to_group(H2G_DOMAIN, m);
+        let gamma = g.pow(&h, &self.sk);
+        let proof = dleq::prove(&self.sk, &h, &gamma);
+        VrfOutput { gamma, proof }
+    }
+}
+
+impl VrfPublicKey {
+    /// Verifies that `out` is the unique valid VRF evaluation of `m` under
+    /// this key.
+    pub fn verify(&self, m: &[u8], out: &VrfOutput) -> bool {
+        let g = Group::standard();
+        if !g.is_valid_element(&self.0) || !g.is_valid_element(&out.gamma) {
+            return false;
+        }
+        let h = g.hash_to_group(H2G_DOMAIN, m);
+        dleq::verify(&self.0, &h, &out.gamma, &out.proof)
+    }
+
+    /// Canonical 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_verify_roundtrip() {
+        let key = VrfSecretKey::from_seed(b"k1");
+        let out = key.evaluate(b"message");
+        assert!(key.public_key().verify(b"message", &out));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let key = VrfSecretKey::from_seed(b"k1");
+        let out = key.evaluate(b"message");
+        assert!(!key.public_key().verify(b"other", &out));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = VrfSecretKey::from_seed(b"k1");
+        let k2 = VrfSecretKey::from_seed(b"k2");
+        let out = k1.evaluate(b"m");
+        assert!(!k2.public_key().verify(b"m", &out));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_message_dependent() {
+        let key = VrfSecretKey::from_seed(b"k1");
+        let a = key.evaluate(b"m1");
+        let b = key.evaluate(b"m1");
+        let c = key.evaluate(b"m2");
+        assert_eq!(a.rho(), b.rho());
+        assert_ne!(a.rho(), c.rho());
+    }
+
+    #[test]
+    fn uniqueness_cannot_forge_second_output() {
+        // For fixed (pk, m) any gamma' != gamma must fail verification, even
+        // with the honest proof attached.
+        let g = Group::standard();
+        let key = VrfSecretKey::from_seed(b"k1");
+        let out = key.evaluate(b"m");
+        let forged = VrfOutput { gamma: g.mul(&out.gamma, &g.generator()), proof: out.proof };
+        assert!(!key.public_key().verify(b"m", &forged));
+    }
+
+    #[test]
+    fn bit_specificity_independent_outputs() {
+        // The core property behind §3.2: eligibility for (r, b) says nothing
+        // about eligibility for (r, 1-b). We verify the outputs are distinct
+        // pseudorandom values.
+        let key = VrfSecretKey::from_seed(b"node");
+        let m0 = b"(ACK, r=5, b=0)";
+        let m1 = b"(ACK, r=5, b=1)";
+        let o0 = key.evaluate(m0);
+        let o1 = key.evaluate(m1);
+        assert_ne!(o0.rho(), o1.rho());
+        assert!(key.public_key().verify(m0, &o0));
+        assert!(!key.public_key().verify(m1, &o0));
+    }
+
+    #[test]
+    fn rho_u64_matches_prefix() {
+        let key = VrfSecretKey::from_seed(b"k");
+        let out = key.evaluate(b"m");
+        let rho = out.rho();
+        assert_eq!(out.rho_u64(), u64::from_be_bytes(rho[..8].try_into().unwrap()));
+    }
+
+    #[test]
+    fn rho_u64_looks_uniform() {
+        // Crude uniformity check: over 400 evaluations, the top bit should be
+        // set roughly half the time.
+        let key = VrfSecretKey::from_seed(b"uniformity");
+        let mut ones = 0;
+        for i in 0..400u32 {
+            let out = key.evaluate(&i.to_be_bytes());
+            if out.rho_u64() >> 63 == 1 {
+                ones += 1;
+            }
+        }
+        assert!((120..=280).contains(&ones), "top-bit count {ones} wildly non-uniform");
+    }
+
+    #[test]
+    fn shared_scalar_with_schnorr() {
+        use crate::schnorr::SigningKey;
+        let sig_key = SigningKey::from_seed(b"identity");
+        let vrf_key = VrfSecretKey::from_scalar(*sig_key.secret_scalar());
+        let out = vrf_key.evaluate(b"m");
+        assert!(vrf_key.public_key().verify(b"m", &out));
+        // Public keys coincide (same scalar, same generator).
+        assert_eq!(vrf_key.public_key().to_bytes(), sig_key.verifying_key().to_bytes());
+    }
+}

@@ -1,0 +1,72 @@
+//! The eligibility-election interface shared by the ideal functionality and
+//! the real-world VRF compiler.
+
+use ba_crypto::vrf::VrfOutput;
+use ba_sim::NodeId;
+
+use crate::tag::MineTag;
+
+/// Evidence that a node successfully mined a tag.
+///
+/// `Ideal` tickets stand in for the proof `F_mine.verify` would vouch for;
+/// `Real` tickets carry the actual VRF evaluation. Both report the **same**
+/// wire size so communication metrics are comparable between hybrid and
+/// real-world executions (experiment E9).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Ticket {
+    /// Hybrid-world ticket: validity is vouched for by `F_mine.verify`.
+    Ideal,
+    /// Real-world ticket: the VRF output plus its DLEQ proof.
+    Real(VrfOutput),
+}
+
+/// Nominal wire size of an eligibility proof: `gamma` (256 bits) plus the
+/// DLEQ proof `(a1, a2, s)` (3 x 256 bits).
+pub const TICKET_BITS: usize = 4 * 256;
+
+impl Ticket {
+    /// Wire size in bits (identical across variants by design).
+    pub fn size_bits(&self) -> usize {
+        TICKET_BITS
+    }
+}
+
+/// Eligibility election: the paper's `F_mine` interface (Figure 1).
+///
+/// * [`Eligibility::mine`] — node `i`'s private attempt to mine `m`; returns
+///   a ticket on success. Repeated attempts are idempotent (the functionality
+///   stores its coins).
+/// * [`Eligibility::verify`] — public verification that `i` mined `m`.
+///
+/// **Secrecy discipline**: the functionality answers `mine` for any node id;
+/// honesty of *who calls it for whom* is the simulation's responsibility
+/// (honest nodes mine only for themselves; adversaries only for corrupt
+/// nodes). This mirrors the ITM formulation, where the interface itself is
+/// available to every party.
+pub trait Eligibility: Send + Sync {
+    /// Attempts to mine `tag` as `node`. Deterministic and idempotent.
+    fn mine(&self, node: NodeId, tag: &MineTag) -> Option<Ticket>;
+
+    /// Verifies a claimed ticket.
+    fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool;
+
+    /// The expected committee size `λ` (for quorum computation).
+    fn lambda(&self) -> f64;
+
+    /// The number of nodes `n`.
+    fn n(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_sizes_match_across_variants() {
+        use ba_crypto::vrf::VrfSecretKey;
+        let ideal = Ticket::Ideal;
+        let real = Ticket::Real(VrfSecretKey::from_seed(b"k").evaluate(b"m"));
+        assert_eq!(ideal.size_bits(), real.size_bits());
+        assert_eq!(ideal.size_bits(), TICKET_BITS);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `F_mine` ideal functionality, verbatim from Figure 1 of the paper:
+//!
+//! ```text
+//! F_mine(1^κ, P)
+//!   On receive mine(m) from node i for the first time:
+//!       Coin[m, i] := Bernoulli(P(m)); return Coin[m, i].
+//!   On receive verify(m, i):
+//!       if mine(m) has been called by node i, return Coin[m, i]; else return 0.
+//! ```
+//!
+//! The Bernoulli coins are drawn from a deterministic DRBG keyed by the
+//! execution seed and the pair `(i, m)`, so executions replay exactly; the
+//! *"else return 0"* branch is preserved faithfully — a ticket for a tag the
+//! node never attempted does **not** verify, which is precisely what stops
+//! corrupt nodes from fabricating other nodes' votes in the hybrid world.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use ba_crypto::hmac::HmacDrbg;
+use ba_sim::NodeId;
+
+use crate::eligibility::{Eligibility, Ticket};
+use crate::params::MineParams;
+use crate::tag::MineTag;
+
+/// The hybrid-world mining functionality.
+///
+/// # Examples
+///
+/// ```
+/// use ba_fmine::ideal::IdealMine;
+/// use ba_fmine::params::MineParams;
+/// use ba_fmine::tag::{MineTag, MsgKind};
+/// use ba_fmine::eligibility::Eligibility;
+/// use ba_sim::NodeId;
+///
+/// let fmine = IdealMine::new(7, MineParams::new(64, 16.0));
+/// let tag = MineTag::new(MsgKind::Vote, 0, true);
+/// // Some nodes are eligible, some are not — deterministically per seed.
+/// let committee: Vec<_> = (0..64)
+///     .filter(|&i| fmine.mine(NodeId(i), &tag).is_some())
+///     .collect();
+/// // Expected size 16; the seed fixes the exact set.
+/// assert!(!committee.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct IdealMine {
+    seed: u64,
+    params: MineParams,
+    /// `Coin[m, i]` for every attempted `mine`, per Figure 1.
+    coins: Mutex<HashMap<(NodeId, MineTag), bool>>,
+}
+
+impl IdealMine {
+    /// Creates the functionality for one execution.
+    pub fn new(seed: u64, params: MineParams) -> IdealMine {
+        IdealMine { seed, params, coins: Mutex::new(HashMap::new()) }
+    }
+
+    /// The underlying Bernoulli coin for `(node, tag)` — deterministic in
+    /// `(seed, node, tag)`.
+    fn flip(&self, node: NodeId, tag: &MineTag) -> bool {
+        let mut drbg = HmacDrbg::new(&self.seed.to_be_bytes(), b"fmine-coin/v1");
+        // Key the stream by (node, tag) through the domain input: draw one
+        // u64 from a DRBG whose domain encodes both.
+        let mut material = Vec::with_capacity(32);
+        material.extend_from_slice(&(node.index() as u64).to_be_bytes());
+        material.extend_from_slice(&tag.to_bytes());
+        // Re-key with the material for full independence across pairs.
+        let mut keyed = HmacDrbg::new(&drbg.next_bytes32(), &material);
+        keyed.next_u64() < self.params.threshold(tag)
+    }
+
+    /// Number of distinct `mine` attempts recorded so far.
+    pub fn attempts(&self) -> usize {
+        self.coins.lock().expect("poisoned").len()
+    }
+}
+
+impl Eligibility for IdealMine {
+    fn mine(&self, node: NodeId, tag: &MineTag) -> Option<Ticket> {
+        let mut coins = self.coins.lock().expect("poisoned");
+        let coin = *coins.entry((node, *tag)).or_insert_with(|| self.flip(node, tag));
+        coin.then_some(Ticket::Ideal)
+    }
+
+    fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool {
+        if !matches!(ticket, Ticket::Ideal) {
+            return false; // a real-world ticket means a protocol wiring bug
+        }
+        let coins = self.coins.lock().expect("poisoned");
+        // Figure 1: "if mine(m) has been called by node i, return Coin[m,i];
+        // else return 0."
+        *coins.get(&(node, *tag)).unwrap_or(&false)
+    }
+
+    fn lambda(&self) -> f64 {
+        self.params.lambda
+    }
+
+    fn n(&self) -> usize {
+        self.params.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::MsgKind;
+
+    fn vote_tag(iter: u64, bit: bool) -> MineTag {
+        MineTag::new(MsgKind::Vote, iter, bit)
+    }
+
+    #[test]
+    fn mine_is_idempotent() {
+        let f = IdealMine::new(1, MineParams::new(32, 8.0));
+        let tag = vote_tag(0, true);
+        for i in 0..32 {
+            let a = f.mine(NodeId(i), &tag);
+            let b = f.mine(NodeId(i), &tag);
+            assert_eq!(a, b);
+        }
+        assert_eq!(f.attempts(), 32);
+    }
+
+    #[test]
+    fn verify_before_mine_returns_false() {
+        // Figure 1's "else return 0" branch: the functionality does not
+        // confirm eligibility the node never claimed.
+        let f = IdealMine::new(1, MineParams::new(32, 32.0)); // prob 1: all eligible
+        let tag = vote_tag(0, true);
+        assert!(!f.verify(NodeId(3), &tag, &Ticket::Ideal));
+        assert!(f.mine(NodeId(3), &tag).is_some());
+        assert!(f.verify(NodeId(3), &tag, &Ticket::Ideal));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = IdealMine::new(9, MineParams::new(64, 16.0));
+        let b = IdealMine::new(9, MineParams::new(64, 16.0));
+        let c = IdealMine::new(10, MineParams::new(64, 16.0));
+        let tag = vote_tag(5, false);
+        let set = |f: &IdealMine| -> Vec<usize> {
+            (0..64).filter(|&i| f.mine(NodeId(i), &tag).is_some()).collect()
+        };
+        assert_eq!(set(&a), set(&b));
+        assert_ne!(set(&a), set(&c), "different seeds should give different committees");
+    }
+
+    #[test]
+    fn committee_sizes_concentrate_around_lambda() {
+        let f = IdealMine::new(123, MineParams::new(200, 40.0));
+        let mut sizes = Vec::new();
+        for iter in 0..50 {
+            let tag = vote_tag(iter, true);
+            let size = (0..200).filter(|&i| f.mine(NodeId(i), &tag).is_some()).count();
+            sizes.push(size);
+        }
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            (25.0..=55.0).contains(&mean),
+            "mean committee size {mean} too far from lambda=40"
+        );
+    }
+
+    #[test]
+    fn bit_specific_committees_are_independent() {
+        // The §3.2 insight: committee(b=0) and committee(b=1) are unrelated.
+        let f = IdealMine::new(77, MineParams::new(128, 64.0));
+        let c0: Vec<usize> =
+            (0..128).filter(|&i| f.mine(NodeId(i), &vote_tag(0, false)).is_some()).collect();
+        let c1: Vec<usize> =
+            (0..128).filter(|&i| f.mine(NodeId(i), &vote_tag(0, true)).is_some()).collect();
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn propose_is_rarer_than_vote() {
+        let f = IdealMine::new(42, MineParams::new(100, 30.0));
+        let mut proposers = 0;
+        let mut voters = 0;
+        for iter in 0..100 {
+            for i in 0..100 {
+                if f.mine(NodeId(i), &MineTag::new(MsgKind::Propose, iter, true)).is_some() {
+                    proposers += 1;
+                }
+                if f.mine(NodeId(i), &vote_tag(iter, true)).is_some() {
+                    voters += 1;
+                }
+            }
+        }
+        // Expected: proposers ~ 100*100/200 = 50, voters ~ 100*100*0.3 = 3000.
+        assert!(proposers < 200, "proposers = {proposers}");
+        assert!(voters > 2000, "voters = {voters}");
+    }
+
+    #[test]
+    fn real_ticket_rejected_by_ideal_functionality() {
+        use ba_crypto::vrf::VrfSecretKey;
+        let f = IdealMine::new(5, MineParams::new(16, 16.0));
+        let tag = vote_tag(0, true);
+        f.mine(NodeId(0), &tag);
+        let real = Ticket::Real(VrfSecretKey::from_seed(b"x").evaluate(b"y"));
+        assert!(!f.verify(NodeId(0), &tag, &real));
+    }
+}

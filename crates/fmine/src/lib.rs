@@ -1,0 +1,34 @@
+//! # ba-fmine
+//!
+//! Eligibility election for the subquadratic BA protocols of
+//! *"Communication Complexity of Byzantine Agreement, Revisited"*:
+//!
+//! * [`ideal::IdealMine`] — the `F_mine` ideal functionality, verbatim from
+//!   Figure 1 (hybrid world);
+//! * [`real::RealMine`] — the Appendix D real-world compiler: a DDH VRF with
+//!   a DLEQ proof replaces the oracle (Appendix E argues the two worlds are
+//!   indistinguishable; experiment E9 measures it);
+//! * [`tag::MineTag`] — the mined messages `(T, r, b)`, with **bit-specific**
+//!   eligibility (the paper's key insight) and a deliberately insecure
+//!   shared-committee variant for the §3.3-Remark ablation;
+//! * [`params::MineParams`] — the difficulty parameters `D` (committee,
+//!   `λ/n`) and `D0` (leader, `1/(2n)`);
+//! * [`pki::Keychain`] — the signing service (real Schnorr or ideal
+//!   registry) used by the quadratic baselines.
+//!
+//! Both eligibility backends implement [`eligibility::Eligibility`], so every
+//! protocol in `ba-core` runs unchanged in the hybrid and real worlds.
+
+pub mod eligibility;
+pub mod ideal;
+pub mod params;
+pub mod pki;
+pub mod real;
+pub mod tag;
+
+pub use eligibility::{Eligibility, Ticket, TICKET_BITS};
+pub use ideal::IdealMine;
+pub use params::{probability_to_threshold, MineParams};
+pub use pki::{Keychain, Sig, SigMode, SIG_BITS};
+pub use real::RealMine;
+pub use tag::{MineTag, MsgKind};

@@ -1,0 +1,189 @@
+//! PKI setup and the signing service used by the non-subsampled protocols.
+//!
+//! The §3.1 warmup, the Appendix C.1 quadratic protocol, and the
+//! Dolev–Strong baseline sign every message with per-node keys from a
+//! trusted setup. Two modes provide the same interface:
+//!
+//! * [`SigMode::Real`] — actual Schnorr signatures over the crate's group;
+//! * [`SigMode::Ideal`] — an ideal signature functionality: a registry
+//!   records exactly the `(signer, message)` pairs that were signed, so
+//!   verification is perfectly unforgeable at zero computational cost.
+//!   Experiments use this mode for large parameter sweeps; correctness of
+//!   the substitution is itself covered by tests running both modes.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use ba_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use ba_sim::NodeId;
+
+/// Which signature implementation backs a [`Keychain`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SigMode {
+    /// Real Schnorr signatures.
+    Real,
+    /// Ideal signature functionality (registry-backed, unforgeable).
+    Ideal,
+}
+
+/// A signature attached to protocol messages.
+///
+/// Both variants occupy the nominal Schnorr wire size (512 bits) for
+/// complexity accounting.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Sig {
+    /// A real Schnorr signature.
+    Real(Signature),
+    /// A handle into the ideal registry.
+    Ideal,
+}
+
+/// Nominal signature wire size in bits (Schnorr: `R` + `s`).
+pub const SIG_BITS: usize = 512;
+
+impl Sig {
+    /// Wire size in bits (identical across variants by design).
+    pub fn size_bits(&self) -> usize {
+        SIG_BITS
+    }
+}
+
+/// The signing service for one execution: all nodes' keys plus the ideal
+/// registry. Produced by trusted setup ([`Keychain::from_seed`]).
+#[derive(Debug)]
+pub struct Keychain {
+    mode: SigMode,
+    signing_keys: Vec<SigningKey>,
+    verifying_keys: Vec<VerifyingKey>,
+    /// Ideal-mode registry of (signer, message) pairs actually signed.
+    registry: Mutex<HashSet<(NodeId, Vec<u8>)>>,
+}
+
+impl Keychain {
+    /// Trusted setup: deterministically generates `n` key pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ba_fmine::pki::{Keychain, SigMode};
+    /// use ba_sim::NodeId;
+    ///
+    /// let chain = Keychain::from_seed(7, 4, SigMode::Real);
+    /// let sig = chain.sign(NodeId(2), b"(Vote, r=1, b=0)");
+    /// assert!(chain.verify(NodeId(2), b"(Vote, r=1, b=0)", &sig));
+    /// assert!(!chain.verify(NodeId(3), b"(Vote, r=1, b=0)", &sig));
+    /// ```
+    pub fn from_seed(seed: u64, n: usize, mode: SigMode) -> Keychain {
+        let signing_keys: Vec<SigningKey> = (0..n)
+            .map(|i| {
+                let mut s = Vec::with_capacity(32);
+                s.extend_from_slice(b"keychain/v1/");
+                s.extend_from_slice(&seed.to_be_bytes());
+                s.extend_from_slice(&(i as u64).to_be_bytes());
+                SigningKey::from_seed(&s)
+            })
+            .collect();
+        let verifying_keys = signing_keys.iter().map(|k| k.verifying_key()).collect();
+        Keychain { mode, signing_keys, verifying_keys, registry: Mutex::new(HashSet::new()) }
+    }
+
+    /// The signature mode in force.
+    pub fn mode(&self) -> SigMode {
+        self.mode
+    }
+
+    /// Number of enrolled nodes.
+    pub fn n(&self) -> usize {
+        self.signing_keys.len()
+    }
+
+    /// The public directory (the PKI).
+    pub fn verifying_keys(&self) -> &[VerifyingKey] {
+        &self.verifying_keys
+    }
+
+    /// Signs `msg` as `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not enrolled.
+    pub fn sign(&self, node: NodeId, msg: &[u8]) -> Sig {
+        match self.mode {
+            SigMode::Real => Sig::Real(self.signing_keys[node.index()].sign(msg)),
+            SigMode::Ideal => {
+                self.registry
+                    .lock()
+                    .expect("poisoned")
+                    .insert((node, msg.to_vec()));
+                Sig::Ideal
+            }
+        }
+    }
+
+    /// Verifies that `node` signed `msg`.
+    pub fn verify(&self, node: NodeId, msg: &[u8], sig: &Sig) -> bool {
+        if node.index() >= self.n() {
+            return false;
+        }
+        match (self.mode, sig) {
+            (SigMode::Real, Sig::Real(s)) => self.verifying_keys[node.index()].verify(msg, s),
+            (SigMode::Ideal, Sig::Ideal) => self
+                .registry
+                .lock()
+                .expect("poisoned")
+                .contains(&(node, msg.to_vec())),
+            _ => false, // mode/variant mismatch is a wiring bug, never valid
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_mode_roundtrip() {
+        let chain = Keychain::from_seed(1, 3, SigMode::Real);
+        let sig = chain.sign(NodeId(0), b"hello");
+        assert!(chain.verify(NodeId(0), b"hello", &sig));
+        assert!(!chain.verify(NodeId(0), b"other", &sig));
+        assert!(!chain.verify(NodeId(1), b"hello", &sig));
+        assert!(!chain.verify(NodeId(99), b"hello", &sig));
+    }
+
+    #[test]
+    fn ideal_mode_registry_semantics() {
+        let chain = Keychain::from_seed(1, 3, SigMode::Ideal);
+        // Verification fails for a message never signed (unforgeability).
+        assert!(!chain.verify(NodeId(0), b"unsigned", &Sig::Ideal));
+        let sig = chain.sign(NodeId(0), b"signed");
+        assert!(chain.verify(NodeId(0), b"signed", &sig));
+        // Node 1 never signed it.
+        assert!(!chain.verify(NodeId(1), b"signed", &sig));
+    }
+
+    #[test]
+    fn mode_mismatch_rejected() {
+        let real = Keychain::from_seed(1, 2, SigMode::Real);
+        let ideal = Keychain::from_seed(1, 2, SigMode::Ideal);
+        let real_sig = real.sign(NodeId(0), b"m");
+        let ideal_sig = ideal.sign(NodeId(0), b"m");
+        assert!(!real.verify(NodeId(0), b"m", &ideal_sig));
+        assert!(!ideal.verify(NodeId(0), b"m", &real_sig));
+    }
+
+    #[test]
+    fn deterministic_keys_per_seed() {
+        let a = Keychain::from_seed(5, 2, SigMode::Real);
+        let b = Keychain::from_seed(5, 2, SigMode::Real);
+        let c = Keychain::from_seed(6, 2, SigMode::Real);
+        assert_eq!(a.verifying_keys()[0], b.verifying_keys()[0]);
+        assert_ne!(a.verifying_keys()[0], c.verifying_keys()[0]);
+    }
+
+    #[test]
+    fn sig_size_constant() {
+        let chain = Keychain::from_seed(1, 1, SigMode::Ideal);
+        assert_eq!(chain.sign(NodeId(0), b"m").size_bits(), SIG_BITS);
+    }
+}

@@ -1,0 +1,183 @@
+//! The real-world instantiation of `F_mine` (Appendix D compiler).
+//!
+//! A trusted setup gives every node a VRF key pair; the collection of public
+//! keys is the PKI. A mining attempt for tag `m` evaluates the VRF on `m`'s
+//! canonical bytes and succeeds iff the 64-bit prefix of the output falls
+//! below the tag's difficulty threshold. The ticket carries the VRF output
+//! and its DLEQ proof, which every receiver verifies — this plays both the
+//! roles the paper assigns to the compiled message format `(m, i, ρ, π)`:
+//! correctness of the eligibility claim *and* authentication of the vote
+//! content (the tag is the statement being signed).
+
+use ba_crypto::vrf::{VrfPublicKey, VrfSecretKey};
+use ba_sim::NodeId;
+
+use crate::eligibility::{Eligibility, Ticket};
+use crate::params::MineParams;
+use crate::tag::MineTag;
+
+/// Domain separation for VRF evaluations, keyed per execution so different
+/// simulated executions get independent committees.
+fn vrf_input(execution_id: u64, tag: &MineTag) -> Vec<u8> {
+    let mut input = Vec::with_capacity(32);
+    input.extend_from_slice(b"fmine-real/v1/");
+    input.extend_from_slice(&execution_id.to_be_bytes());
+    input.extend_from_slice(&tag.to_bytes());
+    input
+}
+
+/// VRF-backed eligibility election.
+///
+/// # Examples
+///
+/// ```
+/// use ba_fmine::real::RealMine;
+/// use ba_fmine::params::MineParams;
+/// use ba_fmine::tag::{MineTag, MsgKind};
+/// use ba_fmine::eligibility::Eligibility;
+/// use ba_sim::NodeId;
+///
+/// let fmine = RealMine::from_seed(3, MineParams::new(16, 8.0));
+/// let tag = MineTag::new(MsgKind::Ack, 1, false);
+/// for i in 0..16 {
+///     if let Some(ticket) = fmine.mine(NodeId(i), &tag) {
+///         // The ticket is a publicly verifiable VRF proof.
+///         assert!(fmine.verify(NodeId(i), &tag, &ticket));
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RealMine {
+    execution_id: u64,
+    params: MineParams,
+    secret_keys: Vec<VrfSecretKey>,
+    public_keys: Vec<VrfPublicKey>,
+}
+
+impl RealMine {
+    /// Runs the trusted setup: generates `n` VRF key pairs deterministically
+    /// from `seed` and publishes the PKI.
+    pub fn from_seed(seed: u64, params: MineParams) -> RealMine {
+        let secret_keys: Vec<VrfSecretKey> = (0..params.n)
+            .map(|i| {
+                let mut s = Vec::with_capacity(32);
+                s.extend_from_slice(b"fmine-vrf-key/v1/");
+                s.extend_from_slice(&seed.to_be_bytes());
+                s.extend_from_slice(&(i as u64).to_be_bytes());
+                VrfSecretKey::from_seed(&s)
+            })
+            .collect();
+        let public_keys = secret_keys.iter().map(|k| k.public_key()).collect();
+        RealMine { execution_id: seed, params, secret_keys, public_keys }
+    }
+
+    /// The published PKI (every node's VRF public key).
+    pub fn pki(&self) -> &[VrfPublicKey] {
+        &self.public_keys
+    }
+
+    /// Difficulty parameters in force.
+    pub fn params(&self) -> &MineParams {
+        &self.params
+    }
+}
+
+impl Eligibility for RealMine {
+    fn mine(&self, node: NodeId, tag: &MineTag) -> Option<Ticket> {
+        let sk = &self.secret_keys[node.index()];
+        let out = sk.evaluate(&vrf_input(self.execution_id, tag));
+        (out.rho_u64() < self.params.threshold(tag)).then_some(Ticket::Real(out))
+    }
+
+    fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool {
+        let Ticket::Real(out) = ticket else {
+            return false; // an ideal ticket cannot appear in the real world
+        };
+        if node.index() >= self.public_keys.len() {
+            return false;
+        }
+        let pk = &self.public_keys[node.index()];
+        pk.verify(&vrf_input(self.execution_id, tag), out)
+            && out.rho_u64() < self.params.threshold(tag)
+    }
+
+    fn lambda(&self) -> f64 {
+        self.params.lambda
+    }
+
+    fn n(&self) -> usize {
+        self.params.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::MsgKind;
+
+    fn tag(iter: u64, bit: bool) -> MineTag {
+        MineTag::new(MsgKind::Vote, iter, bit)
+    }
+
+    #[test]
+    fn mined_tickets_verify() {
+        let f = RealMine::from_seed(1, MineParams::new(24, 12.0));
+        let t = tag(0, true);
+        let mut found = 0;
+        for i in 0..24 {
+            if let Some(ticket) = f.mine(NodeId(i), &t) {
+                assert!(f.verify(NodeId(i), &t, &ticket));
+                found += 1;
+            }
+        }
+        assert!(found > 0, "with lambda=12 over n=24 someone should be eligible");
+    }
+
+    #[test]
+    fn tickets_do_not_transfer_between_nodes() {
+        let f = RealMine::from_seed(2, MineParams::new(16, 16.0)); // everyone eligible
+        let t = tag(0, true);
+        let ticket = f.mine(NodeId(0), &t).expect("prob 1");
+        assert!(!f.verify(NodeId(1), &t, &ticket));
+    }
+
+    #[test]
+    fn tickets_do_not_transfer_between_tags() {
+        let f = RealMine::from_seed(2, MineParams::new(16, 16.0));
+        let ticket = f.mine(NodeId(0), &tag(0, true)).expect("prob 1");
+        assert!(!f.verify(NodeId(0), &tag(0, false), &ticket));
+        assert!(!f.verify(NodeId(0), &tag(1, true), &ticket));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let f = RealMine::from_seed(2, MineParams::new(4, 4.0));
+        let ticket = f.mine(NodeId(0), &tag(0, true)).expect("prob 1");
+        assert!(!f.verify(NodeId(99), &tag(0, true), &ticket));
+    }
+
+    #[test]
+    fn ideal_ticket_rejected_by_real_world() {
+        let f = RealMine::from_seed(2, MineParams::new(4, 4.0));
+        assert!(!f.verify(NodeId(0), &tag(0, true), &Ticket::Ideal));
+    }
+
+    #[test]
+    fn different_executions_different_committees() {
+        let f1 = RealMine::from_seed(10, MineParams::new(64, 16.0));
+        let f2 = RealMine::from_seed(11, MineParams::new(64, 16.0));
+        let t = tag(0, true);
+        let c1: Vec<usize> = (0..64).filter(|&i| f1.mine(NodeId(i), &t).is_some()).collect();
+        let c2: Vec<usize> = (0..64).filter(|&i| f2.mine(NodeId(i), &t).is_some()).collect();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn eligibility_is_deterministic() {
+        let f = RealMine::from_seed(10, MineParams::new(32, 8.0));
+        let t = tag(3, false);
+        for i in 0..32 {
+            assert_eq!(f.mine(NodeId(i), &t).is_some(), f.mine(NodeId(i), &t).is_some());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Mining tags: the messages `m` on which eligibility is elected.
+//!
+//! The paper's key insight (§3.2) is that the tag includes the **bit being
+//! voted on**: the committee eligible to vote for `b` in round `r` is sampled
+//! independently of the committee for `1 - b`. Appendix D allows
+//! `b ∈ {0, 1, ⊥}` (a `Status` message may report "no certified bit"); we
+//! additionally support a `b = *` wildcard realizing the *shared-committee*
+//! ablation — the configuration the Remark in §3.3 proves insecure.
+
+use ba_sim::Bit;
+
+/// The message type being mined (covers both the §3.2 protocol and the
+/// Appendix C.2 protocol).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgKind {
+    /// Leader proposal (difficulty `D0`, success probability `1/(2n)`).
+    Propose,
+    /// §3.1/§3.2 warmup protocol acknowledgement.
+    Ack,
+    /// Appendix C status report (highest certificate).
+    Status,
+    /// Appendix C vote.
+    Vote,
+    /// Appendix C commit.
+    Commit,
+    /// Appendix C termination gadget (`(Terminate, b)`, no iteration).
+    Terminate,
+}
+
+impl MsgKind {
+    fn code(&self) -> u8 {
+        match self {
+            MsgKind::Propose => 0,
+            MsgKind::Ack => 1,
+            MsgKind::Status => 2,
+            MsgKind::Vote => 3,
+            MsgKind::Commit => 4,
+            MsgKind::Terminate => 5,
+        }
+    }
+}
+
+/// The bit component of a mining tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TagBit {
+    /// Voting for bit 0.
+    Zero,
+    /// Voting for bit 1.
+    One,
+    /// The ⊥ case (e.g. a `Status` with no certificate; Appendix D).
+    Bot,
+    /// Wildcard: the shared-committee (non-bit-specific) ablation.
+    Any,
+}
+
+impl TagBit {
+    /// Converts a protocol bit into a tag bit.
+    pub fn from_bit(b: Bit) -> TagBit {
+        if b {
+            TagBit::One
+        } else {
+            TagBit::Zero
+        }
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            TagBit::Zero => 0,
+            TagBit::One => 1,
+            TagBit::Bot => 2,
+            TagBit::Any => 3,
+        }
+    }
+}
+
+/// A mining tag `m = (T, r, b)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MineTag {
+    /// Message type.
+    pub kind: MsgKind,
+    /// Iteration/epoch number (`None` for iteration-independent tags such as
+    /// `Terminate`).
+    pub iter: Option<u64>,
+    /// The bit the committee votes on.
+    pub bit: TagBit,
+}
+
+impl MineTag {
+    /// Bit-specific tag for iteration `iter` (the paper's construction).
+    pub fn new(kind: MsgKind, iter: u64, bit: Bit) -> MineTag {
+        MineTag { kind, iter: Some(iter), bit: TagBit::from_bit(bit) }
+    }
+
+    /// Tag for the ⊥ bit (e.g. a certificate-less `Status`).
+    pub fn bot(kind: MsgKind, iter: u64) -> MineTag {
+        MineTag { kind, iter: Some(iter), bit: TagBit::Bot }
+    }
+
+    /// Bit-specific, iteration-independent tag (`Terminate`).
+    pub fn terminate(bit: Bit) -> MineTag {
+        MineTag { kind: MsgKind::Terminate, iter: None, bit: TagBit::from_bit(bit) }
+    }
+
+    /// Shared-committee (non-bit-specific) tag — the insecure ablation.
+    pub fn shared(kind: MsgKind, iter: u64) -> MineTag {
+        MineTag { kind, iter: Some(iter), bit: TagBit::Any }
+    }
+
+    /// The same tag with its bit erased to the wildcard (how the ablation
+    /// derives its election tag from a statement tag).
+    pub fn sharedized(&self) -> MineTag {
+        MineTag { kind: self.kind, iter: self.iter, bit: TagBit::Any }
+    }
+
+    /// Canonical byte encoding used as VRF/PRF input.
+    pub fn to_bytes(&self) -> [u8; 11] {
+        let mut out = [0u8; 11];
+        out[0] = self.kind.code();
+        match self.iter {
+            Some(r) => {
+                out[1] = 1;
+                out[2..10].copy_from_slice(&r.to_be_bytes());
+            }
+            None => out[1] = 0,
+        }
+        out[10] = self.bit.code();
+        out
+    }
+}
+
+impl std::fmt::Display for MineTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:?}", self.kind)?;
+        if let Some(r) = self.iter {
+            write!(f, ", r={r}")?;
+        }
+        match self.bit {
+            TagBit::Zero => write!(f, ", b=0)"),
+            TagBit::One => write!(f, ", b=1)"),
+            TagBit::Bot => write!(f, ", b=_)"),
+            TagBit::Any => write!(f, ", b=*)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_are_injective() {
+        let tags = [
+            MineTag::new(MsgKind::Vote, 3, true),
+            MineTag::new(MsgKind::Vote, 3, false),
+            MineTag::new(MsgKind::Vote, 4, true),
+            MineTag::new(MsgKind::Commit, 3, true),
+            MineTag::terminate(true),
+            MineTag::terminate(false),
+            MineTag::shared(MsgKind::Vote, 3),
+            MineTag::bot(MsgKind::Status, 3),
+            MineTag::new(MsgKind::Propose, 0, false),
+            MineTag::new(MsgKind::Ack, 0, false),
+            MineTag::new(MsgKind::Status, 0, false),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for (j, b) in tags.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.to_bytes(), b.to_bytes(), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(MineTag::new(MsgKind::Vote, 3, true).to_string(), "(Vote, r=3, b=1)");
+        assert_eq!(MineTag::terminate(false).to_string(), "(Terminate, b=0)");
+        assert_eq!(MineTag::shared(MsgKind::Ack, 2).to_string(), "(Ack, r=2, b=*)");
+        assert_eq!(MineTag::bot(MsgKind::Status, 2).to_string(), "(Status, r=2, b=_)");
+    }
+
+    #[test]
+    fn sharedized_erases_the_bit() {
+        let specific = MineTag::new(MsgKind::Ack, 1, false);
+        let shared = specific.sharedized();
+        assert_eq!(shared, MineTag::shared(MsgKind::Ack, 1));
+        assert_ne!(specific.to_bytes(), shared.to_bytes());
+        // Crucially, both bits sharedize to the SAME tag — that is the flaw.
+        assert_eq!(
+            MineTag::new(MsgKind::Ack, 1, true).sharedized(),
+            MineTag::new(MsgKind::Ack, 1, false).sharedized()
+        );
+    }
+
+    #[test]
+    fn tag_bit_roundtrip() {
+        assert_eq!(TagBit::from_bit(true), TagBit::One);
+        assert_eq!(TagBit::from_bit(false), TagBit::Zero);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the eligibility layer.
+
+use ba_fmine::{
+    probability_to_threshold, Eligibility, IdealMine, MineParams, MineTag, MsgKind, RealMine,
+    Ticket,
+};
+use ba_sim::NodeId;
+use proptest::prelude::*;
+
+fn arb_vote_tag() -> impl Strategy<Value = MineTag> {
+    (any::<u64>(), any::<bool>()).prop_map(|(iter, bit)| MineTag::new(MsgKind::Vote, iter, bit))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threshold_is_monotone(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(probability_to_threshold(lo) <= probability_to_threshold(hi));
+    }
+
+    #[test]
+    fn ideal_mine_is_idempotent_and_verify_consistent(
+        seed in any::<u64>(),
+        node in 0usize..64,
+        tag in arb_vote_tag(),
+    ) {
+        let fmine = IdealMine::new(seed, MineParams::new(64, 16.0));
+        let first = fmine.mine(NodeId(node), &tag);
+        let second = fmine.mine(NodeId(node), &tag);
+        prop_assert_eq!(&first, &second);
+        // Figure 1: after mining, verify returns the coin.
+        prop_assert_eq!(
+            fmine.verify(NodeId(node), &tag, &Ticket::Ideal),
+            first.is_some()
+        );
+    }
+
+    #[test]
+    fn ideal_verify_false_before_mine(
+        seed in any::<u64>(),
+        node in 0usize..64,
+        tag in arb_vote_tag(),
+    ) {
+        let fmine = IdealMine::new(seed, MineParams::new(64, 64.0)); // prob 1
+        prop_assert!(!fmine.verify(NodeId(node), &tag, &Ticket::Ideal));
+    }
+
+    #[test]
+    fn propose_probability_half_per_iteration(seed in any::<u64>()) {
+        // Over n nodes attempting one propose each, expected successes = 1/2;
+        // over 40 iterations expect ~20, loosely bounded here.
+        let n = 64;
+        let fmine = IdealMine::new(seed, MineParams::new(n, 16.0));
+        let mut successes = 0;
+        for iter in 0..40u64 {
+            for i in 0..n {
+                if fmine
+                    .mine(NodeId(i), &MineTag::new(MsgKind::Propose, iter, i % 2 == 0))
+                    .is_some()
+                {
+                    successes += 1;
+                }
+            }
+        }
+        prop_assert!((2..=60).contains(&successes), "successes={successes}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn real_mine_tickets_always_verify_for_their_context(
+        seed in any::<u64>(),
+        iter in 0u64..8,
+        bit in any::<bool>(),
+    ) {
+        let n = 12;
+        let fmine = RealMine::from_seed(seed, MineParams::new(n, 12.0)); // prob 1
+        let tag = MineTag::new(MsgKind::Vote, iter, bit);
+        for i in 0..n {
+            let ticket = fmine.mine(NodeId(i), &tag).expect("probability 1");
+            prop_assert!(fmine.verify(NodeId(i), &tag, &ticket));
+            // Never transferable to the other bit or a different node.
+            let other = MineTag::new(MsgKind::Vote, iter, !bit);
+            prop_assert!(!fmine.verify(NodeId(i), &other, &ticket));
+            prop_assert!(!fmine.verify(NodeId((i + 1) % n), &tag, &ticket));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # ba-repro
+//!
+//! Facade crate for the reproduction of *"Communication Complexity of
+//! Byzantine Agreement, Revisited"* (PODC 2019): re-exports the full stack
+//! and hosts the repository-level examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! ```
+//! use ba_repro::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let n = 64;
+//! let elig = Arc::new(IdealMine::new(1, MineParams::new(n, 16.0)));
+//! let cfg = IterConfig::subq_half(n, elig);
+//! let sim = SimConfig::new(n, 0, CorruptionModel::Static, 1);
+//! let (_report, verdict) = ba_repro::iter_run(&cfg, &sim, vec![true; n], Passive);
+//! assert!(verdict.all_ok());
+//! ```
+
+pub use ba_adversary as adversary;
+pub use ba_core as core;
+pub use ba_crypto as crypto;
+pub use ba_fmine as fmine;
+pub use ba_lowerbound as lowerbound;
+pub use ba_sim as sim;
+
+pub use ba_core::epoch::run as epoch_run;
+pub use ba_core::iter::run as iter_run;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ba_adversary::{CertForger, CommitteeEraser, CrashAt, Omission, VoteFlipper};
+    pub use ba_core::auth::{Auth, Evidence, FsService};
+    pub use ba_core::broadcast::{self, BbMsg};
+    pub use ba_core::dolev_strong::{self, DsConfig};
+    pub use ba_core::epoch::{EpochConfig, EpochMsg};
+    pub use ba_core::iter::{IterConfig, IterMsg};
+    pub use ba_fmine::{
+        Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode,
+        Ticket,
+    };
+    pub use ba_sim::{
+        evaluate, Adversary, Bit, CorruptionModel, NodeId, Passive, Problem, Round, RunReport,
+        Sim, SimConfig, Verdict,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = CorruptionModel::StronglyAdaptive;
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,574 @@
+//! The synchronous round-driving engine.
+//!
+//! One [`Sim`] = one execution of a protocol `Π` with an environment-supplied
+//! input vector, an adversary `A`, and a corruption model — a sample of the
+//! paper's `EXEC_Π(A, Z, κ)`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adversary::{AdvCtx, AdvWorld, Adversary, CorruptionModel};
+use crate::ids::{Bit, NodeId, Round};
+use crate::message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
+use crate::metrics::Metrics;
+use crate::protocol::Protocol;
+
+/// Static configuration of an execution.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Corruption budget `f`.
+    pub f: usize,
+    /// Corruption model in force.
+    pub model: CorruptionModel,
+    /// Hard round cap (executions that run this long are termination
+    /// failures).
+    pub max_rounds: u64,
+    /// Seed for the adversary's randomness.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Convenience constructor with the given model and an adversary seed.
+    pub fn new(n: usize, f: usize, model: CorruptionModel, seed: u64) -> SimConfig {
+        SimConfig { n, f, model, max_rounds: 10_000, seed }
+    }
+}
+
+/// Everything recorded about one finished execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-node decided outputs (index = node id).
+    pub outputs: Vec<Option<Bit>>,
+    /// Round at which each node first reported an output.
+    pub output_rounds: Vec<Option<Round>>,
+    /// Round at which each node was corrupted (`None` = forever honest).
+    pub corrupt_at: Vec<Option<Round>>,
+    /// Whether each node halted before the round cap.
+    pub halted: Vec<bool>,
+    /// Communication and adversary-action counters.
+    pub metrics: Metrics,
+    /// Rounds actually executed.
+    pub rounds_used: u64,
+    /// The inputs the environment supplied (echoed for verdict evaluation).
+    pub inputs: Vec<Bit>,
+}
+
+impl RunReport {
+    /// Iterator over forever-honest node indices.
+    pub fn forever_honest(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.corrupt_at
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| NodeId(i))
+    }
+}
+
+/// A single synchronous execution.
+///
+/// # Examples
+///
+/// ```
+/// use ba_sim::adversary::{CorruptionModel, Passive};
+/// use ba_sim::engine::{Sim, SimConfig};
+/// use ba_sim::ids::{Bit, NodeId, Round};
+/// use ba_sim::message::{Incoming, Message, Outbox};
+/// use ba_sim::protocol::Protocol;
+///
+/// // A one-round "echo my input" protocol.
+/// #[derive(Clone, Debug)]
+/// struct Vote(Bit);
+/// impl Message for Vote {
+///     fn size_bits(&self) -> usize { 1 }
+/// }
+/// struct Echo { input: Bit, done: Option<Bit> }
+/// impl Protocol<Vote> for Echo {
+///     fn step(&mut self, round: Round, inbox: &[Incoming<Vote>], out: &mut Outbox<Vote>) {
+///         match round.0 {
+///             0 => out.multicast(Vote(self.input)),
+///             _ => {
+///                 let ones = inbox.iter().filter(|m| m.msg.0).count();
+///                 self.done = Some(ones * 2 > inbox.len());
+///             }
+///         }
+///     }
+///     fn output(&self) -> Option<Bit> { self.done }
+///     fn halted(&self) -> bool { self.done.is_some() }
+/// }
+///
+/// let config = SimConfig::new(4, 0, CorruptionModel::Static, 7);
+/// let inputs = vec![true, true, true, false];
+/// let report = Sim::run_protocol(&config, inputs.clone(), Passive, |id, _seed| {
+///     Box::new(Echo { input: inputs[id.index()], done: None })
+/// });
+/// assert!(report.outputs.iter().all(|o| *o == Some(true)));
+/// ```
+pub struct Sim<M, A> {
+    nodes: Vec<Box<dyn Protocol<M>>>,
+    world: AdvWorld<M>,
+    adversary: A,
+    inboxes: Vec<Vec<Incoming<M>>>,
+    metrics: Metrics,
+    output_rounds: Vec<Option<Round>>,
+    max_rounds: u64,
+    rng: StdRng,
+}
+
+impl<M: Message, A: Adversary<M>> Sim<M, A> {
+    /// Builds an execution. `factory(id, seed)` constructs node `id`'s
+    /// protocol instance; `seed` is a per-node deterministic seed derived
+    /// from `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != config.n` or `config.f >= config.n`.
+    pub fn new(
+        config: &SimConfig,
+        inputs: Vec<Bit>,
+        adversary: A,
+        mut factory: impl FnMut(NodeId, u64) -> Box<dyn Protocol<M>>,
+    ) -> Sim<M, A> {
+        assert_eq!(inputs.len(), config.n, "one input per node");
+        assert!(config.f < config.n, "corruption budget must leave one honest node");
+        let nodes: Vec<Box<dyn Protocol<M>>> = (0..config.n)
+            .map(|i| {
+                let node_seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                factory(NodeId(i), node_seed)
+            })
+            .collect();
+        let world = AdvWorld {
+            model: config.model,
+            f: config.f,
+            round: Round::ZERO,
+            in_setup: false,
+            corrupt_at: vec![None; config.n],
+            pending: Vec::new(),
+            injected: Vec::new(),
+            next_msg_id: 0,
+            inputs,
+            outputs: vec![None; config.n],
+            halted: vec![false; config.n],
+            removals: 0,
+        };
+        Sim {
+            nodes,
+            world,
+            adversary,
+            inboxes: vec![Vec::new(); config.n],
+            metrics: Metrics::default(),
+            output_rounds: vec![None; config.n],
+            max_rounds: config.max_rounds,
+            rng: StdRng::seed_from_u64(config.seed ^ 0xAD5E_55A1_D0BE_EF00),
+        }
+    }
+
+    /// Convenience: build and run to completion in one call.
+    pub fn run_protocol(
+        config: &SimConfig,
+        inputs: Vec<Bit>,
+        adversary: A,
+        factory: impl FnMut(NodeId, u64) -> Box<dyn Protocol<M>>,
+    ) -> RunReport {
+        Sim::new(config, inputs, adversary, factory).run()
+    }
+
+    /// Runs the execution to completion (all honest nodes halted, or the
+    /// round cap reached) and returns the report.
+    pub fn run(mut self) -> RunReport {
+        // Setup phase: static adversaries corrupt here.
+        self.world.in_setup = true;
+        {
+            let mut ctx = AdvCtx { world: &mut self.world, rng: &mut self.rng };
+            self.adversary.setup(&mut ctx);
+        }
+        self.world.in_setup = false;
+
+        let mut rounds_used = 0;
+        for r in 0..self.max_rounds {
+            let round = Round(r);
+            self.world.round = round;
+            rounds_used = r + 1;
+            self.step_round(round);
+            // Execution ends when every so-far-honest node has halted.
+            let all_honest_halted = (0..self.n())
+                .filter(|&i| self.world.corrupt_at[i].is_none())
+                .all(|i| self.world.halted[i]);
+            if all_honest_halted {
+                break;
+            }
+        }
+
+        self.metrics.rounds = rounds_used;
+        self.metrics.corruptions =
+            self.world.corrupt_at.iter().filter(|c| c.is_some()).count() as u64;
+        self.metrics.removals = self.world.removals as u64;
+        RunReport {
+            outputs: self.world.outputs.clone(),
+            output_rounds: self.output_rounds.clone(),
+            corrupt_at: self.world.corrupt_at.clone(),
+            halted: self.world.halted.clone(),
+            metrics: self.metrics.clone(),
+            rounds_used,
+            inputs: self.world.inputs.clone(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.world.corrupt_at.len()
+    }
+
+    fn step_round(&mut self, round: Round) {
+        let n = self.n();
+        // 1. Drain this round's inboxes.
+        let inboxes: Vec<Vec<Incoming<M>>> =
+            self.inboxes.iter_mut().map(std::mem::take).collect();
+
+        // 2. Step every node; route corrupt nodes through the adversary.
+        let mut pending: Vec<Envelope<M>> = Vec::new();
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            let was_honest = self.world.corrupt_at[i].is_none();
+            if was_honest && self.world.halted[i] {
+                continue; // halted honest nodes stay silent
+            }
+            let mut outbox = Outbox::new();
+            if was_honest {
+                self.nodes[i].step(round, &inbox, &mut outbox);
+            } else {
+                let filtered = self.adversary.filter_corrupt_inbox(NodeId(i), inbox, round);
+                self.nodes[i].step(round, &filtered, &mut outbox);
+            }
+            let planned = outbox.take();
+            let final_sends = if was_honest {
+                planned
+            } else {
+                self.adversary.corrupt_outbox(NodeId(i), planned, round)
+            };
+            for (to, msg) in final_sends {
+                let id = MsgId(self.world.next_msg_id);
+                self.world.next_msg_id += 1;
+                pending.push(Envelope {
+                    id,
+                    from: NodeId(i),
+                    to,
+                    round,
+                    honest_send: was_honest,
+                    removed: false,
+                    msg,
+                });
+            }
+            // Record outputs/halts as reported to the environment.
+            if self.world.corrupt_at[i].is_none() {
+                if let Some(bit) = self.nodes[i].output() {
+                    if self.world.outputs[i].is_none() {
+                        self.world.outputs[i] = Some(bit);
+                        self.output_rounds[i] = Some(round);
+                    }
+                }
+                self.world.halted[i] = self.nodes[i].halted();
+            }
+        }
+
+        // 3. Meter sends (Definition 7 counts messages *sent* by honest
+        // nodes, regardless of later removal).
+        for env in &pending {
+            match (env.honest_send, env.to) {
+                (true, Recipient::All) => {
+                    self.metrics.honest_multicasts += 1;
+                    self.metrics.honest_multicast_bits += env.msg.size_bits() as u64;
+                }
+                (true, Recipient::One(_)) => {
+                    self.metrics.honest_unicasts += 1;
+                    self.metrics.honest_unicast_bits += env.msg.size_bits() as u64;
+                }
+                (false, _) => self.metrics.corrupt_sends += 1,
+            }
+        }
+
+        // 4. Adversary intervention: observe, corrupt, remove, inject.
+        self.world.pending = pending;
+        {
+            let mut ctx = AdvCtx { world: &mut self.world, rng: &mut self.rng };
+            self.adversary.intervene(&mut ctx);
+        }
+        let injected = std::mem::take(&mut self.world.injected);
+        for env in &injected {
+            self.metrics.corrupt_sends += 1;
+            debug_assert!(!env.honest_send);
+        }
+        let mut deliverable = std::mem::take(&mut self.world.pending);
+        deliverable.extend(injected);
+
+        // 5. Deliver surviving messages into next round's inboxes.
+        for env in deliverable {
+            if env.removed {
+                continue;
+            }
+            match env.to {
+                Recipient::All => {
+                    for inbox in self.inboxes.iter_mut() {
+                        inbox.push(Incoming { from: env.from, msg: env.msg.clone() });
+                    }
+                }
+                Recipient::One(target) => {
+                    if target.index() < n {
+                        self.inboxes[target.index()]
+                            .push(Incoming { from: env.from, msg: env.msg.clone() });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Passive;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u64);
+
+    impl Message for Ping {
+        fn size_bits(&self) -> usize {
+            64
+        }
+    }
+
+    /// Multicasts in round 0; decides on round 1 message count.
+    struct CountVotes {
+        input: Bit,
+        seen: usize,
+        done: bool,
+    }
+
+    impl Protocol<Ping> for CountVotes {
+        fn step(&mut self, round: Round, inbox: &[Incoming<Ping>], out: &mut Outbox<Ping>) {
+            match round.0 {
+                0 => out.multicast(Ping(self.input as u64)),
+                1 => {
+                    self.seen = inbox.len();
+                    self.done = true;
+                }
+                _ => {}
+            }
+        }
+
+        fn output(&self) -> Option<Bit> {
+            if self.done {
+                Some(self.seen > 0)
+            } else {
+                None
+            }
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn config(n: usize, f: usize, model: CorruptionModel) -> SimConfig {
+        SimConfig::new(n, f, model, 42)
+    }
+
+    #[test]
+    fn honest_execution_delivers_all_multicasts() {
+        let cfg = config(5, 0, CorruptionModel::Static);
+        let report = Sim::run_protocol(&cfg, vec![true; 5], Passive, |_, _| {
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+        assert!(report.outputs.iter().all(|o| *o == Some(true)));
+        assert_eq!(report.metrics.honest_multicasts, 5);
+        assert_eq!(report.metrics.honest_multicast_bits, 5 * 64);
+        assert_eq!(report.metrics.classical_messages(5), 25);
+        assert_eq!(report.rounds_used, 2);
+        assert_eq!(report.forever_honest().count(), 5);
+    }
+
+    /// Adversary that corrupts node 0 at setup; its outbox is silenced.
+    struct SilenceNodeZero;
+
+    impl Adversary<Ping> for SilenceNodeZero {
+        fn setup(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+            ctx.corrupt(NodeId(0)).expect("budget");
+        }
+
+        fn corrupt_outbox(
+            &mut self,
+            _node: NodeId,
+            _planned: Vec<(Recipient, Ping)>,
+            _round: Round,
+        ) -> Vec<(Recipient, Ping)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn corrupt_node_sends_do_not_count_as_honest() {
+        let cfg = config(5, 1, CorruptionModel::Static);
+        let report = Sim::run_protocol(&cfg, vec![true; 5], SilenceNodeZero, |_, _| {
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+        assert_eq!(report.metrics.honest_multicasts, 4);
+        // Honest nodes saw only 4 messages.
+        assert!(report.forever_honest().all(|i| report.outputs[i.index()] == Some(true)));
+        assert_eq!(report.corrupt_at[0], Some(Round::ZERO));
+    }
+
+    /// Strongly adaptive adversary: observes round-0 traffic, corrupts every
+    /// sender and erases everything (the "committee eraser" in miniature).
+    struct EraseEverything;
+
+    impl Adversary<Ping> for EraseEverything {
+        fn intervene(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+            if ctx.round().0 != 0 {
+                return;
+            }
+            let pend: Vec<(MsgId, NodeId)> =
+                ctx.pending().iter().map(|e| (e.id, e.from)).collect();
+            for (id, from) in pend {
+                if !ctx.is_corrupt(from) {
+                    if ctx.budget_left() == 0 {
+                        break; // out of corruptions; remaining messages survive
+                    }
+                    ctx.corrupt(from).expect("budget checked");
+                }
+                ctx.remove(id).expect("strongly adaptive removal");
+            }
+        }
+    }
+
+    #[test]
+    fn strongly_adaptive_removal_starves_receivers() {
+        let cfg = config(5, 4, CorruptionModel::StronglyAdaptive);
+        let report = Sim::run_protocol(&cfg, vec![true; 5], EraseEverything, |_, _| {
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+        // Only node 4 stays honest (f = 4 < 5 senders; the adversary erases
+        // the first four senders' messages but runs out of budget for the
+        // fifth... node ordering means nodes 0..3 get corrupted).
+        let honest: Vec<_> = report.forever_honest().collect();
+        assert_eq!(honest.len(), 1);
+        // The one honest node received only the one surviving multicast (its
+        // own plus the non-erased one, if any). With budget 4 all four other
+        // senders were erased, so it sees exactly 1 message (its own).
+        assert_eq!(report.outputs[honest[0].index()], Some(true));
+        assert_eq!(report.metrics.removals, 4);
+        // Definition 7: removed messages still count as honest multicasts.
+        assert_eq!(report.metrics.honest_multicasts, 5);
+    }
+
+    #[test]
+    fn removal_rejected_in_adaptive_model() {
+        struct TryRemove;
+        impl Adversary<Ping> for TryRemove {
+            fn intervene(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                if ctx.round().0 == 0 {
+                    let first = ctx.pending()[0].id;
+                    let from = ctx.pending()[0].from;
+                    ctx.corrupt(from).unwrap();
+                    assert!(ctx.remove(first).is_err());
+                }
+            }
+        }
+        let cfg = config(3, 2, CorruptionModel::Adaptive);
+        let report = Sim::run_protocol(&cfg, vec![false; 3], TryRemove, |_, _| {
+            Box::new(CountVotes { input: false, seen: 0, done: false })
+        });
+        assert_eq!(report.metrics.removals, 0);
+        // The corrupted node's round-0 message still went out (it was sent
+        // while honest and cannot be erased).
+        assert!(report
+            .forever_honest()
+            .all(|i| report.outputs[i.index()] == Some(true)));
+    }
+
+    #[test]
+    fn injection_delivered_next_round() {
+        struct InjectExtra;
+        impl Adversary<Ping> for InjectExtra {
+            fn setup(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                ctx.corrupt(NodeId(0)).unwrap();
+            }
+            fn intervene(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                if ctx.round().0 == 0 {
+                    // Equivocation: extra unicast only to node 1.
+                    ctx.inject(NodeId(0), Recipient::One(NodeId(1)), Ping(99)).unwrap();
+                }
+            }
+        }
+        struct Recorder {
+            seen: Vec<u64>,
+            done: bool,
+        }
+        impl Protocol<Ping> for Recorder {
+            fn step(&mut self, round: Round, inbox: &[Incoming<Ping>], _out: &mut Outbox<Ping>) {
+                if round.0 == 1 {
+                    self.seen = inbox.iter().map(|m| m.msg.0).collect();
+                    self.done = true;
+                }
+            }
+            fn output(&self) -> Option<Bit> {
+                self.done.then_some(true)
+            }
+            fn halted(&self) -> bool {
+                self.done
+            }
+        }
+        let cfg = config(3, 1, CorruptionModel::Static);
+        let report = Sim::run_protocol(&cfg, vec![true; 3], InjectExtra, |_, _| {
+            Box::new(Recorder { seen: Vec::new(), done: false })
+        });
+        // Recorders never send, so the only traffic is the injected unicast.
+        assert_eq!(report.metrics.corrupt_sends, 1);
+        assert_eq!(report.metrics.honest_multicasts, 0);
+    }
+
+    #[test]
+    fn round_cap_reported_as_non_termination() {
+        struct Forever;
+        impl Protocol<Ping> for Forever {
+            fn step(&mut self, _round: Round, _inbox: &[Incoming<Ping>], out: &mut Outbox<Ping>) {
+                out.multicast(Ping(0));
+            }
+            fn output(&self) -> Option<Bit> {
+                None
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let mut cfg = config(3, 0, CorruptionModel::Static);
+        cfg.max_rounds = 5;
+        let report = Sim::run_protocol(&cfg, vec![true; 3], Passive, |_, _| Box::new(Forever));
+        assert_eq!(report.rounds_used, 5);
+        assert!(report.halted.iter().all(|h| !h));
+        assert!(report.outputs.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per node")]
+    fn mismatched_inputs_panic() {
+        let cfg = config(3, 0, CorruptionModel::Static);
+        let _ = Sim::run_protocol(&cfg, vec![true; 2], Passive, |_, _| {
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+    }
+
+    #[test]
+    fn per_node_seeds_differ() {
+        let cfg = config(3, 0, CorruptionModel::Static);
+        let mut seeds = Vec::new();
+        let _ = Sim::run_protocol(&cfg, vec![true; 3], Passive, |_, seed| {
+            seeds.push(seed);
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+        assert_eq!(seeds.len(), 3);
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[1], seeds[2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Core identifier newtypes shared by the whole simulation stack.
+
+use std::fmt;
+
+/// Identifies one of the `n` protocol nodes (`0..n`).
+///
+/// The paper numbers nodes `0, 1, ..., n-1` and uses the convention that
+/// node `0` is the designated sender in Byzantine Broadcast; we keep both.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The Byzantine Broadcast designated sender (node 0, paper convention).
+    pub const SENDER: NodeId = NodeId(0);
+
+    /// Returns the raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A synchronous round number.
+///
+/// Messages multicast by so-far-honest nodes in round `r` are delivered to
+/// every honest node at the beginning of round `r + 1` (the paper's
+/// synchrony assumption, Appendix A.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round of the execution.
+    pub const ZERO: Round = Round(0);
+
+    /// The next round.
+    pub fn next(&self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round-{}", self.0)
+    }
+}
+
+/// A protocol bit (BA is studied in its binary form throughout the paper).
+pub type Bit = bool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_and_display() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::SENDER, NodeId(0));
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(NodeId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn round_progression() {
+        assert_eq!(Round::ZERO.next(), Round(1));
+        assert_eq!(Round(41).next(), Round(42));
+        assert_eq!(Round(5).to_string(), "round-5");
+    }
+}

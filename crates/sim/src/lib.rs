@@ -1,0 +1,37 @@
+//! # ba-sim
+//!
+//! A deterministic, synchronous, round-based protocol-execution simulator
+//! realizing the ITM execution model of *"Communication Complexity of
+//! Byzantine Agreement, Revisited"* (Appendix A.1):
+//!
+//! * an environment `Z` supplies inputs and collects outputs;
+//! * honest nodes run [`protocol::Protocol`] state machines;
+//! * an [`adversary::Adversary`] observes each round's traffic *before*
+//!   delivery (rushing) and adaptively corrupts nodes, subject to the
+//!   [`adversary::CorruptionModel`]:
+//!   static / adaptive (no after-the-fact removal) / strongly adaptive
+//!   (with after-the-fact removal);
+//! * messages multicast in round `r` arrive at every honest node at the
+//!   beginning of round `r + 1` (synchrony);
+//! * [`metrics::Metrics`] implements the paper's Definition 6 (classical
+//!   communication complexity) and Definition 7 (multicast complexity).
+//!
+//! Every execution is a pure function of a `u64` seed.
+//!
+//! See the [`engine::Sim`] docs for a complete runnable example.
+
+pub mod adversary;
+pub mod engine;
+pub mod ids;
+pub mod message;
+pub mod metrics;
+pub mod protocol;
+pub mod verdict;
+
+pub use adversary::{AdvActionError, AdvCtx, Adversary, CorruptionModel, Passive};
+pub use engine::{RunReport, Sim, SimConfig};
+pub use ids::{Bit, NodeId, Round};
+pub use message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
+pub use metrics::Metrics;
+pub use protocol::Protocol;
+pub use verdict::{evaluate, Problem, Verdict};

@@ -1,0 +1,130 @@
+//! Message envelopes, recipients, and the per-round outbox.
+
+use crate::ids::{NodeId, Round};
+
+/// Payload trait implemented by every protocol's message type.
+///
+/// `size_bits` is the estimated wire size used for the paper's communication
+/// metrics (Definitions 6 and 7); implementations should account for
+/// signatures and eligibility proofs they would carry on a real network.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Estimated serialized size in bits.
+    fn size_bits(&self) -> usize;
+}
+
+/// Addressing mode of an outgoing message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Recipient {
+    /// Multicast to every node (the paper's multicast model).
+    All,
+    /// Point-to-point send (used by lower-bound constructions and corrupt
+    /// nodes, which may address individual nodes).
+    One(NodeId),
+}
+
+/// A message delivered to a node at the start of a round.
+#[derive(Clone, Debug)]
+pub struct Incoming<M> {
+    /// Claimed-and-authenticated sender (channels are authenticated).
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A message queued for delivery, visible to the adversary before delivery.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Unique id within the execution (used for after-the-fact removal).
+    pub id: MsgId,
+    /// Sender.
+    pub from: NodeId,
+    /// Addressing.
+    pub to: Recipient,
+    /// Round in which the message was sent.
+    pub round: Round,
+    /// Whether the sender was so-far-honest when it sent the message.
+    pub honest_send: bool,
+    /// Set when a strongly adaptive adversary erases the message.
+    pub removed: bool,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Identifier of an envelope within an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// Collects a node's sends during one round.
+///
+/// Handed to [`crate::protocol::Protocol::step`]; the engine converts the
+/// contents into [`Envelope`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Outbox<M> {
+    pub(crate) sends: Vec<(Recipient, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Outbox<M> {
+        Outbox { sends: Vec::new() }
+    }
+
+    /// Queues a multicast to all nodes.
+    pub fn multicast(&mut self, msg: M) {
+        self.sends.push((Recipient::All, msg));
+    }
+
+    /// Queues a unicast to one node.
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        self.sends.push((Recipient::One(to), msg));
+    }
+
+    /// Number of queued sends.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// True if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+
+    /// Drains the queued sends (engine use).
+    pub fn take(&mut self) -> Vec<(Recipient, M)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Read-only view of queued sends.
+    pub fn sends(&self) -> &[(Recipient, M)] {
+        &self.sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Message for u32 {
+        fn size_bits(&self) -> usize {
+            32
+        }
+    }
+
+    #[test]
+    fn outbox_collects_sends() {
+        let mut out: Outbox<u32> = Outbox::new();
+        assert!(out.is_empty());
+        out.multicast(7);
+        out.unicast(NodeId(3), 9);
+        assert_eq!(out.len(), 2);
+        let sends = out.take();
+        assert_eq!(sends[0], (Recipient::All, 7));
+        assert_eq!(sends[1], (Recipient::One(NodeId(3)), 9));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn message_size_default_shape() {
+        assert_eq!(7u32.size_bits(), 32);
+    }
+}

@@ -1,0 +1,87 @@
+//! Communication metrics implementing the paper's Definitions 6 and 7.
+
+/// Counters gathered over one execution.
+///
+/// * *Multicast complexity* (Definition 7): total bits **multicast by honest
+///   nodes** — messages a strongly adaptive adversary later erases still
+///   count (they were sent).
+/// * *Classical communication complexity* (Definition 6): a multicast to `n`
+///   nodes counts as `n` pairwise messages of the same length.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of multicast operations performed by so-far-honest nodes.
+    pub honest_multicasts: u64,
+    /// Total bits multicast by so-far-honest nodes (Definition 7).
+    pub honest_multicast_bits: u64,
+    /// Number of unicast messages sent by so-far-honest nodes.
+    pub honest_unicasts: u64,
+    /// Total bits unicast by so-far-honest nodes.
+    pub honest_unicast_bits: u64,
+    /// Messages sent by corrupt nodes (multicasts and unicasts).
+    pub corrupt_sends: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Adaptive corruptions performed.
+    pub corruptions: u64,
+    /// After-the-fact removals performed (strongly adaptive only).
+    pub removals: u64,
+}
+
+impl Metrics {
+    /// Classical pairwise message count (Definition 6) for an `n`-node run:
+    /// each honest multicast fans out to `n` recipients.
+    pub fn classical_messages(&self, n: usize) -> u64 {
+        self.honest_multicasts * n as u64 + self.honest_unicasts
+    }
+
+    /// Classical pairwise bit count for an `n`-node run.
+    pub fn classical_bits(&self, n: usize) -> u64 {
+        self.honest_multicast_bits * n as u64 + self.honest_unicast_bits
+    }
+
+    /// Total honest sends (multicast ops + unicasts).
+    pub fn honest_sends(&self) -> u64 {
+        self.honest_multicasts + self.honest_unicasts
+    }
+
+    /// Merges another run's counters into this one (for aggregating sweeps).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.honest_multicasts += other.honest_multicasts;
+        self.honest_multicast_bits += other.honest_multicast_bits;
+        self.honest_unicasts += other.honest_unicasts;
+        self.honest_unicast_bits += other.honest_unicast_bits;
+        self.corrupt_sends += other.corrupt_sends;
+        self.rounds += other.rounds;
+        self.corruptions += other.corruptions;
+        self.removals += other.removals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_complexity_fans_out_multicasts() {
+        let m = Metrics {
+            honest_multicasts: 3,
+            honest_multicast_bits: 300,
+            honest_unicasts: 5,
+            honest_unicast_bits: 50,
+            ..Metrics::default()
+        };
+        assert_eq!(m.classical_messages(10), 35);
+        assert_eq!(m.classical_bits(10), 3050);
+        assert_eq!(m.honest_sends(), 8);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Metrics { honest_multicasts: 1, rounds: 2, ..Metrics::default() };
+        let b = Metrics { honest_multicasts: 4, removals: 7, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.honest_multicasts, 5);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.removals, 7);
+    }
+}

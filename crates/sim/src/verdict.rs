@@ -1,0 +1,196 @@
+//! Security-property evaluation: consistency, validity, termination
+//! (Appendix A.2 of the paper).
+
+use crate::engine::RunReport;
+use crate::ids::{Bit, NodeId};
+
+/// Which problem variant a run solved, determining the validity rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Problem {
+    /// Agreement version: every node has an input; validity binds only when
+    /// all honest inputs agree.
+    Agreement,
+    /// Broadcast version: a designated sender propagates its input; validity
+    /// binds only when the sender is forever-honest.
+    Broadcast {
+        /// The designated sender.
+        sender: NodeId,
+    },
+}
+
+/// The verdict on one execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// All forever-honest outputs equal (vacuously true with < 2 of them).
+    pub consistent: bool,
+    /// The variant-specific validity property held (vacuously true when its
+    /// precondition does not).
+    pub valid: bool,
+    /// Every forever-honest node halted with an output.
+    pub terminated: bool,
+}
+
+impl Verdict {
+    /// True when all three properties hold.
+    pub fn all_ok(&self) -> bool {
+        self.consistent && self.valid && self.terminated
+    }
+}
+
+/// Evaluates the paper's three security properties over a finished run.
+///
+/// Only *forever-honest* nodes are inspected — the definitions quantify over
+/// nodes that remain honest to the end of the execution.
+pub fn evaluate(problem: Problem, report: &RunReport) -> Verdict {
+    let honest: Vec<NodeId> = report.forever_honest().collect();
+    let outputs: Vec<Option<Bit>> =
+        honest.iter().map(|i| report.outputs[i.index()]).collect();
+
+    let terminated = honest
+        .iter()
+        .all(|i| report.halted[i.index()] && report.outputs[i.index()].is_some());
+
+    let decided: Vec<Bit> = outputs.iter().flatten().copied().collect();
+    let consistent = decided.windows(2).all(|w| w[0] == w[1]);
+
+    let valid = match problem {
+        Problem::Agreement => {
+            let honest_inputs: Vec<Bit> =
+                honest.iter().map(|i| report.inputs[i.index()]).collect();
+            let unanimous = honest_inputs.windows(2).all(|w| w[0] == w[1]);
+            if unanimous && !honest_inputs.is_empty() {
+                let b = honest_inputs[0];
+                outputs.iter().all(|o| *o == Some(b))
+            } else {
+                true // validity binds only under unanimous honest inputs
+            }
+        }
+        Problem::Broadcast { sender } => {
+            if report.corrupt_at[sender.index()].is_none() {
+                let b = report.inputs[sender.index()];
+                outputs.iter().all(|o| *o == Some(b))
+            } else {
+                true // validity binds only for a forever-honest sender
+            }
+        }
+    };
+
+    Verdict { consistent, valid, terminated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Round;
+    use crate::metrics::Metrics;
+
+    fn report(
+        inputs: Vec<Bit>,
+        outputs: Vec<Option<Bit>>,
+        corrupt: Vec<Option<Round>>,
+    ) -> RunReport {
+        let n = inputs.len();
+        RunReport {
+            halted: outputs.iter().map(|o| o.is_some()).collect(),
+            output_rounds: vec![None; n],
+            outputs,
+            corrupt_at: corrupt,
+            metrics: Metrics::default(),
+            rounds_used: 1,
+            inputs,
+        }
+    }
+
+    #[test]
+    fn unanimous_agreement_all_ok() {
+        let r = report(
+            vec![true, true, true],
+            vec![Some(true), Some(true), Some(true)],
+            vec![None, None, None],
+        );
+        let v = evaluate(Problem::Agreement, &r);
+        assert!(v.all_ok());
+    }
+
+    #[test]
+    fn split_outputs_violate_consistency() {
+        let r = report(
+            vec![true, true, true],
+            vec![Some(true), Some(false), Some(true)],
+            vec![None, None, None],
+        );
+        let v = evaluate(Problem::Agreement, &r);
+        assert!(!v.consistent);
+        assert!(!v.valid); // unanimous inputs were true
+    }
+
+    #[test]
+    fn validity_vacuous_on_mixed_inputs() {
+        let r = report(
+            vec![true, false, true],
+            vec![Some(false), Some(false), Some(false)],
+            vec![None, None, None],
+        );
+        let v = evaluate(Problem::Agreement, &r);
+        assert!(v.consistent);
+        assert!(v.valid, "mixed inputs make validity vacuous");
+    }
+
+    #[test]
+    fn corrupt_nodes_ignored() {
+        // Node 1 corrupt and "output" garbage — only honest outputs matter.
+        let r = report(
+            vec![true, true, true],
+            vec![Some(true), Some(false), Some(true)],
+            vec![None, Some(Round(0)), None],
+        );
+        let v = evaluate(Problem::Agreement, &r);
+        assert!(v.consistent);
+        assert!(v.valid);
+    }
+
+    #[test]
+    fn broadcast_validity_tracks_sender() {
+        // Honest sender with input true; everyone must output true.
+        let r = report(
+            vec![true, false, false],
+            vec![Some(true), Some(true), Some(true)],
+            vec![None, None, None],
+        );
+        let v = evaluate(Problem::Broadcast { sender: NodeId(0) }, &r);
+        assert!(v.all_ok());
+
+        // Wrong output violates broadcast validity even though consistent.
+        let r = report(
+            vec![true, false, false],
+            vec![Some(false), Some(false), Some(false)],
+            vec![None, None, None],
+        );
+        let v = evaluate(Problem::Broadcast { sender: NodeId(0) }, &r);
+        assert!(v.consistent);
+        assert!(!v.valid);
+
+        // Corrupt sender: validity vacuous, consistency still required.
+        let r = report(
+            vec![true, false, false],
+            vec![Some(false), Some(false), Some(false)],
+            vec![Some(Round(0)), None, None],
+        );
+        let v = evaluate(Problem::Broadcast { sender: NodeId(0) }, &r);
+        assert!(v.valid);
+        assert!(v.consistent);
+    }
+
+    #[test]
+    fn missing_output_is_termination_failure() {
+        let r = report(
+            vec![true, true],
+            vec![Some(true), None],
+            vec![None, None],
+        );
+        let v = evaluate(Problem::Agreement, &r);
+        assert!(!v.terminated);
+        // Consistency judged over decided outputs only.
+        assert!(v.consistent);
+    }
+}

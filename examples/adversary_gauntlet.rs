@@ -1,0 +1,126 @@
+//! Runs the paper's protocols through the full adversary gauntlet and
+//! prints which (protocol, adversary, model) combinations hold — a live
+//! rendition of the paper's security claims and their boundaries.
+//!
+//! ```sh
+//! cargo run -p ba-repro --example adversary_gauntlet
+//! ```
+
+use std::sync::Arc;
+
+use ba_repro::prelude::*;
+
+fn cell(verdict: Verdict) -> &'static str {
+    if verdict.all_ok() {
+        "holds"
+    } else if !verdict.consistent {
+        "CONSISTENCY BROKEN"
+    } else if !verdict.valid {
+        "VALIDITY BROKEN"
+    } else {
+        "NO TERMINATION"
+    }
+}
+
+fn main() {
+    let n = 240;
+    let lambda = 18.0;
+    let seed = 7;
+    println!("== Adversary gauntlet (n = {n}, lambda = {lambda}) ==\n");
+    println!("{:<34} {:<26} {}", "protocol", "adversary", "verdict");
+    println!("{}", "-".repeat(86));
+
+    // 1. subq_half vs passive.
+    {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
+        let (_, v) = ba_repro::iter_run(&cfg, &sim, inputs, Passive);
+        println!("{:<34} {:<26} {}", "subq_half (C.2)", "passive", cell(v));
+    }
+
+    // 2. subq_half vs crash f = n/3.
+    {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let f = n / 3;
+        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+        let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 0 };
+        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![true; n], adversary);
+        println!("{:<34} {:<26} {}", "subq_half (C.2)", "crash f=n/3", cell(v));
+    }
+
+    // 3. subq_half vs cert forger below and above the threshold.
+    for (label, f) in [("forger f=0.3n", 3 * n / 10), ("forger f=0.7n", 7 * n / 10)] {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let adversary = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
+        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![false; n], adversary);
+        println!("{:<34} {:<26} {}", "subq_half (C.2)", label, cell(v));
+    }
+
+    // 4. subq_half vs the strongly adaptive committee eraser (Theorem 1).
+    {
+        let big_n = 400;
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(big_n, 16.0)));
+        let mut cfg = IterConfig::subq_half(big_n, elig);
+        cfg.max_iters = 6;
+        let sim = SimConfig::new(big_n, 190, CorruptionModel::StronglyAdaptive, seed);
+        let inputs: Vec<Bit> = (0..big_n).map(|i| i % 2 == 0).collect();
+        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
+        let (_, v) = ba_repro::iter_run(&cfg, &sim, inputs, adversary);
+        println!(
+            "{:<34} {:<26} {}",
+            "subq_half (C.2, n=400)", "eraser (strongly adaptive)", cell(v)
+        );
+    }
+
+    // 5. quadratic_half vs the same eraser: survives.
+    {
+        let qn = 13;
+        let kc = Arc::new(Keychain::from_seed(seed, qn, SigMode::Ideal));
+        let cfg = IterConfig::quadratic_half(qn, kc, seed);
+        let sim = SimConfig::new(qn, 6, CorruptionModel::StronglyAdaptive, seed);
+        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![true; qn], CommitteeEraser::new());
+        println!(
+            "{:<34} {:<26} {}",
+            "quadratic_half (C.1, n=13)", "eraser (strongly adaptive)", cell(v)
+        );
+    }
+
+    // 6. The epoch family vs the vote flipper (the §3.3 Remark).
+    let inputs: Vec<Bit> = (0..n).map(|i| i < n / 2).collect();
+    {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let cfg = EpochConfig::subq_third(n, 8, elig);
+        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
+        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
+        println!("{:<34} {:<26} {}", "subq_third (bit-specific)", "vote flipper", cell(v));
+    }
+    {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let cfg = EpochConfig::subq_shared(n, 8, elig, kc);
+        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
+        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
+        println!("{:<34} {:<26} {}", "subq_shared (ablation)", "vote flipper", cell(v));
+    }
+    for erasure in [true, false] {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+        let fs = Arc::new(FsService::from_seed(seed, n, 9));
+        let cfg = EpochConfig::chen_micali(n, 8, elig, fs, erasure);
+        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
+        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
+        let name = if erasure { "chen_micali + erasure" } else { "chen_micali, no erasure" };
+        println!("{:<34} {:<26} {}", name, "vote flipper", cell(v));
+    }
+
+    println!("\nReading: the paper's constructions hold everywhere except under the");
+    println!("strongly adaptive eraser (Theorem 1 says that is unavoidable) and past");
+    println!("the resilience threshold; the ablations break exactly where predicted.");
+}

@@ -1,0 +1,39 @@
+//! Executes both lower-bound constructions and narrates what they show.
+//!
+//! ```sh
+//! cargo run -p ba-repro --example lower_bounds
+//! ```
+
+use ba_repro::lowerbound::{theorem3, theorem4};
+
+fn main() {
+    println!("== Lower bound 1 (Theorems 1/4): Omega(f^2) under strong adaptivity ==\n");
+    println!("Dolev-Reischuk pair vs. a relay-broadcast family (n=80, f=40, 20 seeds).");
+    println!("fanout | msgs   | isolated p | violations");
+    for fanout in [0usize, 2, 8, 32, 64] {
+        let cell = theorem4::run_cell(80, 40, fanout, 20);
+        println!(
+            "{:>6} | {:>6.0} | {:>10.2} | {:>10.2}",
+            fanout, cell.mean_messages, cell.isolation_rate, cell.violation_rate
+        );
+    }
+    println!("\nLow-budget protocols are broken (p isolated, outputs split); only after");
+    println!("the message count grows toward Theta(f^2) does the attack stop working.\n");
+
+    println!("== Lower bound 2 (Theorem 3): setup is necessary ==\n");
+    let rep = theorem3::run_experiment(50, 6);
+    println!("Merged execution (input 0) Q --- 1 --- Q' (input 1), candidate without PKI:");
+    println!("  Q   outputs 0 everywhere: {}", rep.q_valid);
+    println!("  Q'  outputs 1 everywhere: {}", rep.q_prime_valid);
+    println!("  node 1 outputs:           {:?}", rep.node1_output.map(|b| b as u8));
+    println!("  inconsistent with Q:      {}", rep.node1_inconsistent_with_q);
+    println!("  inconsistent with Q':     {}", rep.node1_inconsistent_with_q_prime);
+    println!(
+        "  adaptive corruptions the honest-1 interpretation needs: {} (of n = 50)",
+        rep.corruptions_needed
+    );
+    assert!(rep.contradiction_established());
+    println!("\nWhatever node 1 answers, one interpretation convicts the protocol:");
+    println!("sublinear-multicast BA without setup cannot tolerate as many adaptive");
+    println!("corruptions as it has speakers.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run the paper's headline protocol (Appendix C.2 — Theorem 2)
+//! once and inspect what happened.
+//!
+//! ```sh
+//! cargo run -p ba-repro --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ba_repro::prelude::*;
+
+fn main() {
+    // 100 nodes, expected committee size lambda = 24, no corruption.
+    let n = 100;
+    let lambda = 24.0;
+    let seed = 2026;
+
+    // Trusted setup: the F_mine eligibility functionality (Figure 1). Swap
+    // in `RealMine::from_seed` for the real-world VRF compiler of App. D.
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
+    let cfg = IterConfig::subq_half(n, elig);
+
+    // The environment hands every node an input bit (here: a split vote).
+    let inputs: Vec<Bit> = (0..n).map(|i| i % 3 == 0).collect();
+    let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+
+    let (report, verdict) = ba_repro::iter_run(&cfg, &sim, inputs, Passive);
+
+    println!("== Byzantine Agreement, Revisited: quickstart ==");
+    println!("n = {n}, lambda = {lambda}, quorum = {}", cfg.quorum);
+    println!();
+    println!("consistent: {}", verdict.consistent);
+    println!("valid:      {}", verdict.valid);
+    println!("terminated: {}", verdict.terminated);
+    let decided: Vec<u8> =
+        report.outputs.iter().map(|o| o.map(|b| b as u8).unwrap_or(9)).collect();
+    println!("decision:   {} (all nodes)", decided[0]);
+    assert!(decided.iter().all(|&d| d == decided[0]));
+    println!();
+    println!("rounds used:        {}", report.rounds_used);
+    println!(
+        "honest multicasts:  {} (a full-participation protocol would need ~{})",
+        report.metrics.honest_multicasts,
+        n as u64 * report.rounds_used
+    );
+    println!("multicast kbits:    {}", report.metrics.honest_multicast_bits / 1000);
+    println!("classical messages: {}", report.metrics.classical_messages(n));
+}

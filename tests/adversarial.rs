@@ -1,0 +1,209 @@
+//! Cross-crate adversarial matrix: every protocol against every applicable
+//! adversary, asserting the security boundary the paper draws.
+
+use std::sync::Arc;
+
+use ba_repro::prelude::*;
+
+const N: usize = 240;
+const LAMBDA: f64 = 18.0;
+
+fn mixed_inputs(n: usize) -> Vec<Bit> {
+    (0..n).map(|i| i < n / 2).collect()
+}
+
+#[test]
+fn matrix_vote_flipper_vs_all_epoch_regimes() {
+    // (regime name, config builder, expected-to-hold)
+    let seeds = 0..5u64;
+    let mut outcomes: Vec<(&str, u32, u32)> = Vec::new();
+
+    let regimes: Vec<(&str, bool)> = vec![
+        ("bit_specific", true),
+        ("shared", false),
+        ("chen_micali_erasure", true),
+        ("chen_micali_no_erasure", false),
+    ];
+    for (name, expected_hold) in regimes {
+        let mut held = 0u32;
+        let mut broken = 0u32;
+        for seed in seeds.clone() {
+            let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
+            let cfg = match name {
+                "bit_specific" => EpochConfig::subq_third(N, 8, elig),
+                "shared" => {
+                    let kc = Arc::new(Keychain::from_seed(seed, N, SigMode::Ideal));
+                    EpochConfig::subq_shared(N, 8, elig, kc)
+                }
+                "chen_micali_erasure" | "chen_micali_no_erasure" => {
+                    let fs = Arc::new(FsService::from_seed(seed, N, 9));
+                    EpochConfig::chen_micali(N, 8, elig, fs, name == "chen_micali_erasure")
+                }
+                _ => unreachable!(),
+            };
+            let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
+            let sim = SimConfig::new(N, N / 3, CorruptionModel::Adaptive, seed);
+            let (_r, v) = ba_repro::epoch_run(&cfg, &sim, mixed_inputs(N), adversary);
+            if v.consistent {
+                held += 1;
+            } else {
+                broken += 1;
+            }
+        }
+        outcomes.push((name, held, broken));
+        if expected_hold {
+            assert!(held >= 4, "{name}: held only {held}/5 runs");
+        } else {
+            assert!(broken >= 4, "{name}: broke only {broken}/5 runs");
+        }
+    }
+}
+
+#[test]
+fn strongly_adaptive_eraser_boundary() {
+    // Strong adaptivity defeats subquadratic; plain adaptivity does not.
+    let n = 400;
+    let seed = 3;
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
+    let mut cfg = IterConfig::subq_half(n, elig);
+    cfg.max_iters = 6;
+    let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
+    let sim = SimConfig::new(n, 190, CorruptionModel::StronglyAdaptive, seed);
+    let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
+    assert!(!v.all_ok(), "strongly adaptive eraser must win: {v:?}");
+
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
+    let cfg2 = IterConfig::subq_half(n, elig);
+    let adversary = CommitteeEraser::starve_quorum(cfg2.quorum);
+    let sim = SimConfig::new(n, 190, CorruptionModel::Adaptive, seed);
+    let (r, v) = ba_repro::iter_run(&cfg2, &sim, mixed_inputs(n), adversary);
+    assert!(v.all_ok(), "adaptive (no removal) eraser must lose: {v:?}");
+    assert_eq!(r.metrics.removals, 0);
+}
+
+#[test]
+fn forger_threshold_brackets_one_half() {
+    let n = 200;
+    let mut below = 0;
+    let mut above = 0;
+    for seed in 0..5 {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 24.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let adv = CertForger::new(n, n / 4, true, cfg.quorum, cfg.auth.clone());
+        let sim = SimConfig::new(n, n / 4, CorruptionModel::Static, seed);
+        let (_r, v) = ba_repro::iter_run(&cfg, &sim, vec![false; n], adv);
+        if !v.all_ok() {
+            below += 1;
+        }
+
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 24.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let adv = CertForger::new(n, 7 * n / 10, true, cfg.quorum, cfg.auth.clone());
+        let sim = SimConfig::new(n, 7 * n / 10, CorruptionModel::Static, seed);
+        let (_r, v) = ba_repro::iter_run(&cfg, &sim, vec![false; n], adv);
+        if !v.all_ok() {
+            above += 1;
+        }
+    }
+    assert!(below <= 1, "forgeries below threshold: {below}/5");
+    assert!(above >= 4, "forgeries above threshold: {above}/5");
+}
+
+#[test]
+fn byzantine_equivocating_leader_cannot_break_safety() {
+    // A corrupt node that wins propose eligibility for both bits equivocates
+    // via unicasts; safety must still hold (the vote rule abstains on
+    // conflicting proposals, and commit needs zero opposing votes).
+    struct EquivocatingProposers {
+        auth: Auth,
+        f: usize,
+        n: usize,
+    }
+    impl Adversary<IterMsg> for EquivocatingProposers {
+        fn setup(&mut self, ctx: &mut ba_repro::sim::AdvCtx<'_, IterMsg>) {
+            for i in self.n - self.f..self.n {
+                ctx.corrupt(NodeId(i)).unwrap();
+            }
+        }
+        fn intervene(&mut self, ctx: &mut ba_repro::sim::AdvCtx<'_, IterMsg>) {
+            // At each propose round, every corrupt node that can mine a
+            // proposal for either bit sends conflicting proposals to the two
+            // halves of the network.
+            let round = ctx.round().0;
+            if round < 3 || (round - 3) % 4 != 0 {
+                return;
+            }
+            let iter = 2 + (round - 2) / 4;
+            for i in self.n - self.f..self.n {
+                for bit in [false, true] {
+                    let tag = MineTag::new(MsgKind::Propose, iter, bit);
+                    if let Some(ev) = self.auth.attest(NodeId(i), &tag) {
+                        let msg = IterMsg::Propose { iter, bit, cert: None, ev };
+                        for target in 0..self.n - self.f {
+                            if (target % 2 == 0) == bit {
+                                ctx.inject(
+                                    NodeId(i),
+                                    ba_repro::sim::Recipient::One(NodeId(target)),
+                                    msg.clone(),
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let n = 160;
+    for seed in 0..5 {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let adversary =
+            EquivocatingProposers { auth: cfg.auth.clone(), f: n / 3, n };
+        let sim = SimConfig::new(n, n / 3, CorruptionModel::Static, seed);
+        let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
+        assert!(v.consistent, "seed={seed}: equivocation broke consistency: {v:?}");
+    }
+}
+
+#[test]
+fn invalid_evidence_is_ignored_by_honest_nodes() {
+    // A corrupt node spams votes with garbage tickets; the protocol must be
+    // unaffected.
+    struct GarbageSpammer {
+        n: usize,
+    }
+    impl Adversary<IterMsg> for GarbageSpammer {
+        fn setup(&mut self, ctx: &mut ba_repro::sim::AdvCtx<'_, IterMsg>) {
+            ctx.corrupt(NodeId(self.n - 1)).unwrap();
+        }
+        fn intervene(&mut self, ctx: &mut ba_repro::sim::AdvCtx<'_, IterMsg>) {
+            let round = ctx.round().0;
+            if round > 6 {
+                return;
+            }
+            // Ideal tickets not registered with F_mine: verify() = false.
+            for iter in 1..3u64 {
+                for bit in [false, true] {
+                    let msg = IterMsg::Vote {
+                        iter,
+                        bit,
+                        just: None,
+                        ev: ba_repro::core::auth::Evidence::Ticket(Ticket::Ideal),
+                    };
+                    ctx.inject(NodeId(self.n - 1), ba_repro::sim::Recipient::All, msg)
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    let n = 100;
+    let seed = 5;
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
+    let cfg = IterConfig::subq_half(n, elig);
+    let sim = SimConfig::new(n, 1, CorruptionModel::Static, seed);
+    let (_r, v) = ba_repro::iter_run(&cfg, &sim, vec![true; n], GarbageSpammer { n });
+    assert!(v.all_ok(), "garbage evidence must not affect the run: {v:?}");
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: full protocol stacks under honest and
+//! benign-fault executions, across both eligibility backends.
+
+use std::sync::Arc;
+
+use ba_repro::prelude::*;
+
+fn mixed_inputs(n: usize) -> Vec<Bit> {
+    (0..n).map(|i| i % 2 == 0).collect()
+}
+
+#[test]
+fn all_four_ba_protocols_agree_on_unanimous_inputs() {
+    let n = 90;
+    let seed = 11;
+    for bit in [false, true] {
+        // subq_half
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+        let (r, v) = ba_repro::iter_run(&cfg, &sim, vec![bit; n], Passive);
+        assert!(v.all_ok(), "subq_half bit={bit}: {v:?}");
+        assert!(r.outputs.iter().all(|o| *o == Some(bit)));
+
+        // quadratic_half
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let cfg = IterConfig::quadratic_half(n, kc, seed);
+        let (r, v) = ba_repro::iter_run(&cfg, &sim, vec![bit; n], Passive);
+        assert!(v.all_ok(), "quadratic bit={bit}: {v:?}");
+        assert!(r.outputs.iter().all(|o| *o == Some(bit)));
+
+        // subq_third
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
+        let cfg = EpochConfig::subq_third(n, 8, elig);
+        let (r, v) = ba_repro::epoch_run(&cfg, &sim, vec![bit; n], Passive);
+        assert!(v.all_ok(), "subq_third bit={bit}: {v:?}");
+        assert!(r.outputs.iter().all(|o| *o == Some(bit)));
+
+        // warmup_third
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let cfg = EpochConfig::warmup_third(n, 8, kc);
+        let (r, v) = ba_repro::epoch_run(&cfg, &sim, vec![bit; n], Passive);
+        assert!(v.all_ok(), "warmup bit={bit}: {v:?}");
+        assert!(r.outputs.iter().all(|o| *o == Some(bit)));
+    }
+}
+
+#[test]
+fn subq_half_handles_every_input_split() {
+    let n = 80;
+    for ones in [0usize, 1, n / 4, n / 2, 3 * n / 4, n - 1, n] {
+        let seed = 100 + ones as u64;
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 22.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+        let inputs: Vec<Bit> = (0..n).map(|i| i < ones).collect();
+        let (_r, v) = ba_repro::iter_run(&cfg, &sim, inputs, Passive);
+        assert!(v.all_ok(), "ones={ones}: {v:?}");
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_run() {
+    let n = 60;
+    let run = |seed: u64| {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+        let (r, _) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), Passive);
+        (r.outputs.clone(), r.rounds_used, r.metrics.honest_multicasts)
+    };
+    assert_eq!(run(5), run(5));
+    // Different seeds should (almost surely) differ in communication trace.
+    let a = run(5);
+    let b = run(6);
+    assert!(a.1 != b.1 || a.2 != b.2 || a.0 != b.0, "two seeds produced identical traces");
+}
+
+#[test]
+fn broadcast_wrapper_over_subquadratic_ba() {
+    let n = 70;
+    let seed = 21;
+    for bit in [false, true] {
+        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+        let (report, verdict) =
+            broadcast::run_iter_bb(&cfg, kc, &sim, NodeId(0), bit, Passive);
+        assert!(verdict.all_ok(), "bit={bit}: {verdict:?}");
+        assert!(report.outputs.iter().all(|o| *o == Some(bit)));
+    }
+}
+
+#[test]
+fn dolev_strong_baseline_end_to_end() {
+    let n = 15;
+    for f in [0usize, 3, 7] {
+        let cfg = DsConfig {
+            n,
+            f,
+            sender: NodeId(0),
+            keychain: Arc::new(Keychain::from_seed(f as u64, n, SigMode::Ideal)),
+        };
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, 9);
+        let (report, verdict) = dolev_strong::run(&cfg, &sim, true, Passive);
+        assert!(verdict.all_ok(), "f={f}: {verdict:?}");
+        assert_eq!(report.rounds_used, f as u64 + 2, "f+1 protocol rounds + sender round");
+    }
+}
+
+#[test]
+fn crash_faults_tolerated_up_to_design_margin() {
+    let n = 120;
+    let seed = 31;
+    // subq_half tolerates (1/2 - eps)n; crash a third.
+    let f = n / 3;
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 24.0)));
+    let cfg = IterConfig::subq_half(n, elig);
+    let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+    let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 0 };
+    let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
+    assert!(v.all_ok(), "{v:?}");
+}
+
+#[test]
+fn omission_faults_tolerated() {
+    let n = 120;
+    let seed = 33;
+    let f = n / 4;
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 24.0)));
+    let cfg = IterConfig::subq_half(n, elig);
+    let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
+    let adversary =
+        Omission { nodes: (n - f..n).map(NodeId).collect(), drop_permille: 700 };
+    let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
+    assert!(v.all_ok(), "{v:?}");
+}
+
+#[test]
+fn outputs_recorded_with_rounds() {
+    let n = 50;
+    let seed = 41;
+    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
+    let cfg = IterConfig::subq_half(n, elig);
+    let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
+    let (report, verdict) = ba_repro::iter_run(&cfg, &sim, vec![true; n], Passive);
+    assert!(verdict.all_ok());
+    for i in 0..n {
+        assert!(report.output_rounds[i].is_some(), "node {i} must have an output round");
+        assert!(report.output_rounds[i].unwrap().0 < report.rounds_used);
+    }
+}

@@ -1,0 +1,62 @@
+//! Integration tests for the two lower-bound harnesses: the quantitative
+//! shape of Theorems 1/4 and 3 must hold across parameter settings.
+
+use ba_repro::lowerbound::{theorem3, theorem4};
+
+#[test]
+fn theorem4_violation_collapses_with_message_budget() {
+    // As the message budget (fanout) grows, the attack's success must fall
+    // monotonically-ish from ~1 to ~0.
+    let (n, f, seeds) = (60, 30, 15);
+    let low = theorem4::run_cell(n, f, 0, seeds);
+    let mid = theorem4::run_cell(n, f, 8, seeds);
+    let high = theorem4::run_cell(n, f, 60, seeds);
+    assert!(low.violation_rate > 0.85, "low budget must break: {}", low.violation_rate);
+    assert!(
+        high.violation_rate < 0.25,
+        "high budget must survive: {}",
+        high.violation_rate
+    );
+    assert!(low.mean_messages < mid.mean_messages);
+    assert!(mid.mean_messages < high.mean_messages);
+}
+
+#[test]
+fn theorem4_messages_scale_with_fanout() {
+    let row = theorem4::run_cell(60, 20, 4, 5);
+    // n-1 sender messages + ~4 per responsive node.
+    assert!(row.mean_messages > 59.0);
+    assert!(row.mean_messages < 60.0 + 60.0 * 6.0);
+}
+
+#[test]
+fn theorem4_isolation_implies_violation() {
+    // Whenever p is fully isolated, the run must be a violation (p outputs
+    // the default 1 against everyone else's 0).
+    let row = theorem4::run_cell(60, 30, 0, 20);
+    assert!(row.violation_rate >= row.isolation_rate - f64::EPSILON);
+}
+
+#[test]
+fn theorem3_contradiction_across_sizes() {
+    for (n, committee) in [(10usize, 2usize), (30, 4), (80, 8), (150, 10)] {
+        let rep = theorem3::run_experiment(n, committee);
+        assert!(rep.q_valid, "n={n}: Q validity");
+        assert!(rep.q_prime_valid, "n={n}: Q' validity");
+        assert!(rep.contradiction_established(), "n={n}: contradiction");
+        // The adaptive simulation needs only the speakers.
+        assert!(
+            rep.corruptions_needed <= committee + 1,
+            "n={n}: corruptions {} > speakers {}",
+            rep.corruptions_needed,
+            committee + 1
+        );
+    }
+}
+
+#[test]
+fn theorem3_corruptions_sublinear_in_n() {
+    let n = 300;
+    let rep = theorem3::run_experiment(n, 8);
+    assert!(rep.corruptions_needed * 10 < n, "the attack must be sublinear");
+}
