@@ -222,8 +222,7 @@ mod tests {
         let seed = 2;
         let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
         let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let adv =
-            CertForger::new(n, 5, true, cfg.quorum, cfg.auth.clone()).with_split_delivery();
+        let adv = CertForger::new(n, 5, true, cfg.quorum, cfg.auth.clone()).with_split_delivery();
         let sim = SimConfig::new(n, 5, CorruptionModel::Static, seed);
         let (report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
         // The Terminate relay gadget heals the split: the targeted nodes

@@ -46,11 +46,8 @@ impl CommitteeEraser {
 
 impl<M: Message> Adversary<M> for CommitteeEraser {
     fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
-        let pending: Vec<(MsgId, NodeId, bool, bool)> = ctx
-            .pending()
-            .iter()
-            .map(|e| (e.id, e.from, e.removed, e.honest_send))
-            .collect();
+        let pending: Vec<(MsgId, NodeId, bool, bool)> =
+            ctx.pending().iter().map(|e| (e.id, e.from, e.removed, e.honest_send)).collect();
         let mut kept = 0usize;
         for (id, from, removed, honest_send) in pending {
             if removed {

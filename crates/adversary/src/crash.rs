@@ -85,8 +85,8 @@ impl<M: Message> Adversary<M> for Omission {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{CorruptionModel, Sim, SimConfig};
     use ba_sim::{Bit, Incoming, Outbox, Protocol};
+    use ba_sim::{CorruptionModel, Sim, SimConfig};
 
     #[derive(Clone, Debug, PartialEq)]
     struct Beep;
@@ -151,10 +151,7 @@ mod tests {
     fn omission_is_deterministic() {
         let o = Omission { nodes: vec![], drop_permille: 500 };
         for idx in 0..20 {
-            assert_eq!(
-                o.drops(NodeId(3), Round(7), idx),
-                o.drops(NodeId(3), Round(7), idx)
-            );
+            assert_eq!(o.drops(NodeId(3), Round(7), idx), o.drops(NodeId(3), Round(7), idx));
         }
     }
 }

@@ -35,9 +35,10 @@ pub fn forge_flipped(
             elig.mine(node, flip_tag).map(Evidence::Ticket)
         }
         // Shared committee: the stolen ticket is bit-agnostic; re-sign.
-        (Auth::Mined { bit_specific: false, keychain: Some(kc), .. }, Evidence::TicketSig(t, _)) => {
-            Some(Evidence::TicketSig(*t, kc.sign(node, &flip_tag.to_bytes())))
-        }
+        (
+            Auth::Mined { bit_specific: false, keychain: Some(kc), .. },
+            Evidence::TicketSig(t, _),
+        ) => Some(Evidence::TicketSig(*t, kc.sign(node, &flip_tag.to_bytes()))),
         // Chen–Micali: works iff the slot key was not erased.
         (Auth::FsMined { fs, .. }, Evidence::FsTicketSig(t, _)) => {
             let slot = flip_tag.iter.unwrap_or(0) as usize;
@@ -95,9 +96,7 @@ impl VoteFlipper {
                     .ok()
                     .map(|s| Evidence::FsTicketSig(ticket, Box::new(s)))
             }
-            Auth::Signed { keychain } => {
-                Some(Evidence::Sig(keychain.sign(node, &tag.to_bytes())))
-            }
+            Auth::Signed { keychain } => Some(Evidence::Sig(keychain.sign(node, &tag.to_bytes()))),
             _ => None,
         }
     }
@@ -116,7 +115,7 @@ impl Adversary<EpochMsg> for VoteFlipper {
             if !e.honest_send {
                 continue;
             }
-            if let EpochMsg::Ack { epoch: ep, bit, ev } = &e.msg {
+            if let EpochMsg::Ack { epoch: ep, bit, ev } = &*e.msg {
                 epoch = Some(*ep);
                 ackers[*bit as usize].push((e.from, ev.clone()));
             }
@@ -131,8 +130,7 @@ impl Adversary<EpochMsg> for VoteFlipper {
                 continue;
             }
             let flip_tag = MineTag::new(MsgKind::Ack, epoch, target);
-            let donors: Vec<(NodeId, Evidence)> =
-                ackers[(!target) as usize].iter().cloned().collect();
+            let donors: Vec<(NodeId, Evidence)> = ackers[(!target) as usize].to_vec();
             for (node, observed) in donors {
                 if needed == 0 || (ctx.budget_left() == 0 && !ctx.is_corrupt(node)) {
                     break;
@@ -142,12 +140,8 @@ impl Adversary<EpochMsg> for VoteFlipper {
                 }
                 match forge_flipped(&self.auth, node, &flip_tag, &observed) {
                     Some(ev) => {
-                        ctx.inject(
-                            node,
-                            Recipient::All,
-                            EpochMsg::Ack { epoch, bit: target, ev },
-                        )
-                        .expect("node is corrupt");
+                        ctx.inject(node, Recipient::All, EpochMsg::Ack { epoch, bit: target, ev })
+                            .expect("node is corrupt");
                         self.flips_injected += 1;
                         needed -= 1;
                     }
@@ -160,11 +154,8 @@ impl Adversary<EpochMsg> for VoteFlipper {
             // succeeds only with probability lambda/n, and the victim
             // already erased its slot key during its own step.
             if needed > 0 {
-                let spoke: Vec<NodeId> = ackers[0]
-                    .iter()
-                    .chain(ackers[1].iter())
-                    .map(|(id, _)| *id)
-                    .collect();
+                let spoke: Vec<NodeId> =
+                    ackers[0].iter().chain(ackers[1].iter()).map(|(id, _)| *id).collect();
                 // Pass 1: already-corrupt silent nodes (no budget cost);
                 // pass 2: fresh corruptions.
                 for fresh in [false, true] {

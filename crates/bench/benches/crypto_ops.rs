@@ -22,10 +22,28 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_modpow(c: &mut Criterion) {
     let g = Group::standard();
     let ctx = ModCtx::new(*g.prime());
-    let base = U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff")
-        .unwrap();
+    let base =
+        U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff").unwrap();
     let exp = *g.order();
     c.bench_function("modpow/256bit", |b| b.iter(|| ctx.pow(&base, &exp)));
+    // Fixed-base windowed exponentiation: table build once, then each
+    // exponentiation skips every squaring.
+    let table = ctx.precompute(&base);
+    c.bench_function("modpow/256bit/fixed_base_table", |b| b.iter(|| ctx.pow_fixed(&table, &exp)));
+    c.bench_function("modpow/table_build", |b| b.iter(|| ctx.precompute(&base)));
+    // Straus double exponentiation vs two generic exponentiations.
+    let base2 =
+        U256::from_hex("0123456789abcdef00112233445566778899aabbccddeeffdeadbeefcafebabe").unwrap();
+    let exp2 =
+        U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffff0001").unwrap();
+    c.bench_function("modpow/double/straus", |b| b.iter(|| ctx.pow2(&base, &exp, &base2, &exp2)));
+    c.bench_function("modpow/double/two_generic_pows", |b| {
+        b.iter(|| {
+            let p1 = ctx.pow(&base, &exp);
+            let p2 = ctx.pow(&base2, &exp2);
+            ctx.mul(&p1, &p2)
+        })
+    });
 }
 
 fn bench_schnorr(c: &mut Criterion) {
@@ -38,14 +56,87 @@ fn bench_schnorr(c: &mut Criterion) {
     });
 }
 
+/// The acceptance-criterion comparison: 64 single verifications vs one
+/// batch-of-64 `verify_batch` call over the same signatures.
+fn bench_schnorr_batch(c: &mut Criterion) {
+    use ba_crypto::schnorr::{verify_batch, BatchItem};
+    const N: usize = 64;
+    let keys: Vec<SigningKey> =
+        (0..N).map(|i| SigningKey::from_seed(&(i as u64).to_be_bytes())).collect();
+    let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+    let msgs: Vec<Vec<u8>> =
+        (0..N).map(|i| format!("(Vote, r=7, b={}, node={i})", i % 2).into_bytes()).collect();
+    let sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+    c.bench_function("schnorr/verify_single_x64", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                assert!(vks[i].verify(&msgs[i], &sigs[i]));
+            }
+        })
+    });
+    // The seed's per-signature verification algorithm (membership via the
+    // defining x^q == 1 exponentiation, generic square-and-multiply for
+    // both exponentiations) — the "before" column for CHANGES.md.
+    let g = Group::standard();
+    c.bench_function("schnorr/verify_single_x64_seed_path", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                let sig = &sigs[i];
+                let pk = &vks[i].0;
+                assert!(g.is_valid_element_slow(&sig.r) && g.is_valid_element_slow(pk));
+                let e = g.scalar_from_digest(&ba_crypto::sha256::Sha256::digest_parts(&[
+                    b"schnorr-challenge/v1",
+                    &sig.r.to_bytes(),
+                    &pk.to_bytes(),
+                    &msgs[i],
+                ]));
+                let lhs = g.pow(&g.generator(), &sig.s);
+                let rhs = g.mul(&sig.r, &g.pow(pk, &e));
+                assert!(lhs == rhs);
+            }
+        })
+    });
+    let items: Vec<BatchItem> =
+        (0..N).map(|i| BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] }).collect();
+    c.bench_function("schnorr/verify_batch_64", |b| b.iter(|| assert!(verify_batch(&items))));
+    // With the signers' public keys registered in the fixed-base table
+    // cache (what the PKI does at trusted setup).
+    for vk in &vks {
+        g.ensure_cached_table(&vk.0);
+    }
+    c.bench_function("schnorr/verify_batch_64_cached_pks", |b| {
+        b.iter(|| assert!(verify_batch(&items)))
+    });
+}
+
+/// Batch VRF verification vs per-evaluation verification.
+fn bench_vrf_batch(c: &mut Criterion) {
+    use ba_crypto::vrf::{verify_batch, BatchItem};
+    const N: usize = 64;
+    let keys: Vec<VrfSecretKey> =
+        (0..N).map(|i| VrfSecretKey::from_seed(&(i as u64).to_be_bytes())).collect();
+    let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+    let msgs: Vec<Vec<u8>> =
+        (0..N).map(|i| format!("(ACK, epoch=4, bit={})", i % 2).into_bytes()).collect();
+    let outs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.evaluate(m)).collect();
+    c.bench_function("vrf/verify_single_x64", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                assert!(pks[i].verify(&msgs[i], &outs[i]));
+            }
+        })
+    });
+    let items: Vec<BatchItem> =
+        (0..N).map(|i| BatchItem { key: &pks[i], msg: &msgs[i], out: &outs[i] }).collect();
+    c.bench_function("vrf/verify_batch_64", |b| b.iter(|| assert!(verify_batch(&items))));
+}
+
 fn bench_vrf(c: &mut Criterion) {
     let key = VrfSecretKey::from_seed(b"bench");
     let msg = b"(ACK, epoch=4, bit=1)";
     let out = key.evaluate(msg);
     c.bench_function("vrf/evaluate", |b| b.iter(|| key.evaluate(msg)));
-    c.bench_function("vrf/verify", |b| {
-        b.iter(|| assert!(key.public_key().verify(msg, &out)))
-    });
+    c.bench_function("vrf/verify", |b| b.iter(|| assert!(key.public_key().verify(msg, &out))));
 }
 
 fn bench_dleq(c: &mut Criterion) {
@@ -56,9 +147,7 @@ fn bench_dleq(c: &mut Criterion) {
     let v = g.pow(&h, &sk);
     let proof = dleq::prove(&sk, &h, &v);
     c.bench_function("dleq/prove", |b| b.iter(|| dleq::prove(&sk, &h, &v)));
-    c.bench_function("dleq/verify", |b| {
-        b.iter(|| assert!(dleq::verify(&pk, &h, &v, &proof)))
-    });
+    c.bench_function("dleq/verify", |b| b.iter(|| assert!(dleq::verify(&pk, &h, &v, &proof))));
 }
 
 fn bench_eligibility(c: &mut Criterion) {
@@ -88,6 +177,7 @@ fn bench_eligibility(c: &mut Criterion) {
 criterion_group! {
     name = crypto;
     config = Criterion::default().sample_size(20);
-    targets = bench_sha256, bench_modpow, bench_schnorr, bench_vrf, bench_dleq, bench_eligibility
+    targets = bench_sha256, bench_modpow, bench_schnorr, bench_schnorr_batch, bench_vrf,
+        bench_vrf_batch, bench_dleq, bench_eligibility
 }
 criterion_main!(crypto);

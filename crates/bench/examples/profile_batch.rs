@@ -1,0 +1,78 @@
+//! Quick wall-clock profiler for the Schnorr verification paths: the seed's
+//! per-signature algorithm, the optimized single-verification API, and
+//! batch verification (cold and with cached public-key tables).
+//!
+//! ```sh
+//! cargo run --release -p ba-bench --example profile_batch
+//! ```
+
+use std::time::Instant;
+
+use ba_crypto::group::Group;
+use ba_crypto::schnorr::{verify_batch, BatchItem, SigningKey};
+use ba_crypto::sha256::Sha256;
+
+const N: usize = 64;
+const REPS: usize = 50;
+
+fn timed(label: &str, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+    println!("{label:<42} {us:10.1} µs / round of {N}");
+    us
+}
+
+fn main() {
+    let g = Group::standard();
+    let keys: Vec<SigningKey> =
+        (0..N).map(|i| SigningKey::from_seed(&(i as u64).to_be_bytes())).collect();
+    let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+    let msgs: Vec<Vec<u8>> =
+        (0..N).map(|i| format!("(Vote, r=7, b={}, node={i})", i % 2).into_bytes()).collect();
+    let sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+    let items: Vec<BatchItem> =
+        (0..N).map(|i| BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] }).collect();
+
+    let seed_path = timed("seed-path singles (x^q checks, generic pow)", || {
+        for i in 0..N {
+            let (sig, pk) = (&sigs[i], &vks[i].0);
+            assert!(g.is_valid_element_slow(&sig.r) && g.is_valid_element_slow(pk));
+            let e = g.scalar_from_digest(&Sha256::digest_parts(&[
+                b"schnorr-challenge/v1",
+                &sig.r.to_bytes(),
+                &pk.to_bytes(),
+                &msgs[i],
+            ]));
+            assert!(g.pow(&g.generator(), &sig.s) == g.mul(&sig.r, &g.pow(pk, &e)));
+        }
+    });
+    let single = timed("optimized singles (jacobi + g-table)", || {
+        for i in 0..N {
+            assert!(vks[i].verify(&msgs[i], &sigs[i]));
+        }
+    });
+    let batch_cold = timed("verify_batch (no cached pk tables)", || {
+        assert!(verify_batch(&items));
+    });
+    for vk in &vks {
+        g.ensure_cached_table(&vk.0);
+    }
+    let batch_warm = timed("verify_batch (cached pk tables)", || {
+        assert!(verify_batch(&items));
+    });
+
+    println!();
+    println!(
+        "speedup vs seed path:        singles {:4.1}x, batch {:4.1}x",
+        seed_path / single,
+        seed_path / batch_warm
+    );
+    println!(
+        "batch vs optimized singles:  cold {:4.1}x, warm {:4.1}x",
+        single / batch_cold,
+        single / batch_warm
+    );
+}

@@ -19,7 +19,7 @@ fn good_iteration_rate(n: usize, f: usize, iters: u64, seed: u64) -> (f64, f64) 
         // bit does not matter for the election statistics).
         let mut honest_successes = 0;
         for i in 0..n - f {
-            let bit = (i + r as usize) % 2 == 0;
+            let bit = (i + r as usize).is_multiple_of(2);
             if fmine.mine(NodeId(i), &MineTag::new(MsgKind::Propose, r, bit)).is_some() {
                 honest_successes += 1;
             }

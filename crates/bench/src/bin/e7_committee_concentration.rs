@@ -22,12 +22,12 @@ fn bad_event_rates(n: usize, f: usize, lambda: f64, trials: u64) -> (f64, f64, f
     let eps = 0.5 - f as f64 / n as f64;
     let terminators = ((eps * n as f64) / 2.0).ceil() as usize;
     for t in 0..trials {
-        let fmine = IdealMine::new(t.wrapping_mul(0x9E37).wrapping_add(11), MineParams::new(n, lambda));
+        let fmine =
+            IdealMine::new(t.wrapping_mul(0x9E37).wrapping_add(11), MineParams::new(n, lambda));
         let tag = MineTag::new(MsgKind::Vote, t, true);
         let corrupt_eligible =
             (n - f..n).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
-        let honest_eligible =
-            (0..n - f).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
+        let honest_eligible = (0..n - f).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
         if corrupt_eligible >= quorum {
             corrupt_quorums += 1;
         }
@@ -37,8 +37,7 @@ fn bad_event_rates(n: usize, f: usize, lambda: f64, trials: u64) -> (f64, f64, f
         // Lemma 10: the first `terminators` honest nodes have terminated;
         // does any of them hold a Terminate ticket?
         let term_tag = MineTag::terminate(true);
-        let any = (0..terminators.min(n - f))
-            .any(|i| fmine.mine(NodeId(i), &term_tag).is_some());
+        let any = (0..terminators.min(n - f)).any(|i| fmine.mine(NodeId(i), &term_tag).is_some());
         if !any {
             terminate_mute += 1;
         }
@@ -65,12 +64,7 @@ fn main() {
     ]);
     for lambda in [8.0f64, 16.0, 24.0, 32.0, 48.0, 64.0] {
         let (ci, hs, tm) = bad_event_rates(n, f, lambda, trials);
-        row(&[
-            format!("{lambda:.0}"),
-            format!("{ci:.4}"),
-            format!("{hs:.4}"),
-            format!("{tm:.4}"),
-        ]);
+        row(&[format!("{lambda:.0}"), format!("{ci:.4}"), format!("{hs:.4}"), format!("{tm:.4}")]);
     }
 
     println!("\n## Sensitivity to the corruption fraction (lambda = 32)\n");

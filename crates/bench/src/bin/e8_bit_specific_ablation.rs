@@ -53,11 +53,7 @@ fn violation_rate(mk: impl Fn(u64) -> EpochConfig) -> (f64, f64, f64) {
         flips += fi;
         blocked += fb;
     }
-    (
-        violations as f64 / SEEDS as f64,
-        flips as f64 / SEEDS as f64,
-        blocked as f64 / SEEDS as f64,
-    )
+    (violations as f64 / SEEDS as f64, flips as f64 / SEEDS as f64, blocked as f64 / SEEDS as f64)
 }
 
 fn main() {
@@ -65,12 +61,7 @@ fn main() {
     println!("n = {N}, lambda = {LAMBDA}, R = {EPOCHS} epochs, mixed inputs,");
     println!("adaptive vote-flipping adversary with budget f = n/3\n");
 
-    header(&[
-        "regime",
-        "consistency violations",
-        "mean flips injected",
-        "mean flips blocked",
-    ]);
+    header(&["regime", "consistency violations", "mean flips injected", "mean flips blocked"]);
 
     let (v, fi, fb) = violation_rate(|seed| {
         let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));

@@ -65,8 +65,8 @@ impl Stats {
         let mean = samples.iter().sum::<f64>() / count as f64;
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / (count.max(2) - 1) as f64;
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count.max(2) - 1) as f64;
         Stats { count, mean, min, max, stddev: var.sqrt() }
     }
 }

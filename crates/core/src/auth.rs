@@ -173,9 +173,7 @@ impl Auth {
             }
             Auth::Mined { elig, bit_specific: false, keychain } => {
                 let ticket = elig.mine(node, &tag.sharedized())?;
-                let kc = keychain
-                    .as_ref()
-                    .expect("shared-committee mode requires a keychain");
+                let kc = keychain.as_ref().expect("shared-committee mode requires a keychain");
                 Some(Evidence::TicketSig(ticket, kc.sign(node, &tag.to_bytes())))
             }
             Auth::FsMined { elig, fs, erasure } => {
@@ -200,9 +198,7 @@ impl Auth {
                 elig.verify(node, tag, t)
             }
             (Auth::Mined { elig, bit_specific: false, keychain }, Evidence::TicketSig(t, sig)) => {
-                let kc = keychain
-                    .as_ref()
-                    .expect("shared-committee mode requires a keychain");
+                let kc = keychain.as_ref().expect("shared-committee mode requires a keychain");
                 elig.verify(node, &tag.sharedized(), t) && kc.verify(node, &tag.to_bytes(), sig)
             }
             (Auth::FsMined { elig, fs, .. }, Evidence::FsTicketSig(t, sig)) => {
@@ -214,6 +210,70 @@ impl Auth {
         }
     }
 
+    /// Verifies a batch of `(node, tag, evidence)` claims, returning one
+    /// result per claim.
+    ///
+    /// The expensive regimes collapse into the underlying batch
+    /// verification APIs — one random-linear-combination
+    /// multi-exponentiation for a whole inbox of Schnorr signatures or VRF
+    /// tickets — and populate the services' statement caches, so later
+    /// [`Auth::verify`] calls on the same evidence (certificates repeat
+    /// votes across rounds) are O(1) lookups. When the combined check
+    /// fails, claims are re-verified individually to identify the invalid
+    /// ones, preserving exactly the per-claim accept set.
+    pub fn verify_batch(&self, claims: &[(NodeId, MineTag, &Evidence)]) -> Vec<bool> {
+        let per_item = |claims: &[(NodeId, MineTag, &Evidence)]| -> Vec<bool> {
+            claims.iter().map(|(n, t, e)| self.verify(*n, t, e)).collect()
+        };
+        match self {
+            Auth::Signed { keychain } => {
+                let msgs: Vec<[u8; 11]> = claims.iter().map(|(_, t, _)| t.to_bytes()).collect();
+                let mut batch = Vec::with_capacity(claims.len());
+                for ((node, _, ev), msg) in claims.iter().zip(msgs.iter()) {
+                    let Evidence::Sig(sig) = ev else { return per_item(claims) };
+                    batch.push((*node, msg.as_slice(), sig));
+                }
+                if keychain.verify_batch(&batch) {
+                    vec![true; claims.len()]
+                } else {
+                    per_item(claims)
+                }
+            }
+            Auth::Mined { elig, bit_specific: true, .. } => {
+                let mut refs: Vec<(NodeId, &MineTag, &Ticket)> = Vec::with_capacity(claims.len());
+                for (node, tag, ev) in claims {
+                    let Evidence::Ticket(t) = ev else { return per_item(claims) };
+                    refs.push((*node, tag, t));
+                }
+                if elig.verify_batch(&refs) {
+                    vec![true; claims.len()]
+                } else {
+                    per_item(claims)
+                }
+            }
+            Auth::Mined { elig, bit_specific: false, keychain } => {
+                let kc = keychain.as_ref().expect("shared-committee mode requires a keychain");
+                let shared_tags: Vec<MineTag> =
+                    claims.iter().map(|(_, t, _)| t.sharedized()).collect();
+                let msgs: Vec<[u8; 11]> = claims.iter().map(|(_, t, _)| t.to_bytes()).collect();
+                let mut tickets = Vec::with_capacity(claims.len());
+                let mut sigs = Vec::with_capacity(claims.len());
+                for (i, (node, _, ev)) in claims.iter().enumerate() {
+                    let Evidence::TicketSig(t, sig) = ev else { return per_item(claims) };
+                    tickets.push((*node, &shared_tags[i], t));
+                    sigs.push((*node, msgs[i].as_slice(), sig));
+                }
+                if elig.verify_batch(&tickets) && kc.verify_batch(&sigs) {
+                    vec![true; claims.len()]
+                } else {
+                    per_item(claims)
+                }
+            }
+            // Forward-secure signatures have no batch form; fall through.
+            Auth::FsMined { .. } => per_item(claims),
+        }
+    }
+
     /// Round-boundary hygiene: in the memory-erasure regime every honest
     /// node destroys its slot-`epoch` key during the round — **whether or
     /// not it spoke** — so an adversary corrupting it right after observing
@@ -222,6 +282,21 @@ impl Auth {
     pub fn end_of_round(&self, node: NodeId, epoch: u64) {
         if let Auth::FsMined { fs, erasure: true, .. } = self {
             fs.erase_through(node, epoch as usize);
+        }
+    }
+
+    /// Whether [`Auth::verify_batch`] has a genuine fast path in this
+    /// regime (real signatures / real VRF tickets). When `false`, an
+    /// up-front batch pass over an inbox would just duplicate the
+    /// per-message work.
+    pub fn supports_batch(&self) -> bool {
+        match self {
+            Auth::Signed { keychain } => keychain.mode() == ba_fmine::SigMode::Real,
+            Auth::Mined { elig, keychain, .. } => {
+                elig.supports_batch()
+                    || keychain.as_ref().is_some_and(|kc| kc.mode() == ba_fmine::SigMode::Real)
+            }
+            Auth::FsMined { .. } => false,
         }
     }
 
@@ -266,8 +341,7 @@ mod tests {
         Auth::Mined {
             elig: Arc::new(IdealMine::new(2, MineParams::new(8, 8.0))), // prob 1
             bit_specific,
-            keychain: (!bit_specific)
-                .then(|| Arc::new(Keychain::from_seed(1, 8, SigMode::Ideal))),
+            keychain: (!bit_specific).then(|| Arc::new(Keychain::from_seed(1, 8, SigMode::Ideal))),
         }
     }
 

@@ -46,15 +46,16 @@ pub struct ParallelBbNode {
 
 impl ParallelBbNode {
     /// Creates the node: instance `j` broadcasts node `j`'s input.
-    pub fn new(n: usize, f: usize, id: NodeId, input: Bit, keychain: Arc<Keychain>) -> ParallelBbNode {
+    pub fn new(
+        n: usize,
+        f: usize,
+        id: NodeId,
+        input: Bit,
+        keychain: Arc<Keychain>,
+    ) -> ParallelBbNode {
         let instances = (0..n)
             .map(|j| {
-                let cfg = DsConfig {
-                    n,
-                    f,
-                    sender: NodeId(j),
-                    keychain: keychain.clone(),
-                };
+                let cfg = DsConfig { n, f, sender: NodeId(j), keychain: keychain.clone() };
                 // Only the instance where we are the sender uses our input.
                 DsNode::new(cfg, id, input)
             })
@@ -64,7 +65,12 @@ impl ParallelBbNode {
 }
 
 impl Protocol<TaggedDsMsg> for ParallelBbNode {
-    fn step(&mut self, round: Round, inbox: &[Incoming<TaggedDsMsg>], out: &mut Outbox<TaggedDsMsg>) {
+    fn step(
+        &mut self,
+        round: Round,
+        inbox: &[Incoming<TaggedDsMsg>],
+        out: &mut Outbox<TaggedDsMsg>,
+    ) {
         if self.done {
             return;
         }
@@ -73,7 +79,7 @@ impl Protocol<TaggedDsMsg> for ParallelBbNode {
         for m in inbox {
             let j = m.msg.instance.index();
             if j < self.n {
-                per_instance[j].push(Incoming { from: m.from, msg: m.msg.inner.clone() });
+                per_instance[j].push(Incoming::new(m.from, m.msg.inner.clone()));
             }
         }
         // Step every instance, re-tagging its sends.
@@ -90,11 +96,7 @@ impl Protocol<TaggedDsMsg> for ParallelBbNode {
         }
         // Decide once every instance decided.
         if self.output.is_none() && self.instances.iter().all(|i| i.output().is_some()) {
-            let ones = self
-                .instances
-                .iter()
-                .filter(|i| i.output() == Some(true))
-                .count();
+            let ones = self.instances.iter().filter(|i| i.output() == Some(true)).count();
             self.output = Some(ones * 2 > self.n);
             self.done = true;
         }
@@ -123,13 +125,7 @@ pub fn run<A: Adversary<TaggedDsMsg>>(
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(f as u64 + 4);
     let inputs_for_factory = inputs.clone();
     let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, _seed| {
-        Box::new(ParallelBbNode::new(
-            n,
-            f,
-            id,
-            inputs_for_factory[id.index()],
-            keychain.clone(),
-        ))
+        Box::new(ParallelBbNode::new(n, f, id, inputs_for_factory[id.index()], keychain.clone()))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)

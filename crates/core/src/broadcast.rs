@@ -75,7 +75,7 @@ impl<M: Message> BbNode<M> {
     fn extract_sender_bit(&self, inbox: &[Incoming<BbMsg<M>>]) -> Bit {
         let mut seen = [false, false];
         for m in inbox {
-            if let BbMsg::SenderInput { bit, sig } = &m.msg {
+            if let BbMsg::SenderInput { bit, sig } = &*m.msg {
                 if m.from == self.sender
                     && self.keychain.verify(m.from, &input_statement(*bit), sig)
                 {
@@ -104,8 +104,8 @@ impl<M: Message> Protocol<BbMsg<M>> for BbNode<M> {
         let inner = self.inner.as_mut().expect("inner exists from round 1 on");
         let inner_inbox: Vec<Incoming<M>> = inbox
             .iter()
-            .filter_map(|m| match &m.msg {
-                BbMsg::Inner(im) => Some(Incoming { from: m.from, msg: im.clone() }),
+            .filter_map(|m| match &*m.msg {
+                BbMsg::Inner(im) => Some(Incoming::new(m.from, im.clone())),
                 BbMsg::SenderInput { .. } => None,
             })
             .collect();
@@ -216,9 +216,7 @@ mod tests {
                     bit,
                     sig: self.keychain.sign(node, &input_statement(bit)),
                 };
-                (1..self.n)
-                    .map(|i| (Recipient::One(NodeId(i)), mk(i % 2 == 0)))
-                    .collect()
+                (1..self.n).map(|i| (Recipient::One(NodeId(i)), mk(i % 2 == 0))).collect()
             }
         }
         let n = 60;

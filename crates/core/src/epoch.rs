@@ -192,11 +192,47 @@ impl EpochNode {
         }
     }
 
+    /// Batch-verifies the claims the upcoming per-message pass will
+    /// actually check — `kind` messages for `expect_epoch`, honoring the
+    /// round-robin leader rule for proposals — in one combined
+    /// multi-exponentiation (real-crypto regimes). The per-message checks
+    /// then hit the statement caches. Filtering mirrors the per-message
+    /// guards exactly: claims those guards skip for free (wrong epoch,
+    /// non-leader proposals) must not be able to sink the batch.
+    fn batch_verify_inbox(&self, inbox: &[Incoming<EpochMsg>], kind: MsgKind, expect_epoch: u64) {
+        if !self.cfg.auth.supports_batch() {
+            return;
+        }
+        let claims: Vec<(NodeId, MineTag, &Evidence)> = inbox
+            .iter()
+            .filter_map(|m| match &*m.msg {
+                EpochMsg::Propose { epoch, bit, ev }
+                    if kind == MsgKind::Propose && *epoch == expect_epoch =>
+                {
+                    if self.cfg.leader == LeaderMode::RoundRobin
+                        && m.from != NodeId((epoch % self.cfg.n as u64) as usize)
+                    {
+                        return None;
+                    }
+                    Some((m.from, MineTag::new(MsgKind::Propose, *epoch, *bit), ev))
+                }
+                EpochMsg::Ack { epoch, bit, ev }
+                    if kind == MsgKind::Ack && *epoch == expect_epoch =>
+                {
+                    Some((m.from, MineTag::new(MsgKind::Ack, *epoch, *bit), ev))
+                }
+                _ => None,
+            })
+            .collect();
+        let _ = self.cfg.auth.verify_batch(&claims);
+    }
+
     /// Tally the previous epoch's acks and update `(belief, sticky)`.
     fn tally_acks(&mut self, epoch: u64, inbox: &[Incoming<EpochMsg>]) {
+        self.batch_verify_inbox(inbox, MsgKind::Ack, epoch);
         let mut voters: [Vec<NodeId>; 2] = [Vec::new(), Vec::new()];
         for m in inbox {
-            if let EpochMsg::Ack { epoch: e, bit, ev } = &m.msg {
+            if let EpochMsg::Ack { epoch: e, bit, ev } = &*m.msg {
                 if *e != epoch {
                     continue;
                 }
@@ -234,7 +270,7 @@ impl EpochNode {
     fn proposal_bit(&self, epoch: u64, inbox: &[Incoming<EpochMsg>]) -> Option<Bit> {
         let mut seen = [false, false];
         for m in inbox {
-            if let EpochMsg::Propose { epoch: e, bit, ev } = &m.msg {
+            if let EpochMsg::Propose { epoch: e, bit, ev } = &*m.msg {
                 if *e != epoch {
                     continue;
                 }
@@ -290,14 +326,16 @@ impl Protocol<EpochMsg> for EpochNode {
             return;
         }
         let epoch = r / 2;
-        if r % 2 == 0 {
+        if r.is_multiple_of(2) {
             // Propose round: first tally the previous epoch's acks.
             if epoch > 0 {
                 self.tally_acks(epoch - 1, inbox);
             }
             self.try_propose(epoch, out);
         } else {
-            // Ack round: adopt the leader's proposal unless sticky.
+            // Ack round: adopt the leader's proposal unless sticky. The
+            // inbox carries this epoch's proposals; batch-verify them first.
+            self.batch_verify_inbox(inbox, MsgKind::Propose, epoch);
             let proposal = self.proposal_bit(epoch, inbox);
             let bstar = match (self.sticky, proposal) {
                 (true, _) | (false, None) => self.belief,
@@ -336,12 +374,7 @@ pub fn run<A: Adversary<EpochMsg>>(
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
     let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, seed| {
-        Box::new(EpochNode::new(
-            cfg_for_factory.clone(),
-            id,
-            inputs_for_factory[id.index()],
-            seed,
-        ))
+        Box::new(EpochNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
@@ -486,11 +519,8 @@ mod tests {
     #[test]
     fn message_sizes_reflect_evidence() {
         let kc = Arc::new(Keychain::from_seed(1, 4, SigMode::Ideal));
-        let signed = EpochMsg::Ack {
-            epoch: 0,
-            bit: true,
-            ev: Evidence::Sig(kc.sign(NodeId(0), b"x")),
-        };
+        let signed =
+            EpochMsg::Ack { epoch: 0, bit: true, ev: Evidence::Sig(kc.sign(NodeId(0), b"x")) };
         let elig = IdealMine::new(1, MineParams::new(4, 4.0));
         let ticket = elig.mine(NodeId(0), &MineTag::new(MsgKind::Ack, 0, true)).unwrap();
         let mined = EpochMsg::Ack { epoch: 0, bit: true, ev: Evidence::Ticket(ticket) };

@@ -300,16 +300,17 @@ impl IterNode {
     }
 
     fn record_vote(&mut self, iter: u64, bit: Bit, from: NodeId, ev: Evidence) {
+        let quorum = self.cfg.quorum;
         let pool = self.votes.entry((iter, bit)).or_default();
         if pool.iter().all(|v| v.from != from) {
             pool.push(VoteRef { from, ev });
         }
-        // A quorum of votes IS a certificate — adopt it immediately.
-        let pool_len = self.votes[&(iter, bit)].len();
-        if pool_len >= self.cfg.quorum && Certificate::rank(&self.best[bit as usize]) < iter {
-            let mut votes = self.votes[&(iter, bit)].clone();
-            votes.sort_by_key(|v| v.from);
-            votes.truncate(self.cfg.quorum);
+        // A quorum of votes IS a certificate — adopt it immediately. Sort
+        // the pool in place (order is irrelevant to dedup) and copy only
+        // the quorum prefix instead of cloning the whole pool.
+        if pool.len() >= quorum && Certificate::rank(&self.best[bit as usize]) < iter {
+            pool.sort_by_key(|v| v.from);
+            let votes = pool[..quorum].to_vec();
             self.best[bit as usize] = Some(Certificate { iter, bit, votes });
         }
     }
@@ -339,9 +340,66 @@ impl IterNode {
         self.cfg.auth.verify(j.from, &tag, &j.ev)
     }
 
-    fn ingest(&mut self, inbox: &[Incoming<IterMsg>]) {
+    /// Collects every authentication claim an inbox carries — top-level
+    /// message evidence, certificate votes, commit quorums, and vote
+    /// justifications — and verifies them in one [`Auth::verify_batch`]
+    /// call. The per-message logic afterwards re-asks the same questions
+    /// and hits the services' statement caches.
+    fn batch_verify_inbox(&self, inbox: &[Incoming<IterMsg>]) {
+        if !self.cfg.auth.supports_batch() {
+            return;
+        }
+        fn push_cert<'a>(claims: &mut Vec<(NodeId, MineTag, &'a Evidence)>, cert: &'a Certificate) {
+            let tag = MineTag::new(MsgKind::Vote, cert.iter, cert.bit);
+            for v in &cert.votes {
+                claims.push((v.from, tag, &v.ev));
+            }
+        }
+        let mut claims: Vec<(NodeId, MineTag, &Evidence)> = Vec::new();
         for m in inbox {
-            match &m.msg {
+            match &*m.msg {
+                IterMsg::Status { iter, bit, cert, ev } => {
+                    let tag = match bit {
+                        Some(b) => MineTag::new(MsgKind::Status, *iter, *b),
+                        None => MineTag::bot(MsgKind::Status, *iter),
+                    };
+                    claims.push((m.from, tag, ev));
+                    if let Some(c) = cert {
+                        push_cert(&mut claims, c);
+                    }
+                }
+                IterMsg::Propose { iter, bit, cert, ev } => {
+                    claims.push((m.from, MineTag::new(MsgKind::Propose, *iter, *bit), ev));
+                    if let Some(c) = cert {
+                        push_cert(&mut claims, c);
+                    }
+                }
+                IterMsg::Vote { iter, bit, just, ev } => {
+                    claims.push((m.from, MineTag::new(MsgKind::Vote, *iter, *bit), ev));
+                    if let Some(j) = just {
+                        claims.push((j.from, MineTag::new(MsgKind::Propose, *iter, *bit), &j.ev));
+                    }
+                }
+                IterMsg::Commit { iter, bit, cert, ev } => {
+                    claims.push((m.from, MineTag::new(MsgKind::Commit, *iter, *bit), ev));
+                    push_cert(&mut claims, cert);
+                }
+                IterMsg::Terminate { iter, bit, commits, ev } => {
+                    claims.push((m.from, MineTag::terminate(*bit), ev));
+                    let tag = MineTag::new(MsgKind::Commit, *iter, *bit);
+                    for c in commits {
+                        claims.push((c.from, tag, &c.ev));
+                    }
+                }
+            }
+        }
+        let _ = self.cfg.auth.verify_batch(&claims);
+    }
+
+    fn ingest(&mut self, inbox: &[Incoming<IterMsg>]) {
+        self.batch_verify_inbox(inbox);
+        for m in inbox {
+            match &*m.msg {
                 IterMsg::Status { iter, bit, cert, ev } => {
                     let tag = match bit {
                         Some(b) => MineTag::new(MsgKind::Status, *iter, *b),
@@ -380,7 +438,7 @@ impl IterNode {
                     };
                     let entry = self.proposals.entry(*iter).or_insert([None, None]);
                     let slot = &mut entry[*bit as usize];
-                    if slot.map_or(true, |old| old < rank) {
+                    if slot.is_none_or(|old| old < rank) {
                         *slot = Some(rank);
                     }
                     self.proposal_refs
@@ -477,9 +535,7 @@ impl Protocol<IterMsg> for IterNode {
             }
             Phase::Propose => {
                 let is_candidate = match &self.cfg.leader {
-                    IterLeaderMode::Oracle { .. } => {
-                        self.cfg.oracle_leader(iter) == Some(self.id)
-                    }
+                    IterLeaderMode::Oracle { .. } => self.cfg.oracle_leader(iter) == Some(self.id),
                     IterLeaderMode::Mined => true,
                 };
                 if !is_candidate {
@@ -526,16 +582,15 @@ impl Protocol<IterMsg> for IterNode {
             }
             Phase::Commit => {
                 for bit in [false, true] {
-                    let for_count =
-                        self.votes.get(&(iter, bit)).map_or(0, |v| v.len());
-                    let against =
-                        self.votes.get(&(iter, !bit)).map_or(0, |v| v.len());
+                    let for_count = self.votes.get(&(iter, bit)).map_or(0, |v| v.len());
+                    let against = self.votes.get(&(iter, !bit)).map_or(0, |v| v.len());
                     if for_count >= self.cfg.quorum && against == 0 {
                         // Build the iteration-r certificate from the vote
-                        // pool (best[bit] may hold a higher-ranked one).
-                        let mut votes = self.votes[&(iter, bit)].clone();
-                        votes.sort_by_key(|v| v.from);
-                        votes.truncate(self.cfg.quorum);
+                        // pool (best[bit] may hold a higher-ranked one);
+                        // sort in place and copy only the quorum prefix.
+                        let pool = self.votes.get_mut(&(iter, bit)).expect("nonempty pool");
+                        pool.sort_by_key(|v| v.from);
+                        let votes = pool[..self.cfg.quorum].to_vec();
                         let cert = Certificate { iter, bit, votes };
                         let tag = MineTag::new(MsgKind::Commit, iter, bit);
                         if let Some(ev) = self.cfg.auth.attest(self.id, &tag) {
@@ -571,12 +626,7 @@ pub fn run<A: Adversary<IterMsg>>(
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
     let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, seed| {
-        Box::new(IterNode::new(
-            cfg_for_factory.clone(),
-            id,
-            inputs_for_factory[id.index()],
-            seed,
-        ))
+        Box::new(IterNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
@@ -589,11 +639,7 @@ mod tests {
     use ba_sim::{CorruptionModel, Passive};
 
     fn quad_cfg(n: usize, seed: u64) -> IterConfig {
-        IterConfig::quadratic_half(
-            n,
-            Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal)),
-            seed,
-        )
+        IterConfig::quadratic_half(n, Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal)), seed)
     }
 
     fn subq_cfg(n: usize, lambda: f64, seed: u64) -> IterConfig {
@@ -702,7 +748,7 @@ mod tests {
         let distinct: std::collections::HashSet<_> =
             (1..20).map(|r| cfg.oracle_leader(r).unwrap()).collect();
         assert!(distinct.len() > 3, "20 draws should hit several leaders");
-        assert!(matches!(subq_cfg(8, 4.0, 0).oracle_leader(1), None));
+        assert!(subq_cfg(8, 4.0, 0).oracle_leader(1).is_none());
     }
 
     #[test]

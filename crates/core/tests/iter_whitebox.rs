@@ -22,16 +22,22 @@ fn attest(auth: &Auth, node: usize, tag: MineTag) -> ba_core::auth::Evidence {
     auth.attest(NodeId(node), &tag).expect("signed mode always attests")
 }
 
-fn vote_msg(auth: &Auth, node: usize, iter: u64, bit: bool, just: Option<ProposalRef>) -> Incoming<IterMsg> {
-    Incoming {
-        from: NodeId(node),
-        msg: IterMsg::Vote {
+fn vote_msg(
+    auth: &Auth,
+    node: usize,
+    iter: u64,
+    bit: bool,
+    just: Option<ProposalRef>,
+) -> Incoming<IterMsg> {
+    Incoming::new(
+        NodeId(node),
+        IterMsg::Vote {
             iter,
             bit,
             just,
             ev: attest(auth, node, MineTag::new(MsgKind::Vote, iter, bit)),
         },
-    }
+    )
 }
 
 fn cert_for(auth: &Auth, iter: u64, bit: bool, voters: &[usize]) -> Certificate {
@@ -59,10 +65,7 @@ fn iteration1_votes_own_input_and_commits_on_quorum() {
     node.step(Round(0), &[], &mut out);
     let sends = out.take();
     assert_eq!(sends.len(), 1);
-    assert!(matches!(
-        &sends[0].1,
-        IterMsg::Vote { iter: 1, bit: true, just: None, .. }
-    ));
+    assert!(matches!(&sends[0].1, IterMsg::Vote { iter: 1, bit: true, just: None, .. }));
 
     // Round 1 (commit phase): deliver quorum of matching votes.
     let inbox: Vec<Incoming<IterMsg>> =
@@ -130,10 +133,7 @@ fn status_reports_bot_without_certificate() {
     node.step(Round(2), &[], &mut out);
     let sends = out.take();
     assert_eq!(sends.len(), 1);
-    assert!(matches!(
-        &sends[0].1,
-        IterMsg::Status { iter: 2, bit: None, cert: None, .. }
-    ));
+    assert!(matches!(&sends[0].1, IterMsg::Status { iter: 2, bit: None, cert: None, .. }));
 }
 
 #[test]
@@ -145,15 +145,15 @@ fn status_reports_highest_certificate() {
     node.step(Round(0), &[], &mut out);
     // Deliver an iteration-1 certificate for bit true inside a commit.
     let cert = cert_for(&auth, 1, true, &[1, 2, 3, 4]);
-    let commit = Incoming {
-        from: NodeId(1),
-        msg: IterMsg::Commit {
+    let commit = Incoming::new(
+        NodeId(1),
+        IterMsg::Commit {
             iter: 1,
             bit: true,
             cert: cert.clone(),
             ev: attest(&auth, 1, MineTag::new(MsgKind::Commit, 1, true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(1), &[commit], &mut out);
     // Iteration 2 status round: report (true, cert@1).
@@ -181,15 +181,15 @@ fn malformed_proposal_certificate_is_dropped() {
     // Proposal whose attached certificate certifies the OTHER bit: dropped,
     // so the node abstains at the vote phase.
     let wrong_cert = cert_for(&auth, 1, false, &[1, 2, 3, 4]);
-    let prop = Incoming {
-        from: leader,
-        msg: IterMsg::Propose {
+    let prop = Incoming::new(
+        leader,
+        IterMsg::Propose {
             iter: 2,
             bit: true,
             cert: Some(wrong_cert),
             ev: attest(&auth, leader.index(), MineTag::new(MsgKind::Propose, 2, true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(4), &[prop], &mut out); // vote phase of iteration 2
     assert!(out.take().is_empty(), "malformed proposal must not induce a vote");
@@ -206,14 +206,16 @@ fn conflicting_proposals_cause_abstention() {
         node.step(Round(r), &[], &mut out);
     }
     // Vote phase receives two conflicting (valid) proposals from the leader.
-    let mk = |bit: bool| Incoming {
-        from: leader,
-        msg: IterMsg::Propose {
-            iter: 2,
-            bit,
-            cert: None,
-            ev: attest(&auth, leader.index(), MineTag::new(MsgKind::Propose, 2, bit)),
-        },
+    let mk = |bit: bool| {
+        Incoming::new(
+            leader,
+            IterMsg::Propose {
+                iter: 2,
+                bit,
+                cert: None,
+                ev: attest(&auth, leader.index(), MineTag::new(MsgKind::Propose, 2, bit)),
+            },
+        )
     };
     let mut out = Outbox::new();
     node.step(Round(4), &[mk(false), mk(true)], &mut out);
@@ -231,15 +233,15 @@ fn proposal_from_non_leader_is_ignored_in_oracle_mode() {
         let mut out = Outbox::new();
         node.step(Round(r), &[], &mut out);
     }
-    let prop = Incoming {
-        from: impostor,
-        msg: IterMsg::Propose {
+    let prop = Incoming::new(
+        impostor,
+        IterMsg::Propose {
             iter: 2,
             bit: true,
             cert: None,
             ev: attest(&auth, impostor.index(), MineTag::new(MsgKind::Propose, 2, true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(4), &[prop], &mut out);
     assert!(out.take().is_empty(), "non-leader proposals must be ignored");
@@ -259,15 +261,15 @@ fn valid_terminate_adopts_and_relays() {
             ev: attest(&auth, i, MineTag::new(MsgKind::Commit, 1, true)),
         })
         .collect();
-    let term = Incoming {
-        from: NodeId(1),
-        msg: IterMsg::Terminate {
+    let term = Incoming::new(
+        NodeId(1),
+        IterMsg::Terminate {
             iter: 1,
             bit: true,
             commits,
             ev: attest(&auth, 1, MineTag::terminate(true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(1), &[term], &mut out);
     let sends = out.take();
@@ -291,15 +293,15 @@ fn terminate_with_underfilled_commits_is_rejected() {
             ev: attest(&auth, i, MineTag::new(MsgKind::Commit, 1, true)),
         })
         .collect();
-    let term = Incoming {
-        from: NodeId(1),
-        msg: IterMsg::Terminate {
+    let term = Incoming::new(
+        NodeId(1),
+        IterMsg::Terminate {
             iter: 1,
             bit: true,
             commits,
             ev: attest(&auth, 1, MineTag::terminate(true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(1), &[term], &mut out);
     assert_eq!(node.output(), None, "underfilled Terminate must be ignored");
@@ -319,37 +321,34 @@ fn higher_opposite_certificate_blocks_vote() {
     // Round 6 = iteration 3 status. Teach the node an iteration-2 cert for
     // bit false via a status message.
     let cert2 = cert_for(&auth, 2, false, &[1, 2, 3, 4]);
-    let status = Incoming {
-        from: NodeId(2),
-        msg: IterMsg::Status {
+    let status = Incoming::new(
+        NodeId(2),
+        IterMsg::Status {
             iter: 3,
             bit: Some(false),
             cert: Some(cert2),
             ev: attest(&auth, 2, MineTag::new(MsgKind::Status, 3, false)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(6), &[status], &mut out);
     let mut out = Outbox::new();
     node.step(Round(7), &[], &mut out); // propose phase (we are not leader... may be)
-    // Vote phase: leader proposes TRUE with only an iteration-1 cert — the
-    // node knows a strictly higher cert for FALSE, so it must abstain.
+                                        // Vote phase: leader proposes TRUE with only an iteration-1 cert — the
+                                        // node knows a strictly higher cert for FALSE, so it must abstain.
     let cert1 = cert_for(&auth, 1, true, &[1, 2, 3, 4]);
-    let prop = Incoming {
-        from: leader3,
-        msg: IterMsg::Propose {
+    let prop = Incoming::new(
+        leader3,
+        IterMsg::Propose {
             iter: 3,
             bit: true,
             cert: Some(cert1),
             ev: attest(&auth, leader3.index(), MineTag::new(MsgKind::Propose, 3, true)),
         },
-    };
+    );
     let mut out = Outbox::new();
     node.step(Round(8), &[prop], &mut out);
-    let votes: Vec<_> = out
-        .take()
-        .into_iter()
-        .filter(|(_, m)| matches!(m, IterMsg::Vote { .. }))
-        .collect();
+    let votes: Vec<_> =
+        out.take().into_iter().filter(|(_, m)| matches!(m, IterMsg::Vote { .. })).collect();
     assert!(votes.is_empty(), "stale proposal must lose to the higher certificate");
 }

@@ -1,0 +1,42 @@
+//! Shared scaffolding for batch verification: split a batch into
+//! independent sub-batches and verify them on all cores.
+//!
+//! Each chunk is a sound random-linear-combination check on its own, so the
+//! conjunction preserves the exact accept set while multiplying throughput
+//! by the available parallelism. Used by [`crate::schnorr::verify_batch`]
+//! and [`crate::dleq::verify_batch`].
+
+/// Smallest sub-batch worth a dedicated thread.
+const MIN_CHUNK: usize = 8;
+
+/// Runs `verify_serial` over `items`, chunked across the available cores
+/// when the batch is large enough to amortize thread spawn.
+pub(crate) fn verify_chunked<T, F>(items: &[T], verify_serial: F) -> bool
+where
+    T: Sync,
+    F: Fn(&[T]) -> bool + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads > 1 && items.len() >= 2 * MIN_CHUNK {
+        let chunk = (items.len().div_ceil(threads)).max(MIN_CHUNK);
+        return std::thread::scope(|s| {
+            let handles: Vec<_> =
+                items.chunks(chunk).map(|c| s.spawn(|| verify_serial(c))).collect();
+            handles.into_iter().all(|h| h.join().expect("batch worker panicked"))
+        });
+    }
+    verify_serial(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_conjunction_matches_serial() {
+        let items: Vec<u32> = (0..40).collect();
+        assert!(verify_chunked(&items, |c| c.iter().all(|&x| x < 40)));
+        assert!(!verify_chunked(&items, |c| c.iter().all(|&x| x != 37)));
+        assert!(verify_chunked(&[] as &[u32], |_| true));
+    }
+}

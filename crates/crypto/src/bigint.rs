@@ -8,6 +8,10 @@
 //! The implementation favours clarity and testability over constant-time
 //! behaviour; see the crate-level documentation for the threat model.
 
+// Limb-arithmetic loops index multiple arrays in lockstep; the indexed form
+// is clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -36,7 +40,11 @@ pub struct U512(pub [u64; 8]);
 
 impl fmt::Debug for U256 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "U256(0x{:016x}{:016x}{:016x}{:016x})", self.0[3], self.0[2], self.0[1], self.0[0])
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
     }
 }
 
@@ -215,6 +223,34 @@ impl U256 {
             if i + 1 < 4 {
                 out[i] |= self.0[i + 1] << 63;
             }
+        }
+        U256(out)
+    }
+
+    /// Number of trailing zero bits (256 for zero).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, limb) in self.0.iter().enumerate() {
+            if *limb != 0 {
+                return 64 * i + limb.trailing_zeros() as usize;
+            }
+        }
+        256
+    }
+
+    /// Logical right shift by `k` bits (`k < 256`).
+    pub fn shr(&self, k: usize) -> U256 {
+        debug_assert!(k < 256);
+        let limb_shift = k / 64;
+        let bit_shift = k % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            let lo = self.0[i + limb_shift] >> bit_shift;
+            let hi = if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                self.0[i + limb_shift + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
         }
         U256(out)
     }
@@ -492,7 +528,7 @@ impl ModCtx {
     }
 
     /// Converts a Montgomery-form value back to an ordinary residue.
-    fn from_mont(&self, x: &U256) -> U256 {
+    fn mont_decode(&self, x: &U256) -> U256 {
         self.redc(&U512::from_u256(x))
     }
 
@@ -525,11 +561,19 @@ impl ModCtx {
         }
     }
 
+    /// Montgomery-form multiplication: both inputs and the result are in
+    /// Montgomery form. This is the primitive every fast path below builds
+    /// on — one `redc` per product, no conversions.
+    #[inline]
+    fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        self.redc(&a.mul_wide(b))
+    }
+
     /// Modular multiplication of ordinary residues (inputs must be `< m`).
     pub fn mul(&self, a: &U256, b: &U256) -> U256 {
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.from_mont(&self.redc(&am.mul_wide(&bm)))
+        self.mont_decode(&self.redc(&am.mul_wide(&bm)))
     }
 
     /// Modular squaring of an ordinary residue (`< m`).
@@ -553,7 +597,7 @@ impl ModCtx {
                 acc = self.redc(&acc.mul_wide(&bm));
             }
         }
-        self.from_mont(&acc)
+        self.mont_decode(&acc)
     }
 
     /// Modular inverse for a prime modulus via Fermat's little theorem:
@@ -574,6 +618,279 @@ impl ModCtx {
         // redc(x) = x * R^{-1}; multiplying by R^2 then redc again gives x mod m.
         let xr = self.redc(x); // x * R^{-1}
         self.redc(&xr.mul_wide(&self.r2)) // x * R^{-1} * R^2 * R^{-1} = x
+    }
+
+    // ---- fast exponentiation paths ----
+    //
+    // Everything below stays in Montgomery form end to end: one conversion
+    // in, one conversion out, one `redc` per group operation. `pow` above is
+    // kept as the simple square-and-multiply reference that property tests
+    // cross-check these paths against.
+
+    /// Precomputes a fixed-base window table for `base` (4-bit windows over
+    /// the full 256-bit exponent range; see [`ModCtx::precompute_wide`] for
+    /// other widths).
+    ///
+    /// The table holds `base^(d * 16^w)` for every window position `w` in
+    /// `0..64` and digit `d` in `1..=15` (~30 KiB). A subsequent
+    /// [`ModCtx::pow_fixed`] costs at most 64 Montgomery multiplications and
+    /// **no squarings** — roughly a 6x saving over square-and-multiply.
+    /// Building the table costs ~1.5 exponentiations, so it pays off after a
+    /// handful of uses (a process-lifetime generator table or a per-node
+    /// public-key table amortizes to zero).
+    pub fn precompute(&self, base: &U256) -> FixedBaseTable {
+        self.precompute_wide(base, 4)
+    }
+
+    /// Precomputes a fixed-base table with `width`-bit windows
+    /// (`2 <= width <= 8`).
+    ///
+    /// Wider windows trade memory and build time for fewer multiplications
+    /// per exponentiation: `ceil(256/width)` window positions with
+    /// `2^width - 1` entries each. The public-key table cache uses 6-bit
+    /// windows (~87 KiB, ~43 multiplications per exponentiation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=8`.
+    pub fn precompute_wide(&self, base: &U256, width: usize) -> FixedBaseTable {
+        assert!((2..=8).contains(&width), "window width must be in 2..=8");
+        let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
+        let per_window = (1usize << width) - 1;
+        let window_count = 256usize.div_ceil(width);
+        let mut b = self.to_mont(&base);
+        let mut entries = Vec::with_capacity(window_count * per_window);
+        for _ in 0..window_count {
+            entries.push(b);
+            for _ in 1..per_window {
+                let prev = entries[entries.len() - 1];
+                entries.push(self.mont_mul(&prev, &b));
+            }
+            // Next window's base: base^(2^width) = (last entry) * b.
+            let last = entries[entries.len() - 1];
+            b = self.mont_mul(&last, &b);
+        }
+        FixedBaseTable { m: self.m, width, entries }
+    }
+
+    /// Fixed-base exponentiation `base^exp` using a precomputed table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different modulus.
+    pub fn pow_fixed(&self, table: &FixedBaseTable, exp: &U256) -> U256 {
+        self.mont_decode(&self.pow_fixed_mont(table, exp))
+    }
+
+    fn pow_fixed_mont(&self, table: &FixedBaseTable, exp: &U256) -> U256 {
+        assert_eq!(table.m, self.m, "fixed-base table modulus mismatch");
+        let per_window = (1usize << table.width) - 1;
+        let mut acc = self.r1; // 1 in Montgomery form
+        for (w, lo) in (0..256).step_by(table.width).enumerate() {
+            let digit = window_bits(exp, lo, table.width);
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table.entries[w * per_window + digit as usize - 1]);
+            }
+        }
+        acc
+    }
+
+    /// Straus/Shamir double exponentiation `b1^e1 * b2^e2` with shared
+    /// squarings (4-bit windows) — the shape of the Schnorr/DLEQ
+    /// verification equation `g^s * y^{-e}`.
+    pub fn pow2(&self, b1: &U256, e1: &U256, b2: &U256, e2: &U256) -> U256 {
+        self.multi_pow(&[(*b1, *e1), (*b2, *e2)])
+    }
+
+    /// Interleaved multi-exponentiation `prod_i base_i^exp_i` with one
+    /// shared squaring chain (4-bit windows per base).
+    ///
+    /// This is the workhorse of batch signature/VRF verification: for `k`
+    /// terms it costs `4*maxbits/4` shared squarings plus at most
+    /// `k * (15 + maxbits/4)` multiplications, against `k` full
+    /// square-and-multiply exponentiations for the naive evaluation.
+    pub fn multi_pow(&self, terms: &[(U256, U256)]) -> U256 {
+        if terms.is_empty() {
+            return U256::ONE.reduce_mod(&self.m);
+        }
+        // Per-base digit tables (tables[i][d-1] = base_i^d in Montgomery
+        // form), with the window width adapted to the exponent size: short
+        // exponents (batch coefficients) don't amortize a big table.
+        let widths: Vec<usize> =
+            terms.iter().map(|(_, e)| if e.bits() <= 64 { 3 } else { 4 }).collect();
+        let tables: Vec<Vec<U256>> = terms
+            .iter()
+            .zip(&widths)
+            .map(|((base, _), w)| {
+                let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
+                let b = self.to_mont(&base);
+                let mut row = Vec::with_capacity((1 << w) - 1);
+                row.push(b);
+                for _ in 1..(1 << w) - 1 {
+                    let prev = row[row.len() - 1];
+                    row.push(self.mont_mul(&prev, &b));
+                }
+                row
+            })
+            .collect();
+        let top_bits = terms.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        let mut acc = self.r1;
+        let mut started = false;
+        // One shared squaring per bit; each term folds in its digit when the
+        // chain reaches the bottom of one of its windows, so the digit is
+        // scaled by exactly 2^bit.
+        for bit in (0..top_bits).rev() {
+            if started {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            for (i, (_, exp)) in terms.iter().enumerate() {
+                let w = widths[i];
+                if bit % w == 0 {
+                    let digit = window_bits(exp, bit, w);
+                    if digit != 0 {
+                        acc = self.mont_mul(&acc, &tables[i][digit as usize - 1]);
+                        started = true;
+                    }
+                }
+            }
+        }
+        self.mont_decode(&acc)
+    }
+
+    /// Like [`ModCtx::multi_pow`], but additionally folds in fixed-base
+    /// terms evaluated from precomputed tables (used by batch verification,
+    /// where long-lived public keys have tables and per-message commitments
+    /// do not). Returns `prod tabled_i ^ texp_i * prod plain_i ^ exp_i`.
+    pub fn multi_pow_mixed(
+        &self,
+        tabled: &[(&FixedBaseTable, U256)],
+        plain: &[(U256, U256)],
+    ) -> U256 {
+        let mut acc = self.to_mont(&self.multi_pow(plain));
+        for (table, exp) in tabled {
+            let part = self.pow_fixed_mont(table, exp);
+            acc = self.mont_mul(&acc, &part);
+        }
+        self.mont_decode(&acc)
+    }
+}
+
+/// Extracts the `width`-bit window of `exp` starting at bit `lo` (bits past
+/// 256 read as zero).
+#[inline]
+fn window_bits(exp: &U256, lo: usize, width: usize) -> u64 {
+    debug_assert!(lo < 256);
+    let limb = lo / 64;
+    let off = lo % 64;
+    let mut d = exp.0[limb] >> off;
+    if off + width > 64 && limb + 1 < 4 {
+        d |= exp.0[limb + 1] << (64 - off);
+    }
+    d & ((1u64 << width) - 1)
+}
+
+/// A precomputed fixed-base window exponentiation table (see
+/// [`ModCtx::precompute`] / [`ModCtx::precompute_wide`]). Entries are stored
+/// in Montgomery form.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    m: U256,
+    /// Window width in bits.
+    width: usize,
+    /// `entries[w * (2^width - 1) + d - 1] = base^(d * 2^(width*w))`.
+    entries: Vec<U256>,
+}
+
+impl FixedBaseTable {
+    /// The modulus the table was built for.
+    pub fn modulus(&self) -> &U256 {
+        &self.m
+    }
+
+    /// The window width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Jacobi symbol `(a/n)` for odd positive `n` (binary algorithm, no
+/// divisions).
+///
+/// For a safe prime `p` this decides quadratic residuosity — i.e. membership
+/// in the order-`q` subgroup — in about a microsecond, versus a full modular
+/// exponentiation (`x^q == 1`) for the generic test. Trailing zeros are
+/// stripped in one multi-bit shift per iteration, and the loop drops to
+/// native `u128` arithmetic once both operands fit.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn jacobi(a: &U256, n: &U256) -> i32 {
+    assert!(n.is_odd(), "Jacobi symbol requires an odd modulus");
+    let mut a = if *a >= *n { a.reduce_mod(n) } else { *a };
+    let mut n = *n;
+    let mut t = 1i32;
+    loop {
+        if a.0[2] == 0 && a.0[3] == 0 && n.0[2] == 0 && n.0[3] == 0 {
+            // Tail fast path: both operands fit in 128 bits.
+            let a128 = (a.0[1] as u128) << 64 | a.0[0] as u128;
+            let n128 = (n.0[1] as u128) << 64 | n.0[0] as u128;
+            return t * jacobi_u128(a128, n128);
+        }
+        if a.is_zero() {
+            break;
+        }
+        // Strip factors of two: 2 is a non-residue mod n iff n == ±3 mod 8.
+        let tz = a.trailing_zeros();
+        if tz > 0 {
+            a = a.shr(tz);
+            let r = n.0[0] & 7;
+            if tz & 1 == 1 && (r == 3 || r == 5) {
+                t = -t;
+            }
+        }
+        if a < n {
+            std::mem::swap(&mut a, &mut n);
+            if a.0[0] & 3 == 3 && n.0[0] & 3 == 3 {
+                t = -t;
+            }
+        }
+        // Both odd and a >= n: the subtraction is exact and makes a even,
+        // so the next iteration strips at least one bit.
+        a = a.wrapping_sub(&n);
+    }
+    if n == U256::ONE {
+        t
+    } else {
+        0
+    }
+}
+
+/// Jacobi symbol over native 128-bit integers (the tail of [`jacobi`]).
+fn jacobi_u128(mut a: u128, mut n: u128) -> i32 {
+    debug_assert!(n & 1 == 1 && n > 0);
+    let mut t = 1i32;
+    while a != 0 {
+        let tz = a.trailing_zeros();
+        if tz > 0 {
+            a >>= tz;
+            let r = n & 7;
+            if tz & 1 == 1 && (r == 3 || r == 5) {
+                t = -t;
+            }
+        }
+        if a < n {
+            std::mem::swap(&mut a, &mut n);
+            if a & 3 == 3 && n & 3 == 3 {
+                t = -t;
+            }
+        }
+        a -= n;
+    }
+    if n == 1 {
+        t
+    } else {
+        0
     }
 }
 
@@ -656,6 +973,41 @@ mod tests {
     fn shl_shr_inverse_on_small_values() {
         let a = u(0x1234_5678_9abc_def0);
         assert_eq!(a.shl1().shr1(), a);
+    }
+
+    #[test]
+    fn multi_bit_shr_and_trailing_zeros() {
+        let a = U256([0, 0, 1 << 5, 0]);
+        assert_eq!(a.trailing_zeros(), 133);
+        assert_eq!(a.shr(133), U256::ONE);
+        assert_eq!(a.shr(64), U256([0, 1 << 5, 0, 0]));
+        assert_eq!(a.shr(1), U256([0, 0, 1 << 4, 0]));
+        assert_eq!(U256::ZERO.trailing_zeros(), 256);
+        // Cross-limb shift.
+        let b = U256([0, 0b11, 0, 0]);
+        assert_eq!(b.shr(65), U256::ONE);
+    }
+
+    #[test]
+    fn jacobi_known_values() {
+        // (a/7): residues {1,2,4} -> +1, {3,5,6} -> -1.
+        let seven = u(7);
+        assert_eq!(jacobi(&u(1), &seven), 1);
+        assert_eq!(jacobi(&u(2), &seven), 1);
+        assert_eq!(jacobi(&u(3), &seven), -1);
+        assert_eq!(jacobi(&u(4), &seven), 1);
+        assert_eq!(jacobi(&u(5), &seven), -1);
+        assert_eq!(jacobi(&u(6), &seven), -1);
+        assert_eq!(jacobi(&u(0), &seven), 0);
+        assert_eq!(jacobi(&u(14), &seven), 0); // shares a factor
+                                               // Jacobi over a composite: (2/15) = (2/3)(2/5) = (-1)(-1) = 1.
+        assert_eq!(jacobi(&u(2), &u(15)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn jacobi_even_modulus_panics() {
+        let _ = jacobi(&u(3), &u(8));
     }
 
     #[test]

@@ -171,7 +171,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sib = if idx % 2 == 0 {
+            let sib = if idx.is_multiple_of(2) {
                 *level.get(idx + 1).unwrap_or(&level[idx])
             } else {
                 level[idx - 1]
@@ -187,7 +187,7 @@ impl MerkleTree {
         let mut h = leaf_hash(leaf_data);
         let mut idx = proof.index;
         for sib in &proof.siblings {
-            h = if idx % 2 == 0 { node_hash(&h, sib) } else { node_hash(sib, &h) };
+            h = if idx.is_multiple_of(2) { node_hash(&h, sib) } else { node_hash(sib, &h) };
             idx /= 2;
         }
         h == *root
@@ -200,7 +200,6 @@ pub fn blinding_scalar(seed: &[u8], label: &[u8]) -> Scalar {
     let g = Group::standard();
     g.scalar_from_digest(&Sha256::digest_parts(&[b"ba-crypto/blinding/v1", seed, label]))
 }
-
 
 #[cfg(test)]
 mod tests {

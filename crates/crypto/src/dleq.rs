@@ -55,8 +55,7 @@ impl DleqProof {
 pub fn prove(sk: &Scalar, h: &Element, v: &Element) -> DleqProof {
     let g = Group::standard();
     let pk = g.pow_g(sk);
-    let nonce_material =
-        Sha256::digest_parts(&[b"dleq-nonce/v1", &h.to_bytes(), &v.to_bytes()]);
+    let nonce_material = Sha256::digest_parts(&[b"dleq-nonce/v1", &h.to_bytes(), &v.to_bytes()]);
     let mut k = g.scalar_from_digest(&hmac_sha256(&sk.to_bytes(), &nonce_material));
     if k.is_zero() {
         k = g.scalar_from_u64(1);
@@ -69,6 +68,10 @@ pub fn prove(sk: &Scalar, h: &Element, v: &Element) -> DleqProof {
 }
 
 /// Verifies a DLEQ proof: `g^s == a1 * pk^e` and `h^s == a2 * v^e`.
+///
+/// The second equation is checked in the Straus/Shamir double-exponentiation
+/// form `h^s * v^{-e} == a2` (shared squarings); the first runs off the
+/// generator's fixed-base table.
 pub fn verify(pk: &Element, h: &Element, v: &Element, proof: &DleqProof) -> bool {
     let g = Group::standard();
     for e in [pk, h, v, &proof.a1, &proof.a2] {
@@ -82,9 +85,104 @@ pub fn verify(pk: &Element, h: &Element, v: &Element, proof: &DleqProof) -> bool
     if lhs1 != rhs1 {
         return false;
     }
-    let lhs2 = g.pow(h, &proof.s);
-    let rhs2 = g.mul(&proof.a2, &g.pow(v, &e));
-    lhs2 == rhs2
+    // h^s * v^{q-e} == a2  <=>  h^s == a2 * v^e.
+    g.pow2(h, &proof.s, v, &g.scalar_neg(&e)) == proof.a2
+}
+
+/// One statement in a [`verify_batch`] call: proof that
+/// `log_g(pk) == log_h(v)`.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem<'a> {
+    /// The public key `g^sk`.
+    pub pk: &'a Element,
+    /// The evaluation base `h`.
+    pub h: &'a Element,
+    /// The claimed evaluation `v = h^sk`.
+    pub v: &'a Element,
+    /// The proof.
+    pub proof: &'a DleqProof,
+}
+
+/// Verifies a batch of DLEQ proofs with a random linear combination.
+///
+/// Each proof contributes two verification equations; drawing independent
+/// 64-bit coefficients `z_i` (first equation) and `w_i` (second) from a
+/// transcript over the whole batch, everything collapses into the single
+/// check
+///
+/// ```text
+/// g^{sum z_i s_i} * prod h_i^{w_i s_i} * a1_i^{-z_i} * pk_i^{-z_i e_i}
+///                 * a2_i^{-w_i} * v_i^{-w_i e_i} == 1
+/// ```
+///
+/// evaluated as one interleaved multi-exponentiation (negative exponents as
+/// `q - x`; cached fixed-base tables for registered public keys). A batch
+/// verifies iff — up to `2^-48` per forged proof — every member proof
+/// verifies individually. The empty batch verifies trivially.
+pub fn verify_batch(items: &[BatchItem<'_>]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    if items.len() == 1 {
+        return verify(items[0].pk, items[0].h, items[0].v, items[0].proof);
+    }
+    // Independent sub-batches verify in parallel (see `crate::batch`).
+    crate::batch::verify_chunked(items, verify_batch_serial)
+}
+
+fn verify_batch_serial(items: &[BatchItem<'_>]) -> bool {
+    let g = Group::standard();
+    let mut challenges = Vec::with_capacity(items.len());
+    let mut pk_tables = Vec::with_capacity(items.len());
+    for it in items {
+        // Cached public keys were membership-checked at registration.
+        let table = g.cached_table(it.pk);
+        if table.is_none() && !g.is_valid_element(it.pk) {
+            return false;
+        }
+        for e in [it.h, it.v, &it.proof.a1, &it.proof.a2] {
+            if !g.is_valid_element(e) {
+                return false;
+            }
+        }
+        pk_tables.push(table);
+        challenges.push(challenge(it.pk, it.h, it.v, &it.proof.a1, &it.proof.a2));
+    }
+    let mut transcript = Sha256::new();
+    transcript.update(b"dleq-batch/v1");
+    for it in items {
+        transcript.update(&it.pk.to_bytes());
+        transcript.update(&it.h.to_bytes());
+        transcript.update(&it.v.to_bytes());
+        transcript.update(&it.proof.to_bytes());
+    }
+    let coefficients = crate::schnorr::batch_coefficients(&transcript.finalize(), 2 * items.len());
+
+    let mut s_sum = g.scalar_from_u64(0);
+    let mut tables = Vec::new();
+    let mut tabled_exps = Vec::new();
+    let mut plain = Vec::with_capacity(items.len() * 4);
+    for (i, it) in items.iter().enumerate() {
+        let z = coefficients[2 * i];
+        let w = coefficients[2 * i + 1];
+        let e = &challenges[i];
+        s_sum = g.scalar_add(&s_sum, &g.scalar_mul(&z, &it.proof.s));
+        plain.push((*it.h, g.scalar_mul(&w, &it.proof.s)));
+        plain.push((it.proof.a1, g.scalar_neg(&z)));
+        plain.push((it.proof.a2, g.scalar_neg(&w)));
+        plain.push((*it.v, g.scalar_neg(&g.scalar_mul(&w, e))));
+        let pk_exp = g.scalar_neg(&g.scalar_mul(&z, e));
+        match &pk_tables[i] {
+            Some(t) => {
+                tables.push(t.clone());
+                tabled_exps.push(pk_exp);
+            }
+            None => plain.push((*it.pk, pk_exp)),
+        }
+    }
+    let tabled: Vec<_> = tables.iter().zip(tabled_exps.iter()).map(|(t, e)| (&**t, *e)).collect();
+    let combined = g.mul(&g.pow_g(&s_sum), &g.multi_pow_mixed(&tabled, &plain));
+    combined.as_u256() == &crate::bigint::U256::ONE
 }
 
 fn challenge(pk: &Element, h: &Element, v: &Element, a1: &Element, a2: &Element) -> Scalar {

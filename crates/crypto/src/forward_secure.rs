@@ -120,7 +120,11 @@ impl ForwardSecureKey {
     ///
     /// Returns [`SignSlotError::SlotOutOfRange`] for bad slots and
     /// [`SignSlotError::KeyErased`] if the slot key was destroyed.
-    pub fn sign_slot(&self, slot: usize, msg: &[u8]) -> Result<ForwardSecureSignature, SignSlotError> {
+    pub fn sign_slot(
+        &self,
+        slot: usize,
+        msg: &[u8],
+    ) -> Result<ForwardSecureSignature, SignSlotError> {
         let key = self
             .slot_keys
             .get(slot)

@@ -9,9 +9,10 @@
 //! checks, hash-to-group, and scalar (mod-`q`) arithmetic — everything the
 //! Schnorr signature, Chaum–Pedersen DLEQ proof, and DDH VRF need.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::bigint::{ModCtx, U256};
+use crate::bigint::{jacobi, FixedBaseTable, ModCtx, U256};
 use crate::sha256::Sha256;
 
 /// Hex of the group prime `p = 2^256 - 36113` (a safe prime).
@@ -90,9 +91,25 @@ pub struct Group {
     q_ctx: ModCtx,
     g: Element,
     q: U256,
+    /// Lazily-built fixed-base window table for the generator; every
+    /// `pow_g` (key generation, signing nonces, VRF/DLEQ commitments,
+    /// verification) goes through it.
+    g_table: OnceLock<FixedBaseTable>,
 }
 
 static STANDARD: OnceLock<Group> = OnceLock::new();
+
+/// Process-wide cache of fixed-base tables for long-lived elements (public
+/// keys), keyed by `(modulus, element)`. Bounded; see
+/// [`Group::ensure_cached_table`].
+type TableCacheMap = HashMap<([u8; 32], [u8; 32]), Arc<FixedBaseTable>>;
+
+static TABLE_CACHE: OnceLock<Mutex<TableCacheMap>> = OnceLock::new();
+
+/// Cap on cached public-key tables. Cached keys get 6-bit-window tables
+/// (~87 KiB each), so the cache tops out around ~170 MiB before being
+/// cleared wholesale.
+const TABLE_CACHE_CAP: usize = 2048;
 
 impl Group {
     /// Returns the process-wide standard 256-bit group.
@@ -120,7 +137,12 @@ impl Group {
         let q_ctx = ModCtx::new(q);
         assert!(g > U256::ONE && g < p, "generator out of range");
         assert_eq!(p_ctx.pow(&g, &q), U256::ONE, "generator must have order q");
-        Group { p_ctx, q_ctx, g: Element(g), q }
+        Group { p_ctx, q_ctx, g: Element(g), q, g_table: OnceLock::new() }
+    }
+
+    /// The generator's fixed-base table (built on first use).
+    fn g_table(&self) -> &FixedBaseTable {
+        self.g_table.get_or_init(|| self.p_ctx.precompute(&self.g.0))
     }
 
     /// The generator `g`.
@@ -138,8 +160,23 @@ impl Group {
         self.p_ctx.modulus()
     }
 
-    /// Checks subgroup membership: `1 <= x < p` and `x^q == 1`.
+    /// Checks subgroup membership: `1 <= x < p` and `x` is a quadratic
+    /// residue mod `p`.
+    ///
+    /// For a safe prime `p = 2q + 1` the order-`q` subgroup is exactly the
+    /// set of quadratic residues, so the Jacobi symbol decides membership —
+    /// orders of magnitude cheaper than the defining test `x^q == 1` (which
+    /// [`Group::is_valid_element_slow`] retains as the cross-checked
+    /// reference).
     pub fn is_valid_element(&self, e: &Element) -> bool {
+        let x = e.0;
+        !x.is_zero() && x < *self.prime() && jacobi(&x, self.prime()) == 1
+    }
+
+    /// Reference subgroup membership test via `x^q == 1` (kept for
+    /// cross-checking the Jacobi fast path; prefer
+    /// [`Group::is_valid_element`]).
+    pub fn is_valid_element_slow(&self, e: &Element) -> bool {
         let x = e.0;
         !x.is_zero() && x < *self.prime() && self.p_ctx.pow(&x, &self.q) == U256::ONE
     }
@@ -172,9 +209,96 @@ impl Group {
         Element(self.p_ctx.pow(&base.0, &e.0))
     }
 
-    /// Exponentiation of the generator, `g^e`.
+    /// Exponentiation of the generator, `g^e`, via the precomputed
+    /// fixed-base window table (~6x faster than generic exponentiation).
     pub fn pow_g(&self, e: &Scalar) -> Element {
-        self.pow(&self.g, e)
+        Element(self.p_ctx.pow_fixed(self.g_table(), &e.0))
+    }
+
+    /// Builds a fixed-base window table for `base` (see
+    /// [`ModCtx::precompute`]); amortizes after a handful of
+    /// [`Group::pow_with_table`] calls.
+    pub fn precompute_table(&self, base: &Element) -> FixedBaseTable {
+        self.p_ctx.precompute(&base.0)
+    }
+
+    /// Fixed-base exponentiation `base^e` through a precomputed table.
+    pub fn pow_with_table(&self, table: &FixedBaseTable, e: &Scalar) -> Element {
+        Element(self.p_ctx.pow_fixed(table, &e.0))
+    }
+
+    /// Straus/Shamir double exponentiation `a^ea * b^eb` with shared
+    /// squarings — the `g^s * y^{-e}` shape of Schnorr/DLEQ verification.
+    pub fn pow2(&self, a: &Element, ea: &Scalar, b: &Element, eb: &Scalar) -> Element {
+        Element(self.p_ctx.pow2(&a.0, &ea.0, &b.0, &eb.0))
+    }
+
+    /// Interleaved multi-exponentiation `prod_i base_i^exp_i` (one shared
+    /// squaring chain; the batch-verification workhorse).
+    pub fn multi_pow(&self, terms: &[(Element, Scalar)]) -> Element {
+        let raw: Vec<(U256, U256)> = terms.iter().map(|(b, e)| (b.0, e.0)).collect();
+        Element(self.p_ctx.multi_pow(&raw))
+    }
+
+    /// Multi-exponentiation where some bases have precomputed tables:
+    /// `prod_i tabled_i ^ tei * prod_j plain_j ^ epj`.
+    pub fn multi_pow_mixed(
+        &self,
+        tabled: &[(&FixedBaseTable, Scalar)],
+        plain: &[(Element, Scalar)],
+    ) -> Element {
+        let t: Vec<(&FixedBaseTable, U256)> = tabled.iter().map(|(t, e)| (*t, e.0)).collect();
+        let p: Vec<(U256, U256)> = plain.iter().map(|(b, e)| (b.0, e.0)).collect();
+        Element(self.p_ctx.multi_pow_mixed(&t, &p))
+    }
+
+    /// Returns the cached fixed-base table for `base`, if one was built.
+    pub fn cached_table(&self, base: &Element) -> Option<Arc<FixedBaseTable>> {
+        let cache = TABLE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (self.prime().to_be_bytes(), base.to_bytes());
+        cache.lock().expect("poisoned").get(&key).cloned()
+    }
+
+    /// Builds (or fetches) the cached fixed-base table for `base`.
+    ///
+    /// Intended for long-lived bases — the PKI registers every public key
+    /// here at setup so that verification hot paths run off tables. The
+    /// cache is process-wide, keyed by `(modulus, element)`, and bounded:
+    /// when full it is cleared wholesale (the next setup simply rebuilds;
+    /// simulations never hold more than a few thousand keys live).
+    ///
+    /// Registration validates subgroup membership once, which lets batch
+    /// verification skip the per-call membership check for cached keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a subgroup member (tables are only for
+    /// honestly-registered elements).
+    pub fn ensure_cached_table(&self, base: &Element) -> Arc<FixedBaseTable> {
+        if let Some(t) = self.cached_table(base) {
+            return t;
+        }
+        assert!(
+            self.is_valid_element(base),
+            "fixed-base tables may only be registered for valid subgroup elements"
+        );
+        // Cached (long-lived) keys get wider 6-bit windows: ~87 KiB and a
+        // bigger one-off build, but ~30% fewer multiplications per
+        // exponentiation than the default 4-bit table.
+        let table = Arc::new(self.p_ctx.precompute_wide(&base.0, 6));
+        let cache = TABLE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (self.prime().to_be_bytes(), base.to_bytes());
+        let mut map = cache.lock().expect("poisoned");
+        if map.len() >= TABLE_CACHE_CAP {
+            // Evict only tables nobody holds anymore (registrants keep an
+            // Arc for their lifetime, so live PKIs survive); fall back to a
+            // wholesale clear if everything is still referenced.
+            map.retain(|_, t| Arc::strong_count(t) > 1);
+            if map.len() >= TABLE_CACHE_CAP {
+                map.clear();
+            }
+        }
+        map.entry(key).or_insert_with(|| table.clone()).clone()
     }
 
     /// Hashes arbitrary bytes into the subgroup.
@@ -228,6 +352,12 @@ impl Group {
         Scalar(self.q_ctx.mul(&a.0, &b.0))
     }
 
+    /// Scalar negation mod `q` (`q - a`), the exponent form of the
+    /// `y^{-e}` term in verification equations.
+    pub fn scalar_neg(&self, a: &Scalar) -> Scalar {
+        Scalar(self.q_ctx.neg(&a.0))
+    }
+
     /// Scalar inversion mod `q` (prime order).
     ///
     /// # Panics
@@ -248,11 +378,7 @@ mod tests {
         let g = Group::standard();
         assert!(is_probable_prime(g.prime(), 64), "p must be prime");
         assert!(is_probable_prime(g.order(), 64), "q must be prime");
-        assert_eq!(
-            g.order().shl1().wrapping_add(&U256::ONE),
-            *g.prime(),
-            "p = 2q + 1"
-        );
+        assert_eq!(g.order().shl1().wrapping_add(&U256::ONE), *g.prime(), "p = 2q + 1");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! # let _ = eligible;
 //! ```
 
+mod batch;
 pub mod bigint;
 pub mod commit;
 pub mod dleq;

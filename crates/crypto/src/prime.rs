@@ -9,8 +9,8 @@ use crate::hmac::HmacDrbg;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Probabilistic primality test: trial division then `rounds` Miller–Rabin
@@ -106,10 +106,12 @@ pub fn find_safe_prime(bits: usize, rounds: usize) -> (U256, U256) {
     loop {
         let q = p.shr1();
         // Cheap screen on q first (q odd since p % 4 == 3).
-        if is_probable_prime(&q, 2) && is_probable_prime(&p, 2) {
-            if is_probable_prime(&q, rounds) && is_probable_prime(&p, rounds) {
-                return (p, q);
-            }
+        if is_probable_prime(&q, 2)
+            && is_probable_prime(&p, 2)
+            && is_probable_prime(&q, rounds)
+            && is_probable_prime(&p, rounds)
+        {
+            return (p, q);
         }
         p = p.wrapping_sub(&U256::from_u64(4));
     }

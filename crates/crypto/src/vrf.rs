@@ -122,6 +122,50 @@ impl VrfPublicKey {
     }
 }
 
+/// One evaluation in a [`verify_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem<'a> {
+    /// The claimed evaluator's public key.
+    pub key: &'a VrfPublicKey,
+    /// The evaluated message.
+    pub msg: &'a [u8],
+    /// The claimed output (with proof).
+    pub out: &'a VrfOutput,
+}
+
+/// Verifies a batch of VRF evaluations at once.
+///
+/// Hashes every message to its group element and hands the underlying DLEQ
+/// statements to [`dleq::verify_batch`] (one random-linear-combination
+/// multi-exponentiation for the whole batch). A batch verifies iff — up to
+/// probability `2^-48` per forged member — every evaluation verifies
+/// individually; the empty batch verifies trivially.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::vrf::{verify_batch, BatchItem, VrfSecretKey};
+///
+/// let keys: Vec<VrfSecretKey> =
+///     (0..3).map(|i: u32| VrfSecretKey::from_seed(&i.to_be_bytes())).collect();
+/// let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+/// let outs: Vec<_> = keys.iter().map(|k| k.evaluate(b"(ACK, r=1, b=0)")).collect();
+/// let items: Vec<BatchItem> = (0..3)
+///     .map(|i| BatchItem { key: &pks[i], msg: b"(ACK, r=1, b=0)", out: &outs[i] })
+///     .collect();
+/// assert!(verify_batch(&items));
+/// ```
+pub fn verify_batch(items: &[BatchItem<'_>]) -> bool {
+    let g = Group::standard();
+    let hs: Vec<Element> = items.iter().map(|it| g.hash_to_group(H2G_DOMAIN, it.msg)).collect();
+    let statements: Vec<dleq::BatchItem<'_>> = items
+        .iter()
+        .zip(hs.iter())
+        .map(|(it, h)| dleq::BatchItem { pk: &it.key.0, h, v: &it.out.gamma, proof: &it.out.proof })
+        .collect();
+    dleq::verify_batch(&statements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

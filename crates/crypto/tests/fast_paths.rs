@@ -1,0 +1,204 @@
+//! Property tests pinning the crypto fast paths to their slow reference
+//! implementations: fixed-base window tables and Straus/interleaved
+//! multi-exponentiation against square-and-multiply, Jacobi-symbol subgroup
+//! membership against the defining `x^q == 1` test, and batch verification
+//! against per-signature / per-ticket verification — including the
+//! must-reject case where exactly one member of a batch is invalid.
+
+use ba_crypto::bigint::{jacobi, ModCtx, U256};
+use ba_crypto::group::Group;
+use ba_crypto::schnorr::{self, SigningKey};
+use ba_crypto::vrf::{self, VrfSecretKey};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fixed_base_table_matches_square_and_multiply(base in arb_u256(), exp in arb_u256()) {
+        let g = Group::standard();
+        let ctx = ModCtx::new(*g.prime());
+        let slow = ctx.pow(&base, &exp);
+        for width in [2usize, 4, 6, 8] {
+            let table = ctx.precompute_wide(&base, width);
+            prop_assert_eq!(ctx.pow_fixed(&table, &exp), slow, "width={}", width);
+        }
+    }
+
+    #[test]
+    fn straus_double_exp_matches_two_pows(
+        b1 in arb_u256(),
+        e1 in arb_u256(),
+        b2 in arb_u256(),
+        e2 in arb_u256(),
+    ) {
+        let g = Group::standard();
+        let ctx = ModCtx::new(*g.prime());
+        let fast = ctx.pow2(&b1, &e1, &b2, &e2);
+        let slow = ctx.mul(&ctx.pow(&b1, &e1), &ctx.pow(&b2, &e2));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn multi_pow_matches_product_of_pows(
+        terms in prop::collection::vec((any::<[u64; 4]>(), any::<[u64; 4]>()), 0..8),
+        short in any::<u64>(),
+    ) {
+        let g = Group::standard();
+        let ctx = ModCtx::new(*g.prime());
+        // Mix in a short (64-bit) exponent to hit the adaptive window path.
+        let mut terms: Vec<(U256, U256)> =
+            terms.into_iter().map(|(b, e)| (U256(b), U256(e))).collect();
+        terms.push((U256::from_u64(7), U256::from_u64(short)));
+        let fast = ctx.multi_pow(&terms);
+        let mut slow = U256::ONE.reduce_mod(g.prime());
+        for (b, e) in &terms {
+            slow = ctx.mul(&slow, &ctx.pow(b, e));
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn jacobi_membership_matches_euler_criterion(x in arb_u256()) {
+        let g = Group::standard();
+        let e = ba_crypto::group::Element::from_raw_unchecked(x.reduce_mod(g.prime()));
+        prop_assert_eq!(g.is_valid_element(&e), g.is_valid_element_slow(&e));
+    }
+
+    #[test]
+    fn jacobi_of_small_values_matches_legendre(a in 0u64..1000, p in 3u64..1000) {
+        // Cross-check against direct Euler criterion for small odd primes.
+        let p = p | 1;
+        prop_assume!(ba_crypto::prime::is_probable_prime(&U256::from_u64(p), 16));
+        let expected = match mod_pow_u64(a % p, (p - 1) / 2, p) {
+            0 => 0i32,
+            1 => 1,
+            _ => -1,
+        };
+        prop_assert_eq!(jacobi(&U256::from_u64(a), &U256::from_u64(p)), expected);
+    }
+}
+
+fn mod_pow_u64(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc: u128 = 1;
+    let mut b = base as u128 % modulus as u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % modulus as u128;
+        }
+        b = b * b % modulus as u128;
+        exp >>= 1;
+    }
+    acc as u64
+}
+
+fn schnorr_batch(
+    n: usize,
+    seed: u64,
+) -> (Vec<SigningKey>, Vec<Vec<u8>>, Vec<ba_crypto::schnorr::Signature>) {
+    let keys: Vec<SigningKey> =
+        (0..n).map(|i| SigningKey::from_seed(&(seed ^ i as u64).to_be_bytes())).collect();
+    let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("batch-msg-{seed}-{i}").into_bytes()).collect();
+    let sigs = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+    (keys, msgs, sigs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn schnorr_batch_accepts_iff_all_singles_accept(seed in any::<u64>(), n in 2usize..12) {
+        let (keys, msgs, sigs) = schnorr_batch(n, seed);
+        let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+        let items: Vec<schnorr::BatchItem> = (0..n)
+            .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+            .collect();
+        prop_assert!((0..n).all(|i| vks[i].verify(&msgs[i], &sigs[i])));
+        prop_assert!(schnorr::verify_batch(&items));
+        prop_assert!(schnorr::verify_batch(&[])); // empty batch is vacuous
+    }
+
+    #[test]
+    fn schnorr_batch_rejects_one_invalid_member(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        bad in 0usize..12,
+        corruption in 0usize..3,
+    ) {
+        let bad = bad % n;
+        let g = Group::standard();
+        let (keys, msgs, mut sigs) = schnorr_batch(n, seed);
+        let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+        // Corrupt exactly one signature three different ways.
+        match corruption {
+            0 => sigs[bad].s = g.scalar_add(&sigs[bad].s, &g.scalar_from_u64(1)),
+            1 => sigs[bad].r = g.mul(&sigs[bad].r, &g.generator()),
+            _ => sigs[bad] = keys[bad].sign(b"a different message entirely"),
+        }
+        let items: Vec<schnorr::BatchItem> = (0..n)
+            .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+            .collect();
+        prop_assert!(!vks[bad].verify(&msgs[bad], &sigs[bad]));
+        prop_assert!(
+            !schnorr::verify_batch(&items),
+            "batch with one invalid member (corruption {}) must reject",
+            corruption
+        );
+    }
+
+    #[test]
+    fn vrf_batch_accepts_valid_and_rejects_one_invalid(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        bad in 0usize..8,
+    ) {
+        let bad = bad % n;
+        let g = Group::standard();
+        let keys: Vec<VrfSecretKey> = (0..n)
+            .map(|i| VrfSecretKey::from_seed(&(seed ^ i as u64).to_be_bytes()))
+            .collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let msgs: Vec<Vec<u8>> =
+            (0..n).map(|i| format!("vrf-batch-{seed}-{i}").into_bytes()).collect();
+        let mut outs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.evaluate(m)).collect();
+        {
+            let items: Vec<vrf::BatchItem> = (0..n)
+                .map(|i| vrf::BatchItem { key: &pks[i], msg: &msgs[i], out: &outs[i] })
+                .collect();
+            prop_assert!(vrf::verify_batch(&items), "all-valid batch must accept");
+        }
+        // Forge exactly one output (shifted gamma, honest proof).
+        outs[bad].gamma = g.mul(&outs[bad].gamma, &g.generator());
+        let items: Vec<vrf::BatchItem> = (0..n)
+            .map(|i| vrf::BatchItem { key: &pks[i], msg: &msgs[i], out: &outs[i] })
+            .collect();
+        prop_assert!(!pks[bad].verify(&msgs[bad], &outs[bad]));
+        prop_assert!(!vrf::verify_batch(&items), "batch with one forged output must reject");
+    }
+
+    #[test]
+    fn batch_verdict_unchanged_by_cached_pk_tables(seed in any::<u64>()) {
+        // Registering public keys in the fixed-base table cache must not
+        // change any accept/reject decision, only the speed.
+        let g = Group::standard();
+        let n = 6;
+        let (keys, msgs, mut sigs) = schnorr_batch(n, seed);
+        let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+        for vk in &vks {
+            g.ensure_cached_table(&vk.0);
+        }
+        let items: Vec<schnorr::BatchItem> = (0..n)
+            .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+            .collect();
+        prop_assert!(schnorr::verify_batch(&items));
+        sigs[3].s = g.scalar_add(&sigs[3].s, &g.scalar_from_u64(1));
+        let items: Vec<schnorr::BatchItem> = (0..n)
+            .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+            .collect();
+        prop_assert!(!schnorr::verify_batch(&items));
+    }
+}

@@ -50,6 +50,25 @@ pub trait Eligibility: Send + Sync {
     /// Verifies a claimed ticket.
     fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool;
 
+    /// Verifies a batch of eligibility claims at once; `true` iff every
+    /// claim verifies (the empty batch verifies trivially).
+    ///
+    /// The default iterates [`Eligibility::verify`]; the real-world VRF
+    /// backend overrides it with random-linear-combination batch
+    /// verification of all DLEQ proofs (up to `2^-48` soundness slack per
+    /// member — see `ba_crypto::schnorr::verify_batch`).
+    fn verify_batch(&self, items: &[(NodeId, &MineTag, &Ticket)]) -> bool {
+        items.iter().all(|(node, tag, ticket)| self.verify(*node, tag, ticket))
+    }
+
+    /// Whether [`Eligibility::verify_batch`] is genuinely cheaper than
+    /// per-item verification (i.e. this backend has a real batch fast
+    /// path). Callers use this to decide whether an up-front batch pass
+    /// over an inbox pays for itself.
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
     /// The expected committee size `λ` (for quorum computation).
     fn lambda(&self) -> f64;
 

@@ -159,10 +159,7 @@ mod tests {
             sizes.push(size);
         }
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!(
-            (25.0..=55.0).contains(&mean),
-            "mean committee size {mean} too far from lambda=40"
-        );
+        assert!((25.0..=55.0).contains(&mean), "mean committee size {mean} too far from lambda=40");
     }
 
     #[test]

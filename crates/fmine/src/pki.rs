@@ -57,7 +57,22 @@ pub struct Keychain {
     verifying_keys: Vec<VerifyingKey>,
     /// Ideal-mode registry of (signer, message) pairs actually signed.
     registry: Mutex<HashSet<(NodeId, Vec<u8>)>>,
+    /// Keeps the registered fixed-base tables alive for this keychain's
+    /// lifetime: the global cache evicts only unreferenced tables, so a
+    /// live PKI never loses its fast path mid-execution.
+    _pk_tables: Vec<std::sync::Arc<ba_crypto::bigint::FixedBaseTable>>,
+    /// Real-mode verification cache: `(signer, message, signature)` triples
+    /// already proven valid. The protocols re-verify identical evidence
+    /// constantly (certificates repeat votes across rounds); re-checking
+    /// the same triple becomes an O(1) lookup. Keying on the signature
+    /// bytes — not just the statement — keeps the accept set bit-identical
+    /// to per-signature verification. Only positive results are cached, so
+    /// a later genuine signature is never masked by an earlier forgery.
+    proven: Mutex<ProvenSet>,
 }
+
+/// `(signer, message, signature-bytes)` triples proven valid.
+type ProvenSet = HashSet<(NodeId, Vec<u8>, [u8; 64])>;
 
 impl Keychain {
     /// Trusted setup: deterministically generates `n` key pairs.
@@ -83,8 +98,24 @@ impl Keychain {
                 SigningKey::from_seed(&s)
             })
             .collect();
-        let verifying_keys = signing_keys.iter().map(|k| k.verifying_key()).collect();
-        Keychain { mode, signing_keys, verifying_keys, registry: Mutex::new(HashSet::new()) }
+        let verifying_keys: Vec<VerifyingKey> =
+            signing_keys.iter().map(|k| k.verifying_key()).collect();
+        let mut pk_tables = Vec::new();
+        if mode == SigMode::Real {
+            // Trusted setup registers every public key in the process-wide
+            // fixed-base table cache: single and batch verification then run
+            // off precomputed windows instead of generic exponentiation.
+            let group = ba_crypto::group::Group::standard();
+            pk_tables = verifying_keys.iter().map(|vk| group.ensure_cached_table(&vk.0)).collect();
+        }
+        Keychain {
+            mode,
+            signing_keys,
+            verifying_keys,
+            _pk_tables: pk_tables,
+            registry: Mutex::new(HashSet::new()),
+            proven: Mutex::new(HashSet::new()),
+        }
     }
 
     /// The signature mode in force.
@@ -111,10 +142,7 @@ impl Keychain {
         match self.mode {
             SigMode::Real => Sig::Real(self.signing_keys[node.index()].sign(msg)),
             SigMode::Ideal => {
-                self.registry
-                    .lock()
-                    .expect("poisoned")
-                    .insert((node, msg.to_vec()));
+                self.registry.lock().expect("poisoned").insert((node, msg.to_vec()));
                 Sig::Ideal
             }
         }
@@ -126,13 +154,77 @@ impl Keychain {
             return false;
         }
         match (self.mode, sig) {
-            (SigMode::Real, Sig::Real(s)) => self.verifying_keys[node.index()].verify(msg, s),
-            (SigMode::Ideal, Sig::Ideal) => self
-                .registry
-                .lock()
-                .expect("poisoned")
-                .contains(&(node, msg.to_vec())),
+            (SigMode::Real, Sig::Real(s)) => {
+                let key = (node, msg.to_vec(), s.to_bytes());
+                if self.proven.lock().expect("poisoned").contains(&key) {
+                    return true;
+                }
+                let ok = self.verifying_keys[node.index()].verify(msg, s);
+                if ok {
+                    self.proven.lock().expect("poisoned").insert(key);
+                }
+                ok
+            }
+            (SigMode::Ideal, Sig::Ideal) => {
+                self.registry.lock().expect("poisoned").contains(&(node, msg.to_vec()))
+            }
             _ => false, // mode/variant mismatch is a wiring bug, never valid
+        }
+    }
+
+    /// Verifies a batch of `(signer, message, signature)` claims at once.
+    ///
+    /// In [`SigMode::Real`] this collapses to one random-linear-combination
+    /// check over all Schnorr signatures ([`ba_crypto::schnorr::verify_batch`]);
+    /// in [`SigMode::Ideal`] it is a registry sweep under a single lock.
+    /// Returns `true` iff **every** claim verifies (up to the documented
+    /// `2^-48`-per-member batch soundness in real mode); the empty batch
+    /// verifies trivially.
+    pub fn verify_batch(&self, items: &[(NodeId, &[u8], &Sig)]) -> bool {
+        match self.mode {
+            SigMode::Real => {
+                let mut batch = Vec::with_capacity(items.len());
+                {
+                    let proven = self.proven.lock().expect("poisoned");
+                    // Inboxes repeat identical claims (certificates share
+                    // votes); verify each distinct triple once.
+                    let mut in_batch: HashSet<(NodeId, &[u8], [u8; 64])> = HashSet::new();
+                    for (node, msg, sig) in items {
+                        if node.index() >= self.n() {
+                            return false;
+                        }
+                        let Sig::Real(s) = sig else { return false };
+                        if proven.contains(&(*node, msg.to_vec(), s.to_bytes()))
+                            || !in_batch.insert((*node, msg, s.to_bytes()))
+                        {
+                            continue; // already proven or already queued
+                        }
+                        batch.push(ba_crypto::schnorr::BatchItem {
+                            key: &self.verifying_keys[node.index()],
+                            msg,
+                            sig: s,
+                        });
+                    }
+                }
+                let ok = ba_crypto::schnorr::verify_batch(&batch);
+                if ok {
+                    let mut proven = self.proven.lock().expect("poisoned");
+                    for (node, msg, sig) in items {
+                        if let Sig::Real(s) = sig {
+                            proven.insert((*node, msg.to_vec(), s.to_bytes()));
+                        }
+                    }
+                }
+                ok
+            }
+            SigMode::Ideal => {
+                let registry = self.registry.lock().expect("poisoned");
+                items.iter().all(|(node, msg, sig)| {
+                    node.index() < self.n()
+                        && matches!(sig, Sig::Ideal)
+                        && registry.contains(&(*node, msg.to_vec()))
+                })
+            }
         }
     }
 }
@@ -185,5 +277,43 @@ mod tests {
     fn sig_size_constant() {
         let chain = Keychain::from_seed(1, 1, SigMode::Ideal);
         assert_eq!(chain.sign(NodeId(0), b"m").size_bits(), SIG_BITS);
+    }
+
+    #[test]
+    fn batch_matches_singles_in_both_modes() {
+        for mode in [SigMode::Real, SigMode::Ideal] {
+            let chain = Keychain::from_seed(7, 4, mode);
+            let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("m{i}").into_bytes()).collect();
+            let sigs: Vec<Sig> = (0..4).map(|i| chain.sign(NodeId(i), &msgs[i])).collect();
+            let items: Vec<(NodeId, &[u8], &Sig)> =
+                (0..4).map(|i| (NodeId(i), msgs[i].as_slice(), &sigs[i])).collect();
+            assert!(chain.verify_batch(&items), "{mode:?}");
+            assert!(chain.verify_batch(&[]), "{mode:?}: empty batch is vacuous");
+            // One bad member (signature for the wrong message) sinks the batch.
+            let bad = chain.sign(NodeId(2), b"other");
+            let mut tampered = items.clone();
+            tampered[2] = (NodeId(2), msgs[3].as_slice(), &bad);
+            assert!(!chain.verify_batch(&tampered), "{mode:?}");
+            // And an out-of-range signer is rejected outright.
+            let oob = vec![(NodeId(99), msgs[0].as_slice(), &sigs[0])];
+            assert!(!chain.verify_batch(&oob), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn cached_verification_still_rejects_tampered_sig() {
+        // A positive cache entry for (node, msg, sig) must not leak to a
+        // different signature over the same statement.
+        let chain = Keychain::from_seed(9, 2, SigMode::Real);
+        let sig = chain.sign(NodeId(0), b"stmt");
+        assert!(chain.verify(NodeId(0), b"stmt", &sig));
+        assert!(chain.verify(NodeId(0), b"stmt", &sig), "cache hit stays valid");
+        let Sig::Real(real) = sig else { unreachable!() };
+        let g = ba_crypto::group::Group::standard();
+        let forged = Sig::Real(ba_crypto::schnorr::Signature {
+            r: real.r,
+            s: g.scalar_add(&real.s, &g.scalar_from_u64(1)),
+        });
+        assert!(!chain.verify(NodeId(0), b"stmt", &forged));
     }
 }

@@ -52,6 +52,15 @@ pub struct RealMine {
     params: MineParams,
     secret_keys: Vec<VrfSecretKey>,
     public_keys: Vec<VrfPublicKey>,
+    /// Keeps the registered fixed-base tables alive for this instance's
+    /// lifetime (the global cache evicts only unreferenced tables).
+    _pk_tables: Vec<std::sync::Arc<ba_crypto::bigint::FixedBaseTable>>,
+    /// Verification cache: `(node, tag, gamma, proof)` tickets already
+    /// proven valid. Keying on the full ticket bytes keeps the accept set
+    /// bit-identical to per-ticket verification (a foreign or mangled
+    /// ticket never hits a cached entry). Positive results only.
+    #[allow(clippy::type_complexity)]
+    proven: std::sync::Mutex<std::collections::HashSet<(NodeId, [u8; 11], [u8; 32], [u8; 96])>>,
 }
 
 impl RealMine {
@@ -67,8 +76,21 @@ impl RealMine {
                 VrfSecretKey::from_seed(&s)
             })
             .collect();
-        let public_keys = secret_keys.iter().map(|k| k.public_key()).collect();
-        RealMine { execution_id: seed, params, secret_keys, public_keys }
+        let public_keys: Vec<VrfPublicKey> = secret_keys.iter().map(|k| k.public_key()).collect();
+        // Trusted setup registers the PKI in the fixed-base table cache so
+        // ticket verification (single and batch) runs off precomputed
+        // windows; holding the Arcs keeps the tables safe from eviction
+        // for this instance's lifetime.
+        let group = ba_crypto::group::Group::standard();
+        let pk_tables = public_keys.iter().map(|pk| group.ensure_cached_table(&pk.0)).collect();
+        RealMine {
+            execution_id: seed,
+            params,
+            secret_keys,
+            public_keys,
+            _pk_tables: pk_tables,
+            proven: std::sync::Mutex::new(std::collections::HashSet::new()),
+        }
     }
 
     /// The published PKI (every node's VRF public key).
@@ -96,9 +118,70 @@ impl Eligibility for RealMine {
         if node.index() >= self.public_keys.len() {
             return false;
         }
+        if out.rho_u64() >= self.params.threshold(tag) {
+            return false;
+        }
+        let key = (node, tag.to_bytes(), out.gamma.to_bytes(), out.proof.to_bytes());
+        if self.proven.lock().expect("poisoned").contains(&key) {
+            return true;
+        }
         let pk = &self.public_keys[node.index()];
-        pk.verify(&vrf_input(self.execution_id, tag), out)
-            && out.rho_u64() < self.params.threshold(tag)
+        let ok = pk.verify(&vrf_input(self.execution_id, tag), out);
+        if ok {
+            self.proven.lock().expect("poisoned").insert(key);
+        }
+        ok
+    }
+
+    fn verify_batch(&self, items: &[(NodeId, &MineTag, &Ticket)]) -> bool {
+        // Difficulty thresholds and structural checks are cheap and decide
+        // per item; the expensive VRF/DLEQ proofs collapse into one batched
+        // multi-exponentiation over the claims not already in the
+        // statement cache.
+        let mut fresh = Vec::with_capacity(items.len());
+        {
+            let proven = self.proven.lock().expect("poisoned");
+            let mut in_batch = std::collections::HashSet::new();
+            for (node, tag, ticket) in items {
+                let Ticket::Real(out) = ticket else { return false };
+                if node.index() >= self.public_keys.len()
+                    || out.rho_u64() >= self.params.threshold(tag)
+                {
+                    return false;
+                }
+                let key = (*node, tag.to_bytes(), out.gamma.to_bytes(), out.proof.to_bytes());
+                if !proven.contains(&key) && in_batch.insert(key) {
+                    fresh.push((*node, vrf_input(self.execution_id, tag), *out));
+                }
+            }
+        }
+        let batch: Vec<ba_crypto::vrf::BatchItem<'_>> = fresh
+            .iter()
+            .map(|(node, input, out)| ba_crypto::vrf::BatchItem {
+                key: &self.public_keys[node.index()],
+                msg: input,
+                out,
+            })
+            .collect();
+        let ok = ba_crypto::vrf::verify_batch(&batch);
+        if ok {
+            let mut proven = self.proven.lock().expect("poisoned");
+            for (node, tag, ticket) in items {
+                if let Ticket::Real(out) = ticket {
+                    proven.insert((
+                        *node,
+                        tag.to_bytes(),
+                        out.gamma.to_bytes(),
+                        out.proof.to_bytes(),
+                    ));
+                }
+            }
+        }
+        ok
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
     }
 
     fn lambda(&self) -> f64 {
@@ -170,6 +253,25 @@ mod tests {
         let c1: Vec<usize> = (0..64).filter(|&i| f1.mine(NodeId(i), &t).is_some()).collect();
         let c2: Vec<usize> = (0..64).filter(|&i| f2.mine(NodeId(i), &t).is_some()).collect();
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_rejects_one_bad_ticket() {
+        let f = RealMine::from_seed(4, MineParams::new(8, 8.0)); // prob 1
+        let t = tag(2, true);
+        let tickets: Vec<Ticket> = (0..8).map(|i| f.mine(NodeId(i), &t).expect("prob 1")).collect();
+        let items: Vec<(NodeId, &MineTag, &Ticket)> =
+            (0..8).map(|i| (NodeId(i), &t, &tickets[i])).collect();
+        assert!(f.verify_batch(&items));
+        assert!(f.verify_batch(&[]), "empty batch is vacuous");
+        // Swap one node's ticket for its neighbour's: singles reject, so
+        // the batch must too — even though every other member is valid.
+        let mut swapped = items.clone();
+        swapped[3] = (NodeId(3), &t, &tickets[4]);
+        assert!(!f.verify(NodeId(3), &t, &tickets[4]));
+        assert!(!f.verify_batch(&swapped));
+        // A batch hitting only the verification cache still accepts.
+        assert!(f.verify_batch(&items));
     }
 
     #[test]

@@ -75,10 +75,8 @@ impl Protocol<PlainMsg> for NoSetupBb {
     fn step(&mut self, round: Round, inbox: &[Incoming<PlainMsg>], out: &mut Outbox<PlainMsg>) {
         for m in inbox {
             match round.0 {
-                1 => {
-                    if m.from == NodeId(SENDER) {
-                        self.sender_bit = Some(m.msg.0);
-                    }
+                1 if m.from == NodeId(SENDER) => {
+                    self.sender_bit = Some(m.msg.0);
                 }
                 2 => {
                     let committee = (SENDER..SENDER + self.committee_size).contains(&m.from.0);
@@ -90,14 +88,11 @@ impl Protocol<PlainMsg> for NoSetupBb {
             }
         }
         match round.0 {
-            0 => {
-                if self.id == SENDER {
-                    out.multicast(PlainMsg(self.input));
-                }
+            0 if self.id == SENDER => {
+                out.multicast(PlainMsg(self.input));
             }
             1 => {
-                let in_committee =
-                    (SENDER..SENDER + self.committee_size).contains(&self.id);
+                let in_committee = (SENDER..SENDER + self.committee_size).contains(&self.id);
                 if in_committee {
                     // Echo the sender bit (committee members that heard
                     // nothing echo the default 0).
@@ -236,7 +231,7 @@ pub fn run_experiment(n: usize, committee_size: usize) -> Theorem3Report {
                     _ => false,
                 };
                 if deliver {
-                    inboxes[idx].push(Incoming { from: NodeId(id), msg });
+                    inboxes[idx].push(Incoming::new(NodeId(id), msg));
                 }
             }
         }

@@ -30,8 +30,8 @@
 
 use ba_crypto::hmac::HmacDrbg;
 use ba_sim::{
-    evaluate, AdvCtx, Adversary, Bit, Incoming, Message, MsgId, NodeId, Outbox, Problem,
-    Protocol, Recipient, Round, RunReport, Sim, SimConfig, Verdict,
+    evaluate, AdvCtx, Adversary, Bit, Incoming, Message, MsgId, NodeId, Outbox, Problem, Protocol,
+    Recipient, Round, RunReport, Sim, SimConfig, Verdict,
 };
 
 /// Toy broadcast message: just the relayed bit.
@@ -63,7 +63,14 @@ pub struct RelayBb {
 
 impl RelayBb {
     /// Creates a node of the family.
-    pub fn new(id: NodeId, n: usize, sender: NodeId, input: Bit, fanout: usize, seed: u64) -> RelayBb {
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        sender: NodeId,
+        input: Bit,
+        fanout: usize,
+        seed: u64,
+    ) -> RelayBb {
         RelayBb {
             id,
             n,

@@ -36,12 +36,11 @@ pub mod prelude {
     pub use ba_core::epoch::{EpochConfig, EpochMsg};
     pub use ba_core::iter::{IterConfig, IterMsg};
     pub use ba_fmine::{
-        Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode,
-        Ticket,
+        Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode, Ticket,
     };
     pub use ba_sim::{
-        evaluate, Adversary, Bit, CorruptionModel, NodeId, Passive, Problem, Round, RunReport,
-        Sim, SimConfig, Verdict,
+        evaluate, Adversary, Bit, CorruptionModel, NodeId, Passive, Problem, Round, RunReport, Sim,
+        SimConfig, Verdict,
     };
 }
 

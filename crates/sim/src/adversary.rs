@@ -238,7 +238,7 @@ impl<'a, M: Message> AdvCtx<'a, M> {
             round: self.world.round,
             honest_send: false,
             removed: false,
-            msg,
+            msg: std::sync::Arc::new(msg),
         });
         Ok(id)
     }
@@ -331,7 +331,7 @@ mod tests {
             round,
             honest_send: honest,
             removed: false,
-            msg: 0,
+            msg: std::sync::Arc::new(0),
         }
     }
 
@@ -370,10 +370,7 @@ mod tests {
         {
             let mut ctx = AdvCtx { world: &mut w, rng: &mut rng };
             ctx.corrupt(NodeId(0)).unwrap();
-            assert_eq!(
-                ctx.remove(MsgId(1)),
-                Err(AdvActionError::RemovalNeedsStrongAdaptivity)
-            );
+            assert_eq!(ctx.remove(MsgId(1)), Err(AdvActionError::RemovalNeedsStrongAdaptivity));
         }
 
         // Strongly adaptive: must corrupt sender first, same round only.

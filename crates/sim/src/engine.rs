@@ -58,11 +58,7 @@ pub struct RunReport {
 impl RunReport {
     /// Iterator over forever-honest node indices.
     pub fn forever_honest(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.corrupt_at
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_none())
-            .map(|(i, _)| NodeId(i))
+        self.corrupt_at.iter().enumerate().filter(|(_, c)| c.is_none()).map(|(i, _)| NodeId(i))
     }
 }
 
@@ -109,7 +105,12 @@ pub struct Sim<M, A> {
     nodes: Vec<Box<dyn Protocol<M>>>,
     world: AdvWorld<M>,
     adversary: A,
+    /// Inboxes being filled for the next round.
     inboxes: Vec<Vec<Incoming<M>>>,
+    /// Recycled buffers holding the round currently being consumed; swapped
+    /// with `inboxes` each round so no per-round allocation happens at
+    /// steady state.
+    current: Vec<Vec<Incoming<M>>>,
     metrics: Metrics,
     output_rounds: Vec<Option<Round>>,
     max_rounds: u64,
@@ -134,10 +135,8 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         assert!(config.f < config.n, "corruption budget must leave one honest node");
         let nodes: Vec<Box<dyn Protocol<M>>> = (0..config.n)
             .map(|i| {
-                let node_seed = config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64);
+                let node_seed =
+                    config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
                 factory(NodeId(i), node_seed)
             })
             .collect();
@@ -160,6 +159,7 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
             world,
             adversary,
             inboxes: vec![Vec::new(); config.n],
+            current: vec![Vec::new(); config.n],
             metrics: Metrics::default(),
             output_rounds: vec![None; config.n],
             max_rounds: config.max_rounds,
@@ -224,23 +224,30 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
 
     fn step_round(&mut self, round: Round) {
         let n = self.n();
-        // 1. Drain this round's inboxes.
-        let inboxes: Vec<Vec<Incoming<M>>> =
-            self.inboxes.iter_mut().map(std::mem::take).collect();
+        // 1. Swap this round's filled inboxes into the recycled buffers
+        // (the buffers were cleared — capacity retained — last round).
+        std::mem::swap(&mut self.inboxes, &mut self.current);
 
         // 2. Step every node; route corrupt nodes through the adversary.
         let mut pending: Vec<Envelope<M>> = Vec::new();
-        for (i, inbox) in inboxes.into_iter().enumerate() {
+        for i in 0..n {
             let was_honest = self.world.corrupt_at[i].is_none();
             if was_honest && self.world.halted[i] {
+                self.current[i].clear();
                 continue; // halted honest nodes stay silent
             }
             let mut outbox = Outbox::new();
             if was_honest {
-                self.nodes[i].step(round, &inbox, &mut outbox);
+                self.nodes[i].step(round, &self.current[i], &mut outbox);
+                self.current[i].clear();
             } else {
-                let filtered = self.adversary.filter_corrupt_inbox(NodeId(i), inbox, round);
+                let inbox = std::mem::take(&mut self.current[i]);
+                let mut filtered = self.adversary.filter_corrupt_inbox(NodeId(i), inbox, round);
                 self.nodes[i].step(round, &filtered, &mut outbox);
+                // Recycle whichever buffer the adversary handed back so
+                // corrupt nodes keep their inbox capacity too.
+                filtered.clear();
+                self.current[i] = filtered;
             }
             let planned = outbox.take();
             let final_sends = if was_honest {
@@ -258,7 +265,7 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
                     round,
                     honest_send: was_honest,
                     removed: false,
-                    msg,
+                    msg: std::sync::Arc::new(msg),
                 });
             }
             // Record outputs/halts as reported to the environment.
@@ -303,7 +310,9 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         let mut deliverable = std::mem::take(&mut self.world.pending);
         deliverable.extend(injected);
 
-        // 5. Deliver surviving messages into next round's inboxes.
+        // 5. Deliver surviving messages into next round's inboxes. A
+        // multicast shares one `Arc` across all n recipients — no payload
+        // deep-clone in the fan-out.
         for env in deliverable {
             if env.removed {
                 continue;
@@ -311,13 +320,16 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
             match env.to {
                 Recipient::All => {
                     for inbox in self.inboxes.iter_mut() {
-                        inbox.push(Incoming { from: env.from, msg: env.msg.clone() });
+                        inbox.push(Incoming {
+                            from: env.from,
+                            msg: std::sync::Arc::clone(&env.msg),
+                        });
                     }
                 }
                 Recipient::One(target) => {
                     if target.index() < n {
                         self.inboxes[target.index()]
-                            .push(Incoming { from: env.from, msg: env.msg.clone() });
+                            .push(Incoming { from: env.from, msg: env.msg });
                     }
                 }
             }
@@ -428,8 +440,7 @@ mod tests {
             if ctx.round().0 != 0 {
                 return;
             }
-            let pend: Vec<(MsgId, NodeId)> =
-                ctx.pending().iter().map(|e| (e.id, e.from)).collect();
+            let pend: Vec<(MsgId, NodeId)> = ctx.pending().iter().map(|e| (e.id, e.from)).collect();
             for (id, from) in pend {
                 if !ctx.is_corrupt(from) {
                     if ctx.budget_left() == 0 {
@@ -482,9 +493,7 @@ mod tests {
         assert_eq!(report.metrics.removals, 0);
         // The corrupted node's round-0 message still went out (it was sent
         // while honest and cannot be erased).
-        assert!(report
-            .forever_honest()
-            .all(|i| report.outputs[i.index()] == Some(true)));
+        assert!(report.forever_honest().all(|i| report.outputs[i.index()] == Some(true)));
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! Message envelopes, recipients, and the per-round outbox.
+//!
+//! Payloads are reference-counted ([`std::sync::Arc`]): a multicast to `n`
+//! recipients shares **one** allocation instead of deep-cloning the message
+//! (certificates and commit quorums make payloads large) `n` times. The
+//! engine's inbox buffers are likewise reused across rounds.
+
+use std::sync::Arc;
 
 use crate::ids::{NodeId, Round};
 
@@ -23,12 +30,24 @@ pub enum Recipient {
 }
 
 /// A message delivered to a node at the start of a round.
+///
+/// The payload is shared (`Arc`): every recipient of a multicast sees the
+/// same allocation. Field access auto-derefs (`m.msg.field`); to pattern
+/// match, go through the reference: `match &*m.msg { ... }`.
 #[derive(Clone, Debug)]
 pub struct Incoming<M> {
     /// Claimed-and-authenticated sender (channels are authenticated).
     pub from: NodeId,
-    /// The payload.
-    pub msg: M,
+    /// The payload (shared across recipients).
+    pub msg: Arc<M>,
+}
+
+impl<M> Incoming<M> {
+    /// Wraps a fresh payload (single-recipient convenience; the engine
+    /// shares one `Arc` per multicast).
+    pub fn new(from: NodeId, msg: M) -> Incoming<M> {
+        Incoming { from, msg: Arc::new(msg) }
+    }
 }
 
 /// A message queued for delivery, visible to the adversary before delivery.
@@ -46,8 +65,8 @@ pub struct Envelope<M> {
     pub honest_send: bool,
     /// Set when a strongly adaptive adversary erases the message.
     pub removed: bool,
-    /// The payload.
-    pub msg: M,
+    /// The payload (shared with every delivered copy).
+    pub msg: Arc<M>,
 }
 
 /// Identifier of an envelope within an execution.

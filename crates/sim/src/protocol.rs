@@ -91,9 +91,9 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(!p.halted());
         let inbox = vec![
-            Incoming { from: NodeId(0), msg: Echo(1) },
-            Incoming { from: NodeId(1), msg: Echo(1) },
-            Incoming { from: NodeId(2), msg: Echo(0) },
+            Incoming::new(NodeId(0), Echo(1)),
+            Incoming::new(NodeId(1), Echo(1)),
+            Incoming::new(NodeId(2), Echo(0)),
         ];
         let mut out2 = Outbox::new();
         p.step(Round(1), &inbox, &mut out2);

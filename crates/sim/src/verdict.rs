@@ -43,20 +43,17 @@ impl Verdict {
 /// nodes that remain honest to the end of the execution.
 pub fn evaluate(problem: Problem, report: &RunReport) -> Verdict {
     let honest: Vec<NodeId> = report.forever_honest().collect();
-    let outputs: Vec<Option<Bit>> =
-        honest.iter().map(|i| report.outputs[i.index()]).collect();
+    let outputs: Vec<Option<Bit>> = honest.iter().map(|i| report.outputs[i.index()]).collect();
 
-    let terminated = honest
-        .iter()
-        .all(|i| report.halted[i.index()] && report.outputs[i.index()].is_some());
+    let terminated =
+        honest.iter().all(|i| report.halted[i.index()] && report.outputs[i.index()].is_some());
 
     let decided: Vec<Bit> = outputs.iter().flatten().copied().collect();
     let consistent = decided.windows(2).all(|w| w[0] == w[1]);
 
     let valid = match problem {
         Problem::Agreement => {
-            let honest_inputs: Vec<Bit> =
-                honest.iter().map(|i| report.inputs[i.index()]).collect();
+            let honest_inputs: Vec<Bit> = honest.iter().map(|i| report.inputs[i.index()]).collect();
             let unanimous = honest_inputs.windows(2).all(|w| w[0] == w[1]);
             if unanimous && !honest_inputs.is_empty() {
                 let b = honest_inputs[0];
@@ -183,11 +180,7 @@ mod tests {
 
     #[test]
     fn missing_output_is_termination_failure() {
-        let r = report(
-            vec![true, true],
-            vec![Some(true), None],
-            vec![None, None],
-        );
+        let r = report(vec![true, true], vec![Some(true), None], vec![None, None]);
         let v = evaluate(Problem::Agreement, &r);
         assert!(!v.terminated);
         // Consistency judged over decided outputs only.

@@ -15,34 +15,25 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
         0u64..100,
         0u64..100,
     )
-        .prop_map(
-            |(hm, hmb, hu, hub, cs, r, c, rem)| Metrics {
-                honest_multicasts: hm,
-                honest_multicast_bits: hmb,
-                honest_unicasts: hu,
-                honest_unicast_bits: hub,
-                corrupt_sends: cs,
-                rounds: r,
-                corruptions: c,
-                removals: rem,
-            },
-        )
+        .prop_map(|(hm, hmb, hu, hub, cs, r, c, rem)| Metrics {
+            honest_multicasts: hm,
+            honest_multicast_bits: hmb,
+            honest_unicasts: hu,
+            honest_unicast_bits: hub,
+            corrupt_sends: cs,
+            rounds: r,
+            corruptions: c,
+            removals: rem,
+        })
 }
 
-fn report_from(
-    inputs: Vec<bool>,
-    outputs: Vec<Option<bool>>,
-    corrupt: Vec<bool>,
-) -> RunReport {
+fn report_from(inputs: Vec<bool>, outputs: Vec<Option<bool>>, corrupt: Vec<bool>) -> RunReport {
     let n = inputs.len();
     RunReport {
         halted: outputs.iter().map(|o| o.is_some()).collect(),
         output_rounds: vec![None; n],
         outputs,
-        corrupt_at: corrupt
-            .into_iter()
-            .map(|c| if c { Some(Round(0)) } else { None })
-            .collect(),
+        corrupt_at: corrupt.into_iter().map(|c| if c { Some(Round(0)) } else { None }).collect(),
         metrics: Metrics::default(),
         rounds_used: 1,
         inputs,
@@ -107,7 +98,7 @@ proptest! {
         let mut outputs = vec![Some(honest_bit); honest_count];
         outputs.extend(corrupt_bits.iter().cloned());
         let mut corrupt = vec![false; honest_count];
-        corrupt.extend(std::iter::repeat(true).take(corrupt_bits.len()));
+        corrupt.extend(std::iter::repeat_n(true, corrupt_bits.len()));
         let report = report_from(inputs, outputs, corrupt);
         let v = evaluate(Problem::Agreement, &report);
         prop_assert!(v.consistent && v.valid && v.terminated);

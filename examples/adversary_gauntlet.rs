@@ -27,7 +27,7 @@ fn main() {
     let lambda = 18.0;
     let seed = 7;
     println!("== Adversary gauntlet (n = {n}, lambda = {lambda}) ==\n");
-    println!("{:<34} {:<26} {}", "protocol", "adversary", "verdict");
+    println!("{:<34} {:<26} verdict", "protocol", "adversary");
     println!("{}", "-".repeat(86));
 
     // 1. subq_half vs passive.
@@ -73,7 +73,9 @@ fn main() {
         let (_, v) = ba_repro::iter_run(&cfg, &sim, inputs, adversary);
         println!(
             "{:<34} {:<26} {}",
-            "subq_half (C.2, n=400)", "eraser (strongly adaptive)", cell(v)
+            "subq_half (C.2, n=400)",
+            "eraser (strongly adaptive)",
+            cell(v)
         );
     }
 
@@ -86,7 +88,9 @@ fn main() {
         let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![true; qn], CommitteeEraser::new());
         println!(
             "{:<34} {:<26} {}",
-            "quadratic_half (C.1, n=13)", "eraser (strongly adaptive)", cell(v)
+            "quadratic_half (C.1, n=13)",
+            "eraser (strongly adaptive)",
+            cell(v)
         );
     }
 

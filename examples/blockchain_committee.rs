@@ -58,19 +58,13 @@ fn main() {
         let sim = SimConfig::new(n, f, CorruptionModel::Adaptive, seed);
 
         // Honest validators' inputs reflect their view of the block.
-        let inputs: Vec<Bit> = (0..n)
-            .map(|i| (i as f64 / n as f64) < block.approval)
-            .collect();
+        let inputs: Vec<Bit> = (0..n).map(|i| (i as f64 / n as f64) < block.approval).collect();
 
         // The adversary crashes its validators mid-protocol (a benign but
         // adaptive fault; see `adversary_gauntlet` for nastier ones).
         let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 2 };
         let (report, verdict) = ba_repro::iter_run(&cfg, &sim, inputs, adversary);
-        assert!(
-            verdict.consistent && verdict.terminated,
-            "block {}: {verdict:?}",
-            block.height
-        );
+        assert!(verdict.consistent && verdict.terminated, "block {}: {verdict:?}", block.height);
         let decision = report
             .forever_honest()
             .next()

@@ -32,8 +32,7 @@ fn main() {
     println!("consistent: {}", verdict.consistent);
     println!("valid:      {}", verdict.valid);
     println!("terminated: {}", verdict.terminated);
-    let decided: Vec<u8> =
-        report.outputs.iter().map(|o| o.map(|b| b as u8).unwrap_or(9)).collect();
+    let decided: Vec<u8> = report.outputs.iter().map(|o| o.map(|b| b as u8).unwrap_or(9)).collect();
     println!("decision:   {} (all nodes)", decided[0]);
     assert!(decided.iter().all(|&d| d == decided[0]));
     println!();

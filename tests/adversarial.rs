@@ -130,7 +130,7 @@ fn byzantine_equivocating_leader_cannot_break_safety() {
             // proposal for either bit sends conflicting proposals to the two
             // halves of the network.
             let round = ctx.round().0;
-            if round < 3 || (round - 3) % 4 != 0 {
+            if round < 3 || !(round - 3).is_multiple_of(4) {
                 return;
             }
             let iter = 2 + (round - 2) / 4;
@@ -159,8 +159,7 @@ fn byzantine_equivocating_leader_cannot_break_safety() {
     for seed in 0..5 {
         let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 20.0)));
         let cfg = IterConfig::subq_half(n, elig);
-        let adversary =
-            EquivocatingProposers { auth: cfg.auth.clone(), f: n / 3, n };
+        let adversary = EquivocatingProposers { auth: cfg.auth.clone(), f: n / 3, n };
         let sim = SimConfig::new(n, n / 3, CorruptionModel::Static, seed);
         let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
         assert!(v.consistent, "seed={seed}: equivocation broke consistency: {v:?}");
@@ -192,8 +191,7 @@ fn invalid_evidence_is_ignored_by_honest_nodes() {
                         just: None,
                         ev: ba_repro::core::auth::Evidence::Ticket(Ticket::Ideal),
                     };
-                    ctx.inject(NodeId(self.n - 1), ba_repro::sim::Recipient::All, msg)
-                        .unwrap();
+                    ctx.inject(NodeId(self.n - 1), ba_repro::sim::Recipient::All, msg).unwrap();
                 }
             }
         }

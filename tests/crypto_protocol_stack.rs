@@ -105,10 +105,7 @@ fn forged_vote_flip_is_rejected_by_real_world_auth() {
         }
     }
     assert!(tried > 0);
-    assert!(
-        blocked * 10 >= tried * 9,
-        "flips should almost always be blocked: {blocked}/{tried}"
-    );
+    assert!(blocked * 10 >= tried * 9, "flips should almost always be blocked: {blocked}/{tried}");
 }
 
 #[test]
@@ -122,10 +119,8 @@ fn real_and_ideal_committee_sizes_match_statistically() {
         let real = RealMine::from_seed(seed, MineParams::new(n, lambda));
         for it in 0..3u64 {
             let tag = MineTag::new(MsgKind::Vote, it, true);
-            ideal_sizes
-                .push((0..n).filter(|&i| ideal.mine(NodeId(i), &tag).is_some()).count());
-            real_sizes
-                .push((0..n).filter(|&i| real.mine(NodeId(i), &tag).is_some()).count());
+            ideal_sizes.push((0..n).filter(|&i| ideal.mine(NodeId(i), &tag).is_some()).count());
+            real_sizes.push((0..n).filter(|&i| real.mine(NodeId(i), &tag).is_some()).count());
         }
     }
     let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;

@@ -85,8 +85,7 @@ fn broadcast_wrapper_over_subquadratic_ba() {
         let cfg = IterConfig::subq_half(n, elig);
         let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
         let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let (report, verdict) =
-            broadcast::run_iter_bb(&cfg, kc, &sim, NodeId(0), bit, Passive);
+        let (report, verdict) = broadcast::run_iter_bb(&cfg, kc, &sim, NodeId(0), bit, Passive);
         assert!(verdict.all_ok(), "bit={bit}: {verdict:?}");
         assert!(report.outputs.iter().all(|o| *o == Some(bit)));
     }
@@ -131,8 +130,7 @@ fn omission_faults_tolerated() {
     let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 24.0)));
     let cfg = IterConfig::subq_half(n, elig);
     let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-    let adversary =
-        Omission { nodes: (n - f..n).map(NodeId).collect(), drop_permille: 700 };
+    let adversary = Omission { nodes: (n - f..n).map(NodeId).collect(), drop_permille: 700 };
     let (_r, v) = ba_repro::iter_run(&cfg, &sim, mixed_inputs(n), adversary);
     assert!(v.all_ok(), "{v:?}");
 }

@@ -12,11 +12,7 @@ fn theorem4_violation_collapses_with_message_budget() {
     let mid = theorem4::run_cell(n, f, 8, seeds);
     let high = theorem4::run_cell(n, f, 60, seeds);
     assert!(low.violation_rate > 0.85, "low budget must break: {}", low.violation_rate);
-    assert!(
-        high.violation_rate < 0.25,
-        "high budget must survive: {}",
-        high.violation_rate
-    );
+    assert!(high.violation_rate < 0.25, "high budget must survive: {}", high.violation_rate);
     assert!(low.mean_messages < mid.mean_messages);
     assert!(mid.mean_messages < high.mean_messages);
 }
