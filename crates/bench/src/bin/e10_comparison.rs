@@ -5,208 +5,60 @@
 //! multicasts, and multicast kbits — under honest mixed-input executions at
 //! matched `n`.
 
-use std::sync::Arc;
-
-use ba_bench::{header, row, Stats};
-use ba_core::dolev_strong::{self, DsConfig};
-use ba_core::epoch::{self, EpochConfig};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_sim::{Bit, CorruptionModel, NodeId, Passive, SimConfig};
-
-const SEEDS: u64 = 15;
-
-struct Row {
-    name: &'static str,
-    resilience: &'static str,
-    expected_rounds: &'static str,
-    success: u64,
-    rounds: Stats,
-    multicasts: Stats,
-    kbits: Stats,
-}
-
-fn print_row(r: &Row) {
-    row(&[
-        r.name.to_string(),
-        r.resilience.to_string(),
-        r.expected_rounds.to_string(),
-        format!("{}/{SEEDS}", r.success),
-        format!("{:.1}", r.rounds.mean),
-        format!("{:.0}", r.multicasts.mean),
-        format!("{:.0}", r.kbits.mean),
-    ]);
-}
+use ba_bench::{header, row, CellReport, Cli, InputPattern, ProtocolSpec, Scenario, Sweep};
 
 fn main() {
+    let cli = Cli::parse("e10_comparison");
+    let seeds = cli.seeds_or(15);
     let n = 128usize;
     let lambda = 24.0;
-    println!("# E10 — measured protocol comparison (n = {n}, {SEEDS} seeds, mixed inputs)\n");
-    header(&[
-        "protocol",
-        "resilience",
-        "rounds (paper)",
-        "success",
-        "mean rounds",
-        "mean multicasts",
-        "mean kbits",
-    ]);
 
-    // Appendix C.2 — the headline protocol.
-    {
-        let mut rounds = Vec::new();
-        let mut mc = Vec::new();
-        let mut kb = Vec::new();
-        let mut success = 0;
-        for seed in 0..SEEDS {
-            let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-            let cfg = IterConfig::subq_half(n, elig);
-            let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-            let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-            let (report, verdict) = iter::run(&cfg, &sim, inputs, Passive);
-            if verdict.all_ok() {
-                success += 1;
-            }
-            rounds.push(report.rounds_used as f64);
-            mc.push(report.metrics.honest_multicasts as f64);
-            kb.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        }
-        print_row(&Row {
-            name: "subq_half (C.2, Thm 2)",
-            resilience: "(1/2-e)n",
-            expected_rounds: "O(1)",
-            success,
-            rounds: Stats::of(&rounds),
-            multicasts: Stats::of(&mc),
-            kbits: Stats::of(&kb),
-        });
+    let sweep = Sweep::new(
+        "protocol_comparison",
+        seeds,
+        vec![
+            Scenario::new("subq_half", n, ProtocolSpec::SubqHalf { lambda, max_iters: None }),
+            Scenario::new("quadratic_half", n, ProtocolSpec::QuadraticHalf),
+            Scenario::new("subq_third", n, ProtocolSpec::SubqThird { lambda, epochs: 12 }),
+            Scenario::new("warmup_third", n, ProtocolSpec::WarmupThird { epochs: 12 }),
+            Scenario::new("dolev_strong", n, ProtocolSpec::DolevStrong { ds_f: n / 4 })
+                .inputs(InputPattern::SenderParity),
+        ],
+    );
+    let reports = cli.run(vec![sweep]);
+
+    if cli.markdown() {
+        println!("# E10 — measured protocol comparison (n = {n}, {seeds} seeds, mixed inputs)\n");
+        header(&[
+            "protocol",
+            "resilience",
+            "rounds (paper)",
+            "success",
+            "mean rounds",
+            "mean multicasts",
+            "mean kbits",
+        ]);
+        let print_row = |label: &str, name: &str, resilience: &str, expected_rounds: &str| {
+            let cell: &CellReport = reports[0].cell(label);
+            row(&[
+                name.to_string(),
+                resilience.to_string(),
+                expected_rounds.to_string(),
+                format!("{}/{seeds}", cell.count("all_ok")),
+                format!("{:.1}", cell.mean("rounds")),
+                format!("{:.0}", cell.mean("multicasts")),
+                format!("{:.0}", cell.mean("kbits")),
+            ]);
+        };
+        print_row("subq_half", "subq_half (C.2, Thm 2)", "(1/2-e)n", "O(1)");
+        print_row("quadratic_half", "quadratic_half (C.1)", "n/2", "O(1)");
+        print_row("subq_third", "subq_third (3.2)", "(1/3-e)n", "fixed R");
+        print_row("warmup_third", "warmup_third (3.1)", "n/3", "fixed R");
+        print_row("dolev_strong", "dolev_strong (BB, f=n/4)", "n-1", "f+1 (worst)");
+
+        println!("\nExpected shape: only subq_half combines near-half resilience, O(1)");
+        println!("expected rounds, and n-independent multicasts — the Theorem 2 claim that");
+        println!("no prior work achieves all properties simultaneously.");
     }
-
-    // Appendix C.1 — quadratic baseline.
-    {
-        let mut rounds = Vec::new();
-        let mut mc = Vec::new();
-        let mut kb = Vec::new();
-        let mut success = 0;
-        for seed in 0..SEEDS {
-            let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-            let cfg = IterConfig::quadratic_half(n, kc, seed);
-            let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-            let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-            let (report, verdict) = iter::run(&cfg, &sim, inputs, Passive);
-            if verdict.all_ok() {
-                success += 1;
-            }
-            rounds.push(report.rounds_used as f64);
-            mc.push(report.metrics.honest_multicasts as f64);
-            kb.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        }
-        print_row(&Row {
-            name: "quadratic_half (C.1)",
-            resilience: "n/2",
-            expected_rounds: "O(1)",
-            success,
-            rounds: Stats::of(&rounds),
-            multicasts: Stats::of(&mc),
-            kbits: Stats::of(&kb),
-        });
-    }
-
-    // §3.2 — subquadratic 1/3 epoch protocol.
-    {
-        let mut rounds = Vec::new();
-        let mut mc = Vec::new();
-        let mut kb = Vec::new();
-        let mut success = 0;
-        for seed in 0..SEEDS {
-            let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-            let cfg = EpochConfig::subq_third(n, 12, elig);
-            let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-            let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-            let (report, verdict) = epoch::run(&cfg, &sim, inputs, Passive);
-            if verdict.all_ok() {
-                success += 1;
-            }
-            rounds.push(report.rounds_used as f64);
-            mc.push(report.metrics.honest_multicasts as f64);
-            kb.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        }
-        print_row(&Row {
-            name: "subq_third (3.2)",
-            resilience: "(1/3-e)n",
-            expected_rounds: "fixed R",
-            success,
-            rounds: Stats::of(&rounds),
-            multicasts: Stats::of(&mc),
-            kbits: Stats::of(&kb),
-        });
-    }
-
-    // §3.1 — warmup.
-    {
-        let mut rounds = Vec::new();
-        let mut mc = Vec::new();
-        let mut kb = Vec::new();
-        let mut success = 0;
-        for seed in 0..SEEDS {
-            let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-            let cfg = EpochConfig::warmup_third(n, 12, kc);
-            let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-            let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-            let (report, verdict) = epoch::run(&cfg, &sim, inputs, Passive);
-            if verdict.all_ok() {
-                success += 1;
-            }
-            rounds.push(report.rounds_used as f64);
-            mc.push(report.metrics.honest_multicasts as f64);
-            kb.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        }
-        print_row(&Row {
-            name: "warmup_third (3.1)",
-            resilience: "n/3",
-            expected_rounds: "fixed R",
-            success,
-            rounds: Stats::of(&rounds),
-            multicasts: Stats::of(&mc),
-            kbits: Stats::of(&kb),
-        });
-    }
-
-    // Dolev–Strong baseline (broadcast, so run with sender input).
-    {
-        let mut rounds = Vec::new();
-        let mut mc = Vec::new();
-        let mut kb = Vec::new();
-        let mut success = 0;
-        for seed in 0..SEEDS {
-            let f = n / 4;
-            let cfg = DsConfig {
-                n,
-                f,
-                sender: NodeId(0),
-                keychain: Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal)),
-            };
-            let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-            let (report, verdict) = dolev_strong::run(&cfg, &sim, seed % 2 == 0, Passive);
-            if verdict.all_ok() {
-                success += 1;
-            }
-            rounds.push(report.rounds_used as f64);
-            mc.push(report.metrics.honest_multicasts as f64);
-            kb.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        }
-        print_row(&Row {
-            name: "dolev_strong (BB, f=n/4)",
-            resilience: "n-1",
-            expected_rounds: "f+1 (worst)",
-            success,
-            rounds: Stats::of(&rounds),
-            multicasts: Stats::of(&mc),
-            kbits: Stats::of(&kb),
-        });
-    }
-
-    println!("\nExpected shape: only subq_half combines near-half resilience, O(1)");
-    println!("expected rounds, and n-independent multicasts — the Theorem 2 claim that");
-    println!("no prior work achieves all properties simultaneously.");
+    cli.write_outputs(&reports);
 }

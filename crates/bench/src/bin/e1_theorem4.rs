@@ -9,111 +9,102 @@
 //! subquadratic protocol (defeated) and the quadratic baseline (survives) —
 //! the model boundary Theorem 1 proves tight.
 
-use std::sync::Arc;
+use ba_bench::{
+    header, row, AdversarySpec, CellReport, Cli, InputPattern, ProtocolSpec, Scenario, Sweep,
+};
+use ba_sim::CorruptionModel;
 
-use ba_adversary::CommitteeEraser;
-use ba_bench::{header, row};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_lowerbound::theorem4::run_cell;
-use ba_sim::{Bit, CorruptionModel, SimConfig};
+fn part_b_row(cell: &CellReport, name: &str, model: &str, seeds: u64, removals: bool) {
+    row(&[
+        name.to_string(),
+        format!("{}", cell.scenario.n),
+        format!("{}", cell.scenario.f),
+        model.to_string(),
+        format!("{}/{seeds}", cell.count("defeated")),
+        if removals { format!("{:.0}", cell.mean("removals")) } else { "0".to_string() },
+    ]);
+}
 
 fn main() {
-    println!("# E1 — Theorem 1/4: strongly adaptive adversaries force Omega(f^2) messages\n");
+    let cli = Cli::parse("e1_theorem4");
+    let (n, f) = (80usize, 40usize);
+    let part_a_seeds = cli.seeds_or(30);
+    let part_b_seeds = cli.seeds_or(10);
+    let fanouts: &[usize] = if cli.smoke() { &[0, 8, 64] } else { &[0, 1, 2, 4, 8, 16, 32, 64] };
 
-    println!("## Part A: Dolev-Reischuk pair vs. message-budget family (n=80, f=40, 30 seeds)\n");
-    header(&["fanout k", "mean msgs", "(f/2)^2 ref", "isolation rate", "violation rate"]);
-    let (n, f, seeds) = (80usize, 40usize, 30u64);
-    for fanout in [0usize, 1, 2, 4, 8, 16, 32, 64] {
-        let cell = run_cell(n, f, fanout, seeds);
-        row(&[
-            format!("{fanout}"),
-            format!("{:.0}", cell.mean_messages),
-            format!("{:.0}", (f as f64 / 2.0).powi(2)),
-            format!("{:.2}", cell.isolation_rate),
-            format!("{:.2}", cell.violation_rate),
-        ]);
-    }
-    println!(
-        "\nExpected shape: violations ~1.0 while messages are far below (f/2)^2, \
-         collapsing to ~0 as |S(p)| outgrows the corruption budget.\n"
+    let part_a = Sweep::new(
+        "dolev_reischuk_pair",
+        part_a_seeds,
+        fanouts
+            .iter()
+            .map(|&fanout| {
+                Scenario::new(format!("fanout={fanout}"), n, ProtocolSpec::Theorem4 { fanout })
+                    .f(f)
+                    .model(CorruptionModel::StronglyAdaptive)
+            })
+            .collect(),
     );
+    let part_b = Sweep::new(
+        "quorum_starvation",
+        part_b_seeds,
+        vec![
+            Scenario::new(
+                "subq_strongly_adaptive",
+                400,
+                ProtocolSpec::SubqHalf { lambda: 16.0, max_iters: Some(6) },
+            )
+            .f(190)
+            .model(CorruptionModel::StronglyAdaptive)
+            .adversary(AdversarySpec::StarveQuorum),
+            Scenario::new("quadratic_strongly_adaptive", 13, ProtocolSpec::QuadraticHalf)
+                .f(6)
+                .model(CorruptionModel::StronglyAdaptive)
+                .inputs(InputPattern::Unanimous(true))
+                .adversary(AdversarySpec::CommitteeEraser),
+            Scenario::new(
+                "subq_adaptive",
+                400,
+                ProtocolSpec::SubqHalf { lambda: 16.0, max_iters: None },
+            )
+            .f(40)
+            .model(CorruptionModel::Adaptive)
+            .inputs(InputPattern::Unanimous(true))
+            .adversary(AdversarySpec::StarveQuorum),
+        ],
+    );
+    let reports = cli.run(vec![part_a, part_b]);
 
-    println!("## Part B: quorum-starvation eraser vs. the paper's protocols (10 seeds)\n");
-    header(&["protocol", "n", "f", "model", "runs defeated", "mean removals"]);
-    let seeds = 10u64;
+    if cli.markdown() {
+        println!("# E1 — Theorem 1/4: strongly adaptive adversaries force Omega(f^2) messages\n");
 
-    // Subquadratic protocol under the strongly adaptive eraser: defeated.
-    let mut defeated = 0;
-    let mut removals = 0u64;
-    for seed in 0..seeds {
-        let n = 400;
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
-        let mut cfg = IterConfig::subq_half(n, elig);
-        cfg.max_iters = 6;
-        let sim = SimConfig::new(n, 190, CorruptionModel::StronglyAdaptive, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, adversary);
-        if !verdict.all_ok() {
-            defeated += 1;
+        println!(
+            "## Part A: Dolev-Reischuk pair vs. message-budget family \
+             (n={n}, f={f}, {part_a_seeds} seeds)\n"
+        );
+        header(&["fanout k", "mean msgs", "(f/2)^2 ref", "isolation rate", "violation rate"]);
+        for (fanout, cell) in fanouts.iter().zip(&reports[0].cells) {
+            row(&[
+                format!("{fanout}"),
+                format!("{:.0}", cell.mean("messages")),
+                format!("{:.0}", (f as f64 / 2.0).powi(2)),
+                format!("{:.2}", cell.rate("isolated")),
+                format!("{:.2}", cell.rate("violated")),
+            ]);
         }
-        removals += report.metrics.removals;
-    }
-    row(&[
-        "subq_half (C.2)".to_string(),
-        "400".to_string(),
-        "190".to_string(),
-        "strongly adaptive".to_string(),
-        format!("{defeated}/{seeds}"),
-        format!("{:.0}", removals as f64 / seeds as f64),
-    ]);
+        println!(
+            "\nExpected shape: violations ~1.0 while messages are far below (f/2)^2, \
+             collapsing to ~0 as |S(p)| outgrows the corruption budget.\n"
+        );
 
-    // Quadratic protocol under the same adversary: survives.
-    let mut defeated = 0;
-    let mut removals = 0u64;
-    for seed in 0..seeds {
-        let n = 13;
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let sim = SimConfig::new(n, 6, CorruptionModel::StronglyAdaptive, seed);
-        let (report, verdict) = iter::run(&cfg, &sim, vec![true; n], CommitteeEraser::new());
-        if !verdict.all_ok() {
-            defeated += 1;
-        }
-        removals += report.metrics.removals;
-    }
-    row(&[
-        "quadratic_half (C.1)".to_string(),
-        "13".to_string(),
-        "6".to_string(),
-        "strongly adaptive".to_string(),
-        format!("{defeated}/{seeds}"),
-        format!("{:.0}", removals as f64 / seeds as f64),
-    ]);
+        println!("## Part B: quorum-starvation eraser vs. the paper's protocols ({part_b_seeds} seeds)\n");
+        header(&["protocol", "n", "f", "model", "runs defeated", "mean removals"]);
+        let cells = &reports[1].cells;
+        part_b_row(&cells[0], "subq_half (C.2)", "strongly adaptive", part_b_seeds, true);
+        part_b_row(&cells[1], "quadratic_half (C.1)", "strongly adaptive", part_b_seeds, true);
+        part_b_row(&cells[2], "subq_half (C.2)", "adaptive (no removal)", part_b_seeds, false);
 
-    // Subquadratic protocol under the *adaptive* model (no removal): safe.
-    let mut defeated = 0;
-    for seed in 0..seeds {
-        let n = 400;
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, 16.0)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let sim = SimConfig::new(n, 40, CorruptionModel::Adaptive, seed);
-        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
-        let (_report, verdict) = iter::run(&cfg, &sim, vec![true; n], adversary);
-        if !verdict.all_ok() {
-            defeated += 1;
-        }
+        println!("\nExpected shape: the eraser defeats the subquadratic protocol only when");
+        println!("after-the-fact removal is allowed; the quadratic protocol out-spends it.");
     }
-    row(&[
-        "subq_half (C.2)".to_string(),
-        "400".to_string(),
-        "40".to_string(),
-        "adaptive (no removal)".to_string(),
-        format!("{defeated}/{seeds}"),
-        "0".to_string(),
-    ]);
-
-    println!("\nExpected shape: the eraser defeats the subquadratic protocol only when");
-    println!("after-the-fact removal is allowed; the quadratic protocol out-spends it.");
+    cli.write_outputs(&reports);
 }

@@ -5,110 +5,82 @@
 //! Sweeps `n` with λ fixed and reports honest multicasts, multicast bits,
 //! and classical (pairwise) message counts per execution.
 
-use std::sync::Arc;
+use ba_bench::{header, row, CellReport, Cli, ProtocolSpec, Scenario, Sweep};
 
-use ba_bench::{header, row, Stats};
-use ba_core::epoch::{self, EpochConfig};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_sim::{Bit, CorruptionModel, Passive, SimConfig};
-
-const SEEDS: u64 = 20;
-
-fn sweep_subq_half(n: usize, lambda: f64) -> (Stats, Stats, Stats) {
-    let mut multicasts = Vec::new();
-    let mut kbits = Vec::new();
-    let mut classical = Vec::new();
-    for seed in 0..SEEDS {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, Passive);
-        assert!(verdict.consistent, "n={n} seed={seed}");
-        multicasts.push(report.metrics.honest_multicasts as f64);
-        kbits.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        classical.push(report.metrics.classical_messages(n) as f64);
-    }
-    (Stats::of(&multicasts), Stats::of(&kbits), Stats::of(&classical))
+fn scenarios(ns: &[usize], make: impl Fn(usize) -> ProtocolSpec) -> Vec<Scenario> {
+    ns.iter().map(|&n| Scenario::new(format!("n={n}"), n, make(n))).collect()
 }
 
-fn sweep_quadratic(n: usize) -> (Stats, Stats, Stats) {
-    let mut multicasts = Vec::new();
-    let mut kbits = Vec::new();
-    let mut classical = Vec::new();
-    for seed in 0..SEEDS {
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, Passive);
-        assert!(verdict.consistent, "n={n} seed={seed}");
-        multicasts.push(report.metrics.honest_multicasts as f64);
-        kbits.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-        classical.push(report.metrics.classical_messages(n) as f64);
+fn table(cells: &[CellReport], with_classical: bool) {
+    for cell in cells {
+        let m = cell.stats("multicasts");
+        let mut cols = vec![
+            format!("{}", cell.scenario.n),
+            format!("{:.0}", m.mean),
+            format!("{:.0}", m.max),
+            format!("{:.0}", cell.mean("kbits")),
+        ];
+        if with_classical {
+            cols.push(format!("{:.0}", cell.mean("classical_msgs")));
+        }
+        row(&cols);
     }
-    (Stats::of(&multicasts), Stats::of(&kbits), Stats::of(&classical))
-}
-
-fn sweep_epoch(n: usize, lambda: f64, epochs: u64) -> (Stats, Stats) {
-    let mut multicasts = Vec::new();
-    let mut kbits = Vec::new();
-    for seed in 0..SEEDS {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = EpochConfig::subq_third(n, epochs, elig);
-        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let (report, _) = epoch::run(&cfg, &sim, inputs, Passive);
-        multicasts.push(report.metrics.honest_multicasts as f64);
-        kbits.push(report.metrics.honest_multicast_bits as f64 / 1000.0);
-    }
-    (Stats::of(&multicasts), Stats::of(&kbits))
 }
 
 fn main() {
+    let cli = Cli::parse("e2_multicast_complexity");
     let lambda = 24.0;
-    println!("# E2 — multicast complexity vs n (lambda = {lambda}, {SEEDS} seeds)\n");
+    let seeds = cli.seeds_or(20);
+    let subq_ns: &[usize] = if cli.smoke() { &[64] } else { &[64, 128, 256, 512, 1024] };
+    let quad_ns: &[usize] = if cli.smoke() { &[16] } else { &[16, 32, 64, 128] };
 
-    println!("## subq_half (Appendix C.2, Theorem 2)\n");
-    header(&["n", "mean multicasts", "max", "mean kbits", "classical msgs"]);
-    for n in [64usize, 128, 256, 512, 1024] {
-        let (m, b, c) = sweep_subq_half(n, lambda);
-        row(&[
-            format!("{n}"),
-            format!("{:.0}", m.mean),
-            format!("{:.0}", m.max),
-            format!("{:.0}", b.mean),
-            format!("{:.0}", c.mean),
-        ]);
+    let sweeps = vec![
+        Sweep::new(
+            "subq_half",
+            seeds,
+            scenarios(subq_ns, |_| ProtocolSpec::SubqHalf { lambda, max_iters: None }),
+        ),
+        Sweep::new("quadratic_half", seeds, scenarios(quad_ns, |_| ProtocolSpec::QuadraticHalf)),
+        Sweep::new(
+            "subq_third",
+            seeds,
+            scenarios(subq_ns, |_| ProtocolSpec::SubqThird { lambda, epochs: 12 }),
+        ),
+    ];
+    let reports = cli.run(sweeps);
+
+    // The iteration-family sweeps must be consistent in every honest run —
+    // the premise under which Theorem 2 counts multicasts.
+    for report in &reports[..2] {
+        for cell in &report.cells {
+            assert_eq!(
+                cell.count("consistent"),
+                cell.runs.len(),
+                "inconsistent run in {} / {}",
+                report.title,
+                cell.scenario.label
+            );
+        }
     }
 
-    println!("\n## quadratic_half (Appendix C.1 baseline)\n");
-    header(&["n", "mean multicasts", "max", "mean kbits", "classical msgs"]);
-    for n in [16usize, 32, 64, 128] {
-        let (m, b, c) = sweep_quadratic(n);
-        row(&[
-            format!("{n}"),
-            format!("{:.0}", m.mean),
-            format!("{:.0}", m.max),
-            format!("{:.0}", b.mean),
-            format!("{:.0}", c.mean),
-        ]);
-    }
+    if cli.markdown() {
+        println!("# E2 — multicast complexity vs n (lambda = {lambda}, {seeds} seeds)\n");
 
-    println!("\n## subq_third (Section 3.2, R = 12 epochs)\n");
-    header(&["n", "mean multicasts", "max", "mean kbits"]);
-    for n in [64usize, 128, 256, 512, 1024] {
-        let (m, b) = sweep_epoch(n, lambda, 12);
-        row(&[
-            format!("{n}"),
-            format!("{:.0}", m.mean),
-            format!("{:.0}", m.max),
-            format!("{:.0}", b.mean),
-        ]);
-    }
+        println!("## subq_half (Appendix C.2, Theorem 2)\n");
+        header(&["n", "mean multicasts", "max", "mean kbits", "classical msgs"]);
+        table(&reports[0].cells, true);
 
-    println!("\nExpected shape: subsampled protocols flat in n (they track lambda and");
-    println!("round count); the quadratic baseline grows ~linearly in n per run, and");
-    println!("its classical message count grows ~quadratically.");
+        println!("\n## quadratic_half (Appendix C.1 baseline)\n");
+        header(&["n", "mean multicasts", "max", "mean kbits", "classical msgs"]);
+        table(&reports[1].cells, true);
+
+        println!("\n## subq_third (Section 3.2, R = 12 epochs)\n");
+        header(&["n", "mean multicasts", "max", "mean kbits"]);
+        table(&reports[2].cells, false);
+
+        println!("\nExpected shape: subsampled protocols flat in n (they track lambda and");
+        println!("round count); the quadratic baseline grows ~linearly in n per run, and");
+        println!("its classical message count grows ~quadratically.");
+    }
+    cli.write_outputs(&reports);
 }

@@ -3,86 +3,76 @@
 //! Measures rounds-to-termination for the quadratic (C.1) and subquadratic
 //! (C.2) protocols across `n`, with honest and adversarial (crash) runs.
 //! Each iteration is good with probability ≥ 1/(2e) (Lemma 12), so the mean
-//! stays constant as `n` grows.
+//! stays constant as `n` grows — and the median/p95 columns confirm the
+//! tail is short too (a flat mean alone could hide rare slow seeds).
 
-use std::sync::Arc;
+use ba_bench::{header, row, AdversarySpec, Cli, ProtocolSpec, Scenario, Sweep};
 
-use ba_adversary::CrashAt;
-use ba_bench::{header, row, Stats};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_sim::{Bit, CorruptionModel, NodeId, SimConfig};
+const COLUMNS: [&str; 7] =
+    ["n", "crash frac", "terminated", "mean rounds", "median", "p95", "max rounds"];
 
-const SEEDS: u64 = 50;
-
-fn rounds_subq(n: usize, lambda: f64, crash_frac: f64) -> Stats {
-    let mut rounds = Vec::new();
-    for seed in 0..SEEDS {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let f = (n as f64 * crash_frac) as usize;
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 0 };
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, adversary);
-        if verdict.terminated {
-            rounds.push(report.rounds_used as f64);
-        }
-    }
-    Stats::of(&rounds)
+fn grid(ns: &[usize], crashes: &[f64], make: impl Fn() -> ProtocolSpec) -> Vec<Scenario> {
+    let make = &make;
+    ns.iter()
+        .flat_map(|&n| {
+            crashes.iter().map(move |&crash| {
+                let f = (n as f64 * crash) as usize;
+                let scenario = Scenario::new(format!("n={n},crash={crash:.1}"), n, make()).f(f);
+                if f > 0 {
+                    scenario.adversary(AdversarySpec::CrashTail { at_round: 0 })
+                } else {
+                    scenario
+                }
+            })
+        })
+        .collect()
 }
 
-fn rounds_quadratic(n: usize, crash_frac: f64) -> Stats {
-    let mut rounds = Vec::new();
-    for seed in 0..SEEDS {
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let f = (n as f64 * crash_frac) as usize;
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 0 };
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, adversary);
-        if verdict.terminated {
-            rounds.push(report.rounds_used as f64);
-        }
+fn table(report: &ba_bench::SweepReport, crashes: &[f64], seeds: u64) {
+    header(&COLUMNS);
+    for (cell, &crash) in report.cells.iter().zip(crashes.iter().cycle()) {
+        let s = cell.stats("rounds_terminated");
+        row(&[
+            format!("{}", cell.scenario.n),
+            format!("{crash:.1}"),
+            format!("{}/{seeds}", s.count),
+            format!("{:.1}", s.mean),
+            format!("{:.1}", s.median),
+            format!("{:.0}", s.p95),
+            format!("{:.0}", s.max),
+        ]);
     }
-    Stats::of(&rounds)
 }
 
 fn main() {
-    println!("# E3 — expected rounds to termination ({SEEDS} seeds, mixed inputs)\n");
+    let cli = Cli::parse("e3_round_complexity");
+    let seeds = cli.seeds_or(50);
+    let crashes: &[f64] = &[0.0, 0.2];
+    let subq_ns: &[usize] = if cli.smoke() { &[64] } else { &[64, 128, 256, 512] };
+    let quad_ns: &[usize] = if cli.smoke() { &[9] } else { &[9, 33, 65, 129] };
 
-    println!("## subq_half (lambda = 24)\n");
-    header(&["n", "crash frac", "terminated", "mean rounds", "max rounds"]);
-    for n in [64usize, 128, 256, 512] {
-        for crash in [0.0, 0.2] {
-            let s = rounds_subq(n, 24.0, crash);
-            row(&[
-                format!("{n}"),
-                format!("{crash:.1}"),
-                format!("{}/{SEEDS}", s.count),
-                format!("{:.1}", s.mean),
-                format!("{:.0}", s.max),
-            ]);
-        }
+    let sweeps = vec![
+        Sweep::new(
+            "subq_half",
+            seeds,
+            grid(subq_ns, crashes, || ProtocolSpec::SubqHalf { lambda: 24.0, max_iters: None }),
+        ),
+        Sweep::new("quadratic_half", seeds, grid(quad_ns, crashes, || ProtocolSpec::QuadraticHalf)),
+    ];
+    let reports = cli.run(sweeps);
+
+    if cli.markdown() {
+        println!("# E3 — expected rounds to termination ({seeds} seeds, mixed inputs)\n");
+
+        println!("## subq_half (lambda = 24)\n");
+        table(&reports[0], crashes, seeds);
+
+        println!("\n## quadratic_half\n");
+        table(&reports[1], crashes, seeds);
+
+        println!("\nExpected shape: mean rounds flat in n (expected O(1) iterations of 4");
+        println!("rounds each; unanimity decides in iteration 1, mixed inputs typically");
+        println!("within 2-4 iterations: good iterations arrive at rate >= 1/(2e)).");
     }
-
-    println!("\n## quadratic_half\n");
-    header(&["n", "crash frac", "terminated", "mean rounds", "max rounds"]);
-    for n in [9usize, 33, 65, 129] {
-        for crash in [0.0, 0.2] {
-            let s = rounds_quadratic(n, crash);
-            row(&[
-                format!("{n}"),
-                format!("{crash:.1}"),
-                format!("{}/{SEEDS}", s.count),
-                format!("{:.1}", s.mean),
-                format!("{:.0}", s.max),
-            ]);
-        }
-    }
-
-    println!("\nExpected shape: mean rounds flat in n (expected O(1) iterations of 4");
-    println!("rounds each; unanimity decides in iteration 1, mixed inputs typically");
-    println!("within 2-4 iterations: good iterations arrive at rate >= 1/(2e)).");
+    cli.write_outputs(&reports);
 }

@@ -5,75 +5,80 @@
 //! failure onset tracks the Lemma 11 Chernoff threshold at `f/n ≈ 1/2`;
 //! the quadratic baseline flips sharply at the majority boundary.
 
-use std::sync::Arc;
+use ba_bench::{header, row, AdversarySpec, Cli, InputPattern, ProtocolSpec, Scenario, Sweep};
 
-use ba_adversary::CertForger;
-use ba_bench::{header, row};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_sim::{CorruptionModel, SimConfig};
+const LAMBDAS: [f64; 3] = [16.0, 24.0, 32.0];
 
-const SEEDS: u64 = 30;
-
-fn subq_failure_rate(n: usize, f: usize, lambda: f64) -> f64 {
-    let mut failures = 0;
-    for seed in 0..SEEDS {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let (_report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
-        if !verdict.all_ok() {
-            failures += 1;
-        }
-    }
-    failures as f64 / SEEDS as f64
-}
-
-fn quadratic_failure_rate(n: usize, f: usize) -> f64 {
-    let mut failures = 0;
-    for seed in 0..SEEDS {
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let (_report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
-        if !verdict.all_ok() {
-            failures += 1;
-        }
-    }
-    failures as f64 / SEEDS as f64
+fn forged(label: String, n: usize, f: usize, protocol: ProtocolSpec) -> Scenario {
+    Scenario::new(label, n, protocol)
+        .f(f)
+        .inputs(InputPattern::Unanimous(false))
+        .adversary(AdversarySpec::CertForger { target: true })
 }
 
 fn main() {
-    println!("# E4 — resilience threshold under the certificate forger ({SEEDS} seeds)\n");
-    println!("Inputs are unanimously 0; a failure means the adversary forced some");
-    println!("honest node to output 1 (validity/consistency breach).\n");
+    let cli = Cli::parse("e4_resilience");
+    let seeds = cli.seeds_or(30);
+    let subq_n = 240usize;
+    let percents: &[usize] =
+        if cli.smoke() { &[20, 55] } else { &[20, 30, 40, 45, 50, 55, 60, 70] };
+    let quad_n = 41usize;
+    let quad_fs: &[usize] = if cli.smoke() { &[10, 25] } else { &[10, 15, 18, 20, 21, 25, 30] };
 
-    let n = 240;
-    println!("## subq_half, n = {n}\n");
-    header(&["f/n", "lambda=16 fail rate", "lambda=24 fail rate", "lambda=32 fail rate"]);
-    for percent in [20usize, 30, 40, 45, 50, 55, 60, 70] {
-        let f = n * percent / 100;
-        let rates: Vec<String> = [16.0, 24.0, 32.0]
+    let subq = Sweep::new(
+        "subq_half_forger",
+        seeds,
+        percents
             .iter()
-            .map(|&l| format!("{:.2}", subq_failure_rate(n, f, l)))
-            .collect();
-        row(&[format!("0.{percent:02}"), rates[0].clone(), rates[1].clone(), rates[2].clone()]);
-    }
+            .flat_map(|&percent| {
+                let f = subq_n * percent / 100;
+                LAMBDAS.iter().map(move |&lambda| {
+                    forged(
+                        format!("f={percent}%,lambda={lambda}"),
+                        subq_n,
+                        f,
+                        ProtocolSpec::SubqHalf { lambda, max_iters: None },
+                    )
+                })
+            })
+            .collect(),
+    );
+    let quad = Sweep::new(
+        "quadratic_half_forger",
+        seeds,
+        quad_fs
+            .iter()
+            .map(|&f| forged(format!("f={f}"), quad_n, f, ProtocolSpec::QuadraticHalf))
+            .collect(),
+    );
+    let reports = cli.run(vec![subq, quad]);
 
-    let n = 41;
-    println!("\n## quadratic_half, n = {n} (quorum = {})\n", n / 2 + 1);
-    header(&["f", "f/n", "fail rate"]);
-    for f in [10usize, 15, 18, 20, 21, 25, 30] {
-        row(&[
-            format!("{f}"),
-            format!("{:.2}", f as f64 / n as f64),
-            format!("{:.2}", quadratic_failure_rate(n, f)),
-        ]);
-    }
+    if cli.markdown() {
+        println!("# E4 — resilience threshold under the certificate forger ({seeds} seeds)\n");
+        println!("Inputs are unanimously 0; a failure means the adversary forced some");
+        println!("honest node to output 1 (validity/consistency breach).\n");
 
-    println!("\nExpected shape: subq failure rates ~0 below f/n = 1/2 - eps and rising");
-    println!("past 1/2, sharper for larger lambda (Chernoff); the quadratic protocol");
-    println!("is perfectly safe until f = n/2 and always broken at f >= quorum.");
+        println!("## subq_half, n = {subq_n}\n");
+        header(&["f/n", "lambda=16 fail rate", "lambda=24 fail rate", "lambda=32 fail rate"]);
+        for (chunk, &percent) in reports[0].cells.chunks(LAMBDAS.len()).zip(percents) {
+            let rates: Vec<String> =
+                chunk.iter().map(|cell| format!("{:.2}", cell.rate("defeated"))).collect();
+            row(&[format!("0.{percent:02}"), rates[0].clone(), rates[1].clone(), rates[2].clone()]);
+        }
+
+        println!("\n## quadratic_half, n = {quad_n} (quorum = {})\n", quad_n / 2 + 1);
+        header(&["f", "f/n", "fail rate"]);
+        for (cell, &f) in reports[1].cells.iter().zip(quad_fs) {
+            row(&[
+                format!("{f}"),
+                format!("{:.2}", f as f64 / quad_n as f64),
+                format!("{:.2}", cell.rate("defeated")),
+            ]);
+        }
+
+        println!("\nExpected shape: subq failure rates ~0 below f/n = 1/2 - eps and rising");
+        println!("past 1/2, sharper for larger lambda (Chernoff); the quadratic protocol");
+        println!("is perfectly safe until f = n/2 and always broken at f >= quorum.");
+    }
+    cli.write_outputs(&reports);
 }

@@ -6,38 +6,69 @@
 //! number of adaptive corruptions the honest-1 interpretation needs
 //! (= distinct speakers ≤ multicast complexity).
 
-use ba_bench::{header, row};
-use ba_lowerbound::theorem3::run_experiment;
+use ba_bench::{header, row, Cli, ProtocolSpec, Scenario, Sweep};
 
 fn main() {
-    println!("# E5 — Theorem 3: the Q — 1 — Q' hypothetical experiment\n");
-    println!("Candidate: committee-echo broadcast without PKI (C = committee + 1 multicasts).\n");
+    let cli = Cli::parse("e5_theorem3");
+    let grid: &[(usize, usize)] = if cli.smoke() {
+        &[(12, 2), (20, 4)]
+    } else {
+        &[(12, 2), (20, 4), (50, 6), (100, 8), (200, 12)]
+    };
 
-    header(&[
-        "n per side",
-        "committee",
-        "Q valid (out 0)",
-        "Q' valid (out 1)",
-        "node-1 output",
-        "corruptions needed",
-        "contradiction",
-    ]);
-    for (n, committee) in [(12usize, 2usize), (20, 4), (50, 6), (100, 8), (200, 12)] {
-        let rep = run_experiment(n, committee);
-        row(&[
-            format!("{n}"),
-            format!("{committee}"),
-            format!("{}", rep.q_valid),
-            format!("{}", rep.q_prime_valid),
-            format!("{:?}", rep.node1_output.map(|b| b as u8)),
-            format!("{}", rep.corruptions_needed),
-            format!("{}", rep.contradiction_established()),
+    // The merged execution is deterministic: one "seed" per cell.
+    let sweep = Sweep::new(
+        "merged_execution",
+        1,
+        grid.iter()
+            .map(|&(n, committee)| {
+                Scenario::new(
+                    format!("n={n},committee={committee}"),
+                    n,
+                    ProtocolSpec::Theorem3 { committee },
+                )
+            })
+            .collect(),
+    );
+    let reports = cli.run(vec![sweep]);
+
+    if cli.markdown() {
+        println!("# E5 — Theorem 3: the Q — 1 — Q' hypothetical experiment\n");
+        println!(
+            "Candidate: committee-echo broadcast without PKI (C = committee + 1 multicasts).\n"
+        );
+
+        header(&[
+            "n per side",
+            "committee",
+            "Q valid (out 0)",
+            "Q' valid (out 1)",
+            "node-1 output",
+            "corruptions needed",
+            "contradiction",
         ]);
-    }
+        for (cell, &(n, committee)) in reports[0].cells.iter().zip(grid) {
+            let run = &cell.runs[0];
+            let node1 = match run.optional_bit("node1_output") {
+                Some(bit) => format!("Some({})", bit as u8),
+                None => "None".to_string(),
+            };
+            row(&[
+                format!("{n}"),
+                format!("{committee}"),
+                format!("{}", run.flag("q_valid")),
+                format!("{}", run.flag("q_prime_valid")),
+                node1,
+                format!("{}", run.get("corruptions_needed").unwrap_or(0.0) as u64),
+                format!("{}", run.flag("contradiction")),
+            ]);
+        }
 
-    println!("\nReading the table: each world's validity pins its outputs, so whatever");
-    println!("node 1 outputs contradicts consistency in one of the two interpretations;");
-    println!("the adversary implementing the honest-1 interpretation corrupts only the");
-    println!("speakers — sublinear in n. Hence no setup-free BA with sublinear multicast");
-    println!("complexity tolerates that many adaptive corruptions.");
+        println!("\nReading the table: each world's validity pins its outputs, so whatever");
+        println!("node 1 outputs contradicts consistency in one of the two interpretations;");
+        println!("the adversary implementing the honest-1 interpretation corrupts only the");
+        println!("speakers — sublinear in n. Hence no setup-free BA with sublinear multicast");
+        println!("complexity tolerates that many adaptive corruptions.");
+    }
+    cli.write_outputs(&reports);
 }

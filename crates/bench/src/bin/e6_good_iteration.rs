@@ -4,74 +4,60 @@
 //! Directly samples the leader-election stochastic process: `n` honest
 //! propose attempts (one per node, difficulty `1/(2n)`) plus `2f` corrupt
 //! attempts (both bits), and counts iterations with exactly one successful
-//! honest attempt and zero corrupt successes.
+//! honest attempt and zero corrupt successes. Each iteration is one sweep
+//! seed, so the sampling fans out across worker threads.
 
-use ba_bench::{header, row};
-use ba_fmine::{Eligibility, IdealMine, MineParams, MineTag, MsgKind};
-use ba_sim::NodeId;
-
-fn good_iteration_rate(n: usize, f: usize, iters: u64, seed: u64) -> (f64, f64) {
-    let fmine = IdealMine::new(seed, MineParams::new(n, 8.0));
-    let mut good = 0u64;
-    let mut unique_success = 0u64;
-    for r in 0..iters {
-        // Honest nodes attempt one bit each (their current belief — which
-        // bit does not matter for the election statistics).
-        let mut honest_successes = 0;
-        for i in 0..n - f {
-            let bit = (i + r as usize).is_multiple_of(2);
-            if fmine.mine(NodeId(i), &MineTag::new(MsgKind::Propose, r, bit)).is_some() {
-                honest_successes += 1;
-            }
-        }
-        // Corrupt nodes grind both bits.
-        let mut corrupt_successes = 0;
-        for i in n - f..n {
-            for bit in [false, true] {
-                if fmine.mine(NodeId(i), &MineTag::new(MsgKind::Propose, r, bit)).is_some() {
-                    corrupt_successes += 1;
-                }
-            }
-        }
-        if honest_successes == 1 && corrupt_successes == 0 {
-            good += 1;
-        }
-        if honest_successes + corrupt_successes == 1 {
-            unique_success += 1;
-        }
-    }
-    (good as f64 / iters as f64, unique_success as f64 / iters as f64)
-}
+use ba_bench::{header, row, Cli, ProtocolSpec, Scenario, Sweep};
 
 fn main() {
-    let iters = 20_000u64;
-    let bound = 1.0 / (2.0 * std::f64::consts::E);
-    println!("# E6 — Lemma 12: good-iteration frequency ({iters} iterations per cell)\n");
-    println!("Lemma 12 bound: every iteration is good with probability >= 1/(2e) = {bound:.3}\n");
+    let cli = Cli::parse("e6_good_iteration");
+    let iters = cli.seeds_or(if cli.smoke() { 200 } else { 20_000 });
+    let grid: &[(usize, f64)] = if cli.smoke() {
+        &[(100, 0.0), (100, 0.49)]
+    } else {
+        &[(100, 0.0), (100, 0.25), (100, 0.49), (400, 0.0), (400, 0.25), (400, 0.49), (1000, 0.49)]
+    };
 
-    header(&["n", "f", "P[good iteration]", "P[unique proposer]", ">= 1/(2e)?"]);
-    for (n, f_frac) in [
-        (100usize, 0.0f64),
-        (100, 0.25),
-        (100, 0.49),
-        (400, 0.0),
-        (400, 0.25),
-        (400, 0.49),
-        (1000, 0.49),
-    ] {
-        let f = (n as f64 * f_frac) as usize;
-        let (good, unique) = good_iteration_rate(n, f, iters, 7 + n as u64);
-        row(&[
-            format!("{n}"),
-            format!("{f}"),
-            format!("{good:.3}"),
-            format!("{unique:.3}"),
-            format!("{}", good >= bound),
-        ]);
+    let sweep = Sweep::new(
+        "leader_election",
+        iters,
+        grid.iter()
+            .map(|&(n, f_frac)| {
+                let f = (n as f64 * f_frac) as usize;
+                Scenario::new(
+                    format!("n={n},f={f}"),
+                    n,
+                    ProtocolSpec::GoodIteration { lambda: 8.0, mine_seed: 7 + n as u64 },
+                )
+                .f(f)
+            })
+            .collect(),
+    );
+    let reports = cli.run(vec![sweep]);
+
+    if cli.markdown() {
+        let bound = 1.0 / (2.0 * std::f64::consts::E);
+        println!("# E6 — Lemma 12: good-iteration frequency ({iters} iterations per cell)\n");
+        println!(
+            "Lemma 12 bound: every iteration is good with probability >= 1/(2e) = {bound:.3}\n"
+        );
+
+        header(&["n", "f", "P[good iteration]", "P[unique proposer]", ">= 1/(2e)?"]);
+        for cell in &reports[0].cells {
+            let good = cell.rate("good");
+            row(&[
+                format!("{}", cell.scenario.n),
+                format!("{}", cell.scenario.f),
+                format!("{good:.3}"),
+                format!("{:.3}", cell.rate("unique")),
+                format!("{}", good >= bound),
+            ]);
+        }
+
+        println!("\nExpected shape: P[unique proposer] approaches 1/e = 0.368 (the lemma's");
+        println!("counting step) and P[good] >= 1/(2e) = {bound:.3} through f ~ n/3. Near");
+        println!("f = n/2 corrupt nodes' double-grinding dilutes the constant to ~0.12 —");
+        println!("still Theta(1), so expected-constant-round survives (see EXPERIMENTS.md).");
     }
-
-    println!("\nExpected shape: P[unique proposer] approaches 1/e = 0.368 (the lemma's");
-    println!("counting step) and P[good] >= 1/(2e) = {bound:.3} through f ~ n/3. Near");
-    println!("f = n/2 corrupt nodes' double-grinding dilutes the constant to ~0.12 —");
-    println!("still Theta(1), so expected-constant-round survives (see EXPERIMENTS.md).");
+    cli.write_outputs(&reports);
 }

@@ -8,73 +8,71 @@
 //!   is eligible to send `Terminate` except with probability
 //!   `(1 − λ/n)^{εn/2} < exp(−ελ/2)`.
 //!
-//! The sweep over λ shows the exponential decay of each bad event.
+//! The sweep over λ shows the exponential decay of each bad event. Each
+//! trial is one sweep seed, so the sampling fans out across workers.
 
-use ba_bench::{header, row};
-use ba_fmine::{Eligibility, IdealMine, MineParams, MineTag, MsgKind};
-use ba_sim::NodeId;
+use ba_bench::{header, row, Cli, ProtocolSpec, Scenario, Sweep};
 
-fn bad_event_rates(n: usize, f: usize, lambda: f64, trials: u64) -> (f64, f64, f64) {
-    let mut corrupt_quorums = 0u64; // Lemma 11(i) failure
-    let mut honest_starved = 0u64; // Lemma 11(ii) failure
-    let mut terminate_mute = 0u64; // Lemma 10 failure
-    let quorum = (lambda / 2.0).ceil() as usize;
-    let eps = 0.5 - f as f64 / n as f64;
-    let terminators = ((eps * n as f64) / 2.0).ceil() as usize;
-    for t in 0..trials {
-        let fmine =
-            IdealMine::new(t.wrapping_mul(0x9E37).wrapping_add(11), MineParams::new(n, lambda));
-        let tag = MineTag::new(MsgKind::Vote, t, true);
-        let corrupt_eligible =
-            (n - f..n).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
-        let honest_eligible = (0..n - f).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
-        if corrupt_eligible >= quorum {
-            corrupt_quorums += 1;
-        }
-        if honest_eligible < quorum {
-            honest_starved += 1;
-        }
-        // Lemma 10: the first `terminators` honest nodes have terminated;
-        // does any of them hold a Terminate ticket?
-        let term_tag = MineTag::terminate(true);
-        let any = (0..terminators.min(n - f)).any(|i| fmine.mine(NodeId(i), &term_tag).is_some());
-        if !any {
-            terminate_mute += 1;
-        }
-    }
-    (
-        corrupt_quorums as f64 / trials as f64,
-        honest_starved as f64 / trials as f64,
-        terminate_mute as f64 / trials as f64,
-    )
+const N: usize = 600;
+
+fn cell(label: String, f: usize, lambda: f64) -> Scenario {
+    Scenario::new(label, N, ProtocolSpec::CommitteeTails { lambda }).f(f)
 }
 
 fn main() {
-    let trials = 3_000u64;
-    println!("# E7 — Lemmas 10/11: committee concentration ({trials} trials per cell)\n");
-
-    let n = 600;
+    let cli = Cli::parse("e7_committee_concentration");
+    let trials = cli.seeds_or(if cli.smoke() { 100 } else { 3_000 });
     let f = 240; // f/n = 0.4 => eps = 0.1
-    println!("n = {n}, f = {f} (eps = 0.1), quorum = lambda/2\n");
-    header(&[
-        "lambda",
-        "P[corrupt >= quorum] (L11.i)",
-        "P[honest < quorum] (L11.ii)",
-        "P[no terminator ticket] (L10)",
-    ]);
-    for lambda in [8.0f64, 16.0, 24.0, 32.0, 48.0, 64.0] {
-        let (ci, hs, tm) = bad_event_rates(n, f, lambda, trials);
-        row(&[format!("{lambda:.0}"), format!("{ci:.4}"), format!("{hs:.4}"), format!("{tm:.4}")]);
-    }
+    let lambdas: &[f64] =
+        if cli.smoke() { &[8.0, 32.0] } else { &[8.0, 16.0, 24.0, 32.0, 48.0, 64.0] };
+    let fracs: &[f64] = if cli.smoke() { &[0.25] } else { &[0.25, 0.35, 0.45, 0.50, 0.55] };
 
-    println!("\n## Sensitivity to the corruption fraction (lambda = 32)\n");
-    header(&["f/n", "P[corrupt >= quorum]", "P[honest < quorum]"]);
-    for frac in [0.25f64, 0.35, 0.45, 0.50, 0.55] {
-        let f = (n as f64 * frac) as usize;
-        let (ci, hs, _) = bad_event_rates(n, f, 32.0, trials);
-        row(&[format!("{frac:.2}"), format!("{ci:.4}"), format!("{hs:.4}")]);
-    }
+    let by_lambda = Sweep::new(
+        "bad_events_vs_lambda",
+        trials,
+        lambdas.iter().map(|&lambda| cell(format!("lambda={lambda}"), f, lambda)).collect(),
+    );
+    let by_frac = Sweep::new(
+        "bad_events_vs_corruption",
+        trials,
+        fracs
+            .iter()
+            .map(|&frac| cell(format!("f/n={frac:.2}"), (N as f64 * frac) as usize, 32.0))
+            .collect(),
+    );
+    let reports = cli.run(vec![by_lambda, by_frac]);
 
-    println!("\nExpected shape: all three bad-event rates decay exponentially in lambda");
-    println!("(Chernoff); the corrupt-quorum rate jumps from ~0 to ~1 as f/n crosses 1/2.");
+    if cli.markdown() {
+        println!("# E7 — Lemmas 10/11: committee concentration ({trials} trials per cell)\n");
+
+        println!("n = {N}, f = {f} (eps = 0.1), quorum = lambda/2\n");
+        header(&[
+            "lambda",
+            "P[corrupt >= quorum] (L11.i)",
+            "P[honest < quorum] (L11.ii)",
+            "P[no terminator ticket] (L10)",
+        ]);
+        for (cell, &lambda) in reports[0].cells.iter().zip(lambdas) {
+            row(&[
+                format!("{lambda:.0}"),
+                format!("{:.4}", cell.rate("corrupt_quorum")),
+                format!("{:.4}", cell.rate("honest_starved")),
+                format!("{:.4}", cell.rate("terminate_mute")),
+            ]);
+        }
+
+        println!("\n## Sensitivity to the corruption fraction (lambda = 32)\n");
+        header(&["f/n", "P[corrupt >= quorum]", "P[honest < quorum]"]);
+        for (cell, &frac) in reports[1].cells.iter().zip(fracs) {
+            row(&[
+                format!("{frac:.2}"),
+                format!("{:.4}", cell.rate("corrupt_quorum")),
+                format!("{:.4}", cell.rate("honest_starved")),
+            ]);
+        }
+
+        println!("\nExpected shape: all three bad-event rates decay exponentially in lambda");
+        println!("(Chernoff); the corrupt-quorum rate jumps from ~0 to ~1 as f/n crosses 1/2.");
+    }
+    cli.write_outputs(&reports);
 }

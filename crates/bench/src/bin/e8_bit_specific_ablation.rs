@@ -9,109 +9,69 @@
 //! * Chen–Micali (shared + forward-secure keys) with memory erasure: blocked;
 //! * Chen–Micali without erasure: succeeds.
 
-use std::sync::Arc;
-
-use ba_adversary::VoteFlipper;
-use ba_bench::{header, row};
-use ba_core::auth::FsService;
-use ba_core::epoch::{self, EpochConfig};
-use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
-use ba_sim::{Bit, CorruptionModel, SimConfig};
+use ba_bench::{header, row, AdversarySpec, Cli, InputPattern, ProtocolSpec, Scenario, Sweep};
+use ba_sim::CorruptionModel;
 
 const N: usize = 240;
 const LAMBDA: f64 = 18.0;
 const EPOCHS: u64 = 8;
-const SEEDS: u64 = 20;
 
-fn violation_rate(mk: impl Fn(u64) -> EpochConfig) -> (f64, f64, f64) {
-    let mut violations = 0u64;
-    let mut flips = 0u64;
-    let mut blocked = 0u64;
-    for seed in 0..SEEDS {
-        let cfg = mk(seed);
-        let adv = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
-        let sim = SimConfig::new(N, N / 3, CorruptionModel::Adaptive, seed);
-        let inputs: Vec<Bit> = (0..N).map(|i| i < N / 2).collect();
-        // Recover flip statistics through a wrapper that shares counters.
-        let counters = std::rc::Rc::new(std::cell::Cell::new((0u64, 0u64)));
-        struct Wrap {
-            inner: VoteFlipper,
-            out: std::rc::Rc<std::cell::Cell<(u64, u64)>>,
-        }
-        impl ba_sim::Adversary<epoch::EpochMsg> for Wrap {
-            fn intervene(&mut self, ctx: &mut ba_sim::AdvCtx<'_, epoch::EpochMsg>) {
-                self.inner.intervene(ctx);
-                self.out.set((self.inner.flips_injected, self.inner.flips_blocked));
-            }
-        }
-        let wrap = Wrap { inner: adv, out: counters.clone() };
-        let (_report, verdict) = epoch::run(&cfg, &sim, inputs, wrap);
-        if !verdict.consistent {
-            violations += 1;
-        }
-        let (fi, fb) = counters.get();
-        flips += fi;
-        blocked += fb;
-    }
-    (violations as f64 / SEEDS as f64, flips as f64 / SEEDS as f64, blocked as f64 / SEEDS as f64)
+fn regime(label: &str, protocol: ProtocolSpec) -> Scenario {
+    Scenario::new(label, N, protocol)
+        .f(N / 3)
+        .model(CorruptionModel::Adaptive)
+        .inputs(InputPattern::FirstFrac(0.5))
+        .adversary(AdversarySpec::VoteFlipper)
 }
 
 fn main() {
-    println!("# E8 — bit-specific eligibility ablation ({SEEDS} seeds)");
-    println!("n = {N}, lambda = {LAMBDA}, R = {EPOCHS} epochs, mixed inputs,");
-    println!("adaptive vote-flipping adversary with budget f = n/3\n");
+    let cli = Cli::parse("e8_bit_specific_ablation");
+    let seeds = cli.seeds_or(if cli.smoke() { 2 } else { 20 });
 
-    header(&["regime", "consistency violations", "mean flips injected", "mean flips blocked"]);
+    let sweep = Sweep::new(
+        "vote_flipper_regimes",
+        seeds,
+        vec![
+            regime("bit_specific", ProtocolSpec::SubqThird { lambda: LAMBDA, epochs: EPOCHS }),
+            regime("shared_committee", ProtocolSpec::SubqShared { lambda: LAMBDA, epochs: EPOCHS }),
+            regime(
+                "chen_micali_erasure",
+                ProtocolSpec::ChenMicali { lambda: LAMBDA, epochs: EPOCHS, erasure: true },
+            ),
+            regime(
+                "chen_micali_no_erasure",
+                ProtocolSpec::ChenMicali { lambda: LAMBDA, epochs: EPOCHS, erasure: false },
+            ),
+        ],
+    );
+    let reports = cli.run(vec![sweep]);
 
-    let (v, fi, fb) = violation_rate(|seed| {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
-        EpochConfig::subq_third(N, EPOCHS, elig)
-    });
-    row(&[
-        "bit-specific (paper, §3.2)".to_string(),
-        format!("{v:.2}"),
-        format!("{fi:.1}"),
-        format!("{fb:.1}"),
-    ]);
+    if cli.markdown() {
+        println!("# E8 — bit-specific eligibility ablation ({seeds} seeds)");
+        println!("n = {N}, lambda = {LAMBDA}, R = {EPOCHS} epochs, mixed inputs,");
+        println!("adaptive vote-flipping adversary with budget f = n/3\n");
 
-    let (v, fi, fb) = violation_rate(|seed| {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
-        let kc = Arc::new(Keychain::from_seed(seed, N, SigMode::Ideal));
-        EpochConfig::subq_shared(N, EPOCHS, elig, kc)
-    });
-    row(&[
-        "shared committee (insecure)".to_string(),
-        format!("{v:.2}"),
-        format!("{fi:.1}"),
-        format!("{fb:.1}"),
-    ]);
+        header(&["regime", "consistency violations", "mean flips injected", "mean flips blocked"]);
+        let names = [
+            "bit-specific (paper, §3.2)",
+            "shared committee (insecure)",
+            "Chen-Micali + erasure",
+            "Chen-Micali, no erasure",
+        ];
+        for (cell, name) in reports[0].cells.iter().zip(names) {
+            let violations = 1.0 - cell.rate("consistent");
+            row(&[
+                name.to_string(),
+                format!("{violations:.2}"),
+                format!("{:.1}", cell.mean("flips_injected")),
+                format!("{:.1}", cell.mean("flips_blocked")),
+            ]);
+        }
 
-    let (v, fi, fb) = violation_rate(|seed| {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
-        let fs = Arc::new(FsService::from_seed(seed, N, EPOCHS as usize + 1));
-        EpochConfig::chen_micali(N, EPOCHS, elig, fs, true)
-    });
-    row(&[
-        "Chen-Micali + erasure".to_string(),
-        format!("{v:.2}"),
-        format!("{fi:.1}"),
-        format!("{fb:.1}"),
-    ]);
-
-    let (v, fi, fb) = violation_rate(|seed| {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(N, LAMBDA)));
-        let fs = Arc::new(FsService::from_seed(seed, N, EPOCHS as usize + 1));
-        EpochConfig::chen_micali(N, EPOCHS, elig, fs, false)
-    });
-    row(&[
-        "Chen-Micali, no erasure".to_string(),
-        format!("{v:.2}"),
-        format!("{fi:.1}"),
-        format!("{fb:.1}"),
-    ]);
-
-    println!("\nExpected shape: shared-committee and no-erasure rows break (violations");
-    println!("~1, many flips injected); the paper's bit-specific row and the erasure");
-    println!("row hold (flips blocked instead of injected). Bit-specific eligibility");
-    println!("achieves without erasure what Chen-Micali needs the erasure model for.");
+        println!("\nExpected shape: shared-committee and no-erasure rows break (violations");
+        println!("~1, many flips injected); the paper's bit-specific row and the erasure");
+        println!("row hold (flips blocked instead of injected). Bit-specific eligibility");
+        println!("achieves without erasure what Chen-Micali needs the erasure model for.");
+    }
+    cli.write_outputs(&reports);
 }

@@ -7,105 +7,76 @@
 //! independent randomness, so the comparison is distributional, exactly as
 //! the Appendix E reduction argues.)
 
-use std::sync::Arc;
-
-use ba_bench::{header, row, Stats};
-use ba_core::iter::{self, IterConfig};
-use ba_fmine::{Eligibility, IdealMine, MineParams, MineTag, MsgKind, RealMine};
-use ba_sim::{Bit, CorruptionModel, NodeId, Passive, SimConfig};
-
-const SEEDS: u64 = 15;
-
-struct WorldStats {
-    success: u64,
-    rounds: Stats,
-    multicasts: Stats,
-}
-
-fn run_world(n: usize, lambda: f64, real: bool) -> WorldStats {
-    let mut rounds = Vec::new();
-    let mut multicasts = Vec::new();
-    let mut success = 0;
-    for seed in 0..SEEDS {
-        let elig: Arc<dyn Eligibility> = if real {
-            Arc::new(RealMine::from_seed(seed, MineParams::new(n, lambda)))
-        } else {
-            Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)))
-        };
-        let cfg = IterConfig::subq_half(n, elig);
-        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let (report, verdict) = iter::run(&cfg, &sim, inputs, Passive);
-        if verdict.all_ok() {
-            success += 1;
-        }
-        rounds.push(report.rounds_used as f64);
-        multicasts.push(report.metrics.honest_multicasts as f64);
-    }
-    WorldStats { success, rounds: Stats::of(&rounds), multicasts: Stats::of(&multicasts) }
-}
-
-fn committee_sizes(n: usize, lambda: f64, real: bool) -> Stats {
-    let mut sizes = Vec::new();
-    for seed in 100..100 + SEEDS {
-        let elig: Arc<dyn Eligibility> = if real {
-            Arc::new(RealMine::from_seed(seed, MineParams::new(n, lambda)))
-        } else {
-            Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)))
-        };
-        for iter_no in 0..4u64 {
-            let tag = MineTag::new(MsgKind::Vote, iter_no, true);
-            let size = (0..n).filter(|&i| elig.mine(NodeId(i), &tag).is_some()).count();
-            sizes.push(size as f64);
-        }
-    }
-    Stats::of(&sizes)
-}
+use ba_bench::{header, row, CellReport, Cli, ProtocolSpec, Scenario, Sweep};
 
 fn main() {
+    let cli = Cli::parse("e9_real_vs_ideal");
+    let seeds = cli.seeds_or(15);
     let (n, lambda) = (96usize, 24.0);
-    println!("# E9 — F_mine-hybrid vs real-world VRF compiler");
-    println!("n = {n}, lambda = {lambda}, {SEEDS} seeds each, honest executions\n");
 
-    let ideal = run_world(n, lambda, false);
-    let real = run_world(n, lambda, true);
+    let world = |label: &str, real: bool| {
+        let scenario = Scenario::new(label, n, ProtocolSpec::SubqHalf { lambda, max_iters: None });
+        if real {
+            scenario.real_elig()
+        } else {
+            scenario
+        }
+    };
+    let committee = |label: &str, real: bool| {
+        let scenario =
+            Scenario::new(label, n, ProtocolSpec::CommitteeSample { lambda }).seed_offset(100);
+        if real {
+            scenario.real_elig()
+        } else {
+            scenario
+        }
+    };
+    let sweeps = vec![
+        Sweep::new("worlds", seeds, vec![world("ideal", false), world("real", true)]),
+        Sweep::new(
+            "vote_committees",
+            seeds,
+            vec![committee("ideal", false), committee("real", true)],
+        ),
+    ];
+    let reports = cli.run(sweeps);
 
-    header(&["world", "success", "mean rounds", "mean multicasts", "multicast stddev"]);
-    row(&[
-        "F_mine hybrid (Fig. 1)".to_string(),
-        format!("{}/{SEEDS}", ideal.success),
-        format!("{:.1}", ideal.rounds.mean),
-        format!("{:.0}", ideal.multicasts.mean),
-        format!("{:.0}", ideal.multicasts.stddev),
-    ]);
-    row(&[
-        "VRF compiler (App. D)".to_string(),
-        format!("{}/{SEEDS}", real.success),
-        format!("{:.1}", real.rounds.mean),
-        format!("{:.0}", real.multicasts.mean),
-        format!("{:.0}", real.multicasts.stddev),
-    ]);
+    if cli.markdown() {
+        println!("# E9 — F_mine-hybrid vs real-world VRF compiler");
+        println!("n = {n}, lambda = {lambda}, {seeds} seeds each, honest executions\n");
 
-    println!("\n## Committee-size distributions (vote committees)\n");
-    header(&["world", "mean", "stddev", "min", "max"]);
-    let ci = committee_sizes(n, lambda, false);
-    let cr = committee_sizes(n, lambda, true);
-    row(&[
-        "F_mine hybrid".to_string(),
-        format!("{:.1}", ci.mean),
-        format!("{:.1}", ci.stddev),
-        format!("{:.0}", ci.min),
-        format!("{:.0}", ci.max),
-    ]);
-    row(&[
-        "VRF compiler".to_string(),
-        format!("{:.1}", cr.mean),
-        format!("{:.1}", cr.stddev),
-        format!("{:.0}", cr.min),
-        format!("{:.0}", cr.max),
-    ]);
+        let world_row = |name: &str, cell: &CellReport| {
+            let multicasts = cell.stats("multicasts");
+            row(&[
+                name.to_string(),
+                format!("{}/{seeds}", cell.count("all_ok")),
+                format!("{:.1}", cell.mean("rounds")),
+                format!("{:.0}", multicasts.mean),
+                format!("{:.0}", multicasts.stddev),
+            ]);
+        };
+        header(&["world", "success", "mean rounds", "mean multicasts", "multicast stddev"]);
+        world_row("F_mine hybrid (Fig. 1)", reports[0].cell("ideal"));
+        world_row("VRF compiler (App. D)", reports[0].cell("real"));
 
-    println!("\nExpected shape: statistically indistinguishable columns — same success");
-    println!("rate, same round/multicast means, committee sizes concentrated around");
-    println!("lambda = {lambda} in both worlds (Appendix E's reduction, measured).");
+        println!("\n## Committee-size distributions (vote committees)\n");
+        header(&["world", "mean", "stddev", "min", "max"]);
+        let committee_row = |name: &str, cell: &CellReport| {
+            let s = cell.stats("committee_size");
+            row(&[
+                name.to_string(),
+                format!("{:.1}", s.mean),
+                format!("{:.1}", s.stddev),
+                format!("{:.0}", s.min),
+                format!("{:.0}", s.max),
+            ]);
+        };
+        committee_row("F_mine hybrid", reports[1].cell("ideal"));
+        committee_row("VRF compiler", reports[1].cell("real"));
+
+        println!("\nExpected shape: statistically indistinguishable columns — same success");
+        println!("rate, same round/multicast means, committee sizes concentrated around");
+        println!("lambda = {lambda} in both worlds (Appendix E's reduction, measured).");
+    }
+    cli.write_outputs(&reports);
 }

@@ -1,0 +1,232 @@
+//! The shared experiment CLI.
+//!
+//! Every `e1`–`e10` binary accepts the same flags:
+//!
+//! * `--seeds N` — override each sweep's seed count (smoke runs use 2);
+//! * `--grid full|smoke` — the full paper grid or a reduced CI grid;
+//! * `--threads N` — sweep worker count (default: all cores);
+//! * `--format md[,csv][,json]|all` — output formats (default `md`);
+//! * `--out DIR` — where `BENCH_<experiment>.{json,csv}` are written.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::report::{to_csv, to_json};
+use crate::sweep::{default_threads, Sweep, SweepReport};
+
+/// Grid size selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Grid {
+    /// The full grid regenerating the paper's numbers.
+    Full,
+    /// A reduced grid (smallest `n`, few cells) for CI smoke runs.
+    Smoke,
+}
+
+/// Parsed command line of one experiment binary.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The experiment name (`e2_multicast_complexity`, ...).
+    pub experiment: &'static str,
+    /// `--seeds` override, if given.
+    pub seeds: Option<u64>,
+    /// Grid size.
+    pub grid: Grid,
+    /// Sweep worker count.
+    pub threads: usize,
+    /// Emit the experiment's markdown tables on stdout.
+    emit_md: bool,
+    /// Emit `BENCH_<experiment>.csv`.
+    emit_csv: bool,
+    /// Emit `BENCH_<experiment>.json`.
+    emit_json: bool,
+    /// Output directory for CSV/JSON (default `.`).
+    out: PathBuf,
+}
+
+impl Cli {
+    /// Parses `std::env::args` (exits on `--help` or bad flags).
+    pub fn parse(experiment: &'static str) -> Cli {
+        Cli::parse_from(experiment, std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testing hook).
+    pub fn parse_from(experiment: &'static str, args: impl IntoIterator<Item = String>) -> Cli {
+        let mut cli = Cli {
+            experiment,
+            seeds: None,
+            grid: Grid::Full,
+            threads: default_threads(),
+            emit_md: true,
+            emit_csv: false,
+            emit_json: false,
+            out: PathBuf::from("."),
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value =
+                |flag: &str| args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+            match arg.as_str() {
+                "--seeds" => {
+                    cli.seeds = Some(
+                        value("--seeds").parse().unwrap_or_else(|_| die("--seeds: not a number")),
+                    )
+                }
+                "--grid" => {
+                    cli.grid = match value("--grid").as_str() {
+                        "full" => Grid::Full,
+                        "smoke" => Grid::Smoke,
+                        other => die(&format!("--grid: unknown grid {other:?} (full|smoke)")),
+                    }
+                }
+                "--threads" => {
+                    let t: usize = value("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| die("--threads: not a number"));
+                    cli.threads = t.max(1);
+                }
+                "--format" => {
+                    cli.emit_md = false;
+                    cli.emit_csv = false;
+                    cli.emit_json = false;
+                    for fmt in value("--format").split(',') {
+                        match fmt {
+                            "md" | "markdown" => cli.emit_md = true,
+                            "csv" => cli.emit_csv = true,
+                            "json" => cli.emit_json = true,
+                            "all" => {
+                                cli.emit_md = true;
+                                cli.emit_csv = true;
+                                cli.emit_json = true;
+                            }
+                            other => die(&format!("--format: unknown format {other:?}")),
+                        }
+                    }
+                }
+                "--out" => cli.out = PathBuf::from(value("--out")),
+                "--help" | "-h" => {
+                    println!(
+                        "{experiment} — see EXPERIMENTS.md\n\n\
+                         USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
+                         \x20                 [--format md,csv,json|all] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag {other:?} (try --help)")),
+            }
+        }
+        cli
+    }
+
+    /// The seed count to use where the full grid would use `default`.
+    pub fn seeds_or(&self, default: u64) -> u64 {
+        self.seeds.unwrap_or(default)
+    }
+
+    /// True under `--grid smoke`.
+    pub fn smoke(&self) -> bool {
+        self.grid == Grid::Smoke
+    }
+
+    /// Whether the binary should print its markdown tables.
+    pub fn markdown(&self) -> bool {
+        self.emit_md
+    }
+
+    /// Executes the sweeps on the configured worker count.
+    pub fn run(&self, sweeps: Vec<Sweep>) -> Vec<SweepReport> {
+        let start = Instant::now();
+        let reports: Vec<SweepReport> = sweeps.iter().map(|s| s.run(self.threads)).collect();
+        eprintln!(
+            "[{}] {} sweep(s), {} runs, {} thread(s): {:.2?}",
+            self.experiment,
+            reports.len(),
+            reports.iter().flat_map(|r| r.cells.iter()).map(|c| c.runs.len()).sum::<usize>(),
+            self.threads,
+            start.elapsed(),
+        );
+        reports
+    }
+
+    /// Writes the structured outputs selected by `--format` and returns the
+    /// paths written.
+    pub fn write_outputs(&self, reports: &[SweepReport]) -> Vec<PathBuf> {
+        let mut written = Vec::new();
+        if self.emit_json {
+            let path = self.out.join(format!("BENCH_{}.json", self.experiment));
+            write_file(&path, &to_json(self.experiment, reports));
+            written.push(path);
+        }
+        if self.emit_csv {
+            let path = self.out.join(format!("BENCH_{}.csv", self.experiment));
+            write_file(&path, &to_csv(reports));
+            written.push(path);
+        }
+        for path in &written {
+            eprintln!("[{}] wrote {}", self.experiment, path.display());
+        }
+        written
+    }
+}
+
+fn write_file(path: &PathBuf, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from("e_test", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]);
+        assert_eq!(cli.seeds_or(20), 20);
+        assert!(!cli.smoke());
+        assert!(cli.markdown());
+        assert!(cli.threads >= 1);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse(&[
+            "--seeds",
+            "3",
+            "--grid",
+            "smoke",
+            "--threads",
+            "4",
+            "--format",
+            "json,csv",
+            "--out",
+            "reports",
+        ]);
+        assert_eq!(cli.seeds_or(20), 3);
+        assert!(cli.smoke());
+        assert_eq!(cli.threads, 4);
+        assert!(!cli.markdown());
+        assert!(cli.emit_json && cli.emit_csv);
+        assert_eq!(cli.out, PathBuf::from("reports"));
+    }
+
+    #[test]
+    fn format_all() {
+        let cli = parse(&["--format", "all"]);
+        assert!(cli.markdown() && cli.emit_csv && cli.emit_json);
+    }
+}

@@ -1,6 +1,6 @@
 //! # ba-bench
 //!
-//! Experiment harnesses regenerating every quantitative claim of the paper
+//! The experiment layer regenerating every quantitative claim of the paper
 //! (see EXPERIMENTS.md for the experiment ↔ claim index):
 //!
 //! | Binary | Claim |
@@ -16,78 +16,47 @@
 //! | `e9_real_vs_ideal` | App. D/E — the VRF compiler preserves behaviour |
 //! | `e10_comparison` | §1 — the cross-protocol property table |
 //!
-//! Run any of them with `cargo run -p ba-bench --release --bin <name>`.
+//! Every binary is a thin renderer over the declarative [`Scenario`] /
+//! [`Sweep`] API: a [`Scenario`] describes one runnable configuration
+//! (protocol family, ideal-vs-real eligibility, adversary, corruption
+//! model, input pattern, `n`/`f`/λ), a [`Sweep`] executes a grid of
+//! scenarios × seeds on `std::thread::scope` workers with deterministic
+//! per-cell seeding, and the resulting [`SweepReport`] renders to markdown
+//! tables, CSV, and `BENCH_*.json` (schema in the README).
+//!
+//! Run any experiment with
+//! `cargo run -p ba-bench --release --bin <name> -- [--seeds N] [--grid
+//! full|smoke] [--threads N] [--format md,csv,json|all] [--out DIR]`.
 //! Criterion microbenches live under `benches/`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ba_bench::{ProtocolSpec, Scenario, Sweep};
+//!
+//! let sweep = Sweep::new(
+//!     "subq_half",
+//!     2, // seeds
+//!     vec![Scenario::new("n=64", 64, ProtocolSpec::SubqHalf { lambda: 16.0, max_iters: None })],
+//! );
+//! let report = sweep.run(2); // 2 worker threads; results independent of thread count
+//! let cell = report.cell("n=64");
+//! assert_eq!(cell.runs.len(), 2);
+//! assert_eq!(cell.rate("all_ok"), 1.0);
+//! assert!(cell.stats("multicasts").mean > 0.0);
+//! ```
 
-use std::fmt::Display;
+pub mod cli;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod sweep;
 
-/// Prints a markdown-style table row.
-pub fn row<D: Display>(cells: &[D]) {
-    let mut line = String::from("|");
-    for c in cells {
-        line.push_str(&format!(" {c} |"));
-    }
-    println!("{line}");
-}
-
-/// Prints a markdown-style header with separator.
-pub fn header(cells: &[&str]) {
-    row(cells);
-    let mut line = String::from("|");
-    for _ in cells {
-        line.push_str("---|");
-    }
-    println!("{line}");
-}
-
-/// Simple descriptive statistics over `f64` samples.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Stats {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Minimum.
-    pub min: f64,
-    /// Maximum.
-    pub max: f64,
-    /// Sample standard deviation.
-    pub stddev: f64,
-}
-
-impl Stats {
-    /// Computes statistics over the samples (zeroed for empty input).
-    pub fn of(samples: &[f64]) -> Stats {
-        if samples.is_empty() {
-            return Stats::default();
-        }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let var =
-            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count.max(2) - 1) as f64;
-        Stats { count, mean, min, max, stddev: var.sqrt() }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stats_basic() {
-        let s = Stats::of(&[1.0, 2.0, 3.0]);
-        assert_eq!(s.count, 3);
-        assert!((s.mean - 2.0).abs() < 1e-12);
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 3.0);
-        assert!((s.stddev - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn stats_empty() {
-        let s = Stats::of(&[]);
-        assert_eq!(s.count, 0);
-    }
-}
+pub use cli::{Cli, Grid};
+pub use report::{header, row, to_csv, to_json};
+pub use scenario::{
+    AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario, ScenarioRun,
+    SharedElig,
+};
+pub use stats::Stats;
+pub use sweep::{default_threads, CellReport, RunRecord, Sweep, SweepReport};

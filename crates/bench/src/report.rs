@@ -1,0 +1,181 @@
+//! Structured report rendering: markdown table helpers, CSV, and the
+//! `BENCH_*.json` schema.
+//!
+//! The JSON and CSV writers are hand-rolled (the build environment is
+//! offline — no serde) and fully deterministic: cells in grid order, runs
+//! in seed order, values in recording order. That determinism is what the
+//! `--threads 1` vs `--threads N` byte-identity test pins down.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+use crate::sweep::SweepReport;
+
+/// Prints a markdown-style table row.
+pub fn row<D: Display>(cells: &[D]) {
+    let mut line = String::from("|");
+    for c in cells {
+        line.push_str(&format!(" {c} |"));
+    }
+    println!("{line}");
+}
+
+/// Prints a markdown-style header with separator.
+pub fn header(cells: &[&str]) {
+    row(cells);
+    let mut line = String::from("|");
+    for _ in cells {
+        line.push_str("---|");
+    }
+    println!("{line}");
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stable JSON rendering of an observable: integral values without a
+/// fractional part, everything else via Rust's shortest-roundtrip `f64`
+/// display (deterministic across platforms).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no NaN/inf; encode as null (observables should never
+        // produce these).
+        return "null".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders executed sweeps as one `BENCH_*.json` document (schema
+/// `ba-bench/sweep-report/v1`; see the README for the field reference).
+pub fn to_json(experiment: &str, reports: &[SweepReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ba-bench/sweep-report/v1\",");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", json_escape(experiment));
+    out.push_str("  \"sweeps\": [\n");
+    for (si, sweep) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"title\": \"{}\",", json_escape(&sweep.title));
+        let _ = writeln!(out, "      \"default_seeds\": {},", sweep.seeds);
+        out.push_str("      \"cells\": [\n");
+        for (ci, cell) in sweep.cells.iter().enumerate() {
+            let sc = &cell.scenario;
+            out.push_str("        {\n");
+            out.push_str("          \"scenario\": {");
+            let _ = write!(
+                out,
+                "\"label\": \"{}\", \"n\": {}, \"f\": {}, \"seed_offset\": {}, \"seeds\": {}",
+                json_escape(&sc.label),
+                sc.n,
+                sc.f,
+                sc.seed_offset,
+                cell.runs.len(),
+            );
+            for (key, value) in sc.describe() {
+                let _ = write!(out, ", \"{key}\": \"{}\"", json_escape(&value));
+            }
+            out.push_str("},\n");
+            out.push_str("          \"runs\": [\n");
+            for (ri, run) in cell.runs.iter().enumerate() {
+                let _ = write!(out, "            {{\"seed\": {}, \"values\": {{", run.seed);
+                // Repeated names flatten into arrays, preserving order.
+                let mut first = true;
+                let mut emitted: Vec<&str> = Vec::new();
+                for (name, _) in &run.values {
+                    if emitted.contains(name) {
+                        continue;
+                    }
+                    emitted.push(name);
+                    let samples: Vec<String> = run
+                        .values
+                        .iter()
+                        .filter(|(k, _)| k == name)
+                        .map(|(_, v)| json_number(*v))
+                        .collect();
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    if samples.len() == 1 {
+                        let _ = write!(out, "\"{name}\": {}", samples[0]);
+                    } else {
+                        let _ = write!(out, "\"{name}\": [{}]", samples.join(", "));
+                    }
+                }
+                out.push_str("}}");
+                out.push_str(if ri + 1 < cell.runs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("          ]\n");
+            out.push_str(if ci + 1 < sweep.cells.len() { "        },\n" } else { "        }\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < reports.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders executed sweeps as tall CSV:
+/// `sweep,scenario,seed,metric,value` (one line per recorded observable).
+pub fn to_csv(reports: &[SweepReport]) -> String {
+    fn csv_field(s: &str) -> String {
+        if s.contains([',', '"', '\n']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::from("sweep,scenario,seed,metric,value\n");
+    for sweep in reports {
+        for cell in &sweep.cells {
+            for run in &cell.runs {
+                for (name, value) in &run.values {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{}",
+                        csv_field(&sweep.title),
+                        csv_field(&cell.scenario.label),
+                        run.seed,
+                        name,
+                        json_number(*value),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(-2.0), "-2");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,805 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] describes one runnable configuration — protocol family,
+//! eligibility mode (ideal `F_mine` vs the real VRF compiler), adversary,
+//! corruption model, input pattern, and sizes — without constructing
+//! anything. [`Scenario::run_seed`] materializes the configuration for one
+//! seed, dispatches it through `ba-core`'s uniform [`Runnable`]
+//! constructors, and distills the execution into a [`RunRecord`] of named
+//! observables.
+//!
+//! Alongside the five protocol families, measurement workloads (the
+//! Theorem 3/4 lower-bound constructions and the direct `F_mine` sampling
+//! experiments) run through the same surface so one [`crate::Sweep`] grid
+//! can mix them freely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use ba_adversary::{CertForger, CommitteeEraser, CrashAt, VoteFlipper};
+use ba_core::auth::FsService;
+use ba_core::ba_from_bb;
+use ba_core::broadcast;
+use ba_core::dolev_strong::{self, DsConfig};
+use ba_core::epoch::{self, EpochConfig, EpochMsg};
+use ba_core::iter::{self, IterConfig};
+use ba_core::runnable::Runnable;
+use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode};
+use ba_lowerbound::{theorem3, theorem4};
+use ba_sim::{
+    AdvCtx, Adversary, Bit, CorruptionModel, NodeId, Passive, RunReport, SimConfig, Verdict,
+};
+
+use crate::sweep::RunRecord;
+
+/// How the environment assigns input bits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InputPattern {
+    /// Every node inputs `b`.
+    Unanimous(Bit),
+    /// Node `i` inputs `i % 2 == 0`.
+    Alternating,
+    /// Node `i` inputs `i % 3 == 0`.
+    EveryThird,
+    /// Node `i` inputs `(i / n) < frac` (the first `frac` of the nodes).
+    FirstFrac(f64),
+    /// Broadcast only: the sender's bit is `seed % 2 == 0`.
+    SenderParity,
+}
+
+impl InputPattern {
+    /// The input vector for an agreement-style run.
+    pub fn generate(&self, n: usize, _seed: u64) -> Vec<Bit> {
+        match self {
+            InputPattern::Unanimous(b) => vec![*b; n],
+            InputPattern::Alternating => (0..n).map(|i| i % 2 == 0).collect(),
+            InputPattern::EveryThird => (0..n).map(|i| i % 3 == 0).collect(),
+            InputPattern::FirstFrac(frac) => {
+                (0..n).map(|i| (i as f64 / n as f64) < *frac).collect()
+            }
+            InputPattern::SenderParity => {
+                panic!("SenderParity is a broadcast-only input pattern")
+            }
+        }
+    }
+
+    /// The designated sender's bit for a broadcast-style run.
+    pub fn sender_bit(&self, seed: u64) -> Bit {
+        match self {
+            InputPattern::Unanimous(b) => *b,
+            InputPattern::SenderParity => seed.is_multiple_of(2),
+            other => panic!("{other:?} does not define a single sender bit"),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            InputPattern::Unanimous(b) => format!("unanimous({})", *b as u8),
+            InputPattern::Alternating => "alternating".into(),
+            InputPattern::EveryThird => "every_third".into(),
+            InputPattern::FirstFrac(frac) => format!("first_frac({frac})"),
+            InputPattern::SenderParity => "sender_parity".into(),
+        }
+    }
+}
+
+/// Which eligibility backend mined families use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EligMode {
+    /// The `F_mine` ideal functionality (Figure 1).
+    Ideal,
+    /// The Appendix D real-world VRF compiler.
+    Real,
+}
+
+/// How the eligibility backend is seeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EligSeed {
+    /// A fresh backend per run, seeded by the run seed (the default; every
+    /// seed is an independent world).
+    PerRun,
+    /// One backend seeded by the given value, built once per cell and
+    /// `Arc`-shared across all worker threads executing the cell's seeds.
+    Fixed(u64),
+}
+
+/// The attacker, by strategy (materialized per run against the concrete
+/// protocol configuration).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdversarySpec {
+    /// No corruption.
+    Passive,
+    /// The Theorem 1 after-the-fact eraser (erase every honest send).
+    CommitteeEraser,
+    /// The eraser tuned to starve the protocol's quorum.
+    StarveQuorum,
+    /// Crash the last `f` nodes at the given round.
+    CrashTail {
+        /// Round at which the tail crashes.
+        at_round: u64,
+    },
+    /// The certificate forger steering agreement toward `target`.
+    CertForger {
+        /// The bit the forger tries to force.
+        target: Bit,
+    },
+    /// The §3.3-Remark vote flipper (epoch family only). Records
+    /// `flips_injected` / `flips_blocked` observables.
+    VoteFlipper,
+}
+
+impl AdversarySpec {
+    fn name(&self) -> String {
+        match self {
+            AdversarySpec::Passive => "passive".into(),
+            AdversarySpec::CommitteeEraser => "committee_eraser".into(),
+            AdversarySpec::StarveQuorum => "starve_quorum".into(),
+            AdversarySpec::CrashTail { at_round } => format!("crash_tail(at={at_round})"),
+            AdversarySpec::CertForger { target } => format!("cert_forger({})", *target as u8),
+            AdversarySpec::VoteFlipper => "vote_flipper".into(),
+        }
+    }
+}
+
+/// The runnable configuration family, with its family-specific knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolSpec {
+    /// Appendix C.2 — Theorem 2's subquadratic iteration protocol.
+    SubqHalf {
+        /// Expected committee size λ.
+        lambda: f64,
+        /// Iteration-cap override (`None` = family default).
+        max_iters: Option<u64>,
+    },
+    /// Appendix C.1 — the quadratic iteration baseline.
+    QuadraticHalf,
+    /// §3.1 — the full-participation epoch warmup.
+    WarmupThird {
+        /// Number of epochs `R`.
+        epochs: u64,
+    },
+    /// §3.2 — the subquadratic epoch protocol with bit-specific eligibility.
+    SubqThird {
+        /// Expected committee size λ.
+        lambda: f64,
+        /// Number of epochs `R`.
+        epochs: u64,
+    },
+    /// §3.3 Remark — the insecure shared-committee ablation.
+    SubqShared {
+        /// Expected committee size λ.
+        lambda: f64,
+        /// Number of epochs `R`.
+        epochs: u64,
+    },
+    /// The Chen–Micali strawman (forward-secure keys, with or without
+    /// memory erasure).
+    ChenMicali {
+        /// Expected committee size λ.
+        lambda: f64,
+        /// Number of epochs `R`.
+        epochs: u64,
+        /// Whether the memory-erasure discipline is enforced.
+        erasure: bool,
+    },
+    /// The Dolev–Strong broadcast baseline.
+    DolevStrong {
+        /// The protocol's resilience parameter (round count `f + 1`);
+        /// independent of the simulation's corruption budget.
+        ds_f: usize,
+    },
+    /// §1.1 — BA from `n` parallel Dolev–Strong broadcasts.
+    BaFromBb {
+        /// The broadcast instances' resilience parameter.
+        ds_f: usize,
+    },
+    /// §1.1 — BB from the subquadratic iteration BA (sender `NodeId(0)`).
+    IterBroadcast {
+        /// Expected committee size λ of the inner BA.
+        lambda: f64,
+    },
+    /// Theorem 4's Dolev–Reischuk adversary pair against the relay family.
+    Theorem4 {
+        /// Relay fanout (the message-budget knob).
+        fanout: usize,
+    },
+    /// Theorem 3's merged `Q — 1 — Q′` execution (deterministic; run with
+    /// one seed).
+    Theorem3 {
+        /// Committee size of the setup-free candidate.
+        committee: usize,
+    },
+    /// Lemma 12 sampling: one leader-election iteration per seed.
+    GoodIteration {
+        /// Mining difficulty parameter λ for the propose tags.
+        lambda: f64,
+        /// The (fixed) `F_mine` instance seed.
+        mine_seed: u64,
+    },
+    /// Lemmas 10/11 sampling: one committee draw per seed.
+    CommitteeTails {
+        /// Expected committee size λ.
+        lambda: f64,
+    },
+    /// Appendix E sampling: four vote-committee sizes per seed.
+    CommitteeSample {
+        /// Expected committee size λ.
+        lambda: f64,
+    },
+}
+
+impl ProtocolSpec {
+    fn name(&self) -> String {
+        match self {
+            ProtocolSpec::SubqHalf { lambda, .. } => format!("iter/subq_half(lambda={lambda})"),
+            ProtocolSpec::QuadraticHalf => "iter/quadratic_half".into(),
+            ProtocolSpec::WarmupThird { epochs } => format!("epoch/warmup_third(R={epochs})"),
+            ProtocolSpec::SubqThird { lambda, epochs } => {
+                format!("epoch/subq_third(lambda={lambda},R={epochs})")
+            }
+            ProtocolSpec::SubqShared { lambda, epochs } => {
+                format!("epoch/subq_shared(lambda={lambda},R={epochs})")
+            }
+            ProtocolSpec::ChenMicali { lambda, epochs, erasure } => {
+                format!("epoch/chen_micali(lambda={lambda},R={epochs},erasure={erasure})")
+            }
+            ProtocolSpec::DolevStrong { ds_f } => format!("dolev_strong(f={ds_f})"),
+            ProtocolSpec::BaFromBb { ds_f } => format!("ba_from_bb(f={ds_f})"),
+            ProtocolSpec::IterBroadcast { lambda } => {
+                format!("broadcast/iter_bb(lambda={lambda})")
+            }
+            ProtocolSpec::Theorem4 { fanout } => format!("lowerbound/theorem4(fanout={fanout})"),
+            ProtocolSpec::Theorem3 { committee } => {
+                format!("lowerbound/theorem3(committee={committee})")
+            }
+            ProtocolSpec::GoodIteration { lambda, mine_seed } => {
+                format!("fmine/good_iteration(lambda={lambda},mine_seed={mine_seed})")
+            }
+            ProtocolSpec::CommitteeTails { lambda } => {
+                format!("fmine/committee_tails(lambda={lambda})")
+            }
+            ProtocolSpec::CommitteeSample { lambda } => {
+                format!("fmine/committee_sample(lambda={lambda})")
+            }
+        }
+    }
+}
+
+/// A cell-scoped, lazily initialized eligibility backend, `Arc`-shared
+/// across the worker threads executing the cell's seeds (used by
+/// [`EligSeed::Fixed`] scenarios).
+#[derive(Default)]
+pub struct SharedElig(OnceLock<Arc<dyn Eligibility>>);
+
+impl std::fmt::Debug for SharedElig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedElig").field("initialized", &self.0.get().is_some()).finish()
+    }
+}
+
+impl SharedElig {
+    /// An uninitialized slot.
+    pub fn new() -> SharedElig {
+        SharedElig(OnceLock::new())
+    }
+
+    fn get_or_build(&self, build: impl FnOnce() -> Arc<dyn Eligibility>) -> Arc<dyn Eligibility> {
+        self.0.get_or_init(build).clone()
+    }
+}
+
+/// One finished scenario execution: the distilled record plus (for protocol
+/// runs) the full report and verdict.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Named observables for sweep aggregation.
+    pub record: RunRecord,
+    /// The raw execution report (`None` for measurement workloads).
+    pub report: Option<RunReport>,
+    /// The security verdict (`None` for measurement workloads).
+    pub verdict: Option<Verdict>,
+}
+
+/// One declaratively described runnable configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display label (also the lookup key in reports).
+    pub label: String,
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Corruption budget `f` handed to the simulator.
+    pub f: usize,
+    /// Corruption model in force.
+    pub model: CorruptionModel,
+    /// Environment input assignment.
+    pub inputs: InputPattern,
+    /// The attacker.
+    pub adversary: AdversarySpec,
+    /// The runnable configuration family.
+    pub protocol: ProtocolSpec,
+    /// Eligibility backend for mined families.
+    pub elig: EligMode,
+    /// Eligibility seeding policy.
+    pub elig_seed: EligSeed,
+    /// Added to the sweep's seed index to form the run seed.
+    pub seed_offset: u64,
+    /// Per-scenario seed-count override (`None` = sweep default).
+    pub seeds: Option<u64>,
+}
+
+impl Scenario {
+    /// A passive, static, ideal-eligibility scenario with alternating
+    /// inputs (broadcast families default to [`InputPattern::SenderParity`],
+    /// the only kind of pattern that defines their sender bit) — override
+    /// the rest through the builder methods.
+    pub fn new(label: impl Into<String>, n: usize, protocol: ProtocolSpec) -> Scenario {
+        let inputs = match protocol {
+            ProtocolSpec::DolevStrong { .. } | ProtocolSpec::IterBroadcast { .. } => {
+                InputPattern::SenderParity
+            }
+            _ => InputPattern::Alternating,
+        };
+        Scenario {
+            label: label.into(),
+            n,
+            f: 0,
+            model: CorruptionModel::Static,
+            inputs,
+            adversary: AdversarySpec::Passive,
+            protocol,
+            elig: EligMode::Ideal,
+            elig_seed: EligSeed::PerRun,
+            seed_offset: 0,
+            seeds: None,
+        }
+    }
+
+    /// Sets the corruption budget.
+    pub fn f(mut self, f: usize) -> Scenario {
+        self.f = f;
+        self
+    }
+
+    /// Sets the corruption model.
+    pub fn model(mut self, model: CorruptionModel) -> Scenario {
+        self.model = model;
+        self
+    }
+
+    /// Sets the input pattern.
+    pub fn inputs(mut self, inputs: InputPattern) -> Scenario {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the adversary.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Scenario {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Switches mined families to the real-world VRF backend.
+    pub fn real_elig(mut self) -> Scenario {
+        self.elig = EligMode::Real;
+        self
+    }
+
+    /// Pins the eligibility backend to one fixed-seed instance, shared
+    /// across workers.
+    pub fn elig_fixed(mut self, seed: u64) -> Scenario {
+        self.elig_seed = EligSeed::Fixed(seed);
+        self
+    }
+
+    /// Offsets the run seeds (`seed = offset + index`).
+    pub fn seed_offset(mut self, offset: u64) -> Scenario {
+        self.seed_offset = offset;
+        self
+    }
+
+    /// Overrides the sweep-level seed count for this scenario.
+    pub fn seeds(mut self, seeds: u64) -> Scenario {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Key/value description of the configuration (report metadata).
+    pub fn describe(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("protocol", self.protocol.name()),
+            ("adversary", self.adversary.name()),
+            ("inputs", self.inputs.name()),
+            (
+                "model",
+                match self.model {
+                    CorruptionModel::Static => "static".into(),
+                    CorruptionModel::Adaptive => "adaptive".into(),
+                    CorruptionModel::StronglyAdaptive => "strongly_adaptive".into(),
+                },
+            ),
+            ("elig", if self.elig == EligMode::Ideal { "ideal".into() } else { "real".into() }),
+            (
+                "elig_seed",
+                match self.elig_seed {
+                    EligSeed::PerRun => "per_run".into(),
+                    EligSeed::Fixed(s) => format!("fixed({s})"),
+                },
+            ),
+        ]
+    }
+
+    fn build_elig(&self, seed: u64, shared: &SharedElig, lambda: f64) -> Arc<dyn Eligibility> {
+        let (n, mode) = (self.n, self.elig);
+        let build = move |s: u64| -> Arc<dyn Eligibility> {
+            match mode {
+                EligMode::Ideal => Arc::new(IdealMine::new(s, MineParams::new(n, lambda))),
+                EligMode::Real => Arc::new(RealMine::from_seed(s, MineParams::new(n, lambda))),
+            }
+        };
+        match self.elig_seed {
+            EligSeed::PerRun => build(seed),
+            EligSeed::Fixed(s) => shared.get_or_build(move || build(s)),
+        }
+    }
+
+    /// Executes the scenario under `seed` and distills a [`RunRecord`]
+    /// (the sweep-engine entry point).
+    pub fn run_seed(&self, seed: u64, shared: &SharedElig) -> RunRecord {
+        self.execute_shared(seed, shared).record
+    }
+
+    /// Executes the scenario under `seed`, returning the full outcome
+    /// (stand-alone entry point for examples and tests).
+    pub fn execute(&self, seed: u64) -> ScenarioRun {
+        self.execute_shared(seed, &SharedElig::new())
+    }
+
+    fn execute_shared(&self, seed: u64, shared: &SharedElig) -> ScenarioRun {
+        let sim = SimConfig::new(self.n.max(1), self.f, self.model, seed);
+        match &self.protocol {
+            ProtocolSpec::SubqHalf { lambda, max_iters } => {
+                let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));
+                if let Some(mi) = max_iters {
+                    cfg.max_iters = *mi;
+                }
+                self.run_iter(cfg, &sim, seed)
+            }
+            ProtocolSpec::QuadraticHalf => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                self.run_iter(IterConfig::quadratic_half(self.n, kc, seed), &sim, seed)
+            }
+            ProtocolSpec::WarmupThird { epochs } => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                self.run_epoch(EpochConfig::warmup_third(self.n, *epochs, kc), &sim, seed)
+            }
+            ProtocolSpec::SubqThird { lambda, epochs } => {
+                let elig = self.build_elig(seed, shared, *lambda);
+                self.run_epoch(EpochConfig::subq_third(self.n, *epochs, elig), &sim, seed)
+            }
+            ProtocolSpec::SubqShared { lambda, epochs } => {
+                let elig = self.build_elig(seed, shared, *lambda);
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                self.run_epoch(EpochConfig::subq_shared(self.n, *epochs, elig, kc), &sim, seed)
+            }
+            ProtocolSpec::ChenMicali { lambda, epochs, erasure } => {
+                let elig = self.build_elig(seed, shared, *lambda);
+                let fs = Arc::new(FsService::from_seed(seed, self.n, *epochs as usize + 1));
+                let cfg = EpochConfig::chen_micali(self.n, *epochs, elig, fs, *erasure);
+                self.run_epoch(cfg, &sim, seed)
+            }
+            ProtocolSpec::DolevStrong { ds_f } => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                let cfg = DsConfig { n: self.n, f: *ds_f, sender: NodeId(0), keychain: kc };
+                let runnable = self.typed_runnable(seed, None, |adv| {
+                    dolev_strong::runnable(&cfg, self.inputs.sender_bit(seed), adv)
+                });
+                self.finish(seed, runnable.execute(&sim), Vec::new())
+            }
+            ProtocolSpec::BaFromBb { ds_f } => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                let inputs = self.inputs.generate(self.n, seed);
+                let runnable = self.typed_runnable(seed, None, |adv| {
+                    ba_from_bb::runnable(self.n, *ds_f, kc, inputs, adv)
+                });
+                self.finish(seed, runnable.execute(&sim), Vec::new())
+            }
+            ProtocolSpec::IterBroadcast { lambda } => {
+                let cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                let runnable = self.typed_runnable(seed, Some(cfg.quorum), |adv| {
+                    broadcast::runnable_iter_bb(
+                        &cfg,
+                        kc,
+                        NodeId(0),
+                        self.inputs.sender_bit(seed),
+                        adv,
+                    )
+                });
+                self.finish(seed, runnable.execute(&sim), Vec::new())
+            }
+            ProtocolSpec::Theorem4 { fanout } => {
+                let sample = theorem4::run_seed(self.n, self.f, *fanout, seed);
+                let mut record = RunRecord::new(seed);
+                record.push("messages", sample.messages as f64);
+                record.push_flag("isolated", sample.isolated);
+                record.push_flag("violated", sample.violated);
+                ScenarioRun { record, report: None, verdict: None }
+            }
+            ProtocolSpec::Theorem3 { committee } => {
+                let rep = theorem3::run_experiment(self.n, *committee);
+                let mut record = RunRecord::new(seed);
+                record.push_flag("q_valid", rep.q_valid);
+                record.push_flag("q_prime_valid", rep.q_prime_valid);
+                record.push("node1_output", rep.node1_output.map_or(-1.0, |b| b as u64 as f64));
+                record.push("corruptions_needed", rep.corruptions_needed as f64);
+                record.push("q_multicasts", rep.q_multicasts as f64);
+                record.push_flag("node1_inconsistent_with_q", rep.node1_inconsistent_with_q);
+                record.push_flag(
+                    "node1_inconsistent_with_q_prime",
+                    rep.node1_inconsistent_with_q_prime,
+                );
+                record.push_flag("contradiction", rep.contradiction_established());
+                ScenarioRun { record, report: None, verdict: None }
+            }
+            ProtocolSpec::GoodIteration { lambda, mine_seed } => {
+                self.sample_good_iteration(seed, *lambda, *mine_seed)
+            }
+            ProtocolSpec::CommitteeTails { lambda } => self.sample_committee_tails(seed, *lambda),
+            ProtocolSpec::CommitteeSample { lambda } => {
+                let elig = self.build_elig(seed, shared, *lambda);
+                let mut record = RunRecord::new(seed);
+                for iter_no in 0..4u64 {
+                    let tag = MineTag::new(MsgKind::Vote, iter_no, true);
+                    let size =
+                        (0..self.n).filter(|&i| elig.mine(NodeId(i), &tag).is_some()).count();
+                    record.push("committee_size", size as f64);
+                }
+                ScenarioRun { record, report: None, verdict: None }
+            }
+        }
+    }
+
+    /// Builds the family-agnostic adversaries; families with typed
+    /// adversaries (forger, flipper) construct them in their own `run_*`.
+    fn typed_runnable<M: ba_sim::Message + Send + 'static>(
+        &self,
+        _seed: u64,
+        quorum: Option<usize>,
+        make: impl FnOnce(Box<dyn DynAdversary<M>>) -> Runnable,
+    ) -> Runnable {
+        let adv: Box<dyn DynAdversary<M>> = match self.adversary {
+            AdversarySpec::Passive => Box::new(Passive),
+            AdversarySpec::CommitteeEraser => Box::new(CommitteeEraser::new()),
+            AdversarySpec::StarveQuorum => Box::new(CommitteeEraser::starve_quorum(
+                quorum.expect("starve_quorum needs a quorum-bearing protocol"),
+            )),
+            AdversarySpec::CrashTail { at_round } => Box::new(CrashAt {
+                nodes: (self.n - self.f..self.n).map(NodeId).collect(),
+                at_round,
+            }),
+            AdversarySpec::CertForger { .. } | AdversarySpec::VoteFlipper => panic!(
+                "{} does not attack this protocol family ({})",
+                self.adversary.name(),
+                self.protocol.name()
+            ),
+        };
+        make(adv)
+    }
+
+    fn run_iter(&self, cfg: IterConfig, sim: &SimConfig, seed: u64) -> ScenarioRun {
+        let inputs = self.inputs.generate(self.n, seed);
+        let runnable = match self.adversary {
+            AdversarySpec::CertForger { target } => {
+                let adv = CertForger::new(self.n, self.f, target, cfg.quorum, cfg.auth.clone());
+                iter::runnable(&cfg, inputs, adv)
+            }
+            _ => {
+                let quorum = cfg.quorum;
+                self.typed_runnable(seed, Some(quorum), |adv| iter::runnable(&cfg, inputs, adv))
+            }
+        };
+        self.finish(seed, runnable.execute(sim), Vec::new())
+    }
+
+    fn run_epoch(&self, cfg: EpochConfig, sim: &SimConfig, seed: u64) -> ScenarioRun {
+        let inputs = self.inputs.generate(self.n, seed);
+        match self.adversary {
+            AdversarySpec::VoteFlipper => {
+                let counters = Arc::new(FlipCounters::default());
+                let adv = FlipCounting {
+                    inner: VoteFlipper::new(cfg.auth.clone(), cfg.quorum),
+                    out: counters.clone(),
+                };
+                let outcome = epoch::runnable(&cfg, inputs, adv).execute(sim);
+                let extras = vec![
+                    ("flips_injected", counters.injected.load(Ordering::Relaxed) as f64),
+                    ("flips_blocked", counters.blocked.load(Ordering::Relaxed) as f64),
+                ];
+                self.finish(seed, outcome, extras)
+            }
+            _ => {
+                let quorum = cfg.quorum;
+                let runnable = self
+                    .typed_runnable(seed, Some(quorum), |adv| epoch::runnable(&cfg, inputs, adv));
+                self.finish(seed, runnable.execute(sim), Vec::new())
+            }
+        }
+    }
+
+    /// Distills a finished protocol run into the standard observables.
+    fn finish(
+        &self,
+        seed: u64,
+        (report, verdict): (RunReport, Verdict),
+        extras: Vec<(&'static str, f64)>,
+    ) -> ScenarioRun {
+        let m = &report.metrics;
+        let mut record = RunRecord::new(seed);
+        record.push("rounds", report.rounds_used as f64);
+        record.push("multicasts", m.honest_multicasts as f64);
+        record.push("multicast_bits", m.honest_multicast_bits as f64);
+        record.push("kbits", m.honest_multicast_bits as f64 / 1000.0);
+        record.push("unicasts", m.honest_unicasts as f64);
+        record.push("classical_msgs", m.classical_messages(self.n) as f64);
+        record.push("corrupt_sends", m.corrupt_sends as f64);
+        record.push("removals", m.removals as f64);
+        record.push("dropped_sends", m.dropped_sends as f64);
+        record.push_flag("consistent", verdict.consistent);
+        record.push_flag("valid", verdict.valid);
+        record.push_flag("terminated", verdict.terminated);
+        record.push_flag("all_ok", verdict.all_ok());
+        record.push_flag("defeated", !verdict.all_ok());
+        if verdict.terminated {
+            record.push("rounds_terminated", report.rounds_used as f64);
+        }
+        if let Some(bit) = report.forever_honest().next().and_then(|i| report.outputs[i.index()]) {
+            record.push("decision", bit as u64 as f64);
+        }
+        for (name, value) in extras {
+            record.push(name, value);
+        }
+        ScenarioRun { record, report: Some(report), verdict: Some(verdict) }
+    }
+
+    /// One Lemma 12 leader-election iteration (iteration index = seed):
+    /// `n − f` honest single-bit propose attempts plus `f` corrupt
+    /// both-bit grinds against a fixed `F_mine` instance.
+    fn sample_good_iteration(&self, seed: u64, lambda: f64, mine_seed: u64) -> ScenarioRun {
+        let fmine = IdealMine::new(mine_seed, MineParams::new(self.n, lambda));
+        let (n, f, r) = (self.n, self.f, seed);
+        let mut honest_successes = 0u64;
+        for i in 0..n - f {
+            let bit = (i + r as usize).is_multiple_of(2);
+            if fmine.mine(NodeId(i), &MineTag::new(MsgKind::Propose, r, bit)).is_some() {
+                honest_successes += 1;
+            }
+        }
+        let mut corrupt_successes = 0u64;
+        for i in n - f..n {
+            for bit in [false, true] {
+                if fmine.mine(NodeId(i), &MineTag::new(MsgKind::Propose, r, bit)).is_some() {
+                    corrupt_successes += 1;
+                }
+            }
+        }
+        let mut record = RunRecord::new(seed);
+        record.push_flag("good", honest_successes == 1 && corrupt_successes == 0);
+        record.push_flag("unique", honest_successes + corrupt_successes == 1);
+        ScenarioRun { record, report: None, verdict: None }
+    }
+
+    /// One Lemmas 10/11 committee draw (trial index = seed): corrupt vs
+    /// honest eligibility for a vote tag, plus the Lemma 10 terminator
+    /// ticket check.
+    fn sample_committee_tails(&self, seed: u64, lambda: f64) -> ScenarioRun {
+        let (n, f, t) = (self.n, self.f, seed);
+        let fmine =
+            IdealMine::new(t.wrapping_mul(0x9E37).wrapping_add(11), MineParams::new(n, lambda));
+        let quorum = (lambda / 2.0).ceil() as usize;
+        let eps = 0.5 - f as f64 / n as f64;
+        let terminators = ((eps * n as f64) / 2.0).ceil() as usize;
+        let tag = MineTag::new(MsgKind::Vote, t, true);
+        let corrupt_eligible =
+            (n - f..n).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
+        let honest_eligible = (0..n - f).filter(|&i| fmine.mine(NodeId(i), &tag).is_some()).count();
+        let term_tag = MineTag::terminate(true);
+        let any_terminator =
+            (0..terminators.min(n - f)).any(|i| fmine.mine(NodeId(i), &term_tag).is_some());
+        let mut record = RunRecord::new(seed);
+        record.push_flag("corrupt_quorum", corrupt_eligible >= quorum);
+        record.push_flag("honest_starved", honest_eligible < quorum);
+        record.push_flag("terminate_mute", !any_terminator);
+        ScenarioRun { record, report: None, verdict: None }
+    }
+}
+
+/// Object-safe adversary bridge: the family-agnostic strategies are built
+/// as boxed trait objects so one constructor covers every message type.
+trait DynAdversary<M: ba_sim::Message>: Send {
+    fn setup_dyn(&mut self, ctx: &mut AdvCtx<'_, M>);
+    fn filter_dyn(
+        &mut self,
+        node: NodeId,
+        inbox: Vec<ba_sim::Incoming<M>>,
+        round: ba_sim::Round,
+    ) -> Vec<ba_sim::Incoming<M>>;
+    fn outbox_dyn(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(ba_sim::Recipient, M)>,
+        round: ba_sim::Round,
+    ) -> Vec<(ba_sim::Recipient, M)>;
+    fn intervene_dyn(&mut self, ctx: &mut AdvCtx<'_, M>);
+}
+
+impl<M: ba_sim::Message, A: Adversary<M> + Send> DynAdversary<M> for A {
+    fn setup_dyn(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        self.setup(ctx)
+    }
+    fn filter_dyn(
+        &mut self,
+        node: NodeId,
+        inbox: Vec<ba_sim::Incoming<M>>,
+        round: ba_sim::Round,
+    ) -> Vec<ba_sim::Incoming<M>> {
+        self.filter_corrupt_inbox(node, inbox, round)
+    }
+    fn outbox_dyn(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(ba_sim::Recipient, M)>,
+        round: ba_sim::Round,
+    ) -> Vec<(ba_sim::Recipient, M)> {
+        self.corrupt_outbox(node, planned, round)
+    }
+    fn intervene_dyn(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        self.intervene(ctx)
+    }
+}
+
+impl<M: ba_sim::Message> Adversary<M> for Box<dyn DynAdversary<M>> {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        (**self).setup_dyn(ctx)
+    }
+    fn filter_corrupt_inbox(
+        &mut self,
+        node: NodeId,
+        inbox: Vec<ba_sim::Incoming<M>>,
+        round: ba_sim::Round,
+    ) -> Vec<ba_sim::Incoming<M>> {
+        (**self).filter_dyn(node, inbox, round)
+    }
+    fn corrupt_outbox(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(ba_sim::Recipient, M)>,
+        round: ba_sim::Round,
+    ) -> Vec<(ba_sim::Recipient, M)> {
+        (**self).outbox_dyn(node, planned, round)
+    }
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        (**self).intervene_dyn(ctx)
+    }
+}
+
+/// Cross-thread flip counters recovered from a [`VoteFlipper`] run.
+#[derive(Default)]
+struct FlipCounters {
+    injected: AtomicU64,
+    blocked: AtomicU64,
+}
+
+/// Forwards to the wrapped [`VoteFlipper`] and mirrors its statistics into
+/// shared atomics after every intervention.
+struct FlipCounting {
+    inner: VoteFlipper,
+    out: Arc<FlipCounters>,
+}
+
+impl Adversary<EpochMsg> for FlipCounting {
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, EpochMsg>) {
+        self.inner.intervene(ctx);
+        self.out.injected.store(self.inner.flips_injected, Ordering::Relaxed);
+        self.out.blocked.store(self.inner.flips_blocked, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,99 @@
+//! Descriptive statistics over experiment samples.
+
+/// Simple descriptive statistics over `f64` samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Median (mean of the two central order statistics for even counts).
+    pub median: f64,
+    /// 95th percentile (nearest-rank). Tail behaviour matters for the
+    /// paper's expected-O(1)-rounds claim: a flat mean can hide a heavy
+    /// tail of slow seeds.
+    pub p95: f64,
+}
+
+impl Stats {
+    /// Computes statistics over the samples (zeroed for empty input).
+    pub fn of(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count.max(2) - 1) as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        // Nearest-rank: the smallest sample >= 95% of the distribution.
+        let p95 = sorted[((count as f64 * 0.95).ceil() as usize).clamp(1, count) - 1];
+        Stats { count, mean, min, max, stddev: var.sqrt(), median, p95 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p95, 3.0);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.p95, 0.0);
+    }
+
+    #[test]
+    fn median_even_count_averages_centre() {
+        let s = Stats::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        // 1..=100: the 95th percentile by nearest rank is the 95th order
+        // statistic.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Stats::of(&samples);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.median, 50.5);
+        // 20 samples: ceil(19) = 19th order statistic.
+        let samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(Stats::of(&samples).p95, 19.0);
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let s = Stats::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

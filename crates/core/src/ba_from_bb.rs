@@ -19,6 +19,7 @@ use ba_sim::{
 };
 
 use crate::dolev_strong::{DsConfig, DsMsg, DsNode};
+use crate::runnable::Runnable;
 
 /// A message of one of the `n` parallel broadcast instances, tagged by the
 /// instance's designated sender.
@@ -113,7 +114,7 @@ impl Protocol<TaggedDsMsg> for ParallelBbNode {
 
 /// Runs the BA-from-parallel-BB reduction and evaluates the agreement
 /// verdict.
-pub fn run<A: Adversary<TaggedDsMsg>>(
+pub fn run<A: Adversary<TaggedDsMsg> + Send>(
     n: usize,
     f: usize,
     keychain: Arc<Keychain>,
@@ -124,11 +125,23 @@ pub fn run<A: Adversary<TaggedDsMsg>>(
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(f as u64 + 4);
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, _seed| {
+    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, _seed| {
         Box::new(ParallelBbNode::new(n, f, id, inputs_for_factory[id.index()], keychain.clone()))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
+}
+
+/// Packages one BA-from-parallel-BB execution as a thread-dispatchable
+/// [`Runnable`] (the uniform constructor sweep harnesses dispatch over).
+pub fn runnable<A: Adversary<TaggedDsMsg> + Send + 'static>(
+    n: usize,
+    f: usize,
+    keychain: Arc<Keychain>,
+    inputs: Vec<Bit>,
+    adversary: A,
+) -> Runnable {
+    Runnable::new(move |sim| run(n, f, keychain, sim, inputs, adversary))
 }
 
 #[cfg(test)]

@@ -10,11 +10,12 @@ use std::sync::Arc;
 
 use ba_fmine::{Keychain, Sig};
 use ba_sim::{
-    evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
-    RunReport, Sim, SimConfig, Verdict,
+    evaluate, Adversary, Bit, BoxedProtocol, Incoming, Message, NodeId, Outbox, Problem, Protocol,
+    Round, RunReport, Sim, SimConfig, Verdict,
 };
 
 use crate::iter::{IterConfig, IterMsg, IterNode};
+use crate::runnable::Runnable;
 
 /// Wrapper message: the sender's input multicast, or an inner BA message.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,9 +53,9 @@ pub struct BbNode<M> {
     sender: NodeId,
     input: Bit,
     keychain: Arc<Keychain>,
-    inner: Option<Box<dyn Protocol<M>>>,
+    inner: Option<BoxedProtocol<M>>,
     #[allow(clippy::type_complexity)]
-    make_inner: Option<Box<dyn FnOnce(Bit) -> Box<dyn Protocol<M>> + Send>>,
+    make_inner: Option<Box<dyn FnOnce(Bit) -> BoxedProtocol<M> + Send>>,
 }
 
 impl<M: Message> BbNode<M> {
@@ -65,7 +66,7 @@ impl<M: Message> BbNode<M> {
         sender: NodeId,
         input: Bit,
         keychain: Arc<Keychain>,
-        make_inner: impl FnOnce(Bit) -> Box<dyn Protocol<M>> + Send + 'static,
+        make_inner: impl FnOnce(Bit) -> BoxedProtocol<M> + Send + 'static,
     ) -> BbNode<M> {
         BbNode { id, sender, input, keychain, inner: None, make_inner: Some(Box::new(make_inner)) }
     }
@@ -130,7 +131,7 @@ impl<M: Message> Protocol<BbMsg<M>> for BbNode<M> {
 
 /// Runs Byzantine Broadcast built from an iteration-family BA instance
 /// (quadratic or subquadratic) and evaluates the broadcast verdict.
-pub fn run_iter_bb<A: Adversary<BbMsg<IterMsg>>>(
+pub fn run_iter_bb<A: Adversary<BbMsg<IterMsg>> + Send>(
     cfg: &IterConfig,
     keychain: Arc<Keychain>,
     sim: &SimConfig,
@@ -143,7 +144,7 @@ pub fn run_iter_bb<A: Adversary<BbMsg<IterMsg>>>(
     let mut inputs = vec![false; cfg.n];
     inputs[sender.index()] = sender_input;
     let cfg_for_factory = cfg.clone();
-    let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, seed| {
+    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
         let inner_cfg = cfg_for_factory.clone();
         Box::new(BbNode::new(id, sender, sender_input, keychain.clone(), move |bit| {
             Box::new(IterNode::new(inner_cfg, id, bit, seed))
@@ -151,6 +152,19 @@ pub fn run_iter_bb<A: Adversary<BbMsg<IterMsg>>>(
     });
     let verdict = evaluate(Problem::Broadcast { sender }, &report);
     (report, verdict)
+}
+
+/// Packages one BB-from-iteration-BA execution as a thread-dispatchable
+/// [`Runnable`] (the uniform constructor sweep harnesses dispatch over).
+pub fn runnable_iter_bb<A: Adversary<BbMsg<IterMsg>> + Send + 'static>(
+    cfg: &IterConfig,
+    keychain: Arc<Keychain>,
+    sender: NodeId,
+    sender_input: Bit,
+    adversary: A,
+) -> Runnable {
+    let cfg = cfg.clone();
+    Runnable::new(move |sim| run_iter_bb(&cfg, keychain, sim, sender, sender_input, adversary))
 }
 
 #[cfg(test)]

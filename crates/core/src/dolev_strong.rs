@@ -15,6 +15,8 @@
 use std::sync::Arc;
 
 use ba_fmine::{Keychain, Sig};
+
+use crate::runnable::Runnable;
 use ba_sim::{
     evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
     RunReport, Sim, SimConfig, Verdict,
@@ -171,7 +173,7 @@ impl Protocol<DsMsg> for DsNode {
 }
 
 /// Runs a Dolev–Strong broadcast and evaluates the broadcast verdict.
-pub fn run<A: Adversary<DsMsg>>(
+pub fn run<A: Adversary<DsMsg> + Send>(
     cfg: &DsConfig,
     sim: &SimConfig,
     sender_input: Bit,
@@ -183,11 +185,22 @@ pub fn run<A: Adversary<DsMsg>>(
     inputs[cfg.sender.index()] = sender_input;
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, _seed| {
+    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, _seed| {
         Box::new(DsNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()]))
     });
     let verdict = evaluate(Problem::Broadcast { sender: cfg.sender }, &report);
     (report, verdict)
+}
+
+/// Packages one Dolev–Strong broadcast as a thread-dispatchable
+/// [`Runnable`] (the uniform constructor sweep harnesses dispatch over).
+pub fn runnable<A: Adversary<DsMsg> + Send + 'static>(
+    cfg: &DsConfig,
+    sender_input: Bit,
+    adversary: A,
+) -> Runnable {
+    let cfg = cfg.clone();
+    Runnable::new(move |sim| run(&cfg, sim, sender_input, adversary))
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ use ba_sim::{
 };
 
 use crate::auth::{Auth, Evidence, FsService};
+use crate::runnable::Runnable;
 
 /// Messages of the epoch family.
 #[derive(Clone, Debug, PartialEq)]
@@ -363,7 +364,7 @@ impl Protocol<EpochMsg> for EpochNode {
 
 /// Runs one execution of an epoch-family protocol and evaluates the verdict
 /// for the agreement problem.
-pub fn run<A: Adversary<EpochMsg>>(
+pub fn run<A: Adversary<EpochMsg> + Send>(
     cfg: &EpochConfig,
     sim: &SimConfig,
     inputs: Vec<Bit>,
@@ -373,11 +374,22 @@ pub fn run<A: Adversary<EpochMsg>>(
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(cfg.total_rounds() + 1);
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, seed| {
+    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
         Box::new(EpochNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
+}
+
+/// Packages one epoch-family execution as a thread-dispatchable
+/// [`Runnable`] (the uniform constructor sweep harnesses dispatch over).
+pub fn runnable<A: Adversary<EpochMsg> + Send + 'static>(
+    cfg: &EpochConfig,
+    inputs: Vec<Bit>,
+    adversary: A,
+) -> Runnable {
+    let cfg = cfg.clone();
+    Runnable::new(move |sim| run(&cfg, sim, inputs, adversary))
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ use ba_sim::{
 
 use crate::auth::{Auth, Evidence};
 use crate::cert::{verify_commit_quorum, Certificate, CommitRef, VoteRef};
+use crate::runnable::Runnable;
 
 /// Reference to a leader proposal, attached to votes as justification.
 #[derive(Clone, Debug, PartialEq)]
@@ -615,7 +616,7 @@ impl Protocol<IterMsg> for IterNode {
 
 /// Runs one execution of an iteration-family protocol and evaluates the
 /// agreement verdict.
-pub fn run<A: Adversary<IterMsg>>(
+pub fn run<A: Adversary<IterMsg> + Send>(
     cfg: &IterConfig,
     sim: &SimConfig,
     inputs: Vec<Bit>,
@@ -625,11 +626,22 @@ pub fn run<A: Adversary<IterMsg>>(
     sim_cfg.max_rounds = sim_cfg.max_rounds.min(cfg.total_rounds() + 2);
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_protocol(&sim_cfg, inputs, adversary, move |id, seed| {
+    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
         Box::new(IterNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
     });
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
+}
+
+/// Packages one iteration-family execution as a thread-dispatchable
+/// [`Runnable`] (the uniform constructor sweep harnesses dispatch over).
+pub fn runnable<A: Adversary<IterMsg> + Send + 'static>(
+    cfg: &IterConfig,
+    inputs: Vec<Bit>,
+    adversary: A,
+) -> Runnable {
+    let cfg = cfg.clone();
+    Runnable::new(move |sim| run(&cfg, sim, inputs, adversary))
 }
 
 #[cfg(test)]

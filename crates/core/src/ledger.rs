@@ -109,7 +109,7 @@ impl Ledger {
     /// # Panics
     ///
     /// Panics if `inputs.len() != cfg.n`.
-    pub fn append_slot<A: Adversary<IterMsg>>(
+    pub fn append_slot<A: Adversary<IterMsg> + Send>(
         &mut self,
         cfg: &LedgerConfig,
         inputs: Vec<Bit>,

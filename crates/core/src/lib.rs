@@ -53,6 +53,8 @@ pub mod dolev_strong;
 pub mod epoch;
 pub mod iter;
 pub mod ledger;
+pub mod runnable;
 
 pub use auth::{Auth, Evidence, FsService};
 pub use cert::{Certificate, CommitRef, VoteRef};
+pub use runnable::Runnable;

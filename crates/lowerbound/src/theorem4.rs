@@ -313,6 +313,36 @@ pub struct Theorem4Row {
     pub violation_rate: f64,
 }
 
+/// Per-seed outcome of the Theorem 4 adversary pair: one `A` measuring
+/// pass plus one `A′` attacking pass under the same seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem4Sample {
+    /// Honest messages sent under the measuring adversary `A`.
+    pub messages: u64,
+    /// Whether `A′` fully isolated its victim `p` (no message leaked).
+    pub isolated: bool,
+    /// Whether the `A′` run violated consistency or validity.
+    pub violated: bool,
+}
+
+/// Runs the Theorem 4 adversary pair for one `(n, f, fanout)` cell under a
+/// single seed — the parallelizable unit sweep harnesses fan out over.
+pub fn run_seed(n: usize, f: usize, fanout: usize, seed: u64) -> Theorem4Sample {
+    // Pass 1: adversary A measures message counts.
+    let adv_a = DolevReischukA::new(n, f);
+    let (report_a, _verdict_a, _a) = run_with(n, f, fanout, seed, adv_a);
+
+    // Pass 2: adversary A' attacks. p is honest under A'; a violation
+    // shows up directly in the verdict.
+    let adv_p = DolevReischukAPrime::new(n, f, seed);
+    let (_report_p, verdict_p, leaked) = run_with_prime(n, f, fanout, seed, adv_p);
+    Theorem4Sample {
+        messages: report_a.metrics.honest_sends(),
+        isolated: leaked == 0,
+        violated: !verdict_p.all_ok(),
+    }
+}
+
 /// Runs the Theorem 4 experiment for one `(n, f, fanout)` cell over `seeds`
 /// seeds.
 pub fn run_cell(n: usize, f: usize, fanout: usize, seeds: u64) -> Theorem4Row {
@@ -320,24 +350,10 @@ pub fn run_cell(n: usize, f: usize, fanout: usize, seeds: u64) -> Theorem4Row {
     let mut isolations = 0u64;
     let mut violations = 0u64;
     for seed in 0..seeds {
-        // Pass 1: adversary A measures message counts.
-        let adv_a = DolevReischukA::new(n, f);
-        let (report_a, _verdict_a, _a) = run_with(n, f, fanout, seed, adv_a);
-        total_messages += report_a.metrics.honest_sends();
-
-        // Pass 2: adversary A' attacks.
-        let adv_p = DolevReischukAPrime::new(n, f, seed);
-        let p = adv_p.p;
-        let (report_p, verdict_p, leaked) = run_with_prime(n, f, fanout, seed, adv_p);
-        if leaked == 0 {
-            isolations += 1;
-        }
-        // p is honest under A'; a violation shows up directly in the verdict.
-        let _ = p;
-        if !verdict_p.all_ok() {
-            violations += 1;
-        }
-        let _ = report_p;
+        let sample = run_seed(n, f, fanout, seed);
+        total_messages += sample.messages;
+        isolations += sample.isolated as u64;
+        violations += sample.violated as u64;
     }
     Theorem4Row {
         n,

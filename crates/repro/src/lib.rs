@@ -18,6 +18,7 @@
 //! ```
 
 pub use ba_adversary as adversary;
+pub use ba_bench as bench;
 pub use ba_core as core;
 pub use ba_crypto as crypto;
 pub use ba_fmine as fmine;
@@ -30,11 +31,15 @@ pub use ba_core::iter::run as iter_run;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ba_adversary::{CertForger, CommitteeEraser, CrashAt, Omission, VoteFlipper};
+    pub use ba_bench::{
+        AdversarySpec, CellReport, InputPattern, ProtocolSpec, Scenario, Sweep, SweepReport,
+    };
     pub use ba_core::auth::{Auth, Evidence, FsService};
     pub use ba_core::broadcast::{self, BbMsg};
     pub use ba_core::dolev_strong::{self, DsConfig};
     pub use ba_core::epoch::{EpochConfig, EpochMsg};
     pub use ba_core::iter::{IterConfig, IterMsg};
+    pub use ba_core::runnable::Runnable;
     pub use ba_fmine::{
         Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode, Ticket,
     };

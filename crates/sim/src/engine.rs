@@ -62,6 +62,10 @@ impl RunReport {
     }
 }
 
+/// A type-erased protocol instance that can cross thread boundaries (the
+/// [`Sim::run_boxed`] path used by parallel sweep harnesses).
+pub type BoxedProtocol<M> = Box<dyn Protocol<M> + Send>;
+
 /// A single synchronous execution.
 ///
 /// # Examples
@@ -175,6 +179,27 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         factory: impl FnMut(NodeId, u64) -> Box<dyn Protocol<M>>,
     ) -> RunReport {
         Sim::new(config, inputs, adversary, factory).run()
+    }
+
+    /// Like [`Sim::run_protocol`], but with `Send` bounds throughout: the
+    /// factory hands back [`BoxedProtocol`] instances, so the whole call —
+    /// configuration, adversary, and every node it will construct — can be
+    /// captured in a `FnOnce + Send` closure and dispatched onto a worker
+    /// thread. This is the entry point sweep harnesses use to fan
+    /// executions out across `std::thread::scope` workers.
+    pub fn run_boxed(
+        config: &SimConfig,
+        inputs: Vec<Bit>,
+        adversary: A,
+        mut factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M> + Send,
+    ) -> RunReport
+    where
+        A: Send,
+    {
+        Sim::run_protocol(config, inputs, adversary, move |id, seed| {
+            let node: Box<dyn Protocol<M>> = factory(id, seed);
+            node
+        })
     }
 
     /// Runs the execution to completion (all honest nodes halted, or the
@@ -330,6 +355,18 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
                     if target.index() < n {
                         self.inboxes[target.index()]
                             .push(Incoming { from: env.from, msg: env.msg });
+                    } else {
+                        // Out-of-range unicasts cannot be delivered. Honest
+                        // protocol code addressing a nonexistent node is a
+                        // bug, not a modelling choice; adversarial
+                        // injections may aim anywhere, and are merely
+                        // counted instead of being lost without a trace.
+                        debug_assert!(
+                            !env.honest_send,
+                            "honest node {:?} unicast to out-of-range node {:?}",
+                            env.from, target
+                        );
+                        self.metrics.dropped_sends += 1;
                     }
                 }
             }
@@ -535,6 +572,45 @@ mod tests {
         // Recorders never send, so the only traffic is the injected unicast.
         assert_eq!(report.metrics.corrupt_sends, 1);
         assert_eq!(report.metrics.honest_multicasts, 0);
+    }
+
+    #[test]
+    fn out_of_range_injection_counted_not_lost() {
+        struct InjectBeyondN;
+        impl Adversary<Ping> for InjectBeyondN {
+            fn setup(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                ctx.corrupt(NodeId(0)).unwrap();
+            }
+            fn intervene(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                if ctx.round().0 == 0 {
+                    // Unicast aimed past the last node: undeliverable.
+                    ctx.inject(NodeId(0), Recipient::One(NodeId(64)), Ping(1)).unwrap();
+                    ctx.inject(NodeId(0), Recipient::One(NodeId(1)), Ping(2)).unwrap();
+                }
+            }
+        }
+        let cfg = config(3, 1, CorruptionModel::Static);
+        let report = Sim::run_protocol(&cfg, vec![true; 3], InjectBeyondN, |_, _| {
+            Box::new(CountVotes { input: true, seen: 0, done: false })
+        });
+        // Node 0's own round-0 multicast plus the two injections are
+        // corrupt sends, but only the in-range injection was deliverable;
+        // the out-of-range one is accounted as dropped.
+        assert_eq!(report.metrics.corrupt_sends, 3);
+        assert_eq!(report.metrics.dropped_sends, 1);
+    }
+
+    #[test]
+    fn run_boxed_executes_on_worker_thread() {
+        let cfg = config(5, 0, CorruptionModel::Static);
+        let handle = std::thread::spawn(move || {
+            Sim::run_boxed(&cfg, vec![true; 5], Passive, |_, _| {
+                Box::new(CountVotes { input: true, seen: 0, done: false })
+            })
+        });
+        let report = handle.join().expect("worker thread");
+        assert!(report.outputs.iter().all(|o| *o == Some(true)));
+        assert_eq!(report.metrics.honest_multicasts, 5);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod verdict;
 
 pub use adversary::{AdvActionError, AdvCtx, Adversary, CorruptionModel, Passive};
-pub use engine::{RunReport, Sim, SimConfig};
+pub use engine::{BoxedProtocol, RunReport, Sim, SimConfig};
 pub use ids::{Bit, NodeId, Round};
 pub use message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 pub use metrics::Metrics;

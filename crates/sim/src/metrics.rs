@@ -25,6 +25,11 @@ pub struct Metrics {
     pub corruptions: u64,
     /// After-the-fact removals performed (strongly adaptive only).
     pub removals: u64,
+    /// Unicasts addressed to an out-of-range node and therefore never
+    /// delivered. Honest protocol code must not produce these (the engine
+    /// `debug_assert!`s that); adversarial injections may, and used to be
+    /// lost without a trace.
+    pub dropped_sends: u64,
 }
 
 impl Metrics {
@@ -54,6 +59,7 @@ impl Metrics {
         self.rounds += other.rounds;
         self.corruptions += other.corruptions;
         self.removals += other.removals;
+        self.dropped_sends += other.dropped_sends;
     }
 }
 

@@ -24,6 +24,7 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             rounds: r,
             corruptions: c,
             removals: rem,
+            dropped_sends: cs / 2,
         })
 }
 

@@ -2,20 +2,22 @@
 //! prints which (protocol, adversary, model) combinations hold — a live
 //! rendition of the paper's security claims and their boundaries.
 //!
+//! The whole gauntlet is one declarative `Sweep`; the cells execute in
+//! parallel across worker threads.
+//!
 //! ```sh
 //! cargo run -p ba-repro --example adversary_gauntlet
 //! ```
 
-use std::sync::Arc;
-
 use ba_repro::prelude::*;
 
-fn cell(verdict: Verdict) -> &'static str {
-    if verdict.all_ok() {
+fn cell(report: &CellReport) -> &'static str {
+    let run = &report.runs[0];
+    if run.flag("all_ok") {
         "holds"
-    } else if !verdict.consistent {
+    } else if !run.flag("consistent") {
         "CONSISTENCY BROKEN"
-    } else if !verdict.valid {
+    } else if !run.flag("valid") {
         "VALIDITY BROKEN"
     } else {
         "NO TERMINATION"
@@ -30,98 +32,87 @@ fn main() {
     println!("{:<34} {:<26} verdict", "protocol", "adversary");
     println!("{}", "-".repeat(86));
 
-    // 1. subq_half vs passive.
-    {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-        let inputs: Vec<Bit> = (0..n).map(|i| i % 2 == 0).collect();
-        let (_, v) = ba_repro::iter_run(&cfg, &sim, inputs, Passive);
-        println!("{:<34} {:<26} {}", "subq_half (C.2)", "passive", cell(v));
-    }
+    let subq = || ProtocolSpec::SubqHalf { lambda, max_iters: None };
+    let epochs = 8;
+    let scenarios = vec![
+        // 1. subq_half vs passive.
+        Scenario::new("subq_passive", n, subq()),
+        // 2. subq_half vs crash f = n/3.
+        Scenario::new("subq_crash", n, subq())
+            .f(n / 3)
+            .inputs(InputPattern::Unanimous(true))
+            .adversary(AdversarySpec::CrashTail { at_round: 0 }),
+        // 3. subq_half vs cert forger below and above the threshold.
+        Scenario::new("subq_forger_low", n, subq())
+            .f(3 * n / 10)
+            .inputs(InputPattern::Unanimous(false))
+            .adversary(AdversarySpec::CertForger { target: true }),
+        Scenario::new("subq_forger_high", n, subq())
+            .f(7 * n / 10)
+            .inputs(InputPattern::Unanimous(false))
+            .adversary(AdversarySpec::CertForger { target: true }),
+        // 4. subq_half vs the strongly adaptive committee eraser (Thm 1).
+        Scenario::new(
+            "subq_eraser",
+            400,
+            ProtocolSpec::SubqHalf { lambda: 16.0, max_iters: Some(6) },
+        )
+        .f(190)
+        .model(CorruptionModel::StronglyAdaptive)
+        .adversary(AdversarySpec::StarveQuorum),
+        // 5. quadratic_half vs the same eraser: survives.
+        Scenario::new("quadratic_eraser", 13, ProtocolSpec::QuadraticHalf)
+            .f(6)
+            .model(CorruptionModel::StronglyAdaptive)
+            .inputs(InputPattern::Unanimous(true))
+            .adversary(AdversarySpec::CommitteeEraser),
+        // 6. The epoch family vs the vote flipper (the §3.3 Remark).
+        Scenario::new("epoch_bit_specific", n, ProtocolSpec::SubqThird { lambda, epochs })
+            .f(n / 3)
+            .model(CorruptionModel::Adaptive)
+            .inputs(InputPattern::FirstFrac(0.5))
+            .adversary(AdversarySpec::VoteFlipper),
+        Scenario::new("epoch_shared", n, ProtocolSpec::SubqShared { lambda, epochs })
+            .f(n / 3)
+            .model(CorruptionModel::Adaptive)
+            .inputs(InputPattern::FirstFrac(0.5))
+            .adversary(AdversarySpec::VoteFlipper),
+        Scenario::new(
+            "epoch_cm_erasure",
+            n,
+            ProtocolSpec::ChenMicali { lambda, epochs, erasure: true },
+        )
+        .f(n / 3)
+        .model(CorruptionModel::Adaptive)
+        .inputs(InputPattern::FirstFrac(0.5))
+        .adversary(AdversarySpec::VoteFlipper),
+        Scenario::new(
+            "epoch_cm_no_erasure",
+            n,
+            ProtocolSpec::ChenMicali { lambda, epochs, erasure: false },
+        )
+        .f(n / 3)
+        .model(CorruptionModel::Adaptive)
+        .inputs(InputPattern::FirstFrac(0.5))
+        .adversary(AdversarySpec::VoteFlipper),
+    ];
+    let scenarios = scenarios.into_iter().map(|s| s.seed_offset(seed)).collect::<Vec<_>>();
+    let report = Sweep::new("adversary_gauntlet", 1, scenarios).run_auto();
 
-    // 2. subq_half vs crash f = n/3.
-    {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let f = n / 3;
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 0 };
-        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![true; n], adversary);
-        println!("{:<34} {:<26} {}", "subq_half (C.2)", "crash f=n/3", cell(v));
-    }
-
-    // 3. subq_half vs cert forger below and above the threshold.
-    for (label, f) in [("forger f=0.3n", 3 * n / 10), ("forger f=0.7n", 7 * n / 10)] {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let adversary = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
-        let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
-        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![false; n], adversary);
-        println!("{:<34} {:<26} {}", "subq_half (C.2)", label, cell(v));
-    }
-
-    // 4. subq_half vs the strongly adaptive committee eraser (Theorem 1).
-    {
-        let big_n = 400;
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(big_n, 16.0)));
-        let mut cfg = IterConfig::subq_half(big_n, elig);
-        cfg.max_iters = 6;
-        let sim = SimConfig::new(big_n, 190, CorruptionModel::StronglyAdaptive, seed);
-        let inputs: Vec<Bit> = (0..big_n).map(|i| i % 2 == 0).collect();
-        let adversary = CommitteeEraser::starve_quorum(cfg.quorum);
-        let (_, v) = ba_repro::iter_run(&cfg, &sim, inputs, adversary);
-        println!(
-            "{:<34} {:<26} {}",
-            "subq_half (C.2, n=400)",
-            "eraser (strongly adaptive)",
-            cell(v)
-        );
-    }
-
-    // 5. quadratic_half vs the same eraser: survives.
-    {
-        let qn = 13;
-        let kc = Arc::new(Keychain::from_seed(seed, qn, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(qn, kc, seed);
-        let sim = SimConfig::new(qn, 6, CorruptionModel::StronglyAdaptive, seed);
-        let (_, v) = ba_repro::iter_run(&cfg, &sim, vec![true; qn], CommitteeEraser::new());
-        println!(
-            "{:<34} {:<26} {}",
-            "quadratic_half (C.1, n=13)",
-            "eraser (strongly adaptive)",
-            cell(v)
-        );
-    }
-
-    // 6. The epoch family vs the vote flipper (the §3.3 Remark).
-    let inputs: Vec<Bit> = (0..n).map(|i| i < n / 2).collect();
-    {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = EpochConfig::subq_third(n, 8, elig);
-        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
-        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
-        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
-        println!("{:<34} {:<26} {}", "subq_third (bit-specific)", "vote flipper", cell(v));
-    }
-    {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = EpochConfig::subq_shared(n, 8, elig, kc);
-        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
-        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
-        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
-        println!("{:<34} {:<26} {}", "subq_shared (ablation)", "vote flipper", cell(v));
-    }
-    for erasure in [true, false] {
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let fs = Arc::new(FsService::from_seed(seed, n, 9));
-        let cfg = EpochConfig::chen_micali(n, 8, elig, fs, erasure);
-        let adversary = VoteFlipper::new(cfg.auth.clone(), cfg.quorum);
-        let sim = SimConfig::new(n, n / 3, CorruptionModel::Adaptive, seed);
-        let (_, v) = ba_repro::epoch_run(&cfg, &sim, inputs.clone(), adversary);
-        let name = if erasure { "chen_micali + erasure" } else { "chen_micali, no erasure" };
-        println!("{:<34} {:<26} {}", name, "vote flipper", cell(v));
+    let rows: [(&str, &str, &str); 10] = [
+        ("subq_passive", "subq_half (C.2)", "passive"),
+        ("subq_crash", "subq_half (C.2)", "crash f=n/3"),
+        ("subq_forger_low", "subq_half (C.2)", "forger f=0.3n"),
+        ("subq_forger_high", "subq_half (C.2)", "forger f=0.7n"),
+        ("subq_eraser", "subq_half (C.2, n=400)", "eraser (strongly adaptive)"),
+        ("quadratic_eraser", "quadratic_half (C.1, n=13)", "eraser (strongly adaptive)"),
+        ("epoch_bit_specific", "subq_third (bit-specific)", "vote flipper"),
+        ("epoch_shared", "subq_shared (ablation)", "vote flipper"),
+        ("epoch_cm_erasure", "chen_micali + erasure", "vote flipper"),
+        ("epoch_cm_no_erasure", "chen_micali, no erasure", "vote flipper"),
+    ];
+    for (label, protocol, adversary) in rows {
+        println!("{:<34} {:<26} {}", protocol, adversary, cell(report.cell(label)));
     }
 
     println!("\nReading: the paper's constructions hold everywhere except under the");

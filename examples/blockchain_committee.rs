@@ -5,15 +5,14 @@
 //! Every confirmation runs the Appendix C.2 subquadratic protocol with a
 //! fresh committee — adaptive safety comes from bit-specific eligibility,
 //! and only ~λ of the `n` validators multicast per round. We confirm ten
-//! blocks, with one third of the validators adaptively corrupted and
+//! blocks — one `Scenario` per block, executed in parallel by the sweep
+//! workers — with one third of the validators adaptively corrupted and
 //! voting adversarially (crash-style), and compare bandwidth against the
 //! quadratic baseline.
 //!
 //! ```sh
 //! cargo run -p ba-repro --example blockchain_committee
 //! ```
-
-use std::sync::Arc;
 
 use ba_repro::prelude::*;
 
@@ -45,46 +44,58 @@ fn main() {
         })
         .collect();
 
+    // One scenario per block: honest validators' inputs reflect their view
+    // of the block; the adversary crashes its validators mid-protocol (a
+    // benign but adaptive fault; see `adversary_gauntlet` for nastier
+    // ones). Each block gets its own seed, hence its own fresh committees.
+    let scenarios = chain
+        .iter()
+        .map(|block| {
+            Scenario::new(
+                format!("block={}", block.height),
+                n,
+                ProtocolSpec::SubqHalf { lambda, max_iters: None },
+            )
+            .f(f)
+            .model(CorruptionModel::Adaptive)
+            .inputs(InputPattern::FirstFrac(block.approval))
+            .adversary(AdversarySpec::CrashTail { at_round: 2 })
+            .seed_offset(0xB10C + block.height)
+        })
+        .collect();
+    let report = Sweep::new("block_confirmation", 1, scenarios).run_auto();
+
     let mut confirmed = 0usize;
     let mut rejected = 0usize;
     let mut total_multicasts = 0u64;
     let mut total_kbits = 0u64;
     let mut total_rounds = 0u64;
 
-    for block in &chain {
-        let seed = 0xB10C + block.height;
-        let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-        let cfg = IterConfig::subq_half(n, elig);
-        let sim = SimConfig::new(n, f, CorruptionModel::Adaptive, seed);
-
-        // Honest validators' inputs reflect their view of the block.
-        let inputs: Vec<Bit> = (0..n).map(|i| (i as f64 / n as f64) < block.approval).collect();
-
-        // The adversary crashes its validators mid-protocol (a benign but
-        // adaptive fault; see `adversary_gauntlet` for nastier ones).
-        let adversary = CrashAt { nodes: (n - f..n).map(NodeId).collect(), at_round: 2 };
-        let (report, verdict) = ba_repro::iter_run(&cfg, &sim, inputs, adversary);
-        assert!(verdict.consistent && verdict.terminated, "block {}: {verdict:?}", block.height);
-        let decision = report
-            .forever_honest()
-            .next()
-            .and_then(|i| report.outputs[i.index()])
-            .expect("terminated");
+    for (block, cell) in chain.iter().zip(&report.cells) {
+        let run = &cell.runs[0];
+        assert!(
+            run.flag("consistent") && run.flag("terminated"),
+            "block {}: consistency/termination failed",
+            block.height
+        );
+        let decision = run.get("decision").expect("terminated") != 0.0;
         if decision {
             confirmed += 1;
         } else {
             rejected += 1;
         }
-        total_multicasts += report.metrics.honest_multicasts;
-        total_kbits += report.metrics.honest_multicast_bits / 1000;
-        total_rounds += report.rounds_used;
+        let multicasts = run.get("multicasts").unwrap_or(0.0) as u64;
+        let rounds = run.get("rounds").unwrap_or(0.0) as u64;
+        total_multicasts += multicasts;
+        total_kbits += run.get("multicast_bits").unwrap_or(0.0) as u64 / 1000;
+        total_rounds += rounds;
         println!(
             "block {:>2}: approval {:>4.0}% -> {} ({} rounds, {} multicasts)",
             block.height,
             block.approval * 100.0,
             if decision { "CONFIRMED" } else { "rejected " },
-            report.rounds_used,
-            report.metrics.honest_multicasts,
+            rounds,
+            multicasts,
         );
     }
 

@@ -1,38 +1,60 @@
-//! Executes both lower-bound constructions and narrates what they show.
+//! Executes both lower-bound constructions through the `Scenario`/`Sweep`
+//! API and narrates what they show.
 //!
 //! ```sh
 //! cargo run -p ba-repro --example lower_bounds
 //! ```
 
-use ba_repro::lowerbound::{theorem3, theorem4};
+use ba_repro::prelude::*;
 
 fn main() {
     println!("== Lower bound 1 (Theorems 1/4): Omega(f^2) under strong adaptivity ==\n");
     println!("Dolev-Reischuk pair vs. a relay-broadcast family (n=80, f=40, 20 seeds).");
     println!("fanout | msgs   | isolated p | violations");
-    for fanout in [0usize, 2, 8, 32, 64] {
-        let cell = theorem4::run_cell(80, 40, fanout, 20);
+    let fanouts = [0usize, 2, 8, 32, 64];
+    let sweep = Sweep::new(
+        "theorem4",
+        20,
+        fanouts
+            .iter()
+            .map(|&fanout| {
+                Scenario::new(format!("fanout={fanout}"), 80, ProtocolSpec::Theorem4 { fanout })
+                    .f(40)
+                    .model(CorruptionModel::StronglyAdaptive)
+            })
+            .collect(),
+    );
+    let report = sweep.run_auto();
+    for (cell, fanout) in report.cells.iter().zip(fanouts) {
         println!(
             "{:>6} | {:>6.0} | {:>10.2} | {:>10.2}",
-            fanout, cell.mean_messages, cell.isolation_rate, cell.violation_rate
+            fanout,
+            cell.mean("messages"),
+            cell.rate("isolated"),
+            cell.rate("violated")
         );
     }
     println!("\nLow-budget protocols are broken (p isolated, outputs split); only after");
     println!("the message count grows toward Theta(f^2) does the attack stop working.\n");
 
     println!("== Lower bound 2 (Theorem 3): setup is necessary ==\n");
-    let rep = theorem3::run_experiment(50, 6);
+    let outcome = Scenario::new("theorem3", 50, ProtocolSpec::Theorem3 { committee: 6 }).execute(0);
+    let rep = &outcome.record;
     println!("Merged execution (input 0) Q --- 1 --- Q' (input 1), candidate without PKI:");
-    println!("  Q   outputs 0 everywhere: {}", rep.q_valid);
-    println!("  Q'  outputs 1 everywhere: {}", rep.q_prime_valid);
-    println!("  node 1 outputs:           {:?}", rep.node1_output.map(|b| b as u8));
-    println!("  inconsistent with Q:      {}", rep.node1_inconsistent_with_q);
-    println!("  inconsistent with Q':     {}", rep.node1_inconsistent_with_q_prime);
+    println!("  Q   outputs 0 everywhere: {}", rep.flag("q_valid"));
+    println!("  Q'  outputs 1 everywhere: {}", rep.flag("q_prime_valid"));
+    let node1 = match rep.optional_bit("node1_output") {
+        Some(bit) => format!("Some({})", bit as u8),
+        None => "None".to_string(),
+    };
+    println!("  node 1 outputs:           {node1}");
+    println!("  inconsistent with Q:      {}", rep.flag("node1_inconsistent_with_q"));
+    println!("  inconsistent with Q':     {}", rep.flag("node1_inconsistent_with_q_prime"));
     println!(
         "  adaptive corruptions the honest-1 interpretation needs: {} (of n = 50)",
-        rep.corruptions_needed
+        rep.get("corruptions_needed").unwrap_or(0.0) as u64
     );
-    assert!(rep.contradiction_established());
+    assert!(rep.flag("contradiction"));
     println!("\nWhatever node 1 answers, one interpretation convicts the protocol:");
     println!("sublinear-multicast BA without setup cannot tolerate as many adaptive");
     println!("corruptions as it has speakers.");

@@ -1,11 +1,9 @@
 //! Quickstart: run the paper's headline protocol (Appendix C.2 — Theorem 2)
-//! once and inspect what happened.
+//! once through the declarative `Scenario` API and inspect what happened.
 //!
 //! ```sh
 //! cargo run -p ba-repro --example quickstart
 //! ```
-
-use std::sync::Arc;
 
 use ba_repro::prelude::*;
 
@@ -15,19 +13,20 @@ fn main() {
     let lambda = 24.0;
     let seed = 2026;
 
-    // Trusted setup: the F_mine eligibility functionality (Figure 1). Swap
-    // in `RealMine::from_seed` for the real-world VRF compiler of App. D.
-    let elig = Arc::new(IdealMine::new(seed, MineParams::new(n, lambda)));
-    let cfg = IterConfig::subq_half(n, elig);
+    // The scenario describes the run: Theorem 2's protocol over the ideal
+    // F_mine eligibility functionality (Figure 1) with a split-vote input.
+    // Chain `.real_elig()` to swap in the App. D real-world VRF compiler.
+    let scenario =
+        Scenario::new("quickstart", n, ProtocolSpec::SubqHalf { lambda, max_iters: None })
+            .inputs(InputPattern::EveryThird);
 
-    // The environment hands every node an input bit (here: a split vote).
-    let inputs: Vec<Bit> = (0..n).map(|i| i % 3 == 0).collect();
-    let sim = SimConfig::new(n, 0, CorruptionModel::Static, seed);
-
-    let (report, verdict) = ba_repro::iter_run(&cfg, &sim, inputs, Passive);
+    let outcome = scenario.execute(seed);
+    let report = outcome.report.expect("protocol scenarios produce a report");
+    let verdict = outcome.verdict.expect("protocol scenarios produce a verdict");
+    let quorum = (lambda / 2.0).ceil() as usize;
 
     println!("== Byzantine Agreement, Revisited: quickstart ==");
-    println!("n = {n}, lambda = {lambda}, quorum = {}", cfg.quorum);
+    println!("n = {n}, lambda = {lambda}, quorum = {quorum}");
     println!();
     println!("consistent: {}", verdict.consistent);
     println!("valid:      {}", verdict.valid);
