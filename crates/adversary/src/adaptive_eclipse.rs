@@ -1,0 +1,173 @@
+//! The **adaptive eclipse** adversary — corrupt nodes only *after*
+//! observing their committee eligibility.
+//!
+//! The central adaptive-security question of the paper: committee members
+//! are secret until they speak, so the best an (ordinarily) adaptive
+//! adversary can do is watch the wire, learn who turned out to be eligible,
+//! and corrupt exactly those nodes — "eclipsing" the revealed committee so
+//! it never speaks again. This is the attack the `F_mine` abstraction is
+//! designed to defeat:
+//!
+//! * Under the **adaptive** model (no after-the-fact removal — the model of
+//!   the paper's upper bounds) the eclipse is *always one round too late*:
+//!   by the time eligibility is observable, the evidence-carrying multicast
+//!   is already sent and cannot be erased. Against bit-specific one-shot
+//!   committees (each `(type, iteration, bit)` tag elects a fresh
+//!   committee; a member speaks once) the attack burns the entire
+//!   corruption budget for nothing.
+//! * Against protocols whose speakers are *predictable or recurring* —
+//!   round-robin leaders (§3.1 warmup), full-participation quorums, relay
+//!   roles in Dolev–Strong — eclipsing a revealed speaker removes all its
+//!   *future* traffic, and the attack has real bite.
+//! * Under the **strongly adaptive** model the same observation additionally
+//!   allows removal — that configuration is the committee eraser
+//!   (Theorem 1), kept as a separate strategy; the eclipse deliberately
+//!   never removes, isolating the value of *observation* alone.
+//!
+//! What it provably cannot move: against one-shot committees, nothing — the
+//! observables of an eclipsed execution match the passive execution except
+//! for `corruptions` (the wasted budget) and the silenced nodes' own later
+//! eligibility draws. Honest multicast complexity of *already-sent*
+//! messages is untouched by construction (Definition 7 meters at send
+//! time).
+
+use ba_sim::{AdvCtx, Adversary, Message, NodeId, Recipient, Round};
+
+/// Corrupts observed committee members and silences them from the next
+/// round on (see module docs).
+#[derive(Clone, Debug)]
+pub struct AdaptiveEclipse {
+    /// Corruption spend allowed per round (`usize::MAX` = as fast as the
+    /// budget lets; small values pace the budget over the execution).
+    pub per_round: usize,
+    /// Statistics: nodes eclipsed after revealing eligibility.
+    pub eclipsed: u64,
+}
+
+impl AdaptiveEclipse {
+    /// Eclipse every observed speaker as fast as the budget allows.
+    pub fn new() -> AdaptiveEclipse {
+        AdaptiveEclipse { per_round: usize::MAX, eclipsed: 0 }
+    }
+
+    /// Eclipse at most `per_round` speakers per round (budget pacing).
+    pub fn paced(per_round: usize) -> AdaptiveEclipse {
+        AdaptiveEclipse { per_round, eclipsed: 0 }
+    }
+}
+
+impl Default for AdaptiveEclipse {
+    fn default() -> AdaptiveEclipse {
+        AdaptiveEclipse::new()
+    }
+}
+
+impl<M: Message> Adversary<M> for AdaptiveEclipse {
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        // Observe this round's honest traffic: every honest sender just
+        // revealed an eligibility credential (or a full-participation role).
+        let mut revealed: Vec<NodeId> = Vec::new();
+        for e in ctx.pending() {
+            if e.honest_send && !revealed.contains(&e.from) {
+                revealed.push(e.from);
+            }
+        }
+        let mut spent = 0usize;
+        for node in revealed {
+            if spent >= self.per_round || ctx.budget_left() == 0 {
+                break;
+            }
+            if ctx.is_corrupt(node) {
+                continue;
+            }
+            // Too late by design: the observed message is already sent and
+            // (in the adaptive model) cannot be removed. Only the node's
+            // future is eclipsed. Under a static model this fails and the
+            // adversary degenerates to passive.
+            if ctx.corrupt(node).is_ok() {
+                self.eclipsed += 1;
+                spent += 1;
+            }
+        }
+    }
+
+    fn corrupt_outbox(
+        &mut self,
+        _node: NodeId,
+        _planned: Vec<(Recipient, M)>,
+        _round: Round,
+    ) -> Vec<(Recipient, M)> {
+        Vec::new() // eclipsed nodes never speak again
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::epoch::{self, EpochConfig};
+    use ba_core::iter::{self, IterConfig};
+    use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
+    use ba_sim::{Bit, CorruptionModel, SimConfig};
+
+    fn mixed_inputs(n: usize) -> Vec<Bit> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn one_shot_committees_shrug_off_the_eclipse() {
+        // Bit-specific one-shot committees: members speak exactly once, so
+        // eclipsing them afterwards wastes the whole budget.
+        let n = 200;
+        let f = 60;
+        let elig = Arc::new(IdealMine::new(3, MineParams::new(n, 20.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, f, CorruptionModel::Adaptive, 3);
+        let (report, verdict) = iter::run(&cfg, &sim, mixed_inputs(n), AdaptiveEclipse::new());
+        assert!(verdict.all_ok(), "F_mine should defeat the eclipse: {verdict:?}");
+        assert!(report.metrics.corruptions > 0, "the eclipse did spend budget");
+        assert_eq!(report.metrics.removals, 0, "the eclipse never removes");
+    }
+
+    #[test]
+    fn recurring_speakers_are_eclipsable() {
+        // Full-participation warmup: everyone speaks every epoch, so an
+        // eclipsed node loses all its future acks. With the budget above
+        // n/3 the quorum 2n/3 can no longer form once enough nodes are
+        // eclipsed — mixed inputs stay split.
+        let n = 30;
+        let f = 12; // deliberately above the n/3 resilience bound
+        let kc = Arc::new(Keychain::from_seed(5, n, SigMode::Ideal));
+        let cfg = EpochConfig::warmup_third(n, 6, kc);
+        let sim = SimConfig::new(n, f, CorruptionModel::Adaptive, 5);
+        let (report, verdict) = epoch::run(&cfg, &sim, mixed_inputs(n), AdaptiveEclipse::new());
+        assert_eq!(report.metrics.corruptions, f as u64, "budget fully spent on speakers");
+        assert!(!verdict.all_ok(), "an over-budget eclipse should break full participation");
+    }
+
+    #[test]
+    fn static_model_neutralizes_the_eclipse() {
+        // Mid-run corruption is illegal under the static model: the eclipse
+        // degenerates to the passive adversary.
+        let n = 100;
+        let elig = Arc::new(IdealMine::new(8, MineParams::new(n, 16.0)));
+        let cfg = IterConfig::subq_half(n, elig);
+        let sim = SimConfig::new(n, 30, CorruptionModel::Static, 8);
+        let (report, verdict) = iter::run(&cfg, &sim, mixed_inputs(n), AdaptiveEclipse::new());
+        assert!(verdict.all_ok(), "{verdict:?}");
+        assert_eq!(report.metrics.corruptions, 0, "static model refuses mid-run corruption");
+    }
+
+    #[test]
+    fn pacing_caps_per_round_spend() {
+        let n = 60;
+        let f = 20;
+        let kc = Arc::new(Keychain::from_seed(2, n, SigMode::Ideal));
+        let cfg = EpochConfig::warmup_third(n, 4, kc);
+        let sim = SimConfig::new(n, f, CorruptionModel::Adaptive, 2);
+        let (report, _) = epoch::run(&cfg, &sim, mixed_inputs(n), AdaptiveEclipse::paced(1));
+        // At one corruption per round the spend is bounded by rounds_used.
+        assert!(report.metrics.corruptions <= report.rounds_used);
+    }
+}

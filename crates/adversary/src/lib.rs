@@ -15,17 +15,34 @@
 //!   chain from corrupt credentials; its success rate traces the
 //!   `f < (1/2 − ε)n` resilience threshold (Lemma 11).
 //! * [`crash::CrashAt`] / [`crash::Omission`] — benign-fault baselines.
+//! * [`equivocation_spammer::EquivocationSpammer`] — conflicting signed
+//!   votes to disjoint receiver halves; measures how bit-specific election
+//!   limits equivocation-driven word-count inflation.
+//! * [`silence_burst::SilenceThenBurst`] — withholds the corrupt set's
+//!   traffic until a burst round, stressing tail rounds and stale-message
+//!   handling.
+//! * [`adaptive_eclipse::AdaptiveEclipse`] — corrupts nodes only *after*
+//!   observing their committee eligibility: the attack `F_mine`'s secret
+//!   one-shot committees are designed to defeat.
 //!
 //! The Dolev–Reischuk adversary pair of Theorem 4 and the `Q — 1 — Q'`
 //! simulation of Theorem 3 live in `ba-lowerbound`, next to the toy
-//! protocols they dismantle.
+//! protocols they dismantle. The full catalog — threat model, the paper
+//! assumption each strategy probes, and the observables it can and cannot
+//! move — is in `docs/ADVERSARIES.md`.
 
+pub mod adaptive_eclipse;
 pub mod cert_forger;
 pub mod committee_eraser;
 pub mod crash;
+pub mod equivocation_spammer;
+pub mod silence_burst;
 pub mod vote_flipper;
 
+pub use adaptive_eclipse::AdaptiveEclipse;
 pub use cert_forger::{CertForger, Delivery};
 pub use committee_eraser::CommitteeEraser;
 pub use crash::{CrashAt, Omission};
+pub use equivocation_spammer::{EquivStats, EquivocationSpammer};
+pub use silence_burst::SilenceThenBurst;
 pub use vote_flipper::{forge_flipped, VoteFlipper};

@@ -1,0 +1,155 @@
+//! The **silence-then-burst** adversary — a tail-round stressor.
+//!
+//! A static adversary corrupting a fixed set of nodes whose members run the
+//! honest protocol but *withhold every message* until a designated burst
+//! round, then release the entire backlog at once (as injections delivered
+//! with that round's traffic). Until the burst the attack is
+//! indistinguishable from a crash; at the burst honest nodes suddenly face
+//! a pile of stale-but-validly-attested messages from long-past
+//! iterations/epochs.
+//!
+//! What it probes:
+//!
+//! * **Tail behaviour** — the paper's round-complexity claims are about
+//!   *expected* rounds (Corollary 16); a protocol whose common case is fast
+//!   but whose stale-message handling is slow shows up in the p95/max
+//!   columns of E3-style sweeps, which is exactly where this adversary
+//!   applies pressure.
+//! * **Stale-message hygiene** — honest implementations must ignore or
+//!   cheaply dismiss out-of-date certified messages; a protocol that
+//!   re-enters old iterations on late evidence would lose termination here.
+//!
+//! What it provably cannot move: honest multicast complexity *before* the
+//! burst is simply the honest protocol minus the silenced nodes (the
+//! backlog is metered as `corrupt_sends`/`injected_sends`, never as honest
+//! traffic), and under the paper's quorum margins a silenced minority
+//! `f' ≤ f` behaves like a crash fault — safety is untouched, only
+//! liveness margins shrink.
+
+use ba_sim::{AdvCtx, Adversary, Message, NodeId, Recipient, Round};
+
+/// Runs its corrupt set honestly-but-silently until `burst_round`, then
+/// floods the backlog (see module docs).
+#[derive(Clone, Debug)]
+pub struct SilenceThenBurst<M> {
+    /// Nodes to corrupt at setup.
+    pub nodes: Vec<NodeId>,
+    /// First round in which the corrupt set speaks; everything withheld
+    /// earlier is released here in one burst.
+    pub burst_round: u64,
+    /// The withheld backlog: `(sender, recipient, message)` in send order.
+    held: Vec<(NodeId, Recipient, M)>,
+    /// Statistics: messages withheld into the backlog.
+    pub withheld: u64,
+    /// Statistics: backlog messages released at the burst.
+    pub released: u64,
+}
+
+impl<M> SilenceThenBurst<M> {
+    /// Creates the adversary silencing `nodes` until `burst_round`.
+    pub fn new(nodes: Vec<NodeId>, burst_round: u64) -> SilenceThenBurst<M> {
+        SilenceThenBurst { nodes, burst_round, held: Vec::new(), withheld: 0, released: 0 }
+    }
+
+    /// Convenience: silence the `f` highest-numbered of `n` nodes.
+    pub fn tail(n: usize, f: usize, burst_round: u64) -> SilenceThenBurst<M> {
+        SilenceThenBurst::new((n - f..n).map(NodeId).collect(), burst_round)
+    }
+}
+
+impl<M: Message> Adversary<M> for SilenceThenBurst<M> {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        for &node in &self.nodes {
+            ctx.corrupt(node).expect("silence set exceeds corruption budget");
+        }
+    }
+
+    fn corrupt_outbox(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(Recipient, M)>,
+        round: Round,
+    ) -> Vec<(Recipient, M)> {
+        if round.0 >= self.burst_round {
+            return planned; // from the burst round on, speak normally
+        }
+        self.withheld += planned.len() as u64;
+        self.held.extend(planned.into_iter().map(|(to, msg)| (node, to, msg)));
+        Vec::new()
+    }
+
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        if ctx.round().0 != self.burst_round {
+            return;
+        }
+        // Release the backlog; it is delivered together with this round's
+        // regular traffic at the start of the next round.
+        for (from, to, msg) in self.held.drain(..) {
+            ctx.inject(from, to, msg).expect("sender was corrupted at setup");
+            self.released += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::iter::{self, IterConfig};
+    use ba_fmine::{IdealMine, MineParams};
+    use ba_sim::{Bit, CorruptionModel, SimConfig};
+
+    const N: usize = 100;
+    const F: usize = 20;
+    const LAMBDA: f64 = 16.0;
+
+    fn mixed_inputs() -> Vec<Bit> {
+        (0..N).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn burst_releases_the_backlog_as_injections() {
+        let elig = Arc::new(IdealMine::new(7, MineParams::new(N, LAMBDA)));
+        let cfg = IterConfig::subq_half(N, elig);
+        let sim = SimConfig::new(N, F, CorruptionModel::Static, 7);
+        let adv = SilenceThenBurst::tail(N, F, 4);
+        let (report, verdict) = iter::run(&cfg, &sim, mixed_inputs(), adv);
+        // A silenced minority is a crash fault: the protocol stays correct.
+        assert!(verdict.all_ok(), "{verdict:?}");
+        // The backlog came out as adversary-attributed injections.
+        assert!(report.metrics.injected_sends > 0, "the burst should release messages");
+        assert!(report.metrics.corrupt_sends >= report.metrics.injected_sends);
+        assert!(report.rounds_used > 4, "the run should outlive the burst round");
+    }
+
+    #[test]
+    fn never_reached_burst_degenerates_to_crash() {
+        let elig = Arc::new(IdealMine::new(9, MineParams::new(N, LAMBDA)));
+        let cfg = IterConfig::subq_half(N, elig);
+        let sim = SimConfig::new(N, F, CorruptionModel::Static, 9);
+        let adv: SilenceThenBurst<ba_core::iter::IterMsg> = SilenceThenBurst::tail(N, F, 10_000);
+        let (report, verdict) = iter::run(&cfg, &sim, mixed_inputs(), adv);
+        assert!(verdict.all_ok(), "{verdict:?}");
+        assert_eq!(report.metrics.injected_sends, 0, "the burst round was never reached");
+        assert_eq!(report.metrics.corrupt_sends, 0, "withheld messages never hit the wire");
+    }
+
+    #[test]
+    fn honest_metering_excludes_the_backlog() {
+        // Definition 7: the backlog is corrupt traffic. Honest multicasts
+        // must match a plain crash-at-0 execution over the same seed, since
+        // honest nodes see the same pre-burst world.
+        let mk = || {
+            let elig = Arc::new(IdealMine::new(11, MineParams::new(N, LAMBDA)));
+            IterConfig::subq_half(N, elig)
+        };
+        let sim = SimConfig::new(N, F, CorruptionModel::Static, 11);
+        let burst = SilenceThenBurst::tail(N, F, 1_000);
+        let (r_burst, _) = iter::run(&mk(), &sim, mixed_inputs(), burst);
+        let crash = crate::CrashAt { nodes: (N - F..N).map(NodeId).collect(), at_round: 0 };
+        let (r_crash, _) = iter::run(&mk(), &sim, mixed_inputs(), crash);
+        assert_eq!(r_burst.metrics.honest_multicasts, r_crash.metrics.honest_multicasts);
+        assert_eq!(r_burst.metrics.honest_multicast_bits, r_crash.metrics.honest_multicast_bits);
+    }
+}

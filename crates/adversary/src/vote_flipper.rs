@@ -1,6 +1,6 @@
 //! The adaptive **vote flipper** — the attack from the Remark in §3.3.
 //!
-//! > "Had [eligibility] not been [bit-specific], the adversary could observe
+//! > "Had \[eligibility\] not been \[bit-specific\], the adversary could observe
 //! > whenever an honest node sends `(ACK, r, b)`, and immediately corrupt
 //! > the node in the same round and make it send `(ACK, r, 1 − b)` too."
 //!

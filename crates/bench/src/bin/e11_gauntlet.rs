@@ -1,0 +1,99 @@
+//! E11 — the adversary gauntlet matrix: every protocol family × every
+//! applicable adversary × corruption model × actual-corruption fraction
+//! `f' ≤ f_max`, in one sweep grid.
+//!
+//! Renders one table per protocol family; rows are matrix cells. The
+//! binary also *asserts* the deterministic edges of the matrix: passive
+//! cells must be fully correct with `dropped_sends == 0`, eclipse cells
+//! under the static model must spend no corruptions, and eraser cells
+//! under the plain adaptive model must perform no removals (the legality
+//! boundary the corruption models define).
+
+use ba_bench::gauntlet::gauntlet_sweeps;
+use ba_bench::{header, row, CellReport, Cli, SweepReport};
+
+fn assert_matrix_edges(reports: &[SweepReport]) {
+    for report in reports {
+        for cell in &report.cells {
+            let label = format!("{}/{}", report.title, cell.scenario.label);
+            if cell.scenario.label.starts_with("passive@") {
+                assert_eq!(
+                    cell.count("all_ok"),
+                    cell.runs.len(),
+                    "{label}: honest execution failed"
+                );
+                assert_eq!(
+                    cell.total("dropped_sends"),
+                    0.0,
+                    "{label}: honest execution dropped a unicast"
+                );
+                assert_eq!(cell.total("corrupt_sends"), 0.0, "{label}: phantom corrupt sends");
+            }
+            if cell.scenario.label.starts_with("adaptive_eclipse@static") {
+                assert_eq!(
+                    cell.total("corruptions"),
+                    0.0,
+                    "{label}: static model must refuse mid-run corruption"
+                );
+            }
+            if cell.scenario.label.starts_with("starve_quorum@adaptive") {
+                assert_eq!(
+                    cell.total("removals"),
+                    0.0,
+                    "{label}: adaptive model must refuse after-the-fact removal"
+                );
+            }
+        }
+    }
+}
+
+fn table(cells: &[CellReport]) {
+    header(&[
+        "cell (adversary@model/f)",
+        "ok",
+        "mean rounds",
+        "mean mcasts",
+        "corrupt sends",
+        "injected",
+        "removals",
+        "dropped",
+    ]);
+    for cell in cells {
+        row(&[
+            cell.scenario.label.clone(),
+            format!("{}/{}", cell.count("all_ok"), cell.runs.len()),
+            format!("{:.1}", cell.mean("rounds")),
+            format!("{:.0}", cell.mean("multicasts")),
+            format!("{:.0}", cell.mean("corrupt_sends")),
+            format!("{:.0}", cell.mean("injected_sends")),
+            format!("{:.0}", cell.mean("removals")),
+            format!("{:.0}", cell.total("dropped_sends")),
+        ]);
+    }
+}
+
+fn main() {
+    let cli = Cli::parse("e11_gauntlet");
+    let seeds = cli.seeds_or(10);
+    let sweeps = gauntlet_sweeps(cli.grid, seeds);
+    let reports = cli.run(sweeps);
+
+    assert_matrix_edges(&reports);
+
+    if cli.markdown() {
+        println!("# E11 — adversary gauntlet matrix ({seeds} seeds per cell)\n");
+        for report in &reports {
+            let sc = &report.cells[0].scenario;
+            println!("## {} (n = {})\n", report.title, sc.n);
+            table(&report.cells);
+            println!();
+        }
+        println!("Reading the matrix: `ok` is the all-properties verdict rate; a defeated");
+        println!("cell is only meaningful where the adversary/model pair is inside the");
+        println!("paper's threat model (see docs/ADVERSARIES.md for the per-strategy");
+        println!("catalog). Passive rows are asserted fully correct with zero dropped");
+        println!("sends; `adaptive_eclipse@static` rows are asserted corruption-free and");
+        println!("`starve_quorum@adaptive` rows removal-free — the model legality edges.");
+    }
+    cli.write_outputs(&reports);
+}

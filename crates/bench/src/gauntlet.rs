@@ -1,0 +1,226 @@
+//! The **adversary gauntlet matrix**: protocol family × adversary ×
+//! corruption model × corruption-fraction grid.
+//!
+//! The paper proves its protocols secure against specific adversary/model
+//! pairs; the gauntlet runs every family against every applicable attack
+//! under every legal model at several actual-corruption levels `f' ≤ f_max`
+//! (the axis "From Few to Many Faults" argues is under-tested: protocols
+//! are usually evaluated only at the resilience bound). One matrix cell =
+//! one [`Scenario`]; the whole matrix executes through the ordinary
+//! [`Sweep`] engine, so `e11_gauntlet`, the `soak` binary, and the golden
+//! tests all share this builder.
+//!
+//! Expectations encoded by the matrix (checked by `e11_gauntlet` where
+//! deterministic, and pinned per-seed by `crates/bench/tests/gauntlet.rs`):
+//!
+//! * **passive** cells are honest executions: `all_ok` everywhere and
+//!   `dropped_sends == 0` (the simulator counts undeliverable unicasts; an
+//!   honest protocol must never produce one).
+//! * **adaptive eclipse** defeats recurring-speaker designs but bounces off
+//!   one-shot bit-specific committees — and degenerates entirely under the
+//!   static model (the `static` rows double as a legality ablation).
+//! * **starve-quorum eraser** needs the strongly adaptive model; under the
+//!   plain adaptive model its removals are refused (`removals == 0`).
+//! * **equivocation spammer / vote flipper** move only corrupt-attributed
+//!   observables against bit-specific eligibility.
+
+use crate::cli::Grid;
+use crate::scenario::{AdversarySpec, InputPattern, ProtocolSpec, Scenario};
+use crate::sweep::Sweep;
+use ba_sim::CorruptionModel;
+
+/// Which of the two protocol families a gauntlet entry belongs to (decides
+/// which family-specific adversaries apply).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Family {
+    /// Iteration family (`ba-core::iter`) — the certificate forger applies.
+    Iter,
+    /// Epoch family (`ba-core::epoch`) — flipper and spammer apply.
+    Epoch,
+}
+
+/// One protocol under test: its spec, sizes, and resilience budget.
+struct Entry {
+    title: &'static str,
+    family: Family,
+    n: usize,
+    f_max: usize,
+    protocol: ProtocolSpec,
+}
+
+/// The per-grid protocol roster. Smoke shrinks `n` (and the iteration cap)
+/// but keeps the full combination structure, so CI exercises every
+/// (family × adversary × model × fraction) cell.
+fn entries(grid: Grid) -> Vec<Entry> {
+    let smoke = grid == Grid::Smoke;
+    let (n_subq, n_quad, n_epoch, n_warm) =
+        if smoke { (48, 9, 36, 12) } else { (200, 25, 150, 30) };
+    let (iters, epochs) = if smoke { (6, 6) } else { (12, 10) };
+    vec![
+        Entry {
+            title: "iter/subq_half",
+            family: Family::Iter,
+            n: n_subq,
+            // The paper's bound is f < (1/2 − ε)n; 0.4n leaves a working ε.
+            f_max: n_subq * 2 / 5,
+            protocol: ProtocolSpec::SubqHalf { lambda: 16.0, max_iters: Some(iters) },
+        },
+        Entry {
+            title: "iter/quadratic_half",
+            family: Family::Iter,
+            n: n_quad,
+            f_max: (n_quad - 1) / 2,
+            protocol: ProtocolSpec::QuadraticHalf,
+        },
+        Entry {
+            title: "epoch/subq_third",
+            family: Family::Epoch,
+            n: n_epoch,
+            f_max: n_epoch * 3 / 10, // f < (1/3 − ε)n
+            protocol: ProtocolSpec::SubqThird { lambda: 16.0, epochs },
+        },
+        Entry {
+            title: "epoch/warmup_third",
+            family: Family::Epoch,
+            n: n_warm,
+            f_max: (n_warm - 1) / 3,
+            protocol: ProtocolSpec::WarmupThird { epochs },
+        },
+    ]
+}
+
+/// The `f'/f_max` fractions swept per attack (the passive baseline always
+/// runs at `f = 0` on top of these).
+pub fn fractions(grid: Grid) -> &'static [f64] {
+    match grid {
+        Grid::Smoke => &[0.5, 1.0],
+        Grid::Full => &[0.25, 0.5, 0.75, 1.0],
+    }
+}
+
+/// The (adversary, corruption model) pairs applicable to `family`. Models
+/// are part of the matrix on purpose: the eclipse row runs under both
+/// static (neutralized) and adaptive (armed), the eraser under both
+/// adaptive (removal refused) and strongly adaptive (Theorem 1's model).
+fn attacks(family: Family) -> Vec<(AdversarySpec, CorruptionModel)> {
+    use AdversarySpec as A;
+    use CorruptionModel as M;
+    let mut rows = vec![
+        (A::CrashTail { at_round: 1 }, M::Static),
+        (A::SilenceThenBurst { at_round: 3 }, M::Static),
+        (A::AdaptiveEclipse { per_round: 0 }, M::Static),
+        (A::AdaptiveEclipse { per_round: 0 }, M::Adaptive),
+        (A::StarveQuorum, M::Adaptive),
+        (A::StarveQuorum, M::StronglyAdaptive),
+    ];
+    match family {
+        Family::Iter => rows.push((A::CertForger { target: true }, M::Static)),
+        Family::Epoch => {
+            rows.push((A::VoteFlipper, M::Adaptive));
+            rows.push((A::EquivocationSpammer, M::Static));
+        }
+    }
+    rows
+}
+
+/// Short display key of a corruption model (used in cell labels).
+fn model_key(model: CorruptionModel) -> &'static str {
+    match model {
+        CorruptionModel::Static => "static",
+        CorruptionModel::Adaptive => "adaptive",
+        CorruptionModel::StronglyAdaptive => "strong",
+    }
+}
+
+/// Builds the gauntlet: one [`Sweep`] per protocol entry, one cell per
+/// (adversary × model × fraction) plus the passive baseline.
+///
+/// Cell labels are stable lookup keys of the form
+/// `"<adversary>@<model>/f=<f>"` (e.g. `"adaptive_eclipse@adaptive/f=19"`);
+/// the passive baseline is `"passive@static/f=0"`.
+pub fn gauntlet_sweeps(grid: Grid, seeds: u64) -> Vec<Sweep> {
+    entries(grid)
+        .into_iter()
+        .map(|entry| {
+            let mut cells =
+                vec![scenario_for(&entry, AdversarySpec::Passive, CorruptionModel::Static, 0)];
+            for (adversary, model) in attacks(entry.family) {
+                let mut seen_f: Vec<usize> = Vec::new();
+                for &frac in fractions(grid) {
+                    let f = ((entry.f_max as f64) * frac).round() as usize;
+                    // Zero corruptions is the baseline; a rounding collision
+                    // between fractions would duplicate the cell label.
+                    if f == 0 || seen_f.contains(&f) {
+                        continue;
+                    }
+                    seen_f.push(f);
+                    cells.push(scenario_for(&entry, adversary, model, f));
+                }
+            }
+            Sweep::new(entry.title, seeds, cells)
+        })
+        .collect()
+}
+
+fn scenario_for(
+    entry: &Entry,
+    adversary: AdversarySpec,
+    model: CorruptionModel,
+    f: usize,
+) -> Scenario {
+    let label = format!("{}@{}/f={f}", adversary_key(&adversary), model_key(model));
+    Scenario::new(label, entry.n, entry.protocol.clone())
+        .inputs(InputPattern::Alternating)
+        .adversary(adversary)
+        .model(model)
+        .f(f)
+}
+
+/// The adversary part of a cell label (the spec's display name minus its
+/// parameter noise, so labels stay short and grep-friendly).
+fn adversary_key(spec: &AdversarySpec) -> &'static str {
+    match spec {
+        AdversarySpec::Passive => "passive",
+        AdversarySpec::CommitteeEraser => "committee_eraser",
+        AdversarySpec::StarveQuorum => "starve_quorum",
+        AdversarySpec::CrashTail { .. } => "crash_tail",
+        AdversarySpec::CertForger { .. } => "cert_forger",
+        AdversarySpec::VoteFlipper => "vote_flipper",
+        AdversarySpec::EquivocationSpammer => "equivocation_spammer",
+        AdversarySpec::SilenceThenBurst { .. } => "silence_burst",
+        AdversarySpec::AdaptiveEclipse { .. } => "adaptive_eclipse",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_combination() {
+        let sweeps = gauntlet_sweeps(Grid::Smoke, 2);
+        assert_eq!(sweeps.len(), 4, "four protocol entries");
+        for sweep in &sweeps {
+            // 1 passive + per-family attacks × 2 fractions.
+            let family_attacks = if sweep.title.starts_with("iter/") { 7 } else { 8 };
+            assert_eq!(
+                sweep.scenarios.len(),
+                1 + family_attacks * fractions(Grid::Smoke).len(),
+                "{}: unexpected cell count",
+                sweep.title
+            );
+            // Labels are unique lookup keys.
+            let mut labels: Vec<&str> = sweep.scenarios.iter().map(|s| s.label.as_str()).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), sweep.scenarios.len(), "{}: duplicate label", sweep.title);
+        }
+    }
+
+    #[test]
+    fn full_grid_scales_the_fraction_axis() {
+        let sweeps = gauntlet_sweeps(Grid::Full, 10);
+        assert_eq!(fractions(Grid::Full).len(), 4);
+        assert!(sweeps.iter().all(|s| s.scenarios.len() > sweeps.len()));
+    }
+}

@@ -15,6 +15,13 @@
 //! | `e8_bit_specific_ablation` | §3.3 Remark — bit-specific eligibility is necessary |
 //! | `e9_real_vs_ideal` | App. D/E — the VRF compiler preserves behaviour |
 //! | `e10_comparison` | §1 — the cross-protocol property table |
+//! | `e11_gauntlet` | the adversary gauntlet matrix (family × adversary × model × `f'`) |
+//!
+//! Two more binaries ride on the same engine: `soak` cycles the gauntlet
+//! under a wall-clock/cell budget and streams per-cell JSON lines to disk,
+//! and the `ba-bench` tool binary's `diff` subcommand ([`baseline`])
+//! compares two `BENCH_*.json` reports cell-by-cell against tolerance
+//! bands (the CI baseline-regression gate).
 //!
 //! Every binary is a thin renderer over the declarative [`Scenario`] /
 //! [`Sweep`] API: a [`Scenario`] describes one runnable configuration
@@ -46,14 +53,18 @@
 //! assert!(cell.stats("multicasts").mean > 0.0);
 //! ```
 
+pub mod baseline;
 pub mod cli;
+pub mod gauntlet;
 pub mod report;
 pub mod scenario;
 pub mod stats;
 pub mod sweep;
 
+pub use baseline::{diff_reports, DiffReport, Tolerance};
 pub use cli::{Cli, Grid};
-pub use report::{header, row, to_csv, to_json};
+pub use gauntlet::gauntlet_sweeps;
+pub use report::{header, row, to_csv, to_json, to_json_cell_line};
 pub use scenario::{
     AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario, ScenarioRun,
     SharedElig,

@@ -9,7 +9,7 @@
 use std::fmt::Display;
 use std::fmt::Write as _;
 
-use crate::sweep::SweepReport;
+use crate::sweep::{CellReport, RunRecord, SweepReport};
 
 /// Prints a markdown-style table row.
 pub fn row<D: Display>(cells: &[D]) {
@@ -65,6 +65,70 @@ fn json_number(v: f64) -> String {
     }
 }
 
+/// The `scenario` JSON object of a cell (single line, no trailing newline).
+fn scenario_obj(cell: &CellReport) -> String {
+    let sc = &cell.scenario;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"label\": \"{}\", \"n\": {}, \"f\": {}, \"seed_offset\": {}, \"seeds\": {}",
+        json_escape(&sc.label),
+        sc.n,
+        sc.f,
+        sc.seed_offset,
+        cell.runs.len(),
+    );
+    for (key, value) in sc.describe() {
+        let _ = write!(out, ", \"{key}\": \"{}\"", json_escape(&value));
+    }
+    out.push('}');
+    out
+}
+
+/// One run's JSON object `{"seed": N, "values": {...}}` (single line).
+/// Repeated observable names flatten into arrays, preserving order.
+fn run_obj(run: &RunRecord) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"seed\": {}, \"values\": {{", run.seed);
+    let mut first = true;
+    let mut emitted: Vec<&str> = Vec::new();
+    for (name, _) in &run.values {
+        if emitted.contains(name) {
+            continue;
+        }
+        emitted.push(name);
+        let samples: Vec<String> =
+            run.values.iter().filter(|(k, _)| k == name).map(|(_, v)| json_number(*v)).collect();
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        if samples.len() == 1 {
+            let _ = write!(out, "\"{name}\": {}", samples[0]);
+        } else {
+            let _ = write!(out, "\"{name}\": [{}]", samples.join(", "));
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders one executed cell as a single JSON line (no trailing newline) —
+/// the record format the `soak` binary streams to its `.jsonl` file. The
+/// line carries the sweep title and the soak pass number so the stream is
+/// self-describing even when truncated by a kill.
+pub fn to_json_cell_line(sweep: &str, pass: u64, cell: &CellReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"sweep\": \"{}\", \"pass\": {pass}, \"scenario\": {}, \"runs\": [{}]}}",
+        json_escape(sweep),
+        scenario_obj(cell),
+        cell.runs.iter().map(run_obj).collect::<Vec<_>>().join(", "),
+    );
+    out
+}
+
 /// Renders executed sweeps as one `BENCH_*.json` document (schema
 /// `ba-bench/sweep-report/v1`; see the README for the field reference).
 pub fn to_json(experiment: &str, reports: &[SweepReport]) -> String {
@@ -79,50 +143,14 @@ pub fn to_json(experiment: &str, reports: &[SweepReport]) -> String {
         let _ = writeln!(out, "      \"default_seeds\": {},", sweep.seeds);
         out.push_str("      \"cells\": [\n");
         for (ci, cell) in sweep.cells.iter().enumerate() {
-            let sc = &cell.scenario;
             out.push_str("        {\n");
-            out.push_str("          \"scenario\": {");
-            let _ = write!(
-                out,
-                "\"label\": \"{}\", \"n\": {}, \"f\": {}, \"seed_offset\": {}, \"seeds\": {}",
-                json_escape(&sc.label),
-                sc.n,
-                sc.f,
-                sc.seed_offset,
-                cell.runs.len(),
-            );
-            for (key, value) in sc.describe() {
-                let _ = write!(out, ", \"{key}\": \"{}\"", json_escape(&value));
-            }
-            out.push_str("},\n");
+            out.push_str("          \"scenario\": ");
+            out.push_str(&scenario_obj(cell));
+            out.push_str(",\n");
             out.push_str("          \"runs\": [\n");
             for (ri, run) in cell.runs.iter().enumerate() {
-                let _ = write!(out, "            {{\"seed\": {}, \"values\": {{", run.seed);
-                // Repeated names flatten into arrays, preserving order.
-                let mut first = true;
-                let mut emitted: Vec<&str> = Vec::new();
-                for (name, _) in &run.values {
-                    if emitted.contains(name) {
-                        continue;
-                    }
-                    emitted.push(name);
-                    let samples: Vec<String> = run
-                        .values
-                        .iter()
-                        .filter(|(k, _)| k == name)
-                        .map(|(_, v)| json_number(*v))
-                        .collect();
-                    if !first {
-                        out.push_str(", ");
-                    }
-                    first = false;
-                    if samples.len() == 1 {
-                        let _ = write!(out, "\"{name}\": {}", samples[0]);
-                    } else {
-                        let _ = write!(out, "\"{name}\": [{}]", samples.join(", "));
-                    }
-                }
-                out.push_str("}}");
+                out.push_str("            ");
+                out.push_str(&run_obj(run));
                 out.push_str(if ri + 1 < cell.runs.len() { ",\n" } else { "\n" });
             }
             out.push_str("          ]\n");

@@ -16,7 +16,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use ba_adversary::{CertForger, CommitteeEraser, CrashAt, VoteFlipper};
+use ba_adversary::{
+    AdaptiveEclipse, CertForger, CommitteeEraser, CrashAt, EquivocationSpammer, SilenceThenBurst,
+    VoteFlipper,
+};
 use ba_core::auth::FsService;
 use ba_core::ba_from_bb;
 use ba_core::broadcast;
@@ -126,6 +129,22 @@ pub enum AdversarySpec {
     /// The §3.3-Remark vote flipper (epoch family only). Records
     /// `flips_injected` / `flips_blocked` observables.
     VoteFlipper,
+    /// Conflicting signed votes to disjoint receiver halves (epoch family
+    /// only). Records `equivocations` / `equiv_blocked` observables.
+    EquivocationSpammer,
+    /// Withholds the last `f` nodes' traffic until `at_round`, then
+    /// releases the backlog in one burst (any family).
+    SilenceThenBurst {
+        /// Round at which the backlog is released.
+        at_round: u64,
+    },
+    /// Corrupts nodes only after observing their committee eligibility and
+    /// silences them from then on (any family).
+    AdaptiveEclipse {
+        /// Corruptions allowed per round (`0` = as fast as the budget
+        /// allows).
+        per_round: usize,
+    },
 }
 
 impl AdversarySpec {
@@ -137,6 +156,14 @@ impl AdversarySpec {
             AdversarySpec::CrashTail { at_round } => format!("crash_tail(at={at_round})"),
             AdversarySpec::CertForger { target } => format!("cert_forger({})", *target as u8),
             AdversarySpec::VoteFlipper => "vote_flipper".into(),
+            AdversarySpec::EquivocationSpammer => "equivocation_spammer".into(),
+            AdversarySpec::SilenceThenBurst { at_round } => {
+                format!("silence_burst(at={at_round})")
+            }
+            AdversarySpec::AdaptiveEclipse { per_round: 0 } => "adaptive_eclipse".into(),
+            AdversarySpec::AdaptiveEclipse { per_round } => {
+                format!("adaptive_eclipse(per={per_round})")
+            }
         }
     }
 }
@@ -577,7 +604,16 @@ impl Scenario {
                 nodes: (self.n - self.f..self.n).map(NodeId).collect(),
                 at_round,
             }),
-            AdversarySpec::CertForger { .. } | AdversarySpec::VoteFlipper => panic!(
+            AdversarySpec::SilenceThenBurst { at_round } => {
+                Box::new(SilenceThenBurst::tail(self.n, self.f, at_round))
+            }
+            AdversarySpec::AdaptiveEclipse { per_round: 0 } => Box::new(AdaptiveEclipse::new()),
+            AdversarySpec::AdaptiveEclipse { per_round } => {
+                Box::new(AdaptiveEclipse::paced(per_round))
+            }
+            AdversarySpec::CertForger { .. }
+            | AdversarySpec::VoteFlipper
+            | AdversarySpec::EquivocationSpammer => panic!(
                 "{} does not attack this protocol family ({})",
                 self.adversary.name(),
                 self.protocol.name()
@@ -617,6 +653,16 @@ impl Scenario {
                 ];
                 self.finish(seed, outcome, extras)
             }
+            AdversarySpec::EquivocationSpammer => {
+                let adv = EquivocationSpammer::new(self.n, self.f, cfg.auth.clone());
+                let stats = adv.stats();
+                let outcome = epoch::runnable(&cfg, inputs, adv).execute(sim);
+                let extras = vec![
+                    ("equivocations", stats.equivocations() as f64),
+                    ("equiv_blocked", stats.blocked() as f64),
+                ];
+                self.finish(seed, outcome, extras)
+            }
             _ => {
                 let quorum = cfg.quorum;
                 let runnable = self
@@ -642,6 +688,9 @@ impl Scenario {
         record.push("unicasts", m.honest_unicasts as f64);
         record.push("classical_msgs", m.classical_messages(self.n) as f64);
         record.push("corrupt_sends", m.corrupt_sends as f64);
+        record.push("corrupt_bits", m.corrupt_bits as f64);
+        record.push("injected_sends", m.injected_sends as f64);
+        record.push("corruptions", m.corruptions as f64);
         record.push("removals", m.removals as f64);
         record.push("dropped_sends", m.dropped_sends as f64);
         record.push_flag("consistent", verdict.consistent);

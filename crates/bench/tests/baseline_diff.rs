@@ -1,0 +1,141 @@
+//! Baseline-diff regression tests: the `ba-bench diff` engine must pass on
+//! byte-identical reports and flag injected drift — the property the CI
+//! baseline job depends on.
+
+use ba_bench::baseline::{diff_reports, parse_json, DriftKind, Tolerance};
+use ba_bench::{to_json, ProtocolSpec, Scenario, Sweep};
+
+/// A small deterministic report (one protocol cell, two seeds).
+fn sample_report() -> String {
+    let sweep =
+        Sweep::new("diff_fixture", 2, vec![Scenario::new("quad", 9, ProtocolSpec::QuadraticHalf)]);
+    to_json("diff_fixture", &[sweep.run(2)])
+}
+
+#[test]
+fn identical_reports_pass() {
+    let doc = sample_report();
+    let report = diff_reports(&doc, &doc, &Tolerance::default()).expect("parses");
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.compared > 0, "the diff actually compared observables");
+}
+
+#[test]
+fn injected_value_drift_is_flagged() {
+    let base = sample_report();
+    // Perturb the first multicasts observable by one.
+    let needle = "\"multicasts\": ";
+    let at = base.find(needle).expect("metric present") + needle.len();
+    let end = at + base[at..].find(|c: char| !c.is_ascii_digit()).unwrap();
+    let old: u64 = base[at..end].parse().unwrap();
+    let drifted = format!("{}{}{}", &base[..at], old + 1, &base[end..]);
+
+    let report = diff_reports(&base, &drifted, &Tolerance::default()).expect("parses");
+    assert!(!report.passed(), "injected drift must be flagged");
+    assert_eq!(report.drifts.len(), 1);
+    assert_eq!(report.drifts[0].kind, DriftKind::Value);
+    assert!(report.drifts[0].path.ends_with("seed=0/multicasts"), "{}", report.drifts[0].path);
+
+    // A wide-enough absolute tolerance band accepts the same drift.
+    let tol = Tolerance { abs: 1.5, rel: 0.0, ignore: Vec::new() };
+    assert!(diff_reports(&base, &drifted, &tol).unwrap().passed());
+    // An ignore-list exemption accepts it too.
+    let tol = Tolerance { abs: 0.0, rel: 0.0, ignore: vec!["multicasts".into()] };
+    assert!(diff_reports(&base, &drifted, &tol).unwrap().passed());
+}
+
+#[test]
+fn missing_metric_is_structural() {
+    let base = sample_report();
+    // Drop the rounds metric from every run (name change = schema change).
+    let cand = base.replace("\"rounds\":", "\"rounds_renamed\":");
+    let report = diff_reports(&base, &cand, &Tolerance::default()).expect("parses");
+    assert!(!report.passed());
+    assert!(report.drifts.iter().any(|d| d.kind == DriftKind::Structural
+        && d.path.ends_with("/rounds")
+        && d.detail.contains("missing")));
+    assert!(report
+        .drifts
+        .iter()
+        .any(|d| d.kind == DriftKind::Structural && d.path.ends_with("/rounds_renamed")));
+}
+
+#[test]
+fn missing_cell_and_changed_config_are_structural() {
+    let base = sample_report();
+    // A relabelled cell looks like one missing + one extra.
+    let cand = base.replace("\"label\": \"quad\"", "\"label\": \"quad2\"");
+    let report = diff_reports(&base, &cand, &Tolerance::default()).expect("parses");
+    assert!(report.drifts.iter().all(|d| d.kind == DriftKind::Structural));
+    assert!(report.drifts.len() >= 2, "{}", report.render());
+
+    // A changed scenario configuration is structural even when labels match.
+    let cand = base.replace("\"n\": 9", "\"n\": 10");
+    let report = diff_reports(&base, &cand, &Tolerance::default()).expect("parses");
+    assert!(report
+        .drifts
+        .iter()
+        .any(|d| d.kind == DriftKind::Structural && d.detail.contains("scenario config")));
+}
+
+#[test]
+fn candidate_only_scenario_key_is_structural() {
+    // A new `Scenario::describe` field appearing only in the candidate is
+    // schema drift: the baseline must be regenerated, not silently passed.
+    let base = sample_report();
+    let cand = base
+        .replace("\"elig_seed\": \"per_run\"", "\"elig_seed\": \"per_run\", \"new_knob\": \"on\"");
+    let report = diff_reports(&base, &cand, &Tolerance::default()).expect("parses");
+    assert!(report
+        .drifts
+        .iter()
+        .any(|d| d.kind == DriftKind::Structural && d.path.ends_with("[new_knob]")));
+}
+
+#[test]
+fn duplicate_keys_are_structural() {
+    // A report with two same-label cells would otherwise have its second
+    // cell silently skipped by key matching.
+    let base = sample_report();
+    let cells_start = base.find("\"cells\": [\n").expect("cells array");
+    let cell_open = base[cells_start..].find("        {\n").unwrap() + cells_start;
+    let cell_close =
+        base[cell_open..].find("\n        }").unwrap() + cell_open + "\n        }".len();
+    let cell = &base[cell_open..cell_close];
+    let dup = format!("{}{cell},\n{cell}{}", &base[..cell_open], &base[cell_close..]);
+    parse_json(&dup).expect("fixture stays valid JSON");
+    let report = diff_reports(&base, &dup, &Tolerance::default()).expect("parses");
+    assert!(report
+        .drifts
+        .iter()
+        .any(|d| d.kind == DriftKind::Structural && d.detail.contains("duplicate cell key")));
+}
+
+#[test]
+fn matching_nulls_agree() {
+    // The report writer encodes non-finite observables as null; two nulls
+    // must compare equal, while null vs number is a shape mismatch.
+    let doc = |v: &str| {
+        format!(
+            "{{\"schema\": \"s\", \"experiment\": \"e\", \"sweeps\": [{{\"title\": \"t\", \
+             \"cells\": [{{\"scenario\": {{\"label\": \"c\"}}, \"runs\": \
+             [{{\"seed\": 0, \"values\": {{\"ratio\": {v}}}}}]}}]}}]}}"
+        )
+    };
+    let report = diff_reports(&doc("null"), &doc("null"), &Tolerance::default()).expect("parses");
+    assert!(report.passed(), "{}", report.render());
+    let report = diff_reports(&doc("null"), &doc("1"), &Tolerance::default()).expect("parses");
+    assert!(
+        report.drifts.iter().any(|d| d.kind == DriftKind::Structural),
+        "null vs number must be structural"
+    );
+}
+
+#[test]
+fn tolerance_is_not_a_loophole_for_structure() {
+    // Even an infinite tolerance band never excuses structural drift.
+    let base = sample_report();
+    let cand = base.replace("\"rounds\":", "\"rounds_renamed\":");
+    let tol = Tolerance { abs: f64::INFINITY, rel: f64::INFINITY, ignore: Vec::new() };
+    assert!(!diff_reports(&base, &cand, &tol).unwrap().passed());
+}

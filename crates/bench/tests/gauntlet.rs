@@ -1,0 +1,106 @@
+//! Gauntlet-matrix regression tests.
+//!
+//! * `--threads 1` vs `--threads 4` byte-identical JSON over the full
+//!   smoke gauntlet (the acceptance criterion of the matrix: parallelism
+//!   is observationally free).
+//! * One pinned-seed golden cell per **new** adversary (equivocation
+//!   spammer, silence-then-burst, adaptive eclipse): if these move, the
+//!   adversary or the engine changed semantics, not plumbing.
+//! * The honest edge of the matrix: every passive cell is fully correct
+//!   and never drops a send.
+
+use ba_bench::gauntlet::gauntlet_sweeps;
+use ba_bench::{to_json, Grid, SweepReport};
+
+fn smoke_reports(threads: usize) -> Vec<SweepReport> {
+    gauntlet_sweeps(Grid::Smoke, 2).iter().map(|s| s.run(threads)).collect()
+}
+
+#[test]
+fn gauntlet_threads_do_not_change_results() {
+    let serial = to_json("e11_gauntlet", &smoke_reports(1));
+    let parallel = to_json("e11_gauntlet", &smoke_reports(4));
+    assert_eq!(serial, parallel, "thread count changed gauntlet results");
+}
+
+#[test]
+fn honest_cells_are_clean() {
+    for report in smoke_reports(2) {
+        for cell in &report.cells {
+            if !cell.scenario.label.starts_with("passive@") {
+                continue;
+            }
+            assert_eq!(cell.count("all_ok"), cell.runs.len(), "{}: honest failure", report.title);
+            assert_eq!(cell.total("dropped_sends"), 0.0, "{}: honest drop", report.title);
+            assert_eq!(cell.total("corrupt_sends"), 0.0, "{}: phantom corrupt", report.title);
+        }
+    }
+}
+
+/// Looks up one cell of the executed smoke gauntlet.
+fn cell_samples(reports: &[SweepReport], sweep: &str, label: &str, metric: &str) -> Vec<f64> {
+    reports
+        .iter()
+        .find(|r| r.title == sweep)
+        .unwrap_or_else(|| panic!("no sweep {sweep:?}"))
+        .cell(label)
+        .samples(metric)
+}
+
+// Golden values regenerated from `e11_gauntlet --grid smoke --seeds 2`;
+// each array is [seed 0, seed 1] for the named metric.
+
+#[test]
+fn golden_silence_burst_cell() {
+    let reports = smoke_reports(2);
+    let cell = |m| cell_samples(&reports, "iter/subq_half", "silence_burst@static/f=19", m);
+    assert_eq!(cell("rounds"), [15.0, 26.0]);
+    assert_eq!(cell("multicasts"), [64.0, 49.0]);
+    // The backlog surfaces as injections, attributed to the adversary.
+    assert_eq!(cell("injected_sends"), [11.0, 13.0]);
+    assert_eq!(cell("corrupt_sends"), [42.0, 39.0]);
+    assert_eq!(cell("all_ok"), [1.0, 0.0]);
+}
+
+#[test]
+fn golden_adaptive_eclipse_cell() {
+    let reports = smoke_reports(2);
+    let cell = |m| cell_samples(&reports, "iter/subq_half", "adaptive_eclipse@adaptive/f=19", m);
+    assert_eq!(cell("rounds"), [15.0, 26.0]);
+    assert_eq!(cell("multicasts"), [67.0, 63.0]);
+    // The eclipse spends the whole budget on observed speakers but never
+    // sends or removes anything itself.
+    assert_eq!(cell("corruptions"), [19.0, 19.0]);
+    assert_eq!(cell("corrupt_sends"), [0.0, 0.0]);
+    assert_eq!(cell("removals"), [0.0, 0.0]);
+}
+
+#[test]
+fn golden_equivocation_spammer_cell() {
+    let reports = smoke_reports(2);
+    let cell =
+        |m| cell_samples(&reports, "epoch/subq_third", "equivocation_spammer@static/f=10", m);
+    assert_eq!(cell("equivocations"), [17.0, 19.0]);
+    // Blocked = held exactly one credential, refused the second — the
+    // events where bit specificity (not non-election) stopped the attack.
+    assert_eq!(cell("equiv_blocked"), [21.0, 27.0]);
+    assert_eq!(cell("injected_sends"), [612.0, 684.0]);
+    // Bit-specific eligibility keeps the spam from breaking agreement.
+    assert_eq!(cell("consistent"), [1.0, 1.0]);
+    assert_eq!(cell("all_ok"), [1.0, 1.0]);
+}
+
+#[test]
+fn model_legality_edges_hold() {
+    let reports = smoke_reports(2);
+    for report in &reports {
+        for cell in &report.cells {
+            if cell.scenario.label.starts_with("adaptive_eclipse@static") {
+                assert_eq!(cell.total("corruptions"), 0.0, "{}: static eclipse", report.title);
+            }
+            if cell.scenario.label.starts_with("starve_quorum@adaptive") {
+                assert_eq!(cell.total("removals"), 0.0, "{}: adaptive eraser", report.title);
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The Dolev–Strong authenticated Byzantine Broadcast baseline [13].
+//! The Dolev–Strong authenticated Byzantine Broadcast baseline \[13\].
 //!
 //! Classic `f + 1`-round protocol: the designated sender signs its bit; a
 //! node that *extracts* a value `b` in round `k` (i.e. receives `b` carrying

@@ -1,7 +1,7 @@
 //! The iteration-based BA family (Appendix C of the paper) — the headline
 //! construction.
 //!
-//! * **Quadratic** (C.1, after Abraham et al. [1]): `n = 2f + 1`, signed
+//! * **Quadratic** (C.1, after Abraham et al. \[1\]): `n = 2f + 1`, signed
 //!   messages, a public random-leader oracle, quorum `f + 1`, expected O(1)
 //!   iterations, `Θ(n)` multicasts per round.
 //! * **Subquadratic** (C.2): the same machine compiled with `F_mine`/VRF

@@ -14,7 +14,7 @@
 //! | [`epoch::EpochConfig::chen_micali`] | §3.2 strawman | needs memory erasure | fixed `2R` | `Θ(λR)` |
 //! | [`iter::IterConfig::quadratic_half`] | App. C.1 | `< n/2` | expected O(1) | `Θ(n)`/round |
 //! | [`iter::IterConfig::subq_half`] | App. C.2 (**Theorem 2**) | `< (1/2−ε)n` | expected O(1) | `Θ(λ)`/round |
-//! | [`dolev_strong::DsConfig`] | baseline [13] | `< n − 1` | `f + 2` | `Θ(n)` |
+//! | [`dolev_strong::DsConfig`] | baseline \[13\] | `< n − 1` | `f + 2` | `Θ(n)` |
 //! | [`broadcast::run_iter_bb`] | §1.1 reduction | inherits BA | BA + 1 | BA + 1 |
 //!
 //! All protocols run over [`ba_sim`]'s synchronous engine under any of the

@@ -317,7 +317,10 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
                     self.metrics.honest_unicasts += 1;
                     self.metrics.honest_unicast_bits += env.msg.size_bits() as u64;
                 }
-                (false, _) => self.metrics.corrupt_sends += 1,
+                (false, _) => {
+                    self.metrics.corrupt_sends += 1;
+                    self.metrics.corrupt_bits += env.msg.size_bits() as u64;
+                }
             }
         }
 
@@ -330,6 +333,8 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         let injected = std::mem::take(&mut self.world.injected);
         for env in &injected {
             self.metrics.corrupt_sends += 1;
+            self.metrics.corrupt_bits += env.msg.size_bits() as u64;
+            self.metrics.injected_sends += 1;
             debug_assert!(!env.honest_send);
         }
         let mut deliverable = std::mem::take(&mut self.world.pending);
@@ -571,6 +576,8 @@ mod tests {
         });
         // Recorders never send, so the only traffic is the injected unicast.
         assert_eq!(report.metrics.corrupt_sends, 1);
+        assert_eq!(report.metrics.injected_sends, 1);
+        assert_eq!(report.metrics.corrupt_bits, 64);
         assert_eq!(report.metrics.honest_multicasts, 0);
     }
 
@@ -597,6 +604,7 @@ mod tests {
         // corrupt sends, but only the in-range injection was deliverable;
         // the out-of-range one is accounted as dropped.
         assert_eq!(report.metrics.corrupt_sends, 3);
+        assert_eq!(report.metrics.injected_sends, 2);
         assert_eq!(report.metrics.dropped_sends, 1);
     }
 

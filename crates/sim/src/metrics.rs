@@ -17,8 +17,18 @@ pub struct Metrics {
     pub honest_unicasts: u64,
     /// Total bits unicast by so-far-honest nodes.
     pub honest_unicast_bits: u64,
-    /// Messages sent by corrupt nodes (multicasts and unicasts).
+    /// Messages sent by corrupt nodes (multicasts and unicasts), including
+    /// adversary injections.
     pub corrupt_sends: u64,
+    /// Total bits of corrupt sends (multicasts, unicasts, and injections).
+    /// Together with [`Metrics::injected_sends`] this attributes message
+    /// overhead to the adversary: honest complexity (Definitions 6/7) never
+    /// includes these, but word-count-inflating attacks show up here.
+    pub corrupt_bits: u64,
+    /// Messages the adversary injected through `AdvCtx::inject` — the subset
+    /// of [`Metrics::corrupt_sends`] that did not come from a corrupt node's
+    /// own (honest-logic) outbox.
+    pub injected_sends: u64,
     /// Rounds executed.
     pub rounds: u64,
     /// Adaptive corruptions performed.
@@ -56,6 +66,8 @@ impl Metrics {
         self.honest_unicasts += other.honest_unicasts;
         self.honest_unicast_bits += other.honest_unicast_bits;
         self.corrupt_sends += other.corrupt_sends;
+        self.corrupt_bits += other.corrupt_bits;
+        self.injected_sends += other.injected_sends;
         self.rounds += other.rounds;
         self.corruptions += other.corruptions;
         self.removals += other.removals;

@@ -21,6 +21,8 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             honest_unicasts: hu,
             honest_unicast_bits: hub,
             corrupt_sends: cs,
+            corrupt_bits: cs * 100,
+            injected_sends: cs / 3,
             rounds: r,
             corruptions: c,
             removals: rem,
