@@ -19,6 +19,80 @@ fn bench_sha256(c: &mut Criterion) {
     });
 }
 
+/// The field-arithmetic acceptance comparisons: fused CIOS vs the generic
+/// `mul_wide` + `redc` reference, and the dedicated squaring vs a general
+/// multiplication by self.
+fn bench_field_arith(c: &mut Criterion) {
+    let g = Group::standard();
+    let ctx = ModCtx::new(*g.prime());
+    let a =
+        U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff").unwrap();
+    let b =
+        U256::from_hex("0123456789abcdef00112233445566778899aabbccddeeffdeadbeefcafebabe").unwrap();
+    // Every routine below is benched as a dependent chain (the output feeds
+    // the next iteration's input) so the optimizer cannot hoist the pure,
+    // loop-invariant call out of the measurement loop — and because a
+    // dependent chain is exactly the shape of an exponentiation ladder.
+    let mut x = a;
+    c.bench_function("field/mul_wide", |bch| {
+        bch.iter(|| {
+            x = x.mul_wide(&b).low_u256();
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/sqr_wide", |bch| {
+        bch.iter(|| {
+            x = x.sqr_wide().low_u256();
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/mont_mul_cios", |bch| {
+        bch.iter(|| {
+            x = ctx.mont_mul(&x, &b);
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/mont_mul_ref_wide_redc", |bch| {
+        bch.iter(|| {
+            x = ctx.mont_mul_ref(&x, &b);
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/mont_sqr", |bch| {
+        bch.iter(|| {
+            x = ctx.mont_sqr(&x);
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/mont_mul_self", |bch| {
+        bch.iter(|| {
+            x = ctx.mont_mul(&x, &x);
+            x
+        })
+    });
+    // The production path for the standard group prime (2^256 - 36113):
+    // pseudo-Mersenne folding, no Montgomery form at all.
+    let mut x = a;
+    c.bench_function("field/mul_fold_special", |bch| {
+        bch.iter(|| {
+            x = ctx.mul(&x, &b);
+            x
+        })
+    });
+    let mut x = a;
+    c.bench_function("field/sqr_fold_special", |bch| {
+        bch.iter(|| {
+            x = ctx.sqr(&x);
+            x
+        })
+    });
+}
+
 fn bench_modpow(c: &mut Criterion) {
     let g = Group::standard();
     let ctx = ModCtx::new(*g.prime());
@@ -177,7 +251,7 @@ fn bench_eligibility(c: &mut Criterion) {
 criterion_group! {
     name = crypto;
     config = Criterion::default().sample_size(20);
-    targets = bench_sha256, bench_modpow, bench_schnorr, bench_schnorr_batch, bench_vrf,
-        bench_vrf_batch, bench_dleq, bench_eligibility
+    targets = bench_field_arith, bench_sha256, bench_modpow, bench_schnorr, bench_schnorr_batch,
+        bench_vrf, bench_vrf_batch, bench_dleq, bench_eligibility
 }
 criterion_main!(crypto);

@@ -5,6 +5,9 @@
 //! * `--seeds N` — override each sweep's seed count (smoke runs use 2);
 //! * `--grid full|smoke` — the full paper grid or a reduced CI grid;
 //! * `--threads N` — sweep worker count (default: all cores);
+//! * `--sim-threads N` — worker threads *inside* each execution (default:
+//!   scenario-specified, usually 1); outputs are byte-identical at every
+//!   `--threads` × `--sim-threads` combination;
 //! * `--format md[,csv][,json]|all` — output formats (default `md`);
 //! * `--out DIR` — where `BENCH_<experiment>.{json,csv}` are written.
 
@@ -34,6 +37,9 @@ pub struct Cli {
     pub grid: Grid,
     /// Sweep worker count.
     pub threads: usize,
+    /// `--sim-threads` override: in-execution worker count applied to every
+    /// scenario in every sweep (`None` = keep scenario-specified values).
+    pub sim_threads: Option<usize>,
     /// Emit the experiment's markdown tables on stdout.
     emit_md: bool,
     /// Emit `BENCH_<experiment>.csv`.
@@ -57,6 +63,7 @@ impl Cli {
             seeds: None,
             grid: Grid::Full,
             threads: default_threads(),
+            sim_threads: None,
             emit_md: true,
             emit_csv: false,
             emit_json: false,
@@ -85,6 +92,12 @@ impl Cli {
                         .unwrap_or_else(|_| die("--threads: not a number"));
                     cli.threads = t.max(1);
                 }
+                "--sim-threads" => {
+                    let t: usize = value("--sim-threads")
+                        .parse()
+                        .unwrap_or_else(|_| die("--sim-threads: not a number"));
+                    cli.sim_threads = Some(t.max(1));
+                }
                 "--format" => {
                     cli.emit_md = false;
                     cli.emit_csv = false;
@@ -108,7 +121,8 @@ impl Cli {
                     println!(
                         "{experiment} — see EXPERIMENTS.md\n\n\
                          USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
-                         \x20                 [--format md,csv,json|all] [--out DIR]"
+                         \x20                 [--sim-threads N] [--format md,csv,json|all]\n\
+                         \x20                 [--out DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -133,8 +147,16 @@ impl Cli {
         self.emit_md
     }
 
-    /// Executes the sweeps on the configured worker count.
-    pub fn run(&self, sweeps: Vec<Sweep>) -> Vec<SweepReport> {
+    /// Executes the sweeps on the configured worker count, applying any
+    /// `--sim-threads` override to every scenario first.
+    pub fn run(&self, mut sweeps: Vec<Sweep>) -> Vec<SweepReport> {
+        if let Some(sim_threads) = self.sim_threads {
+            for sweep in &mut sweeps {
+                for scenario in &mut sweep.scenarios {
+                    scenario.sim_threads = sim_threads;
+                }
+            }
+        }
         let start = Instant::now();
         let reports: Vec<SweepReport> = sweeps.iter().map(|s| s.run(self.threads)).collect();
         eprintln!(
@@ -200,6 +222,28 @@ mod tests {
         assert!(!cli.smoke());
         assert!(cli.markdown());
         assert!(cli.threads >= 1);
+        assert_eq!(cli.sim_threads, None);
+    }
+
+    #[test]
+    fn sim_threads_flag_overrides_scenarios() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let cli = parse(&["--sim-threads", "3"]);
+        assert_eq!(cli.sim_threads, Some(3));
+        let sweep = Sweep::new(
+            "t",
+            1,
+            vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf).sim_threads(1)],
+        );
+        let reports = cli.run(vec![sweep]);
+        // The override is applied before execution; the run itself must be
+        // indistinguishable from a serial one.
+        let serial =
+            Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]).run(1);
+        assert_eq!(
+            reports[0].cells[0].samples("multicasts"),
+            serial.cells[0].samples("multicasts")
+        );
     }
 
     #[test]

@@ -352,6 +352,12 @@ pub struct Scenario {
     pub seed_offset: u64,
     /// Per-scenario seed-count override (`None` = sweep default).
     pub seeds: Option<u64>,
+    /// Worker threads *inside* each execution (`SimConfig::threads`). A
+    /// pure wall-clock knob — reports are byte-identical at every value —
+    /// so it is deliberately absent from [`Scenario::describe`] and the
+    /// report JSON. Large-`n` cells want this > 1; many-cell grids keep it
+    /// at 1 and let the sweep's across-run workers fill the cores.
+    pub sim_threads: usize,
 }
 
 impl Scenario {
@@ -378,6 +384,7 @@ impl Scenario {
             elig_seed: EligSeed::PerRun,
             seed_offset: 0,
             seeds: None,
+            sim_threads: 1,
         }
     }
 
@@ -427,6 +434,14 @@ impl Scenario {
     /// Overrides the sweep-level seed count for this scenario.
     pub fn seeds(mut self, seeds: u64) -> Scenario {
         self.seeds = Some(seeds);
+        self
+    }
+
+    /// Sets the in-execution worker-thread count (see
+    /// [`Scenario::sim_threads`]; `--sim-threads` on experiment binaries
+    /// overrides it grid-wide).
+    pub fn sim_threads(mut self, threads: usize) -> Scenario {
+        self.sim_threads = threads.max(1);
         self
     }
 
@@ -482,7 +497,8 @@ impl Scenario {
     }
 
     fn execute_shared(&self, seed: u64, shared: &SharedElig) -> ScenarioRun {
-        let sim = SimConfig::new(self.n.max(1), self.f, self.model, seed);
+        let sim =
+            SimConfig::new(self.n.max(1), self.f, self.model, seed).with_threads(self.sim_threads);
         match &self.protocol {
             ProtocolSpec::SubqHalf { lambda, max_iters } => {
                 let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));

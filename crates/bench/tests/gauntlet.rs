@@ -13,7 +13,19 @@ use ba_bench::gauntlet::gauntlet_sweeps;
 use ba_bench::{to_json, Grid, SweepReport};
 
 fn smoke_reports(threads: usize) -> Vec<SweepReport> {
-    gauntlet_sweeps(Grid::Smoke, 2).iter().map(|s| s.run(threads)).collect()
+    smoke_reports_matrix(threads, 1)
+}
+
+/// Runs the whole smoke gauntlet with `threads` across-run sweep workers
+/// and `sim_threads` in-execution workers per run.
+fn smoke_reports_matrix(threads: usize, sim_threads: usize) -> Vec<SweepReport> {
+    let mut sweeps = gauntlet_sweeps(Grid::Smoke, 2);
+    for sweep in &mut sweeps {
+        for scenario in &mut sweep.scenarios {
+            scenario.sim_threads = sim_threads;
+        }
+    }
+    sweeps.iter().map(|s| s.run(threads)).collect()
 }
 
 #[test]
@@ -21,6 +33,27 @@ fn gauntlet_threads_do_not_change_results() {
     let serial = to_json("e11_gauntlet", &smoke_reports(1));
     let parallel = to_json("e11_gauntlet", &smoke_reports(4));
     assert_eq!(serial, parallel, "thread count changed gauntlet results");
+}
+
+/// The full thread matrix: across-run sweep workers × in-execution round
+/// workers. Every combination must render byte-identical JSON — sweep
+/// parallelism is slot-addressed, and the round engine merges per-node
+/// results in node-id order with seed-derived per-node randomness.
+#[test]
+fn gauntlet_sim_thread_matrix_byte_identical() {
+    let reference = to_json("e11_gauntlet", &smoke_reports_matrix(1, 1));
+    for sweep_threads in [1usize, 4] {
+        for sim_threads in [1usize, 2, 4] {
+            if (sweep_threads, sim_threads) == (1, 1) {
+                continue;
+            }
+            let got = to_json("e11_gauntlet", &smoke_reports_matrix(sweep_threads, sim_threads));
+            assert_eq!(
+                got, reference,
+                "sweep-threads={sweep_threads} sim-threads={sim_threads} changed the gauntlet"
+            );
+        }
+    }
 }
 
 #[test]

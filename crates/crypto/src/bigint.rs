@@ -215,6 +215,47 @@ impl U256 {
         U512(out)
     }
 
+    /// Full 256-bit squaring -> 512-bit, exploiting the symmetry of the
+    /// square: the 6 off-diagonal cross terms `a_i * a_j` (`i < j`) are
+    /// computed once and doubled, so only 10 of [`U256::mul_wide`]'s 16 limb
+    /// products are evaluated — and the fully unrolled cross-product block
+    /// carries no loop dependency, so it pipelines. Always equals
+    /// `self.mul_wide(self)`.
+    #[inline]
+    pub fn sqr_wide(&self) -> U512 {
+        let [a0, a1, a2, a3] = self.0;
+        // Off-diagonal cross products, each computed once.
+        let (w1, c) = mac(0, a0, a1, 0);
+        let (w2, c) = mac(0, a0, a2, c);
+        let (w3, w4) = mac(0, a0, a3, c);
+        let (w3, c) = mac(w3, a1, a2, 0);
+        let (w4, w5) = mac(w4, a1, a3, c);
+        let (w5, w6) = mac(w5, a2, a3, 0);
+        // Double the cross sum (it is < 2^511: nothing shifts out of w7).
+        let w7 = w6 >> 63;
+        let w6 = (w6 << 1) | (w5 >> 63);
+        let w5 = (w5 << 1) | (w4 >> 63);
+        let w4 = (w4 << 1) | (w3 >> 63);
+        let w3 = (w3 << 1) | (w2 >> 63);
+        let w2 = (w2 << 1) | (w1 >> 63);
+        let w1 = w1 << 1;
+        // Fold in the diagonal a_i^2 terms.
+        let d = (a0 as u128) * (a0 as u128);
+        let w0 = d as u64;
+        let (w1, c) = adc(w1, (d >> 64) as u64, 0);
+        let d = (a1 as u128) * (a1 as u128);
+        let (w2, c) = adc(w2, d as u64, c);
+        let (w3, c) = adc(w3, (d >> 64) as u64, c);
+        let d = (a2 as u128) * (a2 as u128);
+        let (w4, c) = adc(w4, d as u64, c);
+        let (w5, c) = adc(w5, (d >> 64) as u64, c);
+        let d = (a3 as u128) * (a3 as u128);
+        let (w6, c) = adc(w6, d as u64, c);
+        let (w7, carry) = adc(w7, (d >> 64) as u64, c);
+        debug_assert_eq!(carry, 0, "square overflowed 512 bits");
+        U512([w0, w1, w2, w3, w4, w5, w6, w7])
+    }
+
     /// Logical right shift by one bit.
     pub fn shr1(&self) -> U256 {
         let mut out = [0u64; 4];
@@ -456,6 +497,13 @@ pub struct ModCtx {
     r2: U256,
     /// R mod m
     r1: U256,
+    /// For pseudo-Mersenne moduli `m = 2^256 - c` with `c < 2^32` (the
+    /// standard group prime is `2^256 - 36113`): the folding constant `c`.
+    /// Such moduli skip Montgomery form entirely — `2^256 ≡ c (mod m)`
+    /// makes the wide product reducible by two cheap folds, which beats a
+    /// Montgomery reduction *and* deletes every to/from-Montgomery
+    /// conversion from the exponentiation paths.
+    special_c: Option<u64>,
 }
 
 impl ModCtx {
@@ -484,7 +532,17 @@ impl ModCtx {
         for _ in 0..256 {
             r2 = mod_double(&r2, &m);
         }
-        ModCtx { m, n0inv, r2, r1 }
+        // Pseudo-Mersenne detection: limbs 1..3 all ones and a small
+        // complement (the `c < 2^32` bound keeps every fold-overflow
+        // argument in `fold_words` tight).
+        let c = m.0[0].wrapping_neg();
+        let special_c = (m.0[1] == u64::MAX
+            && m.0[2] == u64::MAX
+            && m.0[3] == u64::MAX
+            && c != 0
+            && c < (1 << 32))
+            .then_some(c);
+        ModCtx { m, n0inv, r2, r1, special_c }
     }
 
     /// Returns the modulus.
@@ -496,27 +554,55 @@ impl ModCtx {
     ///
     /// Requires `t < m * R` (always true for products of reduced values),
     /// which guarantees the result fits after at most one subtraction.
+    ///
+    /// This is the *generic* reduction: it only survives where a full
+    /// 512-bit value already exists ([`ModCtx::reduce_wide`], decoding).
+    /// The multiplication hot path uses the fused [`ModCtx::mont_mul`],
+    /// which never materializes the 512-bit intermediate.
     fn redc(&self, t: &U512) -> U256 {
-        let mut a = [0u64; 9];
-        a[..8].copy_from_slice(&t.0);
-        for i in 0..4 {
-            let u = a[i].wrapping_mul(self.n0inv);
-            let mut carry: u128 = 0;
-            for j in 0..4 {
-                let prod = (u as u128) * (self.m.0[j] as u128) + (a[i + j] as u128) + carry;
-                a[i + j] = prod as u64;
-                carry = prod >> 64;
-            }
-            let mut k = i + 4;
-            while carry != 0 && k < 9 {
-                let s = a[k] as u128 + carry;
-                a[k] = s as u64;
-                carry = s >> 64;
-                k += 1;
-            }
-        }
-        let mut r = U256([a[4], a[5], a[6], a[7]]);
-        if a[8] != 0 || r >= self.m {
+        self.redc_words(t.0)
+    }
+
+    /// [`ModCtx::redc`] on raw limbs, fully unrolled over registers — no
+    /// widened copy, no array indexing, no data-dependent carry ripple. The
+    /// carry out of each pass's top update targets a limb nothing reads
+    /// before the next pass's own top update, so it is deferred in a
+    /// register and folded in there (the classic lazy-carry formulation;
+    /// the leftover after the last pass is the virtual ninth word).
+    #[inline(always)]
+    fn redc_words(&self, w: [u64; 8]) -> U256 {
+        let [w0, w1, w2, w3, w4, w5, w6, w7] = w;
+        let [m0, m1, m2, m3] = self.m.0;
+        // Pass 0: cancel w0.
+        let u = w0.wrapping_mul(self.n0inv);
+        let (_, c) = mac(w0, u, m0, 0);
+        let (w1, c) = mac(w1, u, m1, c);
+        let (w2, c) = mac(w2, u, m2, c);
+        let (w3, c) = mac(w3, u, m3, c);
+        let (w4, deferred) = adc(w4, c, 0);
+        // Pass 1: cancel w1.
+        let u = w1.wrapping_mul(self.n0inv);
+        let (_, c) = mac(w1, u, m0, 0);
+        let (w2, c) = mac(w2, u, m1, c);
+        let (w3, c) = mac(w3, u, m2, c);
+        let (w4, c) = mac(w4, u, m3, c);
+        let (w5, deferred) = adc(w5, c, deferred);
+        // Pass 2: cancel w2.
+        let u = w2.wrapping_mul(self.n0inv);
+        let (_, c) = mac(w2, u, m0, 0);
+        let (w3, c) = mac(w3, u, m1, c);
+        let (w4, c) = mac(w4, u, m2, c);
+        let (w5, c) = mac(w5, u, m3, c);
+        let (w6, deferred) = adc(w6, c, deferred);
+        // Pass 3: cancel w3.
+        let u = w3.wrapping_mul(self.n0inv);
+        let (_, c) = mac(w3, u, m0, 0);
+        let (w4, c) = mac(w4, u, m1, c);
+        let (w5, c) = mac(w5, u, m2, c);
+        let (w6, c) = mac(w6, u, m3, c);
+        let (w7, deferred) = adc(w7, c, deferred);
+        let mut r = U256([w4, w5, w6, w7]);
+        if deferred != 0 || r >= self.m {
             r = r.wrapping_sub(&self.m);
         }
         r
@@ -524,7 +610,7 @@ impl ModCtx {
 
     /// Converts an ordinary residue into Montgomery form.
     fn to_mont(&self, x: &U256) -> U256 {
-        self.redc(&x.mul_wide(&self.r2))
+        self.mont_mul(x, &self.r2)
     }
 
     /// Converts a Montgomery-form value back to an ordinary residue.
@@ -561,43 +647,268 @@ impl ModCtx {
         }
     }
 
-    /// Montgomery-form multiplication: both inputs and the result are in
-    /// Montgomery form. This is the primitive every fast path below builds
-    /// on — one `redc` per product, no conversions.
+    /// Fused CIOS (coarsely integrated operand scanning) Montgomery
+    /// multiplication: both inputs and the result are in Montgomery form,
+    /// i.e. this returns `a * b * R^{-1} mod m`. This is the primitive every
+    /// fast path below builds on.
+    ///
+    /// Multiplication and reduction are interleaved word by word and fully
+    /// unrolled over scalars: the running value lives in a 6-limb register
+    /// window, so the 512-bit intermediate of the generic
+    /// `mul_wide` + `redc` pipeline (see [`ModCtx::mont_mul_ref`]) is never
+    /// materialized and each limb is touched once per pass instead of twice.
     #[inline]
-    fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
-        self.redc(&a.mul_wide(b))
+    pub fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        let [b0, b1, b2, b3] = b.0;
+        let [m0, m1, m2, m3] = self.m.0;
+        let (mut t0, mut t1, mut t2, mut t3, mut t4);
+        let mut t5;
+        // Pass 0: t = a0 * b, then fold u*m and slide the window.
+        let a0 = a.0[0];
+        let (lo, c) = mac(0, a0, b0, 0);
+        t0 = lo;
+        let (lo, c) = mac(0, a0, b1, c);
+        t1 = lo;
+        let (lo, c) = mac(0, a0, b2, c);
+        t2 = lo;
+        let (lo, c) = mac(0, a0, b3, c);
+        t3 = lo;
+        t4 = c;
+        t5 = 0;
+        let u = t0.wrapping_mul(self.n0inv);
+        let (_, c) = mac(t0, u, m0, 0);
+        let (lo, c) = mac(t1, u, m1, c);
+        t0 = lo;
+        let (lo, c) = mac(t2, u, m2, c);
+        t1 = lo;
+        let (lo, c) = mac(t3, u, m3, c);
+        t2 = lo;
+        let (lo, c) = adc(t4, c, 0);
+        t3 = lo;
+        t4 = t5 + c;
+        // Passes 1..3, identical shape.
+        for &ai in &a.0[1..] {
+            let (lo, c) = mac(t0, ai, b0, 0);
+            t0 = lo;
+            let (lo, c) = mac(t1, ai, b1, c);
+            t1 = lo;
+            let (lo, c) = mac(t2, ai, b2, c);
+            t2 = lo;
+            let (lo, c) = mac(t3, ai, b3, c);
+            t3 = lo;
+            let (lo, c) = adc(t4, c, 0);
+            t4 = lo;
+            t5 = c;
+            let u = t0.wrapping_mul(self.n0inv);
+            let (_, c) = mac(t0, u, m0, 0);
+            let (lo, c) = mac(t1, u, m1, c);
+            t0 = lo;
+            let (lo, c) = mac(t2, u, m2, c);
+            t1 = lo;
+            let (lo, c) = mac(t3, u, m3, c);
+            t2 = lo;
+            let (lo, c) = adc(t4, c, 0);
+            t3 = lo;
+            t4 = t5 + c;
+        }
+        let mut r = U256([t0, t1, t2, t3]);
+        if t4 != 0 || r >= self.m {
+            r = r.wrapping_sub(&self.m);
+        }
+        r
+    }
+
+    /// Montgomery-form squaring: returns `a * a * R^{-1} mod m`, always
+    /// equal to `mont_mul(a, a)` but cheaper: the dedicated
+    /// [`U256::sqr_wide`] computes the 6 off-diagonal cross products once
+    /// and doubles them (10 limb products instead of 16, with no
+    /// loop-to-loop dependency), and the unrolled reduction runs over the 8
+    /// result limbs in registers. Squarings dominate every exponentiation
+    /// ladder, which is what makes the dedicated path worth having.
+    #[inline]
+    pub fn mont_sqr(&self, a: &U256) -> U256 {
+        self.redc_words(a.sqr_wide().0)
+    }
+
+    /// Reference Montgomery multiplication via the seed's generic
+    /// `mul_wide` + `redc` pipeline (widened 9-word buffer, data-dependent
+    /// carry ripple), kept verbatim and off the hot path as the slow
+    /// reference that property tests and benches pin [`ModCtx::mont_mul`]
+    /// and [`ModCtx::mont_sqr`] against.
+    pub fn mont_mul_ref(&self, a: &U256, b: &U256) -> U256 {
+        let t = a.mul_wide(b);
+        let mut a9 = [0u64; 9];
+        a9[..8].copy_from_slice(&t.0);
+        for i in 0..4 {
+            let u = a9[i].wrapping_mul(self.n0inv);
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let prod = (u as u128) * (self.m.0[j] as u128) + (a9[i + j] as u128) + carry;
+                a9[i + j] = prod as u64;
+                carry = prod >> 64;
+            }
+            let mut k = i + 4;
+            while carry != 0 && k < 9 {
+                let s = a9[k] as u128 + carry;
+                a9[k] = s as u64;
+                carry = s >> 64;
+                k += 1;
+            }
+        }
+        let mut r = U256([a9[4], a9[5], a9[6], a9[7]]);
+        if a9[8] != 0 || r >= self.m {
+            r = r.wrapping_sub(&self.m);
+        }
+        r
+    }
+
+    // ---- pseudo-Mersenne folding (m = 2^256 - c) ----
+
+    /// Reduces a full 512-bit value modulo the pseudo-Mersenne modulus
+    /// `m = 2^256 - c` by folding: `hi * 2^256 + lo ≡ hi * c + lo`. The
+    /// first fold leaves at most `c + 1` in the spill limb (since
+    /// `c < 2^32`), the second folds that down to `< 2^256 + 2^64`, and the
+    /// final carry (0 or 1) provably cannot ripple past the second limb.
+    /// The result is always fully reduced.
+    #[inline]
+    fn fold_words(&self, w: [u64; 8], c: u64) -> U256 {
+        let [l0, l1, l2, l3, h0, h1, h2, h3] = w;
+        // t = lo + hi * c in one fused mac chain (each mac is
+        // `l_i + h_i * c + carry`, which cannot overflow 128 bits); the
+        // spill is at most c + 1 < 2^33 because c < 2^32.
+        let (t0, k) = mac(l0, h0, c, 0);
+        let (t1, k) = mac(l1, h1, c, k);
+        let (t2, k) = mac(l2, h2, c, k);
+        let (t3, t4) = mac(l3, h3, c, k);
+        // Second fold: t4 * 2^256 ≡ t4 * c (< 2^65).
+        let (t0, k) = mac(t0, t4, c, 0);
+        let (t1, k) = adc(t1, 0, k);
+        let (t2, k) = adc(t2, 0, k);
+        let (t3, k) = adc(t3, 0, k);
+        // Third fold: k ∈ {0, 1}. When k = 1 the second fold wrapped, so
+        // t < t4 * c < 2^65 — adding c cannot carry past the second limb.
+        let (t0, k) = mac(t0, k, c, 0);
+        let (t1, _) = adc(t1, 0, k);
+        let mut r = U256([t0, t1, t2, t3]);
+        // One conditional subtraction fully reduces: r < 2^256 = m + c < 2m.
+        if r >= self.m {
+            r = r.wrapping_sub(&self.m);
+        }
+        r
+    }
+
+    // ---- the internal "work form" ----
+    //
+    // Every multiplicative fast path below operates on values in the
+    // context's *work form*: the plain residue for pseudo-Mersenne moduli
+    // (fold reduction, no conversions), Montgomery form otherwise. The two
+    // representations share every caller because `to_work`/`from_work`
+    // collapse to the identity on the folding path.
+
+    /// Converts an ordinary residue into the work form.
+    #[inline]
+    fn to_work(&self, x: &U256) -> U256 {
+        if self.special_c.is_some() {
+            *x
+        } else {
+            self.to_mont(x)
+        }
+    }
+
+    /// Converts a work-form value back to an ordinary residue.
+    #[inline]
+    fn work_decode(&self, x: &U256) -> U256 {
+        if self.special_c.is_some() {
+            *x
+        } else {
+            self.mont_decode(x)
+        }
+    }
+
+    /// The number one in work form.
+    #[inline]
+    fn work_one(&self) -> U256 {
+        if self.special_c.is_some() {
+            U256::ONE.reduce_mod(&self.m)
+        } else {
+            self.r1
+        }
+    }
+
+    /// Work-form multiplication (fold or fused-CIOS Montgomery).
+    #[inline]
+    fn work_mul(&self, a: &U256, b: &U256) -> U256 {
+        match self.special_c {
+            Some(c) => self.fold_words(a.mul_wide(b).0, c),
+            None => self.mont_mul(a, b),
+        }
+    }
+
+    /// Work-form squaring (dedicated square + fold or Montgomery reduce).
+    #[inline]
+    fn work_sqr(&self, a: &U256) -> U256 {
+        match self.special_c {
+            Some(c) => self.fold_words(a.sqr_wide().0, c),
+            None => self.mont_sqr(a),
+        }
     }
 
     /// Modular multiplication of ordinary residues (inputs must be `< m`).
     pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        if let Some(c) = self.special_c {
+            return self.fold_words(a.mul_wide(b).0, c);
+        }
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.mont_decode(&self.redc(&am.mul_wide(&bm)))
+        self.mont_decode(&self.mont_mul(&am, &bm))
     }
 
     /// Modular squaring of an ordinary residue (`< m`).
     pub fn sqr(&self, a: &U256) -> U256 {
-        self.mul(a, a)
+        if let Some(c) = self.special_c {
+            return self.fold_words(a.sqr_wide().0, c);
+        }
+        let am = self.to_mont(a);
+        self.mont_decode(&self.mont_sqr(&am))
     }
 
-    /// Modular exponentiation `base^exp mod m` by left-to-right square and
-    /// multiply, entirely in Montgomery form.
+    /// Modular exponentiation `base^exp mod m` by a left-to-right 4-bit
+    /// window ladder, entirely in the work form: the same 255 squarings as
+    /// square-and-multiply, but one multiplication per nonzero 4-bit digit
+    /// (≤ 64) instead of one per set bit (~128), for a 15-entry table built
+    /// with 14 multiplications.
     pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
         if exp.is_zero() {
             return U256::ONE.reduce_mod(&self.m);
         }
         let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
-        let bm = self.to_mont(&base);
-        let mut acc = self.r1; // 1 in Montgomery form
-        let top = exp.bits();
-        for i in (0..top).rev() {
-            acc = self.redc(&acc.mul_wide(&acc));
-            if exp.bit(i) {
-                acc = self.redc(&acc.mul_wide(&bm));
+        let bw = self.to_work(&base);
+        // tbl[d - 1] = base^d in work form, d in 1..=15.
+        let mut tbl = [bw; 15];
+        for d in 1..15 {
+            tbl[d] = self.work_mul(&tbl[d - 1], &bw);
+        }
+        let top_window = (exp.bits() - 1) / 4;
+        let mut acc = self.work_one();
+        let mut started = false;
+        for w in (0..=top_window).rev() {
+            if started {
+                acc = self.work_sqr(&acc);
+                acc = self.work_sqr(&acc);
+                acc = self.work_sqr(&acc);
+                acc = self.work_sqr(&acc);
+            }
+            let digit = window_bits(exp, w * 4, 4);
+            if digit != 0 {
+                acc = if started {
+                    self.work_mul(&acc, &tbl[digit as usize - 1])
+                } else {
+                    tbl[digit as usize - 1]
+                };
+                started = true;
             }
         }
-        self.mont_decode(&acc)
+        self.work_decode(&acc)
     }
 
     /// Modular inverse for a prime modulus via Fermat's little theorem:
@@ -612,20 +923,24 @@ impl ModCtx {
         self.pow(a, &exp)
     }
 
-    /// Reduces an arbitrary 512-bit value modulo `m` using Montgomery
-    /// arithmetic (`redc` then multiply by `R^2`, i.e. `x mod m`).
+    /// Reduces an arbitrary 512-bit value modulo `m` (a direct fold for
+    /// pseudo-Mersenne moduli, Montgomery `redc` + multiply by `R^2`
+    /// otherwise).
     pub fn reduce_wide(&self, x: &U512) -> U256 {
-        // redc(x) = x * R^{-1}; multiplying by R^2 then redc again gives x mod m.
+        if let Some(c) = self.special_c {
+            return self.fold_words(x.0, c);
+        }
+        // redc(x) = x * R^{-1}; a Montgomery multiply by R^2 restores x mod m.
         let xr = self.redc(x); // x * R^{-1}
-        self.redc(&xr.mul_wide(&self.r2)) // x * R^{-1} * R^2 * R^{-1} = x
+        self.mont_mul(&xr, &self.r2) // x * R^{-1} * R^2 * R^{-1} = x
     }
 
     // ---- fast exponentiation paths ----
     //
-    // Everything below stays in Montgomery form end to end: one conversion
-    // in, one conversion out, one `redc` per group operation. `pow` above is
-    // kept as the simple square-and-multiply reference that property tests
-    // cross-check these paths against.
+    // Everything below stays in the work form end to end: one conversion
+    // in, one conversion out (both free on the pseudo-Mersenne path), one
+    // reduction per group operation. Property tests cross-check each path
+    // against `pow` and products of `pow`s.
 
     /// Precomputes a fixed-base window table for `base` (4-bit windows over
     /// the full 256-bit exponent range; see [`ModCtx::precompute_wide`] for
@@ -658,17 +973,17 @@ impl ModCtx {
         let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
         let per_window = (1usize << width) - 1;
         let window_count = 256usize.div_ceil(width);
-        let mut b = self.to_mont(&base);
+        let mut b = self.to_work(&base);
         let mut entries = Vec::with_capacity(window_count * per_window);
         for _ in 0..window_count {
             entries.push(b);
             for _ in 1..per_window {
                 let prev = entries[entries.len() - 1];
-                entries.push(self.mont_mul(&prev, &b));
+                entries.push(self.work_mul(&prev, &b));
             }
             // Next window's base: base^(2^width) = (last entry) * b.
             let last = entries[entries.len() - 1];
-            b = self.mont_mul(&last, &b);
+            b = self.work_mul(&last, &b);
         }
         FixedBaseTable { m: self.m, width, entries }
     }
@@ -679,17 +994,17 @@ impl ModCtx {
     ///
     /// Panics if `table` was built for a different modulus.
     pub fn pow_fixed(&self, table: &FixedBaseTable, exp: &U256) -> U256 {
-        self.mont_decode(&self.pow_fixed_mont(table, exp))
+        self.work_decode(&self.pow_fixed_work(table, exp))
     }
 
-    fn pow_fixed_mont(&self, table: &FixedBaseTable, exp: &U256) -> U256 {
+    fn pow_fixed_work(&self, table: &FixedBaseTable, exp: &U256) -> U256 {
         assert_eq!(table.m, self.m, "fixed-base table modulus mismatch");
         let per_window = (1usize << table.width) - 1;
-        let mut acc = self.r1; // 1 in Montgomery form
+        let mut acc = self.work_one();
         for (w, lo) in (0..256).step_by(table.width).enumerate() {
             let digit = window_bits(exp, lo, table.width);
             if digit != 0 {
-                acc = self.mont_mul(&acc, &table.entries[w * per_window + digit as usize - 1]);
+                acc = self.work_mul(&acc, &table.entries[w * per_window + digit as usize - 1]);
             }
         }
         acc
@@ -713,8 +1028,8 @@ impl ModCtx {
         if terms.is_empty() {
             return U256::ONE.reduce_mod(&self.m);
         }
-        // Per-base digit tables (tables[i][d-1] = base_i^d in Montgomery
-        // form), with the window width adapted to the exponent size: short
+        // Per-base digit tables (tables[i][d-1] = base_i^d in work form),
+        // with the window width adapted to the exponent size: short
         // exponents (batch coefficients) don't amortize a big table.
         let widths: Vec<usize> =
             terms.iter().map(|(_, e)| if e.bits() <= 64 { 3 } else { 4 }).collect();
@@ -723,38 +1038,38 @@ impl ModCtx {
             .zip(&widths)
             .map(|((base, _), w)| {
                 let base = if *base >= self.m { base.reduce_mod(&self.m) } else { *base };
-                let b = self.to_mont(&base);
+                let b = self.to_work(&base);
                 let mut row = Vec::with_capacity((1 << w) - 1);
                 row.push(b);
                 for _ in 1..(1 << w) - 1 {
                     let prev = row[row.len() - 1];
-                    row.push(self.mont_mul(&prev, &b));
+                    row.push(self.work_mul(&prev, &b));
                 }
                 row
             })
             .collect();
         let top_bits = terms.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
-        let mut acc = self.r1;
+        let mut acc = self.work_one();
         let mut started = false;
         // One shared squaring per bit; each term folds in its digit when the
         // chain reaches the bottom of one of its windows, so the digit is
         // scaled by exactly 2^bit.
         for bit in (0..top_bits).rev() {
             if started {
-                acc = self.mont_mul(&acc, &acc);
+                acc = self.work_sqr(&acc);
             }
             for (i, (_, exp)) in terms.iter().enumerate() {
                 let w = widths[i];
                 if bit % w == 0 {
                     let digit = window_bits(exp, bit, w);
                     if digit != 0 {
-                        acc = self.mont_mul(&acc, &tables[i][digit as usize - 1]);
+                        acc = self.work_mul(&acc, &tables[i][digit as usize - 1]);
                         started = true;
                     }
                 }
             }
         }
-        self.mont_decode(&acc)
+        self.work_decode(&acc)
     }
 
     /// Like [`ModCtx::multi_pow`], but additionally folds in fixed-base
@@ -766,13 +1081,29 @@ impl ModCtx {
         tabled: &[(&FixedBaseTable, U256)],
         plain: &[(U256, U256)],
     ) -> U256 {
-        let mut acc = self.to_mont(&self.multi_pow(plain));
+        let mut acc = self.to_work(&self.multi_pow(plain));
         for (table, exp) in tabled {
-            let part = self.pow_fixed_mont(table, exp);
-            acc = self.mont_mul(&acc, &part);
+            let part = self.pow_fixed_work(table, exp);
+            acc = self.work_mul(&acc, &part);
         }
-        self.mont_decode(&acc)
+        self.work_decode(&acc)
     }
+}
+
+/// Multiply-accumulate: `a + b * c + carry` as `(low, high)` words. The
+/// scalar building block of the unrolled Montgomery kernels (never
+/// overflows: `(2^64-1) + (2^64-1)^2 + (2^64-1) < 2^128`).
+#[inline(always)]
+fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Add with carry: `a + b + carry` as `(low, high)` words.
+#[inline(always)]
+fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
 }
 
 /// Extracts the `width`-bit window of `exp` starting at bit `lo` (bits past
@@ -791,7 +1122,8 @@ fn window_bits(exp: &U256, lo: usize, width: usize) -> u64 {
 
 /// A precomputed fixed-base window exponentiation table (see
 /// [`ModCtx::precompute`] / [`ModCtx::precompute_wide`]). Entries are stored
-/// in Montgomery form.
+/// in the owning context's internal work form (plain residues for
+/// pseudo-Mersenne moduli, Montgomery form otherwise).
 #[derive(Clone, Debug)]
 pub struct FixedBaseTable {
     m: U256,
@@ -1135,5 +1467,74 @@ mod tests {
     fn reduce_mod_u256() {
         assert_eq!(u(100).reduce_mod(&u(7)), u(2));
         assert_eq!(U256::MAX.reduce_mod(&U256::MAX), U256::ZERO);
+    }
+
+    /// The edge inputs every fast-path identity below is checked against:
+    /// 0, 1, the Montgomery constant R mod m, m − 1, 2^256 − 1 (= R − 1),
+    /// and a dense arbitrary value.
+    fn edge_values(ctx: &ModCtx) -> Vec<U256> {
+        let m = *ctx.modulus();
+        vec![
+            U256::ZERO,
+            U256::ONE,
+            ctx.r1,
+            m.wrapping_sub(&U256::ONE),
+            U256::MAX,
+            U256::from_hex("deadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff")
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn sqr_wide_matches_mul_wide_on_edges() {
+        let p = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef")
+            .unwrap();
+        let ctx = ModCtx::new(p);
+        for x in edge_values(&ctx) {
+            assert_eq!(x.sqr_wide(), x.mul_wide(&x), "x={x}");
+        }
+        // Carry-chain stress: single bits at every limb boundary.
+        for bit in [0usize, 63, 64, 127, 128, 191, 192, 255] {
+            let mut limbs = [0u64; 4];
+            limbs[bit / 64] = 1 << (bit % 64);
+            let x = U256(limbs);
+            assert_eq!(x.sqr_wide(), x.mul_wide(&x), "bit={bit}");
+        }
+    }
+
+    #[test]
+    fn cios_matches_generic_reference_on_edges() {
+        let p = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff72ef")
+            .unwrap();
+        for ctx in [ModCtx::new(p), ModCtx::new(u(1_000_003)), ModCtx::new(U256::MAX)] {
+            let edges = edge_values(&ctx);
+            for a in &edges {
+                for b in &edges {
+                    assert_eq!(
+                        ctx.mont_mul(a, b),
+                        ctx.mont_mul_ref(a, b),
+                        "a={a} b={b} m={}",
+                        ctx.modulus()
+                    );
+                }
+                assert_eq!(ctx.mont_sqr(a), ctx.mont_mul_ref(a, a), "sqr a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mont_mul_is_montgomery_product() {
+        // mont_mul(aR, bR) == abR: check through the public mul on residues.
+        let m = u(1_000_003);
+        let ctx = ModCtx::new(m);
+        for a in [0u64, 1, 2, 999_999, 123_456] {
+            for b in [0u64, 1, 7, 999_999, 654_321] {
+                let am = ctx.to_mont(&u(a));
+                let bm = ctx.to_mont(&u(b));
+                let expect = (a as u128 * b as u128 % 1_000_003) as u64;
+                assert_eq!(ctx.mont_decode(&ctx.mont_mul(&am, &bm)), u(expect), "a={a} b={b}");
+                assert_eq!(ctx.mont_decode(&ctx.mont_sqr(&am)), ctx.sqr(&u(a)), "a={a}");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! committed key `pk` (which is itself a perfectly binding commitment to
 //! `sk`). See DESIGN.md §3 for the substitution argument.
 
+use crate::bigint::FixedBaseTable;
 use crate::group::{Element, Group, Scalar};
 use crate::hmac::hmac_sha256;
 use crate::sha256::Sha256;
@@ -55,14 +56,50 @@ impl DleqProof {
 pub fn prove(sk: &Scalar, h: &Element, v: &Element) -> DleqProof {
     let g = Group::standard();
     let pk = g.pow_g(sk);
+    prove_with_pk(sk, &pk, h, v)
+}
+
+/// [`prove`] for callers that already hold the public key `pk = g^sk`
+/// (e.g. the VRF, whose key pair caches it): identical proof, minus one
+/// fixed-base exponentiation per call.
+pub fn prove_with_pk(sk: &Scalar, pk: &Element, h: &Element, v: &Element) -> DleqProof {
+    prove_inner(sk, pk, h, None, v)
+}
+
+/// [`prove_with_pk`] with a precomputed fixed-base window table for `h`:
+/// identical proof, with the `a2 = h^k` exponentiation running off the
+/// table. The `F_mine` pattern — every node proves against the same tag
+/// hash — amortizes one table build over `2n` exponentiations.
+pub fn prove_with_base_table(
+    sk: &Scalar,
+    pk: &Element,
+    h: &Element,
+    h_table: &FixedBaseTable,
+    v: &Element,
+) -> DleqProof {
+    prove_inner(sk, pk, h, Some(h_table), v)
+}
+
+fn prove_inner(
+    sk: &Scalar,
+    pk: &Element,
+    h: &Element,
+    h_table: Option<&FixedBaseTable>,
+    v: &Element,
+) -> DleqProof {
+    let g = Group::standard();
+    debug_assert_eq!(*pk, g.pow_g(sk), "pk must equal g^sk");
     let nonce_material = Sha256::digest_parts(&[b"dleq-nonce/v1", &h.to_bytes(), &v.to_bytes()]);
     let mut k = g.scalar_from_digest(&hmac_sha256(&sk.to_bytes(), &nonce_material));
     if k.is_zero() {
         k = g.scalar_from_u64(1);
     }
     let a1 = g.pow_g(&k);
-    let a2 = g.pow(h, &k);
-    let e = challenge(&pk, h, v, &a1, &a2);
+    let a2 = match h_table {
+        Some(table) => g.pow_with_table(table, &k),
+        None => g.pow(h, &k),
+    };
+    let e = challenge(pk, h, v, &a1, &a2);
     let s = g.scalar_add(&k, &g.scalar_mul(&e, sk));
     DleqProof { a1, a2, s }
 }
@@ -81,7 +118,13 @@ pub fn verify(pk: &Element, h: &Element, v: &Element, proof: &DleqProof) -> bool
     }
     let e = challenge(pk, h, v, &proof.a1, &proof.a2);
     let lhs1 = g.pow_g(&proof.s);
-    let rhs1 = g.mul(&proof.a1, &g.pow(pk, &e));
+    // Long-lived keys registered at trusted setup have cached fixed-base
+    // tables; `pk^e` then skips the generic square-and-multiply ladder.
+    let pk_e = match g.cached_table(pk) {
+        Some(table) => g.pow_with_table(&table, &e),
+        None => g.pow(pk, &e),
+    };
+    let rhs1 = g.mul(&proof.a1, &pk_e);
     if lhs1 != rhs1 {
         return false;
     }

@@ -151,6 +151,28 @@ proptest! {
     }
 
     #[test]
+    fn vrf_prepared_paths_are_bit_identical(seed in any::<[u8; 16]>(), msg in any::<Vec<u8>>()) {
+        // The F_mine fast path: evaluating/verifying against a
+        // PreparedInput (shared hash-to-group + window table) must produce
+        // the same output bytes and the same verdicts as the plain API.
+        let key = VrfSecretKey::from_seed(&seed);
+        let pre = vrf::PreparedInput::new(&msg);
+        let plain = key.evaluate(&msg);
+        let fast = key.evaluate_prepared(&pre);
+        prop_assert_eq!(plain.rho(), fast.rho());
+        prop_assert_eq!(plain, fast);
+        let pk = key.public_key();
+        prop_assert!(pk.verify_prepared(&pre, &fast));
+        prop_assert!(pk.verify(&msg, &fast));
+        // A forged output must be rejected by both paths.
+        let g = Group::standard();
+        let mut forged = fast;
+        forged.gamma = g.mul(&forged.gamma, &g.generator());
+        prop_assert!(!pk.verify_prepared(&pre, &forged));
+        prop_assert!(!pk.verify(&msg, &forged));
+    }
+
+    #[test]
     fn vrf_batch_accepts_valid_and_rejects_one_invalid(
         seed in any::<u64>(),
         n in 2usize..8,
@@ -201,4 +223,25 @@ proptest! {
             .collect();
         prop_assert!(!schnorr::verify_batch(&items));
     }
+}
+
+/// Pinned-seed must-reject regression: every multiplication and squaring in
+/// this batch verification now flows through the fused CIOS / `mont_sqr`
+/// field arithmetic, and a single bad signature must still sink the batch.
+/// (The proptest variants above cover random seeds; this case is the fixed
+/// one CI history can bisect against.)
+#[test]
+fn batch_must_reject_regression_through_cios_path() {
+    let g = Group::standard();
+    let (keys, msgs, mut sigs) = schnorr_batch(16, 0xBA5E_BA11);
+    let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+    let valid: Vec<schnorr::BatchItem> = (0..16)
+        .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+        .collect();
+    assert!(schnorr::verify_batch(&valid), "all-valid batch must accept");
+    sigs[11].s = g.scalar_add(&sigs[11].s, &g.scalar_from_u64(1));
+    let tampered: Vec<schnorr::BatchItem> = (0..16)
+        .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
+        .collect();
+    assert!(!schnorr::verify_batch(&tampered), "one bad signature must sink the batch");
 }

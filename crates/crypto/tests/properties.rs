@@ -97,6 +97,47 @@ proptest! {
         prop_assert_eq!(w.low_u256(), a);
         prop_assert_eq!(w.bits(), a.bits());
     }
+
+    #[test]
+    fn sqr_wide_matches_mul_wide(a in arb_u256()) {
+        prop_assert_eq!(a.sqr_wide(), a.mul_wide(&a));
+    }
+
+    #[test]
+    fn special_modulus_mul_matches_binary_rem(a in arb_u256(), b in arb_u256()) {
+        // The pseudo-Mersenne fold path (p = 2^256 - 36113) must agree with
+        // the bit-serial long-division reference on full products, and sqr
+        // with mul.
+        let g = Group::standard();
+        let ctx = ModCtx::new(*g.prime());
+        let wide = a.mul_wide(&b);
+        prop_assert_eq!(ctx.reduce_wide(&wide), wide.rem(g.prime()));
+        prop_assert_eq!(ctx.sqr(&a), ctx.mul(&a, &a));
+        let ar = a.reduce_mod(g.prime());
+        let br = b.reduce_mod(g.prime());
+        prop_assert_eq!(ctx.mul(&ar, &br), ar.mul_wide(&br).rem(g.prime()));
+    }
+
+    #[test]
+    fn cios_matches_generic_montgomery_reference(a in arb_u256(), b in arb_u256()) {
+        let g = Group::standard();
+        let ctx = ModCtx::new(*g.prime());
+        prop_assert_eq!(ctx.mont_mul(&a, &b), ctx.mont_mul_ref(&a, &b));
+        prop_assert_eq!(ctx.mont_sqr(&a), ctx.mont_mul_ref(&a, &a));
+    }
+
+    #[test]
+    fn cios_matches_reference_for_small_odd_moduli(
+        a in arb_u256(),
+        b in arb_u256(),
+        m in (3u64..u64::MAX / 2).prop_map(|v| v | 1),
+    ) {
+        let ctx = ModCtx::new(U256::from_u64(m));
+        let ar = a.reduce_mod(&U256::from_u64(m));
+        let br = b.reduce_mod(&U256::from_u64(m));
+        prop_assert_eq!(ctx.mont_mul(&ar, &br), ctx.mont_mul_ref(&ar, &br));
+        prop_assert_eq!(ctx.mont_sqr(&ar), ctx.mont_mul_ref(&ar, &ar));
+    }
 }
 
 proptest! {

@@ -46,6 +46,12 @@ fn vrf_input(execution_id: u64, tag: &MineTag) -> Vec<u8> {
 ///     }
 /// }
 /// ```
+/// Cap on cached per-tag prepared VRF inputs (~30 KiB each, so ~8 MiB
+/// resident worst case). Protocol executions touch a handful of tags per
+/// round; the cap only bites on very long soaks, where a wholesale clear
+/// costs one rebuild per live tag.
+const PREPARED_CACHE_CAP: usize = 256;
+
 #[derive(Debug)]
 pub struct RealMine {
     execution_id: u64,
@@ -61,6 +67,14 @@ pub struct RealMine {
     /// ticket never hits a cached entry). Positive results only.
     #[allow(clippy::type_complexity)]
     proven: std::sync::Mutex<std::collections::HashSet<(NodeId, [u8; 11], [u8; 32], [u8; 96])>>,
+    /// Per-tag prepared VRF inputs: every node mines/verifies the same
+    /// `(execution, tag)` message, so its hash-to-group element and
+    /// fixed-base window table are computed once and shared across all `n`
+    /// evaluations (outputs are bit-identical to unprepared evaluation).
+    #[allow(clippy::type_complexity)]
+    prepared: std::sync::Mutex<
+        std::collections::HashMap<[u8; 11], std::sync::Arc<ba_crypto::vrf::PreparedInput>>,
+    >,
 }
 
 impl RealMine {
@@ -90,7 +104,30 @@ impl RealMine {
             public_keys,
             _pk_tables: pk_tables,
             proven: std::sync::Mutex::new(std::collections::HashSet::new()),
+            prepared: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
+    }
+
+    /// The tag's prepared VRF input (hash-to-group element + window table),
+    /// built on first use and shared by every subsequent mine/verify.
+    ///
+    /// Bounded: each entry holds a ~30 KiB window table, and only the
+    /// current round's few tags are ever live, so when the map outgrows
+    /// [`PREPARED_CACHE_CAP`] it is cleared wholesale (in-flight `Arc`s
+    /// stay valid; a re-prepared tag yields bit-identical results).
+    fn prepared(&self, tag: &MineTag) -> std::sync::Arc<ba_crypto::vrf::PreparedInput> {
+        let mut map = self.prepared.lock().expect("poisoned");
+        if map.len() >= PREPARED_CACHE_CAP && !map.contains_key(&tag.to_bytes()) {
+            map.clear();
+        }
+        map.entry(tag.to_bytes())
+            .or_insert_with(|| {
+                std::sync::Arc::new(ba_crypto::vrf::PreparedInput::new(&vrf_input(
+                    self.execution_id,
+                    tag,
+                )))
+            })
+            .clone()
     }
 
     /// The published PKI (every node's VRF public key).
@@ -107,7 +144,7 @@ impl RealMine {
 impl Eligibility for RealMine {
     fn mine(&self, node: NodeId, tag: &MineTag) -> Option<Ticket> {
         let sk = &self.secret_keys[node.index()];
-        let out = sk.evaluate(&vrf_input(self.execution_id, tag));
+        let out = sk.evaluate_prepared(&self.prepared(tag));
         (out.rho_u64() < self.params.threshold(tag)).then_some(Ticket::Real(out))
     }
 
@@ -126,7 +163,7 @@ impl Eligibility for RealMine {
             return true;
         }
         let pk = &self.public_keys[node.index()];
-        let ok = pk.verify(&vrf_input(self.execution_id, tag), out);
+        let ok = pk.verify_prepared(&self.prepared(tag), out);
         if ok {
             self.proven.lock().expect("poisoned").insert(key);
         }

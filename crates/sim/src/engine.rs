@@ -3,6 +3,18 @@
 //! One [`Sim`] = one execution of a protocol `Π` with an environment-supplied
 //! input vector, an adversary `A`, and a corruption model — a sample of the
 //! paper's `EXEC_Π(A, Z, κ)`.
+//!
+//! # In-execution parallelism
+//!
+//! Each round runs in three phases: honest nodes step on up to
+//! [`SimConfig::threads`] scoped worker threads (their steps are
+//! independent — each touches only its own state and inbox), corrupt nodes
+//! step serially through the one mutable adversary in node-id order, and the
+//! per-node results merge back in node-id order (message ids, metrics,
+//! output bookkeeping). Per-node protocol randomness is derived from the run
+//! seed at construction, never from ambient entropy, so reports are
+//! **byte-identical at every thread count** — the knob only buys wall-clock
+//! on large-`n` executions with real cryptography.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,17 +39,30 @@ pub struct SimConfig {
     pub max_rounds: u64,
     /// Seed for the adversary's randomness.
     pub seed: u64,
+    /// Worker threads stepping honest nodes *within* each round of this one
+    /// execution (`1` = fully serial). A pure wall-clock knob: outboxes are
+    /// merged in node-id order and per-node randomness is derived from
+    /// `seed` at construction, so every value produces byte-identical
+    /// reports. Worth raising for large `n` with real cryptography; the
+    /// per-round fork/join overhead dominates on small executions.
+    pub threads: usize,
 }
 
 impl SimConfig {
     /// Convenience constructor with the given model and an adversary seed.
     pub fn new(n: usize, f: usize, model: CorruptionModel, seed: u64) -> SimConfig {
-        SimConfig { n, f, model, max_rounds: 10_000, seed }
+        SimConfig { n, f, model, max_rounds: 10_000, seed, threads: 1 }
+    }
+
+    /// Sets the in-execution worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads.max(1);
+        self
     }
 }
 
 /// Everything recorded about one finished execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Per-node decided outputs (index = node id).
     pub outputs: Vec<Option<Bit>>,
@@ -106,7 +131,7 @@ pub type BoxedProtocol<M> = Box<dyn Protocol<M> + Send>;
 /// assert!(report.outputs.iter().all(|o| *o == Some(true)));
 /// ```
 pub struct Sim<M, A> {
-    nodes: Vec<Box<dyn Protocol<M>>>,
+    nodes: Vec<BoxedProtocol<M>>,
     world: AdvWorld<M>,
     adversary: A,
     /// Inboxes being filled for the next round.
@@ -118,10 +143,25 @@ pub struct Sim<M, A> {
     metrics: Metrics,
     output_rounds: Vec<Option<Round>>,
     max_rounds: u64,
+    /// In-execution worker count (see [`SimConfig::threads`]).
+    threads: usize,
     rng: StdRng,
 }
 
-impl<M: Message, A: Adversary<M>> Sim<M, A> {
+/// What one node's step produced, captured per node so honest steps can run
+/// on worker threads and still merge into the world in node-id order.
+struct NodeStep<M> {
+    /// The node's (possibly adversary-rewritten) sends, in outbox order.
+    sends: Vec<(Recipient, M)>,
+    /// Whether the node was so-far-honest when it stepped.
+    honest: bool,
+    /// `output()` after the step (honest nodes only).
+    output: Option<Bit>,
+    /// `halted()` after the step (honest nodes only).
+    halted: bool,
+}
+
+impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
     /// Builds an execution. `factory(id, seed)` constructs node `id`'s
     /// protocol instance; `seed` is a per-node deterministic seed derived
     /// from `config.seed`.
@@ -133,11 +173,11 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         config: &SimConfig,
         inputs: Vec<Bit>,
         adversary: A,
-        mut factory: impl FnMut(NodeId, u64) -> Box<dyn Protocol<M>>,
+        mut factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
     ) -> Sim<M, A> {
         assert_eq!(inputs.len(), config.n, "one input per node");
         assert!(config.f < config.n, "corruption budget must leave one honest node");
-        let nodes: Vec<Box<dyn Protocol<M>>> = (0..config.n)
+        let nodes: Vec<BoxedProtocol<M>> = (0..config.n)
             .map(|i| {
                 let node_seed =
                     config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
@@ -167,6 +207,7 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
             metrics: Metrics::default(),
             output_rounds: vec![None; config.n],
             max_rounds: config.max_rounds,
+            threads: config.threads.max(1),
             rng: StdRng::seed_from_u64(config.seed ^ 0xAD5E_55A1_D0BE_EF00),
         }
     }
@@ -176,30 +217,28 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         config: &SimConfig,
         inputs: Vec<Bit>,
         adversary: A,
-        factory: impl FnMut(NodeId, u64) -> Box<dyn Protocol<M>>,
+        factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
     ) -> RunReport {
         Sim::new(config, inputs, adversary, factory).run()
     }
 
-    /// Like [`Sim::run_protocol`], but with `Send` bounds throughout: the
-    /// factory hands back [`BoxedProtocol`] instances, so the whole call —
-    /// configuration, adversary, and every node it will construct — can be
-    /// captured in a `FnOnce + Send` closure and dispatched onto a worker
-    /// thread. This is the entry point sweep harnesses use to fan
-    /// executions out across `std::thread::scope` workers.
+    /// Like [`Sim::run_protocol`], with an additional `Send` bound on the
+    /// factory so the whole call — configuration, adversary, and every node
+    /// it will construct — can be captured in a `FnOnce + Send` closure and
+    /// dispatched onto a worker thread. This is the entry point sweep
+    /// harnesses use to fan executions out across `std::thread::scope`
+    /// workers (*across*-run parallelism; [`SimConfig::threads`] controls
+    /// the *within*-run worker count).
     pub fn run_boxed(
         config: &SimConfig,
         inputs: Vec<Bit>,
         adversary: A,
-        mut factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M> + Send,
+        factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M> + Send,
     ) -> RunReport
     where
         A: Send,
     {
-        Sim::run_protocol(config, inputs, adversary, move |id, seed| {
-            let node: Box<dyn Protocol<M>> = factory(id, seed);
-            node
-        })
+        Sim::run_protocol(config, inputs, adversary, factory)
     }
 
     /// Runs the execution to completion (all honest nodes halted, or the
@@ -253,34 +292,93 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
         // (the buffers were cleared — capacity retained — last round).
         std::mem::swap(&mut self.inboxes, &mut self.current);
 
-        // 2. Step every node; route corrupt nodes through the adversary.
-        let mut pending: Vec<Envelope<M>> = Vec::new();
-        for i in 0..n {
-            let was_honest = self.world.corrupt_at[i].is_none();
-            if was_honest && self.world.halted[i] {
-                self.current[i].clear();
-                continue; // halted honest nodes stay silent
-            }
-            let mut outbox = Outbox::new();
-            if was_honest {
-                self.nodes[i].step(round, &self.current[i], &mut outbox);
-                self.current[i].clear();
-            } else {
-                let inbox = std::mem::take(&mut self.current[i]);
-                let mut filtered = self.adversary.filter_corrupt_inbox(NodeId(i), inbox, round);
-                self.nodes[i].step(round, &filtered, &mut outbox);
-                // Recycle whichever buffer the adversary handed back so
-                // corrupt nodes keep their inbox capacity too.
-                filtered.clear();
-                self.current[i] = filtered;
-            }
-            let planned = outbox.take();
-            let final_sends = if was_honest {
-                planned
-            } else {
-                self.adversary.corrupt_outbox(NodeId(i), planned, round)
+        // 2a. Step every so-far-honest node, on worker threads when
+        // configured. Corruption only happens in `setup`/`intervene`, so the
+        // corrupt set is frozen for the whole phase, honest steps touch
+        // nothing but their own node state and inbox, and each result lands
+        // in its node's slot — the later merge is order-independent.
+        let mut results: Vec<Option<NodeStep<M>>> = (0..n).map(|_| None).collect();
+        {
+            let corrupt_at = &self.world.corrupt_at;
+            let halted = &self.world.halted;
+            let step_honest = |node: &mut BoxedProtocol<M>,
+                               inbox: &mut Vec<Incoming<M>>,
+                               i: usize|
+             -> Option<NodeStep<M>> {
+                if corrupt_at[i].is_some() {
+                    return None; // stepped serially in phase 2b
+                }
+                if halted[i] {
+                    inbox.clear();
+                    return None; // halted honest nodes stay silent
+                }
+                let mut outbox = Outbox::new();
+                node.step(round, inbox, &mut outbox);
+                inbox.clear();
+                Some(NodeStep {
+                    sends: outbox.take(),
+                    honest: true,
+                    output: node.output(),
+                    halted: node.halted(),
+                })
             };
-            for (to, msg) in final_sends {
+            let workers = self.threads.min(n).max(1);
+            if workers <= 1 {
+                for (i, (node, inbox)) in
+                    self.nodes.iter_mut().zip(self.current.iter_mut()).enumerate()
+                {
+                    results[i] = step_honest(node, inbox, i);
+                }
+            } else {
+                let chunk = n.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (ci, ((nodes, inboxes), slots)) in self
+                        .nodes
+                        .chunks_mut(chunk)
+                        .zip(self.current.chunks_mut(chunk))
+                        .zip(results.chunks_mut(chunk))
+                        .enumerate()
+                    {
+                        let step_honest = &step_honest;
+                        scope.spawn(move || {
+                            for (k, ((node, inbox), slot)) in
+                                nodes.iter_mut().zip(inboxes.iter_mut()).zip(slots).enumerate()
+                            {
+                                *slot = step_honest(node, inbox, ci * chunk + k);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // 2b. Step corrupt nodes serially, in node-id order: the adversary
+        // is one mutable strategy object, and keeping its inbox-filter /
+        // outbox-rewrite call sequence identical to the serial engine is
+        // part of the byte-identity contract.
+        for (i, slot) in results.iter_mut().enumerate() {
+            if self.world.corrupt_at[i].is_none() {
+                continue;
+            }
+            let inbox = std::mem::take(&mut self.current[i]);
+            let mut filtered = self.adversary.filter_corrupt_inbox(NodeId(i), inbox, round);
+            let mut outbox = Outbox::new();
+            self.nodes[i].step(round, &filtered, &mut outbox);
+            // Recycle whichever buffer the adversary handed back so corrupt
+            // nodes keep their inbox capacity too.
+            filtered.clear();
+            self.current[i] = filtered;
+            let sends = self.adversary.corrupt_outbox(NodeId(i), outbox.take(), round);
+            *slot = Some(NodeStep { sends, honest: false, output: None, halted: false });
+        }
+
+        // 2c. Merge in node-id order: message ids, envelopes, and
+        // output/halt bookkeeping come out exactly as the serial
+        // interleaving produced them.
+        let mut pending: Vec<Envelope<M>> = Vec::new();
+        for (i, slot) in results.into_iter().enumerate() {
+            let Some(step) = slot else { continue };
+            for (to, msg) in step.sends {
                 let id = MsgId(self.world.next_msg_id);
                 self.world.next_msg_id += 1;
                 pending.push(Envelope {
@@ -288,20 +386,20 @@ impl<M: Message, A: Adversary<M>> Sim<M, A> {
                     from: NodeId(i),
                     to,
                     round,
-                    honest_send: was_honest,
+                    honest_send: step.honest,
                     removed: false,
                     msg: std::sync::Arc::new(msg),
                 });
             }
             // Record outputs/halts as reported to the environment.
-            if self.world.corrupt_at[i].is_none() {
-                if let Some(bit) = self.nodes[i].output() {
+            if step.honest {
+                if let Some(bit) = step.output {
                     if self.world.outputs[i].is_none() {
                         self.world.outputs[i] = Some(bit);
                         self.output_rounds[i] = Some(round);
                     }
                 }
-                self.world.halted[i] = self.nodes[i].halted();
+                self.world.halted[i] = step.halted;
             }
         }
 
@@ -650,6 +748,53 @@ mod tests {
         let _ = Sim::run_protocol(&cfg, vec![true; 2], Passive, |_, _| {
             Box::new(CountVotes { input: true, seen: 0, done: false })
         });
+    }
+
+    /// In-execution parallelism must be observationally free: the whole
+    /// report (outputs, rounds, per-message metrics, corruption schedule)
+    /// is byte-identical at every worker count, including counts above `n`.
+    #[test]
+    fn within_run_thread_count_never_changes_report() {
+        for f in [0usize, 4] {
+            let mut cfg = config(9, f, CorruptionModel::StronglyAdaptive);
+            cfg.max_rounds = 6;
+            let run = |threads: usize| {
+                let cfg = cfg.clone().with_threads(threads);
+                Sim::run_protocol(&cfg, vec![true; 9], EraseEverything, |_, _| {
+                    Box::new(CountVotes { input: true, seen: 0, done: false })
+                })
+            };
+            let serial = run(1);
+            for threads in [2usize, 3, 8, 64] {
+                assert_eq!(run(threads), serial, "threads={threads} f={f} changed the execution");
+            }
+        }
+    }
+
+    /// Same identity through the injection path (adversary-added envelopes
+    /// must interleave with node sends exactly as in the serial engine).
+    #[test]
+    fn within_run_threads_identical_with_injection() {
+        struct InjectEveryRound;
+        impl Adversary<Ping> for InjectEveryRound {
+            fn setup(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                ctx.corrupt(NodeId(0)).unwrap();
+            }
+            fn intervene(&mut self, ctx: &mut AdvCtx<'_, Ping>) {
+                let r = ctx.round().0;
+                ctx.inject(NodeId(0), Recipient::One(NodeId((r as usize + 1) % 5)), Ping(r))
+                    .unwrap();
+            }
+        }
+        let run = |threads: usize| {
+            let cfg = config(5, 1, CorruptionModel::Static).with_threads(threads);
+            Sim::run_protocol(&cfg, vec![true; 5], InjectEveryRound, |_, _| {
+                Box::new(CountVotes { input: true, seen: 0, done: false })
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(4), serial);
+        assert_eq!(serial.metrics.injected_sends, serial.rounds_used);
     }
 
     #[test]
