@@ -1,0 +1,144 @@
+//! Adversary **composition**: adaptive eclipse + silence-then-burst in one
+//! budget-sharing attack.
+//!
+//! The gauntlet's single-strategy rows probe one assumption each; real
+//! attackers mix tactics. [`EclipseBurst`] splits the corruption budget `f`
+//! between the two strategies the ROADMAP names as the natural composition:
+//!
+//! * a [`SilenceThenBurst`] wing statically corrupts the **last ⌊f/2⌋
+//!   nodes** at setup, withholds their traffic, and floods the backlog at
+//!   the burst round (stale-message pressure on the tail rounds);
+//! * an [`AdaptiveEclipse`] wing spends the **remaining budget** mid-run on
+//!   observed committee members (the attack `F_mine`'s one-shot secret
+//!   committees are designed to defeat).
+//!
+//! Routing rule: corrupt nodes in the burst wing's set follow the
+//! silence-then-burst outbox discipline; every *other* corrupt node was
+//! corrupted by the eclipse wing and is silenced outright. Both wings
+//! intervene each round — the burst wing first (so its release is visible
+//! in the same round's traffic), then the eclipse wing.
+//!
+//! Legality is inherited, not re-implemented: every corruption of either
+//! wing goes through [`AdvCtx::corrupt`], so the composition can never
+//! exceed the budget `f` — the setup wing takes ⌊f/2⌋ and the eclipse wing
+//! is bounded by `budget_left()`. The gauntlet's composed rows assert
+//! exactly this (`corruptions ≤ f` at every seed).
+
+use ba_sim::{AdvCtx, Adversary, Message, NodeId, Recipient, Round};
+
+use crate::{AdaptiveEclipse, SilenceThenBurst};
+
+/// Budget-sharing composition of [`SilenceThenBurst`] and
+/// [`AdaptiveEclipse`] (see module docs).
+#[derive(Clone, Debug)]
+pub struct EclipseBurst<M> {
+    /// The static silence-then-burst wing (owns the tail ⌊f/2⌋ nodes).
+    pub burst: SilenceThenBurst<M>,
+    /// The adaptive eclipse wing (spends whatever budget remains).
+    pub eclipse: AdaptiveEclipse,
+}
+
+impl<M> EclipseBurst<M> {
+    /// Composes the attack for an `n`-node run with budget `f`: the last
+    /// `⌊f/2⌋` nodes are silenced until `burst_round`, the rest of the
+    /// budget eclipses observed speakers.
+    pub fn tail(n: usize, f: usize, burst_round: u64) -> EclipseBurst<M> {
+        let burst_set: Vec<NodeId> = (n - f / 2..n).map(NodeId).collect();
+        EclipseBurst {
+            burst: SilenceThenBurst::new(burst_set, burst_round),
+            eclipse: AdaptiveEclipse::new(),
+        }
+    }
+}
+
+impl<M: Message> Adversary<M> for EclipseBurst<M> {
+    fn setup(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        self.burst.setup(ctx);
+        self.eclipse.setup(ctx);
+    }
+
+    fn corrupt_outbox(
+        &mut self,
+        node: NodeId,
+        planned: Vec<(Recipient, M)>,
+        round: Round,
+    ) -> Vec<(Recipient, M)> {
+        if self.burst.nodes.contains(&node) {
+            self.burst.corrupt_outbox(node, planned, round)
+        } else {
+            // Every other corrupt node was eclipsed mid-run: silenced.
+            self.eclipse.corrupt_outbox(node, planned, round)
+        }
+    }
+
+    fn intervene(&mut self, ctx: &mut AdvCtx<'_, M>) {
+        self.burst.intervene(ctx);
+        self.eclipse.intervene(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ba_core::iter::{self, IterConfig};
+    use ba_fmine::{IdealMine, MineParams};
+    use ba_sim::{Bit, CorruptionModel, SimConfig};
+
+    const N: usize = 100;
+    const F: usize = 20;
+
+    fn mixed_inputs() -> Vec<Bit> {
+        (0..N).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn composition_respects_the_corruption_budget() {
+        let elig = Arc::new(IdealMine::new(5, MineParams::new(N, 16.0)));
+        let cfg = IterConfig::subq_half(N, elig);
+        let sim = SimConfig::new(N, F, CorruptionModel::Adaptive, 5);
+        let adv = EclipseBurst::tail(N, F, 3);
+        let (report, _) = iter::run(&cfg, &sim, mixed_inputs(), adv);
+        // The legality edge: both wings together can never exceed f.
+        assert!(
+            report.metrics.corruptions <= F as u64,
+            "composition exceeded the budget: {} > {F}",
+            report.metrics.corruptions
+        );
+        // The burst wing took its half at setup.
+        assert!(report.metrics.corruptions >= (F / 2) as u64);
+        // The composition never removes (neither wing does).
+        assert_eq!(report.metrics.removals, 0);
+    }
+
+    #[test]
+    fn both_wings_act() {
+        let elig = Arc::new(IdealMine::new(7, MineParams::new(N, 16.0)));
+        let cfg = IterConfig::subq_half(N, elig);
+        let sim = SimConfig::new(N, F, CorruptionModel::Adaptive, 7);
+        let adv = EclipseBurst::tail(N, F, 2);
+        let (report, verdict) = iter::run(&cfg, &sim, mixed_inputs(), adv);
+        // The burst wing released a backlog (injections), and the eclipse
+        // wing spent budget beyond the setup half.
+        assert!(report.metrics.injected_sends > 0, "the burst never fired");
+        assert!(
+            report.metrics.corruptions > (F / 2) as u64,
+            "the eclipse wing never spent adaptive budget"
+        );
+        // One-shot bit-specific committees shrug the composition off.
+        assert!(verdict.all_ok(), "{verdict:?}");
+    }
+
+    #[test]
+    fn static_model_degenerates_to_pure_burst() {
+        let elig = Arc::new(IdealMine::new(9, MineParams::new(N, 16.0)));
+        let cfg = IterConfig::subq_half(N, elig);
+        let sim = SimConfig::new(N, F, CorruptionModel::Static, 9);
+        let adv = EclipseBurst::tail(N, F, 3);
+        let (report, _) = iter::run(&cfg, &sim, mixed_inputs(), adv);
+        // Mid-run eclipse corruption is illegal under static: only the
+        // setup wing's half is ever spent.
+        assert_eq!(report.metrics.corruptions, (F / 2) as u64);
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`adaptive_eclipse::AdaptiveEclipse`] — corrupts nodes only *after*
 //!   observing their committee eligibility: the attack `F_mine`'s secret
 //!   one-shot committees are designed to defeat.
+//! * [`compose::EclipseBurst`] — a budget-sharing *composition* of the
+//!   eclipse and silence-then-burst strategies (half the budget silenced
+//!   statically, the rest spent adaptively on observed speakers).
 //!
 //! The Dolev–Reischuk adversary pair of Theorem 4 and the `Q — 1 — Q'`
 //! simulation of Theorem 3 live in `ba-lowerbound`, next to the toy
@@ -34,6 +37,7 @@
 pub mod adaptive_eclipse;
 pub mod cert_forger;
 pub mod committee_eraser;
+pub mod compose;
 pub mod crash;
 pub mod equivocation_spammer;
 pub mod silence_burst;
@@ -42,6 +46,7 @@ pub mod vote_flipper;
 pub use adaptive_eclipse::AdaptiveEclipse;
 pub use cert_forger::{CertForger, Delivery};
 pub use committee_eraser::CommitteeEraser;
+pub use compose::EclipseBurst;
 pub use crash::{CrashAt, Omission};
 pub use equivocation_spammer::{EquivStats, EquivocationSpammer};
 pub use silence_burst::SilenceThenBurst;

@@ -8,6 +8,12 @@
 //! mode of operation for an overnight run bounded by `--duration` (or a CI
 //! run bounded by `--max-cells`).
 //!
+//! Each line is the schema-versioned **cell-stream** record
+//! (`ba-bench/cell-stream/v1`) — the same wire unit the distributed sweep
+//! engine's workers emit over their stdout pipes (docs/DISTRIBUTED.md), so
+//! soak output and distributed-worker output are interchangeable inputs
+//! for downstream tooling.
+//!
 //! ```text
 //! soak [--duration SECS] [--max-cells N] [--seeds N] [--threads N]
 //!      [--grid smoke|full] [--out DIR]
@@ -135,8 +141,9 @@ fn main() {
             let report = Sweep::new(title.clone(), args.seeds, vec![sc]).run(args.threads);
             let cell = &report.cells[0];
             // Long-horizon correctness: honest cells must stay clean on
-            // every pass, not just the two seeds CI pins.
-            let passive = cell.scenario.label.starts_with("passive@");
+            // every pass, not just the two seeds CI pins. The prefix also
+            // covers the mined families' `passive_real@` rows.
+            let passive = cell.scenario.label.starts_with("passive");
             if passive && (cell.count("all_ok") != cell.runs.len()) {
                 violations += 1;
                 eprintln!("[soak] VIOLATION: {title}/{} failed honestly", cell.scenario.label);
@@ -145,7 +152,7 @@ fn main() {
                 violations += 1;
                 eprintln!("[soak] VIOLATION: {title}/{} dropped sends", cell.scenario.label);
             }
-            writeln!(out, "{}", to_json_cell_line(title, pass, cell))
+            writeln!(out, "{}", to_json_cell_line(title, cells_run, pass, cell))
                 .and_then(|()| out.flush())
                 .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
             cells_run += 1;

@@ -1,6 +1,6 @@
 //! The shared experiment CLI.
 //!
-//! Every `e1`–`e10` binary accepts the same flags:
+//! Every `e1`–`e11` binary accepts the same flags:
 //!
 //! * `--seeds N` — override each sweep's seed count (smoke runs use 2);
 //! * `--grid full|smoke` — the full paper grid or a reduced CI grid;
@@ -8,14 +8,25 @@
 //! * `--sim-threads N` — worker threads *inside* each execution (default:
 //!   scenario-specified, usually 1); outputs are byte-identical at every
 //!   `--threads` × `--sim-threads` combination;
+//! * `--workers N` — distribute the grid's cells across `N` worker
+//!   *subprocesses* instead of in-process threads (crash-recovering; see
+//!   docs/DISTRIBUTED.md). Outputs are byte-identical to the in-process
+//!   path at every worker count;
+//! * `--worker-cmd CMD` — the worker command line (default: this binary
+//!   re-invoked with `--worker`; `ba-bench worker` also speaks the
+//!   protocol);
+//! * `--worker` — run *as* a wire-protocol worker on stdin/stdout instead
+//!   of an experiment (what `--workers` spawns);
 //! * `--format md[,csv][,json]|all` — output formats (default `md`);
 //! * `--out DIR` — where `BENCH_<experiment>.{json,csv}` are written.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use crate::report::{to_csv, to_json};
+use crate::dist::{self, DistConfig};
+use crate::report::{quarantine_summary, to_csv, to_json};
 use crate::sweep::{default_threads, Sweep, SweepReport};
+use crate::wire::{FailMode, FailPlan};
 
 /// Grid size selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +51,19 @@ pub struct Cli {
     /// `--sim-threads` override: in-execution worker count applied to every
     /// scenario in every sweep (`None` = keep scenario-specified values).
     pub sim_threads: Option<usize>,
+    /// `--workers`: distribute cells across this many worker subprocesses
+    /// (`None` = in-process execution on [`Cli::threads`]).
+    pub workers: Option<usize>,
+    /// `--worker-cmd`: the worker command line (`None` = this binary with
+    /// `--worker`).
+    pub worker_cmd: Option<Vec<String>>,
+    /// `--worker`: serve the wire protocol instead of running sweeps
+    /// ([`Cli::parse`] acts on this before returning).
+    pub worker_mode: bool,
+    /// `--worker-fail-after`: fault-injection hook — die mid-cell after
+    /// completing this many cells (workers only; used by tests and the CI
+    /// kill-a-worker step).
+    pub worker_fail: Option<FailPlan>,
     /// Emit the experiment's markdown tables on stdout.
     emit_md: bool,
     /// Emit `BENCH_<experiment>.csv`.
@@ -51,9 +75,15 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `std::env::args` (exits on `--help` or bad flags).
+    /// Parses `std::env::args` (exits on `--help` or bad flags). Under
+    /// `--worker` this never returns: the process serves the distributed
+    /// wire protocol on stdin/stdout and exits with the worker's status.
     pub fn parse(experiment: &'static str) -> Cli {
-        Cli::parse_from(experiment, std::env::args().skip(1))
+        let cli = Cli::parse_from(experiment, std::env::args().skip(1));
+        if cli.worker_mode {
+            std::process::exit(crate::wire::worker_main(cli.worker_fail));
+        }
+        cli
     }
 
     /// Parses an explicit argument list (testing hook).
@@ -64,6 +94,10 @@ impl Cli {
             grid: Grid::Full,
             threads: default_threads(),
             sim_threads: None,
+            workers: None,
+            worker_cmd: None,
+            worker_mode: false,
+            worker_fail: None,
             emit_md: true,
             emit_csv: false,
             emit_json: false,
@@ -98,6 +132,33 @@ impl Cli {
                         .unwrap_or_else(|_| die("--sim-threads: not a number"));
                     cli.sim_threads = Some(t.max(1));
                 }
+                "--workers" => {
+                    let w: usize = value("--workers")
+                        .parse()
+                        .unwrap_or_else(|_| die("--workers: not a number"));
+                    cli.workers = Some(w.max(1));
+                }
+                "--worker-cmd" => {
+                    let cmd = dist::split_command(&value("--worker-cmd"));
+                    if cmd.is_empty() {
+                        die("--worker-cmd: empty command");
+                    }
+                    cli.worker_cmd = Some(cmd);
+                }
+                "--worker" => cli.worker_mode = true,
+                "--worker-fail-after" => {
+                    let after: u64 = value("--worker-fail-after")
+                        .parse()
+                        .unwrap_or_else(|_| die("--worker-fail-after: not a number"));
+                    cli.worker_fail = Some(FailPlan::with_after(cli.worker_fail, after));
+                }
+                "--worker-fail-mode" => {
+                    let raw = value("--worker-fail-mode");
+                    let mode = FailMode::parse(&raw).unwrap_or_else(|| {
+                        die(&format!("--worker-fail-mode: unknown mode {raw:?}"))
+                    });
+                    cli.worker_fail = Some(FailPlan::with_mode(cli.worker_fail, mode));
+                }
                 "--format" => {
                     cli.emit_md = false;
                     cli.emit_csv = false;
@@ -121,8 +182,10 @@ impl Cli {
                     println!(
                         "{experiment} — see EXPERIMENTS.md\n\n\
                          USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
-                         \x20                 [--sim-threads N] [--format md,csv,json|all]\n\
-                         \x20                 [--out DIR]"
+                         \x20                 [--sim-threads N] [--workers N] [--worker-cmd CMD]\n\
+                         \x20                 [--format md,csv,json|all] [--out DIR]\n\
+                         \x20      {experiment} --worker   (serve the distributed wire protocol;\n\
+                         \x20                 see docs/DISTRIBUTED.md)"
                     );
                     std::process::exit(0);
                 }
@@ -147,7 +210,9 @@ impl Cli {
         self.emit_md
     }
 
-    /// Executes the sweeps on the configured worker count, applying any
+    /// Executes the sweeps on the configured worker count — in-process
+    /// threads, or (under `--workers`) a crash-recovering pool of worker
+    /// subprocesses producing byte-identical reports — applying any
     /// `--sim-threads` override to every scenario first.
     pub fn run(&self, mut sweeps: Vec<Sweep>) -> Vec<SweepReport> {
         if let Some(sim_threads) = self.sim_threads {
@@ -158,15 +223,36 @@ impl Cli {
             }
         }
         let start = Instant::now();
-        let reports: Vec<SweepReport> = sweeps.iter().map(|s| s.run(self.threads)).collect();
+        let (reports, how) = match self.workers {
+            Some(workers) => {
+                let worker_cmd = match self.worker_cmd.clone() {
+                    Some(cmd) => cmd,
+                    None => dist::self_worker_cmd().unwrap_or_else(|e| die(&e)),
+                };
+                let cfg = DistConfig::new(workers, worker_cmd);
+                let reports = dist::run_sweeps(&sweeps, &cfg).unwrap_or_else(|e| die(&e));
+                (reports, format!("{workers} worker process(es)"))
+            }
+            None => (
+                sweeps.iter().map(|s| s.run(self.threads)).collect(),
+                format!("{} thread(s)", self.threads),
+            ),
+        };
         eprintln!(
-            "[{}] {} sweep(s), {} runs, {} thread(s): {:.2?}",
+            "[{}] {} sweep(s), {} runs, {how}: {:.2?}",
             self.experiment,
             reports.len(),
             reports.iter().flat_map(|r| r.cells.iter()).map(|c| c.runs.len()).sum::<usize>(),
-            self.threads,
             start.elapsed(),
         );
+        // Quarantined cells are surfaced, never silently dropped: in the
+        // markdown stream when enabled, on stderr always.
+        if let Some(summary) = quarantine_summary(&reports) {
+            if self.emit_md {
+                println!("{summary}");
+            }
+            eprint!("[{}] {summary}", self.experiment);
+        }
         reports
     }
 

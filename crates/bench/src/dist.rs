@@ -1,0 +1,500 @@
+//! The **distributed sweep coordinator**: sweep cells fanned out across
+//! worker *subprocesses* with crash recovery, behind the same
+//! [`SweepReport`] schema as the in-process engine.
+//!
+//! ## Execution model
+//!
+//! The unit of distribution is one **cell** (a scenario × its seeds) — the
+//! same unit the soak stream writes to disk. The coordinator spawns
+//! `workers` subprocesses (`<current-exe> --worker` by default, any
+//! `ba-bench worker`-speaking command via `worker_cmd`), connected over
+//! stdin/stdout pipes, and dispatches cell descriptors from an in-order
+//! work queue: exactly the atomic-cursor semantics of the in-process
+//! engine, with the cursor living in the coordinator. Results are written
+//! into per-cell slots and reassembled in grid order, so the report is
+//! **byte-identical** to `Sweep::run(1)` regardless of worker count,
+//! dispatch interleaving, or worker death — each cell's records depend only
+//! on its scenario and seeds, never on which process computed them.
+//!
+//! ## Crash recovery
+//!
+//! A worker that dies mid-cell (EOF on its stdout with a cell in flight,
+//! a malformed reply, or a reply for the wrong cell) is discarded and
+//! replaced; its in-flight cell is re-dispatched to the fresh replacement.
+//! A cell whose execution has now killed [`DistConfig::max_attempts`]
+//! workers is **quarantined**: the coordinator records a structured
+//! [`CellError`] in the cell's report slot instead of retrying forever, and
+//! the sweep completes without it. An in-band `error` refusal (the worker
+//! decoded the descriptor but cannot execute it) quarantines immediately —
+//! retrying a deterministic refusal elsewhere cannot succeed.
+//!
+//! Clean runs and recovered runs therefore render identical JSON; only a
+//! genuinely poisoned cell changes the report, and it does so loudly (a
+//! `"error"` record in the JSON, a line in the markdown summary, and a
+//! structural finding in `ba-bench diff`).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{Receiver, Sender};
+
+use crate::sweep::{CellError, CellReport, RunRecord, Sweep, SweepReport};
+use crate::wire::{decode_reply, encode_descriptor, CellDescriptor, WorkerReply};
+
+/// Configuration of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Worker subprocesses to keep alive (≥ 1).
+    pub workers: usize,
+    /// The worker command line (program + args). The spawned process must
+    /// speak the cell-stream wire protocol on stdin/stdout.
+    pub worker_cmd: Vec<String>,
+    /// Worker deaths attributable to one cell before it is quarantined.
+    pub max_attempts: u32,
+}
+
+impl DistConfig {
+    /// A configuration running `workers` copies of `worker_cmd`. The
+    /// default quarantine threshold is 2: a cell that has killed two
+    /// workers is poisoned, not unlucky.
+    pub fn new(workers: usize, worker_cmd: Vec<String>) -> DistConfig {
+        DistConfig { workers: workers.max(1), worker_cmd, max_attempts: 2 }
+    }
+}
+
+/// The default worker command: this very binary re-invoked in `--worker`
+/// mode (every experiment binary's CLI understands it).
+pub fn self_worker_cmd() -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locating current exe: {e}"))?;
+    Ok(vec![exe.to_string_lossy().into_owned(), "--worker".into()])
+}
+
+/// Splits a `--worker-cmd` string into program + arguments: whitespace
+/// separates tokens, single or double quotes group a token containing
+/// spaces (e.g. a path with a space, or an `ssh host 'ba-bench worker'`
+/// bridge). No escape processing beyond that — this is a token grouper,
+/// not a shell.
+pub fn split_command(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_token = false;
+    let mut quote: Option<char> = None;
+    for c in s.chars() {
+        match quote {
+            Some(q) if c == q => quote = None,
+            Some(_) => current.push(c),
+            None if c == '\'' || c == '"' => {
+                quote = Some(c);
+                in_token = true;
+            }
+            None if c.is_whitespace() => {
+                if in_token {
+                    tokens.push(std::mem::take(&mut current));
+                    in_token = false;
+                }
+            }
+            None => {
+                current.push(c);
+                in_token = true;
+            }
+        }
+    }
+    if in_token {
+        tokens.push(current);
+    }
+    tokens
+}
+
+impl Sweep {
+    /// Executes the grid on worker subprocesses and assembles the report —
+    /// byte-identical to [`Sweep::run`] whenever no cell is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Fails when workers cannot be spawned at all (a broken
+    /// `worker_cmd`); worker *deaths* are recovered from, not errors.
+    pub fn run_distributed(&self, cfg: &DistConfig) -> Result<SweepReport, String> {
+        Ok(run_sweeps(std::slice::from_ref(self), cfg)?.pop().expect("one report per sweep"))
+    }
+}
+
+/// Executes several sweeps' cells through one shared worker pool (the
+/// distributed counterpart of running each sweep in turn) and assembles
+/// one report per sweep, in order.
+///
+/// # Errors
+///
+/// Fails when no worker can be spawned (a broken `worker_cmd`).
+pub fn run_sweeps(sweeps: &[Sweep], cfg: &DistConfig) -> Result<Vec<SweepReport>, String> {
+    // Flatten the grids into the dispatch order an in-process run would
+    // use: sweeps in order, cells in grid order.
+    let tasks: Vec<(usize, usize)> = sweeps
+        .iter()
+        .enumerate()
+        .flat_map(|(s, sweep)| (0..sweep.scenarios.len()).map(move |c| (s, c)))
+        .collect();
+    let slots =
+        if tasks.is_empty() { Vec::new() } else { Coordinator::new(sweeps, &tasks, cfg)?.run()? };
+
+    let mut slot_iter = slots.into_iter();
+    Ok(sweeps
+        .iter()
+        .map(|sweep| SweepReport {
+            title: sweep.title.clone(),
+            seeds: sweep.seeds,
+            cells: sweep
+                .scenarios
+                .iter()
+                .map(|scenario| match slot_iter.next().expect("one slot per cell") {
+                    Ok(runs) => CellReport { scenario: scenario.clone(), runs, error: None },
+                    Err(err) => CellReport {
+                        scenario: scenario.clone(),
+                        runs: Vec::new(),
+                        error: Some(err),
+                    },
+                })
+                .collect(),
+        })
+        .collect())
+}
+
+/// Reader-thread → coordinator events.
+enum Event {
+    /// One line of worker stdout (trailing newline stripped).
+    Line(u64, String),
+    /// The worker's stdout closed (it exited or was killed).
+    Eof(u64),
+}
+
+/// One spawned worker and its plumbing.
+struct WorkerHandle {
+    child: Child,
+    /// `None` once retired (closing stdin is the shutdown signal).
+    stdin: Option<ChildStdin>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Set once the child has been waited on (its Eof is cleanup-only).
+    reaped: bool,
+}
+
+struct Coordinator<'a> {
+    sweeps: &'a [Sweep],
+    tasks: &'a [(usize, usize)],
+    cfg: &'a DistConfig,
+    /// Per-task result slot: runs on success, the quarantine record on
+    /// failure.
+    slots: Vec<Option<Result<Vec<RunRecord>, CellError>>>,
+    /// Worker deaths attributed to each task so far.
+    attempts: Vec<u32>,
+    /// Undispatched task indices, in grid order.
+    queue: VecDeque<usize>,
+    filled: usize,
+    workers: HashMap<u64, WorkerHandle>,
+    /// Which task each busy worker is executing.
+    busy: HashMap<u64, usize>,
+    next_key: u64,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(
+        sweeps: &'a [Sweep],
+        tasks: &'a [(usize, usize)],
+        cfg: &'a DistConfig,
+    ) -> Result<Coordinator<'a>, String> {
+        if cfg.worker_cmd.is_empty() {
+            return Err("empty worker command".into());
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        Ok(Coordinator {
+            sweeps,
+            tasks,
+            cfg,
+            slots: vec![None; tasks.len()],
+            attempts: vec![0; tasks.len()],
+            queue: (0..tasks.len()).collect(),
+            filled: 0,
+            workers: HashMap::new(),
+            busy: HashMap::new(),
+            next_key: 0,
+            tx,
+            rx,
+        })
+    }
+
+    fn run(mut self) -> Result<Vec<Result<Vec<RunRecord>, CellError>>, String> {
+        for _ in 0..self.cfg.workers.min(self.tasks.len()) {
+            let key = self.spawn()?;
+            self.dispatch_next(key);
+        }
+        while self.filled < self.tasks.len() {
+            let event = self.rx.recv().expect("a live worker or reader holds the sender");
+            match event {
+                Event::Line(key, line) => self.on_line(key, line)?,
+                Event::Eof(key) => self.on_eof(key)?,
+            }
+        }
+        self.shutdown();
+        Ok(self.slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+    }
+
+    /// Spawns one worker and its reader thread.
+    fn spawn(&mut self) -> Result<u64, String> {
+        let cmd = &self.cfg.worker_cmd;
+        let mut child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning worker {:?}: {e}", cmd[0]))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let key = self.next_key;
+        self.next_key += 1;
+        let tx = self.tx.clone();
+        let reader = std::thread::spawn(move || {
+            let mut lines = BufReader::new(stdout);
+            let mut buf = String::new();
+            loop {
+                buf.clear();
+                match lines.read_line(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        let _ = tx.send(Event::Eof(key));
+                        break;
+                    }
+                    Ok(_) => {
+                        let _ = tx.send(Event::Line(key, buf.trim_end().to_string()));
+                    }
+                }
+            }
+        });
+        self.workers.insert(
+            key,
+            WorkerHandle { child, stdin: Some(stdin), reader: Some(reader), reaped: false },
+        );
+        Ok(key)
+    }
+
+    /// Sends `task`'s descriptor to worker `key` and marks it busy. A write
+    /// failure means the worker is already dying — its reader's `Eof` event
+    /// performs the recovery, so the failure is deliberately ignored here.
+    fn dispatch(&mut self, key: u64, task: usize) {
+        let (s, c) = self.tasks[task];
+        let sweep = &self.sweeps[s];
+        let desc = CellDescriptor {
+            id: task as u64,
+            sweep: sweep.title.clone(),
+            seeds: sweep.seeds,
+            scenario: sweep.scenarios[c].clone(),
+        };
+        self.busy.insert(key, task);
+        let handle = self.workers.get_mut(&key).expect("dispatch to a live worker");
+        let stdin = handle.stdin.as_mut().expect("dispatch to a non-retired worker");
+        let _ = writeln!(stdin, "{}", encode_descriptor(&desc)).and_then(|()| stdin.flush());
+    }
+
+    /// Hands worker `key` the next queued task, or retires it (closes its
+    /// stdin; the worker exits on EOF) when the queue is empty.
+    fn dispatch_next(&mut self, key: u64) {
+        match self.queue.pop_front() {
+            Some(task) => self.dispatch(key, task),
+            None => {
+                if let Some(handle) = self.workers.get_mut(&key) {
+                    handle.stdin = None;
+                }
+            }
+        }
+    }
+
+    fn on_line(&mut self, key: u64, line: String) -> Result<(), String> {
+        let Some(&task) = self.busy.get(&key) else {
+            // Chatter from a worker that owes us nothing (or one already
+            // condemned): a protocol violation; discard the worker.
+            self.condemn(key);
+            return Ok(());
+        };
+        match decode_reply(&line) {
+            Ok(WorkerReply::Result { id, runs }) if id == task as u64 => {
+                self.busy.remove(&key);
+                self.fill(task, Ok(runs));
+                self.dispatch_next(key);
+            }
+            Ok(WorkerReply::Refusal { id, error }) if id == task as u64 => {
+                // Deterministic in-band refusal: retrying on another worker
+                // of the same build cannot succeed. Quarantine now.
+                self.busy.remove(&key);
+                let attempts = self.attempts[task] + 1;
+                self.fill(
+                    task,
+                    Err(CellError {
+                        attempts,
+                        detail: format!("worker refused the cell: {error}"),
+                    }),
+                );
+                self.dispatch_next(key);
+            }
+            Ok(reply) => {
+                // Duplicate or out-of-order id: the stream can no longer be
+                // trusted. Kill the worker and recover its in-flight cell.
+                let got = match reply {
+                    WorkerReply::Result { id, .. } | WorkerReply::Refusal { id, .. } => id,
+                };
+                self.condemn(key);
+                self.recover(
+                    key,
+                    task,
+                    format!("reply for cell {got} while cell {task} was in flight"),
+                )?;
+            }
+            Err(e) => {
+                self.condemn(key);
+                self.recover(key, task, format!("malformed reply: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_eof(&mut self, key: u64) -> Result<(), String> {
+        let reaped = self.workers.get(&key).is_some_and(|w| w.reaped);
+        if reaped || !self.workers.contains_key(&key) {
+            // A retired or condemned worker finished dying: cleanup only.
+            self.reap(key);
+            return Ok(());
+        }
+        match self.busy.get(&key).copied() {
+            Some(task) => {
+                let status = self.wait_status(key);
+                self.recover(key, task, format!("worker died mid-cell ({status})"))?;
+                self.reap(key);
+            }
+            None => {
+                // An idle (or freshly retired) worker exited; make sure the
+                // queue keeps draining.
+                self.reap(key);
+                if !self.queue.is_empty() && self.busy.is_empty() {
+                    let key = self.spawn()?;
+                    self.dispatch_next(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Requeues `task` after worker `key` failed on it: onto a freshly
+    /// spawned replacement when attempts remain (a fresh worker is the one
+    /// process guaranteed not to be mid-way through its own failure
+    /// budget), into quarantine otherwise.
+    fn recover(&mut self, key: u64, task: usize, detail: String) -> Result<(), String> {
+        self.busy.remove(&key);
+        self.attempts[task] += 1;
+        if self.attempts[task] >= self.cfg.max_attempts {
+            self.fill(task, Err(CellError { attempts: self.attempts[task], detail }));
+            // Keep the pool draining the remaining queue.
+            if !self.queue.is_empty() {
+                let key = self.spawn()?;
+                self.dispatch_next(key);
+            }
+        } else {
+            let replacement = self.spawn()?;
+            self.dispatch(replacement, task);
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, task: usize, outcome: Result<Vec<RunRecord>, CellError>) {
+        debug_assert!(self.slots[task].is_none(), "slot {task} filled twice");
+        self.slots[task] = Some(outcome);
+        self.filled += 1;
+    }
+
+    /// Kills and waits a misbehaving worker; its pending `Eof` event then
+    /// only triggers cleanup.
+    fn condemn(&mut self, key: u64) {
+        if let Some(handle) = self.workers.get_mut(&key) {
+            handle.stdin = None;
+            let _ = handle.child.kill();
+            let _ = handle.child.wait();
+            handle.reaped = true;
+        }
+    }
+
+    /// Waits the child (it is known dead — its stdout closed) and renders
+    /// its exit status.
+    fn wait_status(&mut self, key: u64) -> String {
+        let Some(handle) = self.workers.get_mut(&key) else { return "unknown status".into() };
+        handle.stdin = None;
+        handle.reaped = true;
+        match handle.child.wait() {
+            Ok(status) => status.to_string(),
+            Err(e) => format!("wait failed: {e}"),
+        }
+    }
+
+    /// Fully removes a worker whose reader reported EOF.
+    fn reap(&mut self, key: u64) {
+        if let Some(mut handle) = self.workers.remove(&key) {
+            handle.stdin = None;
+            if !handle.reaped {
+                let _ = handle.child.wait();
+            }
+            if let Some(reader) = handle.reader.take() {
+                let _ = reader.join();
+            }
+        }
+    }
+
+    /// Retires every remaining worker after the last slot filled.
+    fn shutdown(&mut self) {
+        let keys: Vec<u64> = self.workers.keys().copied().collect();
+        for key in keys {
+            self.reap(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_workers() {
+        let cfg = DistConfig::new(0, vec!["w".into()]);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.max_attempts, 2);
+    }
+
+    #[test]
+    fn split_command_honors_quotes() {
+        assert_eq!(split_command("ba-bench worker"), ["ba-bench", "worker"]);
+        assert_eq!(
+            split_command("'/path with space/ba-bench' worker --fail-after 3"),
+            ["/path with space/ba-bench", "worker", "--fail-after", "3"]
+        );
+        assert_eq!(
+            split_command("ssh host \"ba-bench worker\""),
+            ["ssh", "host", "ba-bench worker"]
+        );
+        // Adjacent quoted and bare segments join into one token.
+        assert_eq!(split_command("a\"b c\"d"), ["ab cd"]);
+        assert_eq!(split_command("  "), Vec::<String>::new());
+        assert_eq!(split_command("''"), [""]);
+    }
+
+    #[test]
+    fn empty_grid_produces_empty_reports_without_spawning() {
+        // A nonsense command proves no process is spawned for empty grids.
+        let cfg = DistConfig::new(3, vec!["/nonexistent/worker".into()]);
+        let reports = run_sweeps(&[], &cfg).expect("no work, no workers");
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn unspawnable_worker_is_an_error() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let sweep = Sweep::new("s", 1, vec![Scenario::new("c", 5, ProtocolSpec::QuadraticHalf)]);
+        let cfg = DistConfig::new(1, vec!["/nonexistent/worker".into()]);
+        let err = sweep.run_distributed(&cfg).expect_err("spawn must fail");
+        assert!(err.contains("spawning worker"), "{err}");
+    }
+}

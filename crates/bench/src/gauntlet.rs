@@ -23,6 +23,13 @@
 //!   plain adaptive model its removals are refused (`removals == 0`).
 //! * **equivocation spammer / vote flipper** move only corrupt-attributed
 //!   observables against bit-specific eligibility.
+//! * **eclipse + burst composition** (the ROADMAP's composed-adversary
+//!   extension) splits the budget between a statically silenced tail and an
+//!   adaptive eclipse wing; the composition can never exceed the corruption
+//!   budget (`corruptions ≤ f`, asserted per seed).
+//! * **real-eligibility rows** (`passive_real@static/f=0` on the mined
+//!   families) run the honest baseline through the Appendix D VRF
+//!   compiler: committee draws differ, safety observables must not.
 
 use crate::cli::Grid;
 use crate::scenario::{AdversarySpec, InputPattern, ProtocolSpec, Scenario};
@@ -110,6 +117,11 @@ fn attacks(family: Family) -> Vec<(AdversarySpec, CorruptionModel)> {
         (A::SilenceThenBurst { at_round: 3 }, M::Static),
         (A::AdaptiveEclipse { per_round: 0 }, M::Static),
         (A::AdaptiveEclipse { per_round: 0 }, M::Adaptive),
+        // The ROADMAP's adversary *composition*: half the budget silenced
+        // statically (burst at round 3), the rest spent eclipsing observed
+        // speakers. Legal by construction — both wings corrupt through the
+        // engine's budget — and asserted so by `e11_gauntlet`.
+        (A::EclipseBurst { at_round: 3 }, M::Adaptive),
         (A::StarveQuorum, M::Adaptive),
         (A::StarveQuorum, M::StronglyAdaptive),
     ];
@@ -144,6 +156,20 @@ pub fn gauntlet_sweeps(grid: Grid, seeds: u64) -> Vec<Sweep> {
         .map(|entry| {
             let mut cells =
                 vec![scenario_for(&entry, AdversarySpec::Passive, CorruptionModel::Static, 0)];
+            // Mined families also run their honest baseline through the
+            // Appendix D real-world VRF compiler: the committees differ
+            // (different randomness source) but every safety observable
+            // must stay clean — pinned by `tests/gauntlet.rs`.
+            if matches!(
+                entry.protocol,
+                ProtocolSpec::SubqHalf { .. } | ProtocolSpec::SubqThird { .. }
+            ) {
+                let mut real =
+                    scenario_for(&entry, AdversarySpec::Passive, CorruptionModel::Static, 0)
+                        .real_elig();
+                real.label = "passive_real@static/f=0".into();
+                cells.push(real);
+            }
             for (adversary, model) in attacks(entry.family) {
                 let mut seen_f: Vec<usize> = Vec::new();
                 for &frac in fractions(grid) {
@@ -189,6 +215,7 @@ fn adversary_key(spec: &AdversarySpec) -> &'static str {
         AdversarySpec::EquivocationSpammer => "equivocation_spammer",
         AdversarySpec::SilenceThenBurst { .. } => "silence_burst",
         AdversarySpec::AdaptiveEclipse { .. } => "adaptive_eclipse",
+        AdversarySpec::EclipseBurst { .. } => "eclipse_burst",
     }
 }
 
@@ -201,11 +228,13 @@ mod tests {
         let sweeps = gauntlet_sweeps(Grid::Smoke, 2);
         assert_eq!(sweeps.len(), 4, "four protocol entries");
         for sweep in &sweeps {
-            // 1 passive + per-family attacks × 2 fractions.
-            let family_attacks = if sweep.title.starts_with("iter/") { 7 } else { 8 };
+            // 1 passive (+1 real-eligibility passive for mined families)
+            // + per-family attacks × 2 fractions.
+            let family_attacks = if sweep.title.starts_with("iter/") { 8 } else { 9 };
+            let mined = sweep.title.contains("subq");
             assert_eq!(
                 sweep.scenarios.len(),
-                1 + family_attacks * fractions(Grid::Smoke).len(),
+                1 + mined as usize + family_attacks * fractions(Grid::Smoke).len(),
                 "{}: unexpected cell count",
                 sweep.title
             );
@@ -214,7 +243,20 @@ mod tests {
             labels.sort_unstable();
             labels.dedup();
             assert_eq!(labels.len(), sweep.scenarios.len(), "{}: duplicate label", sweep.title);
+            // Every sweep carries a composed-adversary row.
+            assert!(
+                sweep.scenarios.iter().any(|s| s.label.starts_with("eclipse_burst@adaptive")),
+                "{}: missing composition row",
+                sweep.title
+            );
         }
+        // Exactly the mined families carry a real-eligibility honest row.
+        let with_real: Vec<&str> = sweeps
+            .iter()
+            .filter(|s| s.scenarios.iter().any(|sc| sc.label == "passive_real@static/f=0"))
+            .map(|s| s.title.as_str())
+            .collect();
+        assert_eq!(with_real, ["iter/subq_half", "epoch/subq_third"]);
     }
 
     #[test]

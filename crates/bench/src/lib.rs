@@ -23,6 +23,14 @@
 //! compares two `BENCH_*.json` reports cell-by-cell against tolerance
 //! bands (the CI baseline-regression gate).
 //!
+//! Sweeps also run **distributed**: `--workers N` on any experiment binary
+//! fans the grid's cells out across worker subprocesses (`ba-bench worker`,
+//! or the binary itself in `--worker` mode) over the schema-versioned JSONL
+//! cell-stream [`wire`] protocol, with crash recovery in the [`dist`]
+//! coordinator — reports stay byte-identical to the in-process path at
+//! every worker count, including across worker deaths (see
+//! docs/DISTRIBUTED.md).
+//!
 //! Every binary is a thin renderer over the declarative [`Scenario`] /
 //! [`Sweep`] API: a [`Scenario`] describes one runnable configuration
 //! (protocol family, ideal-vs-real eligibility, adversary, corruption
@@ -55,19 +63,25 @@
 
 pub mod baseline;
 pub mod cli;
+pub mod dist;
 pub mod gauntlet;
 pub mod report;
 pub mod scenario;
 pub mod stats;
 pub mod sweep;
+pub mod wire;
 
 pub use baseline::{diff_reports, DiffReport, Tolerance};
 pub use cli::{Cli, Grid};
+pub use dist::{run_sweeps as run_sweeps_distributed, self_worker_cmd, DistConfig};
 pub use gauntlet::gauntlet_sweeps;
-pub use report::{header, row, to_csv, to_json, to_json_cell_line};
+pub use report::{
+    header, quarantine_summary, row, to_csv, to_json, to_json_cell_line, CELL_STREAM_SCHEMA,
+};
 pub use scenario::{
     AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario, ScenarioRun,
     SharedElig,
 };
 pub use stats::Stats;
-pub use sweep::{default_threads, CellReport, RunRecord, Sweep, SweepReport};
+pub use sweep::{default_threads, CellError, CellReport, RunRecord, Sweep, SweepReport};
+pub use wire::{CellDescriptor, FailMode, FailPlan, WireError, WorkerReply};

@@ -31,7 +31,7 @@ pub fn header(cells: &[&str]) {
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -52,7 +52,7 @@ fn json_escape(s: &str) -> String {
 /// Stable JSON rendering of an observable: integral values without a
 /// fractional part, everything else via Rust's shortest-roundtrip `f64`
 /// display (deterministic across platforms).
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if !v.is_finite() {
         // JSON has no NaN/inf; encode as null (observables should never
         // produce these).
@@ -93,12 +93,17 @@ fn run_obj(run: &RunRecord) -> String {
     let mut first = true;
     let mut emitted: Vec<&str> = Vec::new();
     for (name, _) in &run.values {
-        if emitted.contains(name) {
+        let name = name.as_ref();
+        if emitted.contains(&name) {
             continue;
         }
         emitted.push(name);
-        let samples: Vec<String> =
-            run.values.iter().filter(|(k, _)| k == name).map(|(_, v)| json_number(*v)).collect();
+        let samples: Vec<String> = run
+            .values
+            .iter()
+            .filter(|(k, _)| k.as_ref() == name)
+            .map(|(_, v)| json_number(*v))
+            .collect();
         if !first {
             out.push_str(", ");
         }
@@ -113,19 +118,36 @@ fn run_obj(run: &RunRecord) -> String {
     out
 }
 
+/// The cell-level quarantine record (single line, no leading separator).
+fn error_obj(err: &crate::sweep::CellError) -> String {
+    format!("{{\"attempts\": {}, \"detail\": \"{}\"}}", err.attempts, json_escape(&err.detail))
+}
+
+/// The schema tag of the JSONL **cell-stream** format: one self-describing
+/// JSON line per finished cell. The same line is both the `soak` binary's
+/// on-disk stream unit and the distributed engine's worker→coordinator
+/// result message (see `crate::wire` and docs/DISTRIBUTED.md).
+pub const CELL_STREAM_SCHEMA: &str = "ba-bench/cell-stream/v1";
+
 /// Renders one executed cell as a single JSON line (no trailing newline) —
-/// the record format the `soak` binary streams to its `.jsonl` file. The
-/// line carries the sweep title and the soak pass number so the stream is
-/// self-describing even when truncated by a kill.
-pub fn to_json_cell_line(sweep: &str, pass: u64, cell: &CellReport) -> String {
+/// the cell-stream wire unit shared by the `soak` binary and the
+/// distributed sweep engine. The line carries the schema version, a message
+/// type, a stream-scoped cell id, the sweep title, and the soak pass
+/// number, so the stream is self-describing even when truncated by a kill.
+pub fn to_json_cell_line(sweep: &str, id: u64, pass: u64, cell: &CellReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"sweep\": \"{}\", \"pass\": {pass}, \"scenario\": {}, \"runs\": [{}]}}",
+        "{{\"schema\": \"{CELL_STREAM_SCHEMA}\", \"type\": \"result\", \"id\": {id}, \
+         \"sweep\": \"{}\", \"pass\": {pass}, \"scenario\": {}, \"runs\": [{}]",
         json_escape(sweep),
         scenario_obj(cell),
         cell.runs.iter().map(run_obj).collect::<Vec<_>>().join(", "),
     );
+    if let Some(err) = &cell.error {
+        let _ = write!(out, ", \"error\": {}", error_obj(err));
+    }
+    out.push('}');
     out
 }
 
@@ -153,7 +175,16 @@ pub fn to_json(experiment: &str, reports: &[SweepReport]) -> String {
                 out.push_str(&run_obj(run));
                 out.push_str(if ri + 1 < cell.runs.len() { ",\n" } else { "\n" });
             }
-            out.push_str("          ]\n");
+            // Quarantined cells carry their structured error record instead
+            // of being silently rendered as an empty run list. Clean cells
+            // render byte-identically to the pre-distributed format.
+            match &cell.error {
+                Some(err) => {
+                    out.push_str("          ],\n");
+                    let _ = writeln!(out, "          \"error\": {}", error_obj(err));
+                }
+                None => out.push_str("          ]\n"),
+            }
             out.push_str(if ci + 1 < sweep.cells.len() { "        },\n" } else { "        }\n" });
         }
         out.push_str("      ]\n");
@@ -165,6 +196,12 @@ pub fn to_json(experiment: &str, reports: &[SweepReport]) -> String {
 
 /// Renders executed sweeps as tall CSV:
 /// `sweep,scenario,seed,metric,value` (one line per recorded observable).
+///
+/// Repeated observable names render **grouped** in first-occurrence order
+/// — the same canonical order the JSON writer and the distributed wire
+/// use — so renderings are identical whether a record was produced
+/// in-process or decoded off the wire (decoding cannot recover an
+/// interleaved recording order, and no renderer depends on one).
 pub fn to_csv(reports: &[SweepReport]) -> String {
     fn csv_field(s: &str) -> String {
         if s.contains([',', '"', '\n']) {
@@ -177,16 +214,26 @@ pub fn to_csv(reports: &[SweepReport]) -> String {
     for sweep in reports {
         for cell in &sweep.cells {
             for run in &cell.runs {
-                for (name, value) in &run.values {
-                    let _ = writeln!(
-                        out,
-                        "{},{},{},{},{}",
-                        csv_field(&sweep.title),
-                        csv_field(&cell.scenario.label),
-                        run.seed,
-                        name,
-                        json_number(*value),
-                    );
+                let mut emitted: Vec<&str> = Vec::new();
+                for (name, _) in &run.values {
+                    let name = name.as_ref();
+                    if emitted.contains(&name) {
+                        continue;
+                    }
+                    emitted.push(name);
+                    for value in
+                        run.values.iter().filter(|(k, _)| k.as_ref() == name).map(|(_, v)| v)
+                    {
+                        let _ = writeln!(
+                            out,
+                            "{},{},{},{},{}",
+                            csv_field(&sweep.title),
+                            csv_field(&cell.scenario.label),
+                            run.seed,
+                            name,
+                            json_number(*value),
+                        );
+                    }
                 }
             }
         }
@@ -194,9 +241,37 @@ pub fn to_csv(reports: &[SweepReport]) -> String {
     out
 }
 
+/// Markdown rendering of every quarantined cell across `reports`: a count
+/// line plus one `sweep/label` line per cell, or `None` when the run is
+/// clean. The shared CLI prints this right after execution (ahead of the
+/// binaries' own tables) and mirrors it to stderr, so a distributed run
+/// never silently omits work it failed to complete.
+pub fn quarantine_summary(reports: &[SweepReport]) -> Option<String> {
+    let quarantined: Vec<(&str, &CellReport)> = reports
+        .iter()
+        .flat_map(|r| r.cells.iter().map(move |c| (r.title.as_str(), c)))
+        .filter(|(_, c)| c.error.is_some())
+        .collect();
+    if quarantined.is_empty() {
+        return None;
+    }
+    let mut out = format!("{} quarantined cell(s) — results are incomplete:\n", quarantined.len());
+    for (sweep, cell) in quarantined {
+        let err = cell.error.as_ref().expect("filtered on error presence");
+        let _ = writeln!(
+            out,
+            "  {sweep}/{}: {} failed attempt(s) — {}",
+            cell.scenario.label, err.attempts, err.detail
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{ProtocolSpec, Scenario};
+    use crate::sweep::CellError;
 
     #[test]
     fn json_escaping_and_numbers() {
@@ -205,5 +280,64 @@ mod tests {
         assert_eq!(json_number(0.5), "0.5");
         assert_eq!(json_number(-2.0), "-2");
         assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    fn quarantined_report() -> SweepReport {
+        let scenario = Scenario::new("cell", 5, ProtocolSpec::QuadraticHalf);
+        let cell = CellReport {
+            scenario,
+            runs: Vec::new(),
+            error: Some(CellError { attempts: 2, detail: "worker died (signal 9)".into() }),
+        };
+        SweepReport { title: "t".into(), seeds: 2, cells: vec![cell] }
+    }
+
+    #[test]
+    fn quarantined_cells_surface_in_json_and_summary() {
+        let report = quarantined_report();
+        let json = to_json("exp", std::slice::from_ref(&report));
+        assert!(
+            json.contains("\"error\": {\"attempts\": 2, \"detail\": \"worker died (signal 9)\"}")
+        );
+        let line = to_json_cell_line("t", 0, 0, &report.cells[0]);
+        assert!(line.contains("\"error\": {\"attempts\": 2"));
+        let summary = quarantine_summary(std::slice::from_ref(&report)).expect("has errors");
+        assert!(summary.starts_with("1 quarantined cell(s)"));
+        assert!(summary.contains("t/cell: 2 failed attempt(s)"));
+    }
+
+    #[test]
+    fn csv_groups_interleaved_repeats_canonically() {
+        // Interleaved repeated names render grouped in first-occurrence
+        // order — the same canonical order as JSON and the wire, so CSV is
+        // identical for in-process and wire-decoded records.
+        let mut record = RunRecord::new(0);
+        record.push("a", 1.0);
+        record.push("b", 2.0);
+        record.push("a", 3.0);
+        let report = SweepReport {
+            title: "t".into(),
+            seeds: 1,
+            cells: vec![CellReport {
+                scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf),
+                runs: vec![record],
+                error: None,
+            }],
+        };
+        let csv = to_csv(&[report]);
+        let body: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(body, ["t,c,0,a,1", "t,c,0,a,3", "t,c,0,b,2"]);
+    }
+
+    #[test]
+    fn clean_reports_have_no_summary_and_no_error_field() {
+        let scenario = Scenario::new("cell", 5, ProtocolSpec::QuadraticHalf);
+        let report = SweepReport {
+            title: "t".into(),
+            seeds: 1,
+            cells: vec![CellReport { scenario, runs: vec![RunRecord::new(0)], error: None }],
+        };
+        assert!(quarantine_summary(std::slice::from_ref(&report)).is_none());
+        assert!(!to_json("exp", &[report]).contains("\"error\""));
     }
 }

@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ba_adversary::{
-    AdaptiveEclipse, CertForger, CommitteeEraser, CrashAt, EquivocationSpammer, SilenceThenBurst,
-    VoteFlipper,
+    AdaptiveEclipse, CertForger, CommitteeEraser, CrashAt, EclipseBurst, EquivocationSpammer,
+    SilenceThenBurst, VoteFlipper,
 };
 use ba_core::auth::FsService;
 use ba_core::ba_from_bb;
@@ -145,6 +145,13 @@ pub enum AdversarySpec {
         /// allows).
         per_round: usize,
     },
+    /// Budget-sharing composition: the last `⌊f/2⌋` nodes run
+    /// silence-then-burst (released at `at_round`), the remaining budget is
+    /// spent eclipsing observed speakers (any family).
+    EclipseBurst {
+        /// Round at which the silenced wing's backlog is released.
+        at_round: u64,
+    },
 }
 
 impl AdversarySpec {
@@ -163,6 +170,9 @@ impl AdversarySpec {
             AdversarySpec::AdaptiveEclipse { per_round: 0 } => "adaptive_eclipse".into(),
             AdversarySpec::AdaptiveEclipse { per_round } => {
                 format!("adaptive_eclipse(per={per_round})")
+            }
+            AdversarySpec::EclipseBurst { at_round } => {
+                format!("eclipse_burst(at={at_round})")
             }
         }
     }
@@ -328,7 +338,7 @@ pub struct ScenarioRun {
 }
 
 /// One declaratively described runnable configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// Display label (also the lookup key in reports).
     pub label: String,
@@ -626,6 +636,9 @@ impl Scenario {
             AdversarySpec::AdaptiveEclipse { per_round: 0 } => Box::new(AdaptiveEclipse::new()),
             AdversarySpec::AdaptiveEclipse { per_round } => {
                 Box::new(AdaptiveEclipse::paced(per_round))
+            }
+            AdversarySpec::EclipseBurst { at_round } => {
+                Box::new(EclipseBurst::tail(self.n, self.f, at_round))
             }
             AdversarySpec::CertForger { .. }
             | AdversarySpec::VoteFlipper

@@ -7,22 +7,27 @@
 //! regardless of worker count or scheduling — `--threads 1` and
 //! `--threads N` produce the same JSON.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::scenario::{Scenario, SharedElig};
 use crate::stats::Stats;
 
+/// An observable name: a `&'static str` for records produced in-process,
+/// an owned string for records decoded off the distributed wire.
+pub type ObsName = Cow<'static, str>;
+
 /// The named observables recorded by one (scenario, seed) execution.
 ///
 /// Names may repeat (e.g. several committee-size samples per seed); cell
 /// aggregation flattens repeated names into one sample list.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// The seed this record was produced under.
     pub seed: u64,
     /// Named observables, in recording order.
-    pub values: Vec<(&'static str, f64)>,
+    pub values: Vec<(ObsName, f64)>,
 }
 
 impl RunRecord {
@@ -32,18 +37,18 @@ impl RunRecord {
     }
 
     /// Records one observable.
-    pub fn push(&mut self, name: &'static str, value: f64) {
-        self.values.push((name, value));
+    pub fn push(&mut self, name: impl Into<ObsName>, value: f64) {
+        self.values.push((name.into(), value));
     }
 
     /// Records a boolean observable as 0.0/1.0.
-    pub fn push_flag(&mut self, name: &'static str, value: bool) {
+    pub fn push_flag(&mut self, name: impl Into<ObsName>, value: bool) {
         self.push(name, value as u64 as f64);
     }
 
     /// First value recorded under `name`, if any.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.values.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+        self.values.iter().find(|(k, _)| k.as_ref() == name).map(|(_, v)| *v)
     }
 
     /// True when the flag `name` was recorded as nonzero.
@@ -58,14 +63,29 @@ impl RunRecord {
     }
 }
 
+/// A structured record of a cell the distributed coordinator quarantined:
+/// the cell's work never completed because every dispatch attempt killed
+/// the worker executing it (see `crate::dist`). Quarantined cells surface
+/// in the markdown and JSON renderers instead of silently vanishing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellError {
+    /// Worker deaths attributed to this cell before it was quarantined.
+    pub attempts: u32,
+    /// Human-readable description of the last observed failure.
+    pub detail: String,
+}
+
 /// One scenario's executed cell: the scenario plus its per-seed records
 /// (in seed order).
 #[derive(Clone, Debug)]
 pub struct CellReport {
     /// The scenario that produced this cell.
     pub scenario: Scenario,
-    /// Per-seed records, ordered by seed.
+    /// Per-seed records, ordered by seed (empty for a quarantined cell).
     pub runs: Vec<RunRecord>,
+    /// The quarantine record, when the distributed coordinator gave up on
+    /// this cell (`None` for every successfully executed cell).
+    pub error: Option<CellError>,
 }
 
 impl CellReport {
@@ -74,7 +94,7 @@ impl CellReport {
     pub fn samples(&self, name: &str) -> Vec<f64> {
         self.runs
             .iter()
-            .flat_map(|r| r.values.iter().filter(|(k, _)| *k == name).map(|(_, v)| *v))
+            .flat_map(|r| r.values.iter().filter(|(k, _)| k.as_ref() == name).map(|(_, v)| *v))
             .collect()
     }
 
@@ -126,7 +146,7 @@ impl Sweep {
     }
 
     /// Seeds scenario `idx` will run (its override or the sweep default).
-    fn seeds_of(&self, idx: usize) -> u64 {
+    pub(crate) fn seeds_of(&self, idx: usize) -> u64 {
         self.scenarios[idx].seeds.unwrap_or(self.seeds)
     }
 
@@ -179,6 +199,7 @@ impl Sweep {
                             .expect("worker filled the slot")
                     })
                     .collect(),
+                error: None,
             })
             .collect();
         SweepReport { title: self.title.clone(), seeds: self.seeds, cells }

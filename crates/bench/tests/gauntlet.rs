@@ -60,13 +60,37 @@ fn gauntlet_sim_thread_matrix_byte_identical() {
 fn honest_cells_are_clean() {
     for report in smoke_reports(2) {
         for cell in &report.cells {
-            if !cell.scenario.label.starts_with("passive@") {
+            // Both `passive@` and the mined families' real-VRF
+            // `passive_real@` rows are honest executions.
+            if !cell.scenario.label.starts_with("passive") {
                 continue;
             }
             assert_eq!(cell.count("all_ok"), cell.runs.len(), "{}: honest failure", report.title);
             assert_eq!(cell.total("dropped_sends"), 0.0, "{}: honest drop", report.title);
             assert_eq!(cell.total("corrupt_sends"), 0.0, "{}: phantom corrupt", report.title);
         }
+    }
+}
+
+/// The real-eligibility satellite: switching the honest baseline to the
+/// Appendix D VRF compiler changes the committee draws (a different
+/// randomness source) but must leave every *safety* observable of the
+/// honest cell identical to the ideal-functionality row at the same seeds.
+#[test]
+fn real_vs_ideal_eligibility_preserves_honest_safety() {
+    let reports = smoke_reports(2);
+    for sweep in ["iter/subq_half", "epoch/subq_third"] {
+        for metric in ["consistent", "valid", "terminated", "all_ok", "dropped_sends"] {
+            let ideal = cell_samples(&reports, sweep, "passive@static/f=0", metric);
+            let real = cell_samples(&reports, sweep, "passive_real@static/f=0", metric);
+            assert_eq!(
+                ideal, real,
+                "{sweep}: safety observable {metric:?} differs between ideal and real eligibility"
+            );
+        }
+        // And the safety flags are not vacuous: every run is fully ok.
+        let real_ok = cell_samples(&reports, sweep, "passive_real@static/f=0", "all_ok");
+        assert_eq!(real_ok, [1.0, 1.0], "{sweep}: real-eligibility honest cell failed");
     }
 }
 
@@ -122,6 +146,52 @@ fn golden_equivocation_spammer_cell() {
     assert_eq!(cell("consistent"), [1.0, 1.0]);
     assert_eq!(cell("all_ok"), [1.0, 1.0]);
 }
+
+/// Pinned-seed goldens for the composed-adversary satellite rows, plus the
+/// legality assertion: the composition's two wings share one corruption
+/// budget and may never exceed it.
+#[test]
+fn golden_eclipse_burst_cells() {
+    let reports = smoke_reports(2);
+    // iter/subq_half at full budget f = 19: the burst wing silences the
+    // last 9 nodes, the eclipse wing spends the remaining 10 adaptively.
+    let iter_cell = |m| cell_samples(&reports, "iter/subq_half", "eclipse_burst@adaptive/f=19", m);
+    assert_eq!(iter_cell("rounds"), GOLDEN_EB_ITER_ROUNDS);
+    assert_eq!(iter_cell("multicasts"), GOLDEN_EB_ITER_MULTICASTS);
+    assert_eq!(iter_cell("corruptions"), GOLDEN_EB_ITER_CORRUPTIONS);
+    assert_eq!(iter_cell("injected_sends"), GOLDEN_EB_ITER_INJECTED);
+    // epoch/subq_third at full budget f = 10.
+    let epoch_cell =
+        |m| cell_samples(&reports, "epoch/subq_third", "eclipse_burst@adaptive/f=10", m);
+    assert_eq!(epoch_cell("rounds"), GOLDEN_EB_EPOCH_ROUNDS);
+    assert_eq!(epoch_cell("corruptions"), GOLDEN_EB_EPOCH_CORRUPTIONS);
+    // Legality on every composed row of the whole matrix: never over
+    // budget, never removing.
+    for report in &reports {
+        for cell in &report.cells {
+            if !cell.scenario.label.starts_with("eclipse_burst@") {
+                continue;
+            }
+            let f = cell.scenario.f as f64;
+            assert!(
+                cell.samples("corruptions").iter().all(|&c| c <= f),
+                "{}/{}: composition exceeded the budget",
+                report.title,
+                cell.scenario.label
+            );
+            assert_eq!(cell.total("removals"), 0.0, "{}: composition removed", report.title);
+        }
+    }
+}
+
+// Golden values regenerated from `e11_gauntlet --grid smoke --seeds 2`;
+// each array is [seed 0, seed 1] for the named metric.
+const GOLDEN_EB_ITER_ROUNDS: [f64; 2] = [15.0, 26.0];
+const GOLDEN_EB_ITER_MULTICASTS: [f64; 2] = [70.0, 60.0];
+const GOLDEN_EB_ITER_CORRUPTIONS: [f64; 2] = [19.0, 19.0];
+const GOLDEN_EB_ITER_INJECTED: [f64; 2] = [5.0, 6.0];
+const GOLDEN_EB_EPOCH_ROUNDS: [f64; 2] = [13.0, 13.0];
+const GOLDEN_EB_EPOCH_CORRUPTIONS: [f64; 2] = [10.0, 10.0];
 
 #[test]
 fn model_legality_edges_hold() {
