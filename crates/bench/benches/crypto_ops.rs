@@ -222,6 +222,16 @@ fn bench_dleq(c: &mut Criterion) {
     let proof = dleq::prove(&sk, &h, &v);
     c.bench_function("dleq/prove", |b| b.iter(|| dleq::prove(&sk, &h, &v)));
     c.bench_function("dleq/verify", |b| b.iter(|| assert!(dleq::verify(&pk, &h, &v, &proof))));
+    // Registered long-lived keys: pk^{-e} leaves the shared squaring chain
+    // and runs off the cached fixed-base table.
+    let sk2 = g.scalar_from_bytes(b"bench-dleq-cached");
+    let pk2 = g.pow_g(&sk2);
+    let v2 = g.pow(&h, &sk2);
+    let proof2 = dleq::prove(&sk2, &h, &v2);
+    g.ensure_cached_table(&pk2);
+    c.bench_function("dleq/verify_cached_pk", |b| {
+        b.iter(|| assert!(dleq::verify(&pk2, &h, &v2, &proof2)))
+    });
 }
 
 fn bench_eligibility(c: &mut Criterion) {

@@ -8,6 +8,11 @@
 //! * `--sim-threads N` — worker threads *inside* each execution (default:
 //!   scenario-specified, usually 1); outputs are byte-identical at every
 //!   `--threads` × `--sim-threads` combination;
+//! * `--population sparse|dense` — population engine applied to every
+//!   scenario (default: scenario-specified, usually dense). Sparse runs
+//!   materialize only active nodes; sparse-capable protocol families are
+//!   byte-identical to dense and the rest silently fall back, so this is
+//!   a resource knob like `--sim-threads`;
 //! * `--workers N` — distribute the grid's cells across `N` worker
 //!   *subprocesses* instead of in-process threads (crash-recovering; see
 //!   docs/DISTRIBUTED.md). Outputs are byte-identical to the in-process
@@ -22,6 +27,8 @@
 
 use std::path::PathBuf;
 use std::time::Instant;
+
+use ba_sim::PopulationMode;
 
 use crate::dist::{self, DistConfig};
 use crate::report::{quarantine_summary, to_csv, to_json};
@@ -51,6 +58,9 @@ pub struct Cli {
     /// `--sim-threads` override: in-execution worker count applied to every
     /// scenario in every sweep (`None` = keep scenario-specified values).
     pub sim_threads: Option<usize>,
+    /// `--population` override: population engine applied to every scenario
+    /// in every sweep (`None` = keep scenario-specified values).
+    pub population: Option<PopulationMode>,
     /// `--workers`: distribute cells across this many worker subprocesses
     /// (`None` = in-process execution on [`Cli::threads`]).
     pub workers: Option<usize>,
@@ -94,6 +104,7 @@ impl Cli {
             grid: Grid::Full,
             threads: default_threads(),
             sim_threads: None,
+            population: None,
             workers: None,
             worker_cmd: None,
             worker_mode: false,
@@ -131,6 +142,10 @@ impl Cli {
                         .parse()
                         .unwrap_or_else(|_| die("--sim-threads: not a number"));
                     cli.sim_threads = Some(t.max(1));
+                }
+                "--population" => {
+                    let raw = value("--population");
+                    cli.population = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
                 }
                 "--workers" => {
                     let w: usize = value("--workers")
@@ -182,7 +197,8 @@ impl Cli {
                     println!(
                         "{experiment} — see EXPERIMENTS.md\n\n\
                          USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
-                         \x20                 [--sim-threads N] [--workers N] [--worker-cmd CMD]\n\
+                         \x20                 [--sim-threads N] [--population sparse|dense]\n\
+                         \x20                 [--workers N] [--worker-cmd CMD]\n\
                          \x20                 [--format md,csv,json|all] [--out DIR]\n\
                          \x20      {experiment} --worker   (serve the distributed wire protocol;\n\
                          \x20                 see docs/DISTRIBUTED.md)"
@@ -219,6 +235,13 @@ impl Cli {
             for sweep in &mut sweeps {
                 for scenario in &mut sweep.scenarios {
                     scenario.sim_threads = sim_threads;
+                }
+            }
+        }
+        if let Some(population) = self.population {
+            for sweep in &mut sweeps {
+                for scenario in &mut sweep.scenarios {
+                    scenario.population = population;
                 }
             }
         }
@@ -330,6 +353,21 @@ mod tests {
             reports[0].cells[0].samples("multicasts"),
             serial.cells[0].samples("multicasts")
         );
+    }
+
+    #[test]
+    fn population_flag_overrides_scenarios() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let cli = parse(&["--population", "sparse"]);
+        assert_eq!(cli.population, Some(PopulationMode::Sparse));
+        // QuadraticHalf is not sparse-capable: the run must silently fall
+        // back and match the dense report.
+        let sweep = Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]);
+        let reports = cli.run(vec![sweep]);
+        let dense =
+            Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]).run(1);
+        assert_eq!(reports[0].cells[0].samples("multicasts"), dense.cells[0].samples("multicasts"));
+        assert_eq!(parse(&[]).population, None);
     }
 
     #[test]

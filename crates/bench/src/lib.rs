@@ -16,6 +16,7 @@
 //! | `e9_real_vs_ideal` | App. D/E — the VRF compiler preserves behaviour |
 //! | `e10_comparison` | §1 — the cross-protocol property table |
 //! | `e11_gauntlet` | the adversary gauntlet matrix (family × adversary × model × `f'`) |
+//! | `e12_population` | Thm 2 at population scale — sparse engine, n = 10⁵…10⁶ |
 //!
 //! Two more binaries ride on the same engine: `soak` cycles the gauntlet
 //! under a wall-clock/cell budget and streams per-cell JSON lines to disk,
@@ -41,7 +42,8 @@
 //!
 //! Run any experiment with
 //! `cargo run -p ba-bench --release --bin <name> -- [--seeds N] [--grid
-//! full|smoke] [--threads N] [--format md,csv,json|all] [--out DIR]`.
+//! full|smoke] [--threads N] [--population dense|sparse] [--format
+//! md,csv,json|all] [--out DIR]`.
 //! Criterion microbenches live under `benches/`.
 //!
 //! ## Example

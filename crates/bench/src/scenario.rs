@@ -30,10 +30,17 @@ use ba_core::runnable::Runnable;
 use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode};
 use ba_lowerbound::{theorem3, theorem4};
 use ba_sim::{
-    AdvCtx, Adversary, Bit, CorruptionModel, NodeId, Passive, RunReport, SimConfig, Verdict,
+    AdvCtx, Adversary, Bit, CorruptionModel, NodeId, Passive, PopulationMode, RunReport, SimConfig,
+    Verdict,
 };
 
 use crate::sweep::RunRecord;
+
+/// Above this population size, [`EligMode::Real`] builds its [`RealMine`]
+/// backend without per-node fixed-base precomputation tables (~30 KiB per
+/// node). Verdicts are bit-identical either way; only setup memory and
+/// verify latency trade off.
+const REAL_ELIG_UNTABLED_N: usize = 4096;
 
 /// How the environment assigns input bits.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -368,6 +375,13 @@ pub struct Scenario {
     /// report JSON. Large-`n` cells want this > 1; many-cell grids keep it
     /// at 1 and let the sweep's across-run workers fill the cores.
     pub sim_threads: usize,
+    /// Population engine (`SimConfig::population`). Like
+    /// [`Scenario::sim_threads`] this is a resource knob — sparse-capable
+    /// families produce byte-identical reports, others silently fall back
+    /// to dense — so it is deliberately absent from [`Scenario::describe`]
+    /// and the report JSON. Large-`n` grids want [`PopulationMode::Sparse`];
+    /// `--population` on experiment binaries overrides it grid-wide.
+    pub population: PopulationMode,
 }
 
 impl Scenario {
@@ -395,6 +409,7 @@ impl Scenario {
             seed_offset: 0,
             seeds: None,
             sim_threads: 1,
+            population: PopulationMode::Dense,
         }
     }
 
@@ -455,6 +470,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the population engine (see [`Scenario::population`];
+    /// `--population` on experiment binaries overrides it grid-wide).
+    pub fn population(mut self, population: PopulationMode) -> Scenario {
+        self.population = population;
+        self
+    }
+
     /// Key/value description of the configuration (report metadata).
     pub fn describe(&self) -> Vec<(&'static str, String)> {
         vec![
@@ -485,6 +507,14 @@ impl Scenario {
         let build = move |s: u64| -> Arc<dyn Eligibility> {
             match mode {
                 EligMode::Ideal => Arc::new(IdealMine::new(s, MineParams::new(n, lambda))),
+                // Eager per-node fixed-base tables cost ~30 KiB each — fine
+                // for protocol-scale n, ruinous for population-scale grids
+                // (3 GiB at n = 10^5). The untabled setup verifies
+                // bit-identically through the plain-pow fallback and the
+                // proven-statement cache.
+                EligMode::Real if n >= REAL_ELIG_UNTABLED_N => {
+                    Arc::new(RealMine::from_seed_untabled(s, MineParams::new(n, lambda)))
+                }
                 EligMode::Real => Arc::new(RealMine::from_seed(s, MineParams::new(n, lambda))),
             }
         };
@@ -507,8 +537,9 @@ impl Scenario {
     }
 
     fn execute_shared(&self, seed: u64, shared: &SharedElig) -> ScenarioRun {
-        let sim =
-            SimConfig::new(self.n.max(1), self.f, self.model, seed).with_threads(self.sim_threads);
+        let sim = SimConfig::new(self.n.max(1), self.f, self.model, seed)
+            .with_threads(self.sim_threads)
+            .with_population(self.population);
         match &self.protocol {
             ProtocolSpec::SubqHalf { lambda, max_iters } => {
                 let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));

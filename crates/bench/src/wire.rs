@@ -36,7 +36,7 @@ use crate::baseline::{parse_json, Json};
 use crate::report::{json_escape, json_number, to_json_cell_line, CELL_STREAM_SCHEMA};
 use crate::scenario::{AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario};
 use crate::sweep::{RunRecord, Sweep};
-use ba_sim::CorruptionModel;
+use ba_sim::{CorruptionModel, PopulationMode};
 
 /// One unit of distributed work: a single sweep cell, self-contained.
 #[derive(Clone, Debug, PartialEq)]
@@ -242,7 +242,8 @@ fn scenario_spec(sc: &Scenario) -> String {
         "{{\"label\": \"{}\", \"n\": {}, \"f\": {}, \"model\": \"{model}\", \
          \"inputs\": {}, \"adversary\": {}, \"protocol\": {}, \
          \"elig\": \"{elig}\", \"elig_seed\": {elig_seed}, \
-         \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}}}",
+         \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}, \
+         \"population\": \"{}\"}}",
         json_escape(&sc.label),
         sc.n,
         sc.f,
@@ -252,6 +253,7 @@ fn scenario_spec(sc: &Scenario) -> String {
         ju64(sc.seed_offset),
         jopt_u64(sc.seeds),
         sc.sim_threads,
+        sc.population,
     )
 }
 
@@ -470,6 +472,20 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
         seed_offset: dec_u64(obj, "seed_offset")?,
         seeds: dec_opt_u64(obj, "seeds")?,
         sim_threads: dec_usize(obj, "sim_threads")?.max(1),
+        // Encoded by every current coordinator; tolerated absent so workers
+        // keep accepting descriptors from older builds (absent = dense, the
+        // only mode those builds could produce).
+        population: match obj.get("population") {
+            None => PopulationMode::Dense,
+            Some(v) => {
+                let s = v.as_str().ok_or(WireError::Invalid {
+                    field: "population",
+                    detail: "expected a string".into(),
+                })?;
+                s.parse()
+                    .map_err(|e: String| WireError::Invalid { field: "population", detail: e })?
+            }
+        },
     })
 }
 
@@ -712,6 +728,7 @@ mod tests {
             .seed_offset(u64::MAX - 7)
             .seeds(5)
             .sim_threads(2)
+            .population(PopulationMode::Sparse)
     }
 
     #[test]
@@ -741,6 +758,27 @@ mod tests {
         };
         assert_eq!(id, 9);
         assert_eq!(runs, report.cells[0].runs, "wire decoding changed the records");
+    }
+
+    #[test]
+    fn population_field_is_optional_on_decode() {
+        // Descriptors from pre-population coordinators lack the field
+        // entirely; they decode as dense. A malformed value is refused.
+        let desc = CellDescriptor {
+            id: 5,
+            sweep: "s".into(),
+            seeds: 1,
+            scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf),
+        };
+        let line = encode_descriptor(&desc);
+        let legacy = line.replace(", \"population\": \"dense\"", "");
+        assert_ne!(line, legacy, "expected the population field to be encoded");
+        assert_eq!(decode_descriptor(&legacy).expect("legacy line decodes"), desc);
+        let mangled = line.replace("\"population\": \"dense\"", "\"population\": \"ultra\"");
+        assert!(matches!(
+            decode_descriptor(&mangled),
+            Err(WireError::Invalid { field: "population", .. })
+        ));
     }
 
     #[test]

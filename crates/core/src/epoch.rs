@@ -31,13 +31,15 @@
 //! After `R` epochs every node outputs the bit it last acked (its final
 //! `b*`).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use ba_crypto::hmac::HmacDrbg;
-use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind};
+use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind, NeverMine};
 use ba_sim::{
-    evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
-    RunReport, Sim, SimConfig, Verdict,
+    evaluate, run_sparse, ActivationOracle, Adversary, Bit, BoxedProtocol, Incoming, Message,
+    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, Sim, SimConfig,
+    SparseSpec, Verdict,
 };
 
 use crate::auth::{Auth, Evidence, FsService};
@@ -162,6 +164,16 @@ impl EpochConfig {
     /// final tally/output round.
     pub fn total_rounds(&self) -> u64 {
         2 * self.epochs + 1
+    }
+
+    /// Whether this configuration can run under the sparse population
+    /// engine. Requires mined leaders and plain mined authentication:
+    /// round-robin leaders are id-dependent full-participation oracles, and
+    /// the Chen–Micali forward-secure regime erases per-node slot keys on
+    /// the shared [`FsService`] every round — a per-silent-node side effect
+    /// a ghost cannot mirror. Both fall back to the dense engine.
+    pub fn supports_sparse(&self) -> bool {
+        self.leader == LeaderMode::Mined && matches!(self.auth, Auth::Mined { .. })
     }
 }
 
@@ -362,8 +374,99 @@ impl Protocol<EpochMsg> for EpochNode {
     }
 }
 
+/// Predicts each round's possible speakers for the sparse population
+/// engine. The epoch schedule is rigid — proposals on even rounds, acks on
+/// odd rounds, nothing in the final tally round — so each round probes
+/// exactly the two bit-committees of that round's tag kind via the
+/// eligibility backend's side-effect-free `would_mine` (sharedized when the
+/// regime uses a shared committee, mirroring `attest`). Committees are
+/// memoized per probed tag.
+struct EpochOracle {
+    n: usize,
+    epochs: u64,
+    bit_specific: bool,
+    elig: Arc<dyn Eligibility>,
+    memo: HashMap<MineTag, Vec<NodeId>>,
+}
+
+impl EpochOracle {
+    fn committee(&mut self, tag: MineTag) -> &[NodeId] {
+        let probe = if self.bit_specific { tag } else { tag.sharedized() };
+        let (n, elig) = (self.n, &self.elig);
+        self.memo
+            .entry(probe)
+            .or_insert_with(|| (0..n).map(NodeId).filter(|&i| elig.would_mine(i, &probe)).collect())
+    }
+}
+
+impl ActivationOracle for EpochOracle {
+    fn candidates(&mut self, round: Round) -> Vec<NodeId> {
+        let r = round.0;
+        if r >= 2 * self.epochs {
+            return Vec::new(); // final tally round: nobody speaks
+        }
+        let epoch = r / 2;
+        let kind = if r.is_multiple_of(2) { MsgKind::Propose } else { MsgKind::Ack };
+        let mut out = Vec::new();
+        for bit in [false, true] {
+            out.extend_from_slice(self.committee(MineTag::new(kind, epoch, bit)));
+        }
+        out
+    }
+}
+
+/// Builds the sparse-engine spec for this configuration, or `None` when it
+/// cannot run sparsely (see [`EpochConfig::supports_sparse`]) so callers
+/// fall back to the dense engine.
+fn sparse_spec(cfg: &EpochConfig, inputs: &[Bit], sim: &SimConfig) -> Option<SparseSpec<EpochMsg>> {
+    if !cfg.supports_sparse() {
+        return None;
+    }
+    let Auth::Mined { elig, bit_specific, keychain } = &cfg.auth else {
+        return None;
+    };
+    // Ghosts can never win a committee seat (NeverMine) but verify exactly
+    // like real nodes, and carry the out-of-range id `n` so any accidental
+    // send is detectable. Their seed only feeds the leader-coin DRBG, whose
+    // draws a never-eligible candidate never exposes.
+    let mut ghost_cfg = cfg.clone();
+    ghost_cfg.auth = Auth::Mined {
+        elig: Arc::new(NeverMine(Arc::clone(elig))),
+        bit_specific: *bit_specific,
+        keychain: keychain.clone(),
+    };
+    let n = cfg.n;
+    let ghost_seed = sim.seed ^ 0x6057_1A5E_1D0C_0DE1;
+    let ghost = |bit: Bit| -> BoxedProtocol<EpochMsg> {
+        Box::new(EpochNode::new(ghost_cfg.clone(), NodeId(n), bit, ghost_seed ^ bit as u64))
+    };
+    let oracle = EpochOracle {
+        n,
+        epochs: cfg.epochs,
+        bit_specific: *bit_specific,
+        elig: Arc::clone(elig),
+        memo: HashMap::new(),
+    };
+    let cfg_for_factory = cfg.clone();
+    let inputs_for_factory = inputs.to_vec();
+    Some(SparseSpec {
+        factory: Box::new(move |id, seed| {
+            Box::new(EpochNode::new(
+                cfg_for_factory.clone(),
+                id,
+                inputs_for_factory[id.index()],
+                seed,
+            ))
+        }),
+        ghosts: [ghost(false), ghost(true)],
+        oracle: Box::new(oracle),
+    })
+}
+
 /// Runs one execution of an epoch-family protocol and evaluates the verdict
-/// for the agreement problem.
+/// for the agreement problem. Honors [`SimConfig::population`]:
+/// sparse-capable configurations run under the sparse engine
+/// (byte-identical report); others silently use the dense engine.
 pub fn run<A: Adversary<EpochMsg> + Send>(
     cfg: &EpochConfig,
     sim: &SimConfig,
@@ -372,11 +475,25 @@ pub fn run<A: Adversary<EpochMsg> + Send>(
 ) -> (RunReport, Verdict) {
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(cfg.total_rounds() + 1);
-    let cfg_for_factory = cfg.clone();
-    let inputs_for_factory = inputs.clone();
-    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
-        Box::new(EpochNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
-    });
+    let spec = match sim_cfg.population {
+        PopulationMode::Sparse => sparse_spec(cfg, &inputs, &sim_cfg),
+        PopulationMode::Dense => None,
+    };
+    let report = match spec {
+        Some(spec) => run_sparse(&sim_cfg, inputs, adversary, spec),
+        None => {
+            let cfg_for_factory = cfg.clone();
+            let inputs_for_factory = inputs.clone();
+            Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
+                Box::new(EpochNode::new(
+                    cfg_for_factory.clone(),
+                    id,
+                    inputs_for_factory[id.index()],
+                    seed,
+                ))
+            })
+        }
+    };
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
 }
@@ -526,6 +643,70 @@ mod tests {
             assert!(verdict.all_ok(), "erasure={erasure}: {verdict:?}");
             assert!(report.outputs.iter().all(|o| *o == Some(true)));
         }
+    }
+
+    #[test]
+    fn sparse_subq_byte_identical_to_dense() {
+        for seed in 0..4 {
+            let cfg = subq_cfg(72, 18.0, 8, seed);
+            let inputs: Vec<Bit> = (0..72).map(|i| i % 2 == 0).collect();
+            let dense_sim = SimConfig::new(72, 0, CorruptionModel::Static, seed);
+            let sparse_sim = dense_sim.clone().with_population(PopulationMode::Sparse);
+            let (dense, _) = run(&cfg, &dense_sim, inputs.clone(), Passive);
+            let (sparse, _) = run(&cfg, &sparse_sim, inputs.clone(), Passive);
+            assert_eq!(sparse, dense, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_materializes_committees_not_population() {
+        // lambda << n: ack committees (p = 12/400) over 5 epochs union to a
+        // small fraction of the population.
+        let n = 400;
+        let cfg = subq_cfg(n, 12.0, 5, 3);
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, 3)
+            .with_population(PopulationMode::Sparse);
+        let (report, verdict) = run(&cfg, &sim, vec![true; n], Passive);
+        assert!(verdict.all_ok(), "{verdict:?}");
+        assert!(
+            report.metrics.peak_live_nodes < (n / 2) as u64,
+            "peak_live={} should be far below n={n}",
+            report.metrics.peak_live_nodes
+        );
+    }
+
+    #[test]
+    fn sparse_shared_committee_byte_identical_to_dense() {
+        let n = 60;
+        let elig = Arc::new(IdealMine::new(8, MineParams::new(n, 20.0)));
+        let kc = Arc::new(Keychain::from_seed(8, n, SigMode::Ideal));
+        let cfg = EpochConfig::subq_shared(n, 8, elig, kc);
+        assert!(cfg.supports_sparse());
+        let inputs: Vec<Bit> = (0..n).map(|i| i % 5 == 0).collect();
+        let dense_sim = SimConfig::new(n, 0, CorruptionModel::Static, 8);
+        let sparse_sim = dense_sim.clone().with_population(PopulationMode::Sparse);
+        let (dense, _) = run(&cfg, &dense_sim, inputs.clone(), Passive);
+        let (sparse, _) = run(&cfg, &sparse_sim, inputs, Passive);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn sparse_falls_back_for_round_robin_and_fs_regimes() {
+        // Round-robin leaders: id-dependent, full participation.
+        let cfg = warmup_cfg(7, 4);
+        assert!(!cfg.supports_sparse());
+        let dense_sim = SimConfig::new(7, 0, CorruptionModel::Static, 2);
+        let sparse_sim = dense_sim.clone().with_population(PopulationMode::Sparse);
+        let (dense, _) = run(&cfg, &dense_sim, vec![true; 7], Passive);
+        let (fallback, _) = run(&cfg, &sparse_sim, vec![true; 7], Passive);
+        assert_eq!(fallback, dense);
+        assert_eq!(fallback.metrics.peak_live_nodes, 7);
+        // Chen–Micali: per-node key erasure on the shared FsService.
+        let n = 24;
+        let elig = Arc::new(IdealMine::new(9, MineParams::new(n, 12.0)));
+        let fs = Arc::new(FsService::from_seed(9, n, 7));
+        let cm = EpochConfig::chen_micali(n, 6, elig, fs, true);
+        assert!(!cm.supports_sparse());
     }
 
     #[test]

@@ -35,10 +35,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ba_crypto::hmac::HmacDrbg;
-use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind};
+use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind, NeverMine};
 use ba_sim::{
-    evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
-    RunReport, Sim, SimConfig, Verdict,
+    evaluate, run_sparse, ActivationOracle, Adversary, Bit, BoxedProtocol, Incoming, Message,
+    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, Sim, SimConfig,
+    SparseSpec, Verdict,
 };
 
 use crate::auth::{Auth, Evidence};
@@ -206,6 +207,16 @@ impl IterConfig {
     /// Synchronous rounds consumed by `max_iters` iterations.
     pub fn total_rounds(&self) -> u64 {
         2 + (self.max_iters.saturating_sub(1)) * 4 + 2
+    }
+
+    /// Whether this configuration can run under the sparse population
+    /// engine: speakers must be predictable by probing the eligibility
+    /// backend, which requires mined (committee-subsampled) authentication
+    /// and mined leader self-election. Signed regimes (everyone speaks every
+    /// round) and the public-leader oracle (id-dependent schedule with full
+    /// Status/Vote participation) fall back to the dense engine.
+    pub fn supports_sparse(&self) -> bool {
+        matches!(self.leader, IterLeaderMode::Mined) && matches!(self.auth, Auth::Mined { .. })
     }
 }
 
@@ -614,8 +625,117 @@ impl Protocol<IterMsg> for IterNode {
     }
 }
 
+/// Predicts each round's possible speakers for the sparse population engine
+/// by probing the eligibility backend's side-effect-free `would_mine` for
+/// every tag the round's schedule lets a node attest — plus the Terminate
+/// tags, which `finish` can fire in **any** round once a node decides.
+/// Committees are memoized per probed tag, so each tag costs one `O(n)`
+/// probe sweep over the whole run.
+struct IterOracle {
+    n: usize,
+    max_iters: u64,
+    /// Mirrors [`Auth::Mined`]'s flag: shared committees probe the
+    /// bit-erased tag, exactly as `attest` mines it.
+    bit_specific: bool,
+    elig: Arc<dyn Eligibility>,
+    memo: HashMap<MineTag, Vec<NodeId>>,
+}
+
+impl IterOracle {
+    fn committee(&mut self, tag: MineTag) -> &[NodeId] {
+        let probe = if self.bit_specific { tag } else { tag.sharedized() };
+        let (n, elig) = (self.n, &self.elig);
+        self.memo
+            .entry(probe)
+            .or_insert_with(|| (0..n).map(NodeId).filter(|&i| elig.would_mine(i, &probe)).collect())
+    }
+}
+
+impl ActivationOracle for IterOracle {
+    fn candidates(&mut self, round: Round) -> Vec<NodeId> {
+        let mut tags = vec![MineTag::terminate(false), MineTag::terminate(true)];
+        let (iter, phase) = schedule(round.0);
+        if iter <= self.max_iters {
+            match phase {
+                Phase::Status => tags.extend([
+                    MineTag::new(MsgKind::Status, iter, false),
+                    MineTag::new(MsgKind::Status, iter, true),
+                    MineTag::bot(MsgKind::Status, iter),
+                ]),
+                Phase::Propose => tags.extend([
+                    MineTag::new(MsgKind::Propose, iter, false),
+                    MineTag::new(MsgKind::Propose, iter, true),
+                ]),
+                Phase::Vote => tags.extend([
+                    MineTag::new(MsgKind::Vote, iter, false),
+                    MineTag::new(MsgKind::Vote, iter, true),
+                ]),
+                Phase::Commit => tags.extend([
+                    MineTag::new(MsgKind::Commit, iter, false),
+                    MineTag::new(MsgKind::Commit, iter, true),
+                ]),
+            }
+        }
+        let mut out = Vec::new();
+        for tag in tags {
+            out.extend_from_slice(self.committee(tag));
+        }
+        out
+    }
+}
+
+/// Builds the sparse-engine spec for this configuration, or `None` when it
+/// cannot run sparsely (see [`IterConfig::supports_sparse`]) so callers fall
+/// back to the dense engine.
+fn sparse_spec(cfg: &IterConfig, inputs: &[Bit], sim: &SimConfig) -> Option<SparseSpec<IterMsg>> {
+    if !cfg.supports_sparse() {
+        return None;
+    }
+    let Auth::Mined { elig, bit_specific, keychain } = &cfg.auth else {
+        return None;
+    };
+    // Ghosts can never win a committee seat (NeverMine) but verify exactly
+    // like real nodes, and carry the out-of-range id `n` so any accidental
+    // send is detectable. Their seed only feeds the leader-coin DRBG, which
+    // a non-candidate never exposes.
+    let mut ghost_cfg = cfg.clone();
+    ghost_cfg.auth = Auth::Mined {
+        elig: Arc::new(NeverMine(Arc::clone(elig))),
+        bit_specific: *bit_specific,
+        keychain: keychain.clone(),
+    };
+    let n = cfg.n;
+    let ghost_seed = sim.seed ^ 0x6057_1A5E_1D0C_0DE0;
+    let ghost = |bit: Bit| -> BoxedProtocol<IterMsg> {
+        Box::new(IterNode::new(ghost_cfg.clone(), NodeId(n), bit, ghost_seed ^ bit as u64))
+    };
+    let oracle = IterOracle {
+        n,
+        max_iters: cfg.max_iters,
+        bit_specific: *bit_specific,
+        elig: Arc::clone(elig),
+        memo: HashMap::new(),
+    };
+    let cfg_for_factory = cfg.clone();
+    let inputs_for_factory = inputs.to_vec();
+    Some(SparseSpec {
+        factory: Box::new(move |id, seed| {
+            Box::new(IterNode::new(
+                cfg_for_factory.clone(),
+                id,
+                inputs_for_factory[id.index()],
+                seed,
+            ))
+        }),
+        ghosts: [ghost(false), ghost(true)],
+        oracle: Box::new(oracle),
+    })
+}
+
 /// Runs one execution of an iteration-family protocol and evaluates the
-/// agreement verdict.
+/// agreement verdict. Honors [`SimConfig::population`]: sparse-capable
+/// configurations run under the sparse engine (byte-identical report);
+/// others silently use the dense engine.
 pub fn run<A: Adversary<IterMsg> + Send>(
     cfg: &IterConfig,
     sim: &SimConfig,
@@ -624,11 +744,25 @@ pub fn run<A: Adversary<IterMsg> + Send>(
 ) -> (RunReport, Verdict) {
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.min(cfg.total_rounds() + 2);
-    let cfg_for_factory = cfg.clone();
-    let inputs_for_factory = inputs.clone();
-    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
-        Box::new(IterNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()], seed))
-    });
+    let spec = match sim_cfg.population {
+        PopulationMode::Sparse => sparse_spec(cfg, &inputs, &sim_cfg),
+        PopulationMode::Dense => None,
+    };
+    let report = match spec {
+        Some(spec) => run_sparse(&sim_cfg, inputs, adversary, spec),
+        None => {
+            let cfg_for_factory = cfg.clone();
+            let inputs_for_factory = inputs.clone();
+            Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
+                Box::new(IterNode::new(
+                    cfg_for_factory.clone(),
+                    id,
+                    inputs_for_factory[id.index()],
+                    seed,
+                ))
+            })
+        }
+    };
     let verdict = evaluate(Problem::Agreement, &report);
     (report, verdict)
 }
@@ -761,6 +895,53 @@ mod tests {
             (1..20).map(|r| cfg.oracle_leader(r).unwrap()).collect();
         assert!(distinct.len() > 3, "20 draws should hit several leaders");
         assert!(subq_cfg(8, 4.0, 0).oracle_leader(1).is_none());
+    }
+
+    #[test]
+    fn sparse_subq_byte_identical_to_dense() {
+        for seed in 0..4 {
+            let cfg = subq_cfg(96, 24.0, seed);
+            let inputs: Vec<Bit> = (0..96).map(|i| i % 3 != 0).collect();
+            let dense_sim = SimConfig::new(96, 0, CorruptionModel::Static, seed);
+            let sparse_sim = dense_sim.clone().with_population(PopulationMode::Sparse);
+            let (dense, dv) = run(&cfg, &dense_sim, inputs.clone(), Passive);
+            let (sparse, sv) = run(&cfg, &sparse_sim, inputs.clone(), Passive);
+            assert_eq!(sparse, dense, "seed={seed}");
+            assert_eq!(format!("{sv:?}"), format!("{dv:?}"), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_materializes_committees_not_population() {
+        // The memory win needs lambda << n: with per-tag eligibility
+        // probability 16/512, the union of all phase committees over a short
+        // run stays well below n.
+        let n = 512;
+        let cfg = subq_cfg(n, 16.0, 5);
+        let inputs = vec![true; n]; // unanimous: decides in iteration 1
+        let sim = SimConfig::new(n, 0, CorruptionModel::Static, 5)
+            .with_population(PopulationMode::Sparse);
+        let (report, verdict) = run(&cfg, &sim, inputs, Passive);
+        assert!(verdict.all_ok(), "{verdict:?}");
+        assert!(
+            report.metrics.peak_live_nodes < (n / 2) as u64,
+            "peak_live={} should be far below n={n}",
+            report.metrics.peak_live_nodes
+        );
+    }
+
+    #[test]
+    fn sparse_falls_back_to_dense_for_signed_regime() {
+        let cfg = quad_cfg(9, 4);
+        assert!(!cfg.supports_sparse());
+        let dense_sim = SimConfig::new(9, 0, CorruptionModel::Static, 4);
+        let sparse_sim = dense_sim.clone().with_population(PopulationMode::Sparse);
+        let inputs: Vec<Bit> = (0..9).map(|i| i % 2 == 0).collect();
+        let (dense, _) = run(&cfg, &dense_sim, inputs.clone(), Passive);
+        let (fallback, _) = run(&cfg, &sparse_sim, inputs, Passive);
+        assert_eq!(fallback, dense);
+        // Dense fallback materializes everyone.
+        assert_eq!(fallback.metrics.peak_live_nodes, 9);
     }
 
     #[test]

@@ -43,10 +43,16 @@ pub struct VrfOutput {
     pub proof: DleqProof,
 }
 
+/// `ρ = SHA256(tag || gamma)` — shared by [`VrfOutput::rho`] and the
+/// proof-free [`VrfSecretKey::score_prepared`] probe.
+fn rho_of_gamma(gamma: &Element) -> [u8; 32] {
+    Sha256::digest_parts(&[b"ba-crypto/vrf/output/v1", &gamma.to_bytes()])
+}
+
 impl VrfOutput {
     /// The 32-byte pseudorandom string `ρ = SHA256(tag || gamma)`.
     pub fn rho(&self) -> [u8; 32] {
-        Sha256::digest_parts(&[b"ba-crypto/vrf/output/v1", &self.gamma.to_bytes()])
+        rho_of_gamma(&self.gamma)
     }
 
     /// Interprets the first 8 bytes of `ρ` as a uniform `u64` — the value
@@ -117,6 +123,18 @@ impl VrfSecretKey {
         let proof =
             dleq::prove_with_base_table(&self.sk, &self.pk.0, &input.h, &input.table, &gamma);
         VrfOutput { gamma, proof }
+    }
+
+    /// The `rho_u64` score of this key's evaluation on a [`PreparedInput`],
+    /// computed **without** the DLEQ proof — one table exponentiation
+    /// instead of three. Bit-identical to
+    /// `self.evaluate_prepared(input).rho_u64()`; for private eligibility
+    /// probes (the prover knows its own key, so no proof is needed).
+    pub fn score_prepared(&self, input: &PreparedInput) -> u64 {
+        let g = Group::standard();
+        let gamma = g.pow_with_table(&input.table, &self.sk);
+        let rho = rho_of_gamma(&gamma);
+        u64::from_be_bytes(rho[..8].try_into().expect("32-byte digest"))
     }
 }
 
@@ -275,6 +293,15 @@ mod tests {
         assert_ne!(o0.rho(), o1.rho());
         assert!(key.public_key().verify(m0, &o0));
         assert!(!key.public_key().verify(m1, &o0));
+    }
+
+    #[test]
+    fn score_prepared_matches_full_evaluation() {
+        let input = PreparedInput::new(b"(Vote, r=2, b=1)");
+        for i in 0..8u32 {
+            let key = VrfSecretKey::from_seed(&i.to_be_bytes());
+            assert_eq!(key.score_prepared(&input), key.evaluate_prepared(&input).rho_u64());
+        }
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub trait Eligibility: Send + Sync {
     /// Attempts to mine `tag` as `node`. Deterministic and idempotent.
     fn mine(&self, node: NodeId, tag: &MineTag) -> Option<Ticket>;
 
+    /// Side-effect-free eligibility probe: whether [`Eligibility::mine`]
+    /// *would* succeed for `(node, tag)` — without recording a Figure-1
+    /// mining attempt and without constructing a ticket.
+    ///
+    /// This is the sparse-population engine's activation oracle: it asks the
+    /// question for every node without perturbing the functionality's
+    /// observable state (`verify` for a never-attempted tag must keep
+    /// returning `0`, exactly as if the probe never happened).
+    fn would_mine(&self, node: NodeId, tag: &MineTag) -> bool;
+
     /// Verifies a claimed ticket.
     fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool;
 
@@ -74,6 +84,48 @@ pub trait Eligibility: Send + Sync {
 
     /// The number of nodes `n`.
     fn n(&self) -> usize;
+}
+
+/// An [`Eligibility`] wrapper whose `mine` always fails — the backend the
+/// sparse-population engine hands its *ghost* instances (stand-ins for the
+/// silent majority).
+///
+/// A ghost must trace exactly the state trajectory of a node that never
+/// wins an election: `mine`/`would_mine` return failure **without
+/// delegating** (delegation would record Figure-1 attempts under an id the
+/// real execution never mined for, perturbing the shared functionality),
+/// while verification and parameters delegate unchanged so the ghost
+/// processes its inbox exactly like a live node.
+pub struct NeverMine(pub std::sync::Arc<dyn Eligibility>);
+
+impl Eligibility for NeverMine {
+    fn mine(&self, _node: NodeId, _tag: &MineTag) -> Option<Ticket> {
+        None
+    }
+
+    fn would_mine(&self, _node: NodeId, _tag: &MineTag) -> bool {
+        false
+    }
+
+    fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool {
+        self.0.verify(node, tag, ticket)
+    }
+
+    fn verify_batch(&self, items: &[(NodeId, &MineTag, &Ticket)]) -> bool {
+        self.0.verify_batch(items)
+    }
+
+    fn supports_batch(&self) -> bool {
+        self.0.supports_batch()
+    }
+
+    fn lambda(&self) -> f64 {
+        self.0.lambda()
+    }
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
 }
 
 #[cfg(test)]

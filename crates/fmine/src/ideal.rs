@@ -85,6 +85,12 @@ impl Eligibility for IdealMine {
         coin.then_some(Ticket::Ideal)
     }
 
+    fn would_mine(&self, node: NodeId, tag: &MineTag) -> bool {
+        // The pure Bernoulli coin, *without* the Figure-1 bookkeeping:
+        // `verify` for a never-attempted `(node, tag)` keeps returning 0.
+        self.flip(node, tag)
+    }
+
     fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool {
         if !matches!(ticket, Ticket::Ideal) {
             return false; // a real-world ticket means a protocol wiring bug
@@ -134,6 +140,19 @@ mod tests {
         assert!(!f.verify(NodeId(3), &tag, &Ticket::Ideal));
         assert!(f.mine(NodeId(3), &tag).is_some());
         assert!(f.verify(NodeId(3), &tag, &Ticket::Ideal));
+    }
+
+    #[test]
+    fn would_mine_matches_mine_without_recording_attempts() {
+        let f = IdealMine::new(6, MineParams::new(64, 16.0));
+        let tag = vote_tag(2, true);
+        let probed: Vec<bool> = (0..64).map(|i| f.would_mine(NodeId(i), &tag)).collect();
+        // The probe left no Figure-1 attempts behind: verify still says 0.
+        assert_eq!(f.attempts(), 0);
+        assert!((0..64).all(|i| !f.verify(NodeId(i), &tag, &Ticket::Ideal)));
+        let mined: Vec<bool> = (0..64).map(|i| f.mine(NodeId(i), &tag).is_some()).collect();
+        assert_eq!(probed, mined);
+        assert_eq!(f.attempts(), 64);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod pki;
 pub mod real;
 pub mod tag;
 
-pub use eligibility::{Eligibility, Ticket, TICKET_BITS};
+pub use eligibility::{Eligibility, NeverMine, Ticket, TICKET_BITS};
 pub use ideal::IdealMine;
 pub use params::{probability_to_threshold, MineParams};
 pub use pki::{Keychain, Sig, SigMode, SIG_BITS};

@@ -81,6 +81,22 @@ impl RealMine {
     /// Runs the trusted setup: generates `n` VRF key pairs deterministically
     /// from `seed` and publishes the PKI.
     pub fn from_seed(seed: u64, params: MineParams) -> RealMine {
+        Self::build(seed, params, true)
+    }
+
+    /// [`RealMine::from_seed`] without registering per-node fixed-base
+    /// tables (~30 KiB each — `O(n)` tables would dominate resident memory
+    /// at populations of 10⁵–10⁶ nodes). Verification falls back to plain
+    /// exponentiation on table-cache misses; mining, verdicts, and tickets
+    /// are bit-identical to the tabled setup. Committee work concentrates
+    /// in `O(λ polylog n)` nodes per round and the `proven` cache makes
+    /// each distinct ticket's proof check a one-time cost, so the tables
+    /// buy little at scale.
+    pub fn from_seed_untabled(seed: u64, params: MineParams) -> RealMine {
+        Self::build(seed, params, false)
+    }
+
+    fn build(seed: u64, params: MineParams, register_tables: bool) -> RealMine {
         let secret_keys: Vec<VrfSecretKey> = (0..params.n)
             .map(|i| {
                 let mut s = Vec::with_capacity(32);
@@ -95,8 +111,12 @@ impl RealMine {
         // ticket verification (single and batch) runs off precomputed
         // windows; holding the Arcs keeps the tables safe from eviction
         // for this instance's lifetime.
-        let group = ba_crypto::group::Group::standard();
-        let pk_tables = public_keys.iter().map(|pk| group.ensure_cached_table(&pk.0)).collect();
+        let pk_tables = if register_tables {
+            let group = ba_crypto::group::Group::standard();
+            public_keys.iter().map(|pk| group.ensure_cached_table(&pk.0)).collect()
+        } else {
+            Vec::new()
+        };
         RealMine {
             execution_id: seed,
             params,
@@ -146,6 +166,13 @@ impl Eligibility for RealMine {
         let sk = &self.secret_keys[node.index()];
         let out = sk.evaluate_prepared(&self.prepared(tag));
         (out.rho_u64() < self.params.threshold(tag)).then_some(Ticket::Real(out))
+    }
+
+    fn would_mine(&self, node: NodeId, tag: &MineTag) -> bool {
+        // Score-only probe: one table exponentiation, no DLEQ proof, no
+        // ticket allocation — `mine` succeeds iff this returns true.
+        let sk = &self.secret_keys[node.index()];
+        sk.score_prepared(&self.prepared(tag)) < self.params.threshold(tag)
     }
 
     fn verify(&self, node: NodeId, tag: &MineTag, ticket: &Ticket) -> bool {
@@ -309,6 +336,48 @@ mod tests {
         assert!(!f.verify_batch(&swapped));
         // A batch hitting only the verification cache still accepts.
         assert!(f.verify_batch(&items));
+    }
+
+    #[test]
+    fn would_mine_matches_mine_in_both_setups() {
+        let tabled = RealMine::from_seed(7, MineParams::new(24, 8.0));
+        let untabled = RealMine::from_seed_untabled(7, MineParams::new(24, 8.0));
+        let t = tag(1, false);
+        for i in 0..24 {
+            let expect = tabled.mine(NodeId(i), &t).is_some();
+            assert_eq!(tabled.would_mine(NodeId(i), &t), expect);
+            assert_eq!(untabled.would_mine(NodeId(i), &t), expect);
+            assert_eq!(untabled.mine(NodeId(i), &t), tabled.mine(NodeId(i), &t));
+        }
+    }
+
+    #[test]
+    fn untabled_setup_verifies_identically() {
+        let tabled = RealMine::from_seed(9, MineParams::new(12, 12.0)); // prob 1
+        let untabled = RealMine::from_seed_untabled(9, MineParams::new(12, 12.0));
+        let t = tag(0, true);
+        for i in 0..12 {
+            let ticket = tabled.mine(NodeId(i), &t).expect("prob 1");
+            assert_eq!(untabled.mine(NodeId(i), &t).as_ref(), Some(&ticket));
+            assert!(untabled.verify(NodeId(i), &t, &ticket));
+            assert!(!untabled.verify(NodeId((i + 1) % 12), &t, &ticket));
+        }
+    }
+
+    #[test]
+    fn never_mine_wrapper_blocks_mining_but_verifies() {
+        use crate::eligibility::NeverMine;
+        use std::sync::Arc;
+        let inner = Arc::new(RealMine::from_seed(9, MineParams::new(8, 8.0))); // prob 1
+        let t = tag(0, true);
+        let ticket = inner.mine(NodeId(2), &t).expect("prob 1");
+        let ghost = NeverMine(inner.clone() as Arc<dyn Eligibility>);
+        assert!(ghost.mine(NodeId(2), &t).is_none());
+        assert!(!ghost.would_mine(NodeId(2), &t));
+        assert!(ghost.verify(NodeId(2), &t, &ticket));
+        assert!(ghost.verify_batch(&[(NodeId(2), &t, &ticket)]));
+        assert!(ghost.supports_batch());
+        assert_eq!(ghost.n(), 8);
     }
 
     #[test]

@@ -23,7 +23,15 @@ use crate::adversary::{AdvCtx, AdvWorld, Adversary, CorruptionModel};
 use crate::ids::{Bit, NodeId, Round};
 use crate::message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 use crate::metrics::Metrics;
+use crate::population::PopulationMode;
 use crate::protocol::Protocol;
+
+/// The per-node deterministic seed handed to protocol factories — shared by
+/// the dense and sparse engines so a lazily materialized node draws exactly
+/// the randomness its dense twin drew.
+pub(crate) fn node_seed(run_seed: u64, node: usize) -> u64 {
+    run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(node as u64)
+}
 
 /// Static configuration of an execution.
 #[derive(Clone, Debug)]
@@ -46,17 +54,38 @@ pub struct SimConfig {
     /// reports. Worth raising for large `n` with real cryptography; the
     /// per-round fork/join overhead dominates on small executions.
     pub threads: usize,
+    /// Population engine requested for this execution. Like
+    /// [`SimConfig::threads`] this is a resource knob, not a protocol
+    /// parameter: wherever a protocol family supports the sparse engine the
+    /// report is byte-identical to dense mode, and families that cannot run
+    /// sparsely (full-participation regimes, id-dependent leader oracles)
+    /// silently fall back to the dense engine.
+    pub population: PopulationMode,
 }
 
 impl SimConfig {
     /// Convenience constructor with the given model and an adversary seed.
     pub fn new(n: usize, f: usize, model: CorruptionModel, seed: u64) -> SimConfig {
-        SimConfig { n, f, model, max_rounds: 10_000, seed, threads: 1 }
+        SimConfig {
+            n,
+            f,
+            model,
+            max_rounds: 10_000,
+            seed,
+            threads: 1,
+            population: PopulationMode::Dense,
+        }
     }
 
     /// Sets the in-execution worker-thread count (builder style).
     pub fn with_threads(mut self, threads: usize) -> SimConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the population engine (builder style).
+    pub fn with_population(mut self, population: PopulationMode) -> SimConfig {
+        self.population = population;
         self
     }
 }
@@ -150,15 +179,17 @@ pub struct Sim<M, A> {
 
 /// What one node's step produced, captured per node so honest steps can run
 /// on worker threads and still merge into the world in node-id order.
-struct NodeStep<M> {
+/// Shared with the sparse engine (`population.rs`), whose merge phase must
+/// stay byte-for-byte equivalent to the dense one.
+pub(crate) struct NodeStep<M> {
     /// The node's (possibly adversary-rewritten) sends, in outbox order.
-    sends: Vec<(Recipient, M)>,
+    pub(crate) sends: Vec<(Recipient, M)>,
     /// Whether the node was so-far-honest when it stepped.
-    honest: bool,
+    pub(crate) honest: bool,
     /// `output()` after the step (honest nodes only).
-    output: Option<Bit>,
+    pub(crate) output: Option<Bit>,
     /// `halted()` after the step (honest nodes only).
-    halted: bool,
+    pub(crate) halted: bool,
 }
 
 impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
@@ -177,13 +208,8 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
     ) -> Sim<M, A> {
         assert_eq!(inputs.len(), config.n, "one input per node");
         assert!(config.f < config.n, "corruption budget must leave one honest node");
-        let nodes: Vec<BoxedProtocol<M>> = (0..config.n)
-            .map(|i| {
-                let node_seed =
-                    config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
-                factory(NodeId(i), node_seed)
-            })
-            .collect();
+        let nodes: Vec<BoxedProtocol<M>> =
+            (0..config.n).map(|i| factory(NodeId(i), node_seed(config.seed, i))).collect();
         let world = AdvWorld {
             model: config.model,
             f: config.f,
@@ -244,6 +270,8 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
     /// Runs the execution to completion (all honest nodes halted, or the
     /// round cap reached) and returns the report.
     pub fn run(mut self) -> RunReport {
+        // The dense engine materializes every node up front.
+        self.metrics.peak_live_nodes = self.n() as u64;
         // Setup phase: static adversaries corrupt here.
         self.world.in_setup = true;
         {
@@ -474,6 +502,10 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
                 }
             }
         }
+
+        // Resident-message gauge: everything now queued for next round.
+        let resident: u64 = self.inboxes.iter().map(|b| b.len() as u64).sum();
+        self.metrics.peak_resident_msgs = self.metrics.peak_resident_msgs.max(resident);
     }
 }
 

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod ids;
 pub mod message;
 pub mod metrics;
+pub mod population;
 pub mod protocol;
 pub mod verdict;
 
@@ -33,5 +34,6 @@ pub use engine::{BoxedProtocol, RunReport, Sim, SimConfig};
 pub use ids::{Bit, NodeId, Round};
 pub use message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 pub use metrics::Metrics;
+pub use population::{run_sparse, ActivationOracle, PopulationMode, SparseSpec};
 pub use protocol::Protocol;
 pub use verdict::{evaluate, Problem, Verdict};

@@ -7,7 +7,13 @@
 ///   count (they were sent).
 /// * *Classical communication complexity* (Definition 6): a multicast to `n`
 ///   nodes counts as `n` pairwise messages of the same length.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the paper-defined protocol observables only — the
+/// engine-diagnostic gauges ([`Metrics::peak_live_nodes`],
+/// [`Metrics::peak_resident_msgs`]) are excluded by the manual
+/// [`PartialEq`] below, so a sparse execution compares equal to its dense
+/// twin even though the two (correctly) resided differently in memory.
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Number of multicast operations performed by so-far-honest nodes.
     pub honest_multicasts: u64,
@@ -40,7 +46,40 @@ pub struct Metrics {
     /// `debug_assert!`s that); adversarial injections may, and used to be
     /// lost without a trace.
     pub dropped_sends: u64,
+    /// Peak number of materialized protocol instances over the execution —
+    /// `n` for the dense engine, the high-water mark of the active set for
+    /// the sparse engine. An engine-memory gauge, **not** a protocol
+    /// observable: excluded from equality (see the manual [`PartialEq`]).
+    pub peak_live_nodes: u64,
+    /// Peak resident message count: undelivered inbox entries across
+    /// materialized nodes, plus (sparse engine) the retained multicast
+    /// history that stands in for silent nodes' inboxes. A multicast
+    /// fans out into every dense inbox but is retained once per round by
+    /// the sparse engine, so the two modes gauge differently by design.
+    /// Excluded from equality like [`Metrics::peak_live_nodes`].
+    pub peak_resident_msgs: u64,
 }
+
+/// Manual equality: protocol observables only. The two `peak_*` gauges
+/// describe how the engine resided in memory, not what the protocol did, and
+/// differ between byte-identical sparse and dense executions.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Metrics) -> bool {
+        self.honest_multicasts == other.honest_multicasts
+            && self.honest_multicast_bits == other.honest_multicast_bits
+            && self.honest_unicasts == other.honest_unicasts
+            && self.honest_unicast_bits == other.honest_unicast_bits
+            && self.corrupt_sends == other.corrupt_sends
+            && self.corrupt_bits == other.corrupt_bits
+            && self.injected_sends == other.injected_sends
+            && self.rounds == other.rounds
+            && self.corruptions == other.corruptions
+            && self.removals == other.removals
+            && self.dropped_sends == other.dropped_sends
+    }
+}
+
+impl Eq for Metrics {}
 
 impl Metrics {
     /// Classical pairwise message count (Definition 6) for an `n`-node run:
@@ -72,6 +111,9 @@ impl Metrics {
         self.corruptions += other.corruptions;
         self.removals += other.removals;
         self.dropped_sends += other.dropped_sends;
+        // Gauges aggregate as high-water marks, not sums.
+        self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
+        self.peak_resident_msgs = self.peak_resident_msgs.max(other.peak_resident_msgs);
     }
 }
 
@@ -101,5 +143,23 @@ mod tests {
         assert_eq!(a.honest_multicasts, 5);
         assert_eq!(a.rounds, 2);
         assert_eq!(a.removals, 7);
+    }
+
+    #[test]
+    fn merge_takes_max_of_gauges() {
+        let mut a = Metrics { peak_live_nodes: 10, peak_resident_msgs: 3, ..Metrics::default() };
+        let b = Metrics { peak_live_nodes: 4, peak_resident_msgs: 9, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.peak_live_nodes, 10);
+        assert_eq!(a.peak_resident_msgs, 9);
+    }
+
+    #[test]
+    fn equality_ignores_engine_gauges() {
+        let a = Metrics { honest_multicasts: 3, peak_live_nodes: 1000, ..Metrics::default() };
+        let b = Metrics { honest_multicasts: 3, peak_live_nodes: 12, ..Metrics::default() };
+        assert_eq!(a, b, "gauges are memory diagnostics, not protocol observables");
+        let c = Metrics { honest_multicasts: 4, ..Metrics::default() };
+        assert_ne!(a, c);
     }
 }

@@ -27,6 +27,8 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             corruptions: c,
             removals: rem,
             dropped_sends: cs / 2,
+            peak_live_nodes: hm % 17,
+            peak_resident_msgs: hmb % 31,
         })
 }
 
