@@ -252,7 +252,9 @@ pub struct Tolerance {
     pub abs: f64,
     /// Relative slack (fraction of the larger magnitude).
     pub rel: f64,
-    /// Observable names exempt from comparison entirely.
+    /// Observable names exempt from comparison entirely. Each entry is a
+    /// glob pattern: `*` matches any (possibly empty) run of characters,
+    /// so `latency_*` exempts every latency observable at once.
     pub ignore: Vec<String>,
 }
 
@@ -264,6 +266,37 @@ impl Tolerance {
         }
         (a - b).abs() <= self.abs + self.rel * a.abs().max(b.abs())
     }
+
+    /// Whether observable `name` matches any ignore pattern.
+    fn ignores(&self, name: &str) -> bool {
+        self.ignore.iter().any(|pattern| glob_match(pattern, name))
+    }
+}
+
+/// Minimal glob matching: `*` matches any (possibly empty) substring; every
+/// other character matches itself. Linear greedy backtracking — the
+/// classic two-pointer algorithm, no recursion.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let (p, n) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if pi < p.len() && p[pi] == n[ni] {
+            pi += 1;
+            ni += 1;
+        } else if let Some((spi, sni)) = star {
+            // Retry the star with one more character consumed.
+            pi = spi + 1;
+            ni = sni + 1;
+            star = Some((spi, sni + 1));
+        } else {
+            return false;
+        }
+    }
+    p[pi..].iter().all(|&c| c == b'*')
 }
 
 /// The severity of one diff finding.
@@ -484,7 +517,7 @@ fn diff_run(report: &mut DiffReport, path: &str, base: &Json, cand: &Json, tol: 
         return;
     };
     for (name, bv) in b {
-        if tol.ignore.iter().any(|ig| ig == name) {
+        if tol.ignores(name) {
             continue;
         }
         let mpath = format!("{path}/{name}");
@@ -495,7 +528,7 @@ fn diff_run(report: &mut DiffReport, path: &str, base: &Json, cand: &Json, tol: 
         diff_value(report, &mpath, bv, cv, tol);
     }
     for (name, _) in c {
-        if !tol.ignore.iter().any(|ig| ig == name) && !b.iter().any(|(k, _)| k == name) {
+        if !tol.ignores(name) && !b.iter().any(|(k, _)| k == name) {
             report.push(DriftKind::Structural, format!("{path}/{name}"), "metric not in baseline");
         }
     }
@@ -562,6 +595,24 @@ mod tests {
         assert!(parse_json("{} trailing").is_err());
         assert!(parse_json("[1,]").is_err());
         assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn glob_patterns() {
+        assert!(glob_match("latency_*", "latency_commit_p50_ms"));
+        assert!(glob_match("peak_*", "peak_live_nodes"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("rounds", "rounds"));
+        assert!(glob_match("*_p50_*", "latency_commit_p50_ms"));
+        assert!(glob_match("a*c", "abc"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(!glob_match("latency_*", "rounds"));
+        assert!(!glob_match("peak", "peak_live_nodes"));
+        assert!(!glob_match("a*c", "acb"));
+        let tol = Tolerance { ignore: vec!["latency_*".into()], ..Tolerance::default() };
+        assert!(tol.ignores("latency_delivered"));
+        assert!(!tol.ignores("multicasts"));
     }
 
     #[test]

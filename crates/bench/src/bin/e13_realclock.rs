@@ -1,0 +1,156 @@
+//! E13 — the transport matrix: virtual lockstep vs simulated partial
+//! synchrony vs real sockets.
+//!
+//! The paper's protocols are specified in the synchronous model: a message
+//! multicast in round `r` is in every honest inbox at round `r + 1`. This
+//! experiment runs the same protocol state machines — byte-for-byte the
+//! same stepping code — under the three [`ba_sim::Transport`] backends and
+//! reports what the delivery substrate costs:
+//!
+//! * **`lockstep`** — the virtual synchronous round clock. No wall-clock
+//!   latency exists; the nominal commit latency column is derived as
+//!   `rounds × DEFAULT_ROUND_MS` for comparison against the timed modes.
+//! * **`latency`** — the simulated partial-synchrony clock: per-link
+//!   delays drawn from a deterministic per-message RNG, timeout-paced
+//!   rounds of `DEFAULT_ROUND_MS`. Any positive delay pushes delivery at
+//!   least one round slot past lockstep — and the table shows the two
+//!   families react very differently: the epoch protocol absorbs the slip
+//!   (votes carry epoch tags and epochs span several slots), while the
+//!   iteration protocol's tightly phase-locked machine loses liveness
+//!   entirely (`ok 0/N`). The synchrony assumption the paper states
+//!   up front is load-bearing, and this cell prices it.
+//! * **`latency` with GST > 0** — zero per-link delay, but every message
+//!   sent before the Global Stabilization Time is held back until GST
+//!   (the classic partial-synchrony adversary). After GST the network is
+//!   exactly synchronous, so the iteration protocol *recovers*: early
+//!   iterations burn, post-GST iterations commit — liveness after GST,
+//!   with the commit-latency percentiles pricing the recovery. The `late`
+//!   column counts deliveries that missed their synchronous slot.
+//! * **`tcp`** — real loopback sockets, one OS thread per node, genuine
+//!   wall-clock percentiles. Verdicts and protocol observables are
+//!   asserted identical to lockstep (the sans-I/O contract); only the
+//!   `latency_*` substrate observables differ run to run, which is why CI
+//!   diffs this experiment's report with `--ignore-observable
+//!   'latency_*'`.
+//!
+//! Two protocol families cover both simulator drivers: Theorem 2's
+//! iteration protocol (`subq_half`) and the §3.2 epoch protocol
+//! (`subq_third`).
+
+use ba_bench::{header, row, Cli, InputPattern, ProtocolSpec, Scenario, Sweep};
+use ba_sim::{DelayDist, TransportSpec, DEFAULT_ROUND_MS};
+
+/// The delay law for the slip cell: 1–5 ms per link, i.i.d. per message.
+/// Uniform (not Exp) so the goldens are platform-exact — see
+/// `DelayDist::Exp`'s determinism caveat.
+const DIST: DelayDist = DelayDist::Uniform { lo_ms: 1, hi_ms: 5 };
+
+/// GST for the post-stabilization cell: messages sent in the first five
+/// round slots are held until this instant. Zero per-link delay isolates
+/// the holdback — after GST the network is exactly synchronous, so the
+/// cell demonstrates liveness-after-GST rather than compounding it with
+/// the slip regime.
+const GST_MS: u64 = 50;
+
+fn transports() -> Vec<(&'static str, TransportSpec)> {
+    vec![
+        ("lockstep", TransportSpec::Lockstep),
+        ("latency", TransportSpec::Latency { round_ms: DEFAULT_ROUND_MS, gst_ms: 0, dist: DIST }),
+        (
+            "latency_gst50",
+            TransportSpec::Latency {
+                round_ms: DEFAULT_ROUND_MS,
+                gst_ms: GST_MS,
+                dist: DelayDist::Zero,
+            },
+        ),
+        ("tcp", TransportSpec::Tcp),
+    ]
+}
+
+fn family_sweep(seeds: u64, family: &str, n: usize, spec: ProtocolSpec) -> Sweep {
+    let cells = transports()
+        .into_iter()
+        .map(|(name, transport)| {
+            Scenario::new(name.to_string(), n, spec.clone())
+                .inputs(InputPattern::Unanimous(true))
+                .transport(transport)
+        })
+        .collect();
+    Sweep::new(family, seeds, cells)
+}
+
+fn main() {
+    let cli = Cli::parse("e13_realclock");
+    let seeds = cli.seeds_or(if cli.smoke() { 2 } else { 5 });
+    let n = if cli.smoke() { 16 } else { 24 };
+
+    let sweeps = vec![
+        family_sweep(
+            seeds,
+            "subq_half",
+            n,
+            ProtocolSpec::SubqHalf { lambda: 12.0, max_iters: Some(8) },
+        ),
+        family_sweep(seeds, "subq_third", n, ProtocolSpec::SubqThird { lambda: 10.0, epochs: 5 }),
+    ];
+    let reports = cli.run(sweeps);
+
+    if cli.markdown() {
+        println!("# E13 — transport matrix ({seeds} seed(s) per cell, n = {n})\n");
+        for report in &reports {
+            println!("## {}\n", report.title);
+            header(&[
+                "transport",
+                "ok",
+                "rounds",
+                "commit p50 ms",
+                "commit p95 ms",
+                "commit p99 ms",
+                "delay p50 ms",
+                "delay p95 ms",
+                "late",
+                "undelivered",
+            ]);
+            for cell in &report.cells {
+                let ok = format!("{}/{}", cell.count("all_ok"), cell.runs.len());
+                let rounds = cell.mean("rounds");
+                let is_lockstep = cell.scenario.transport == TransportSpec::Lockstep;
+                let (p50, p95, p99, d50, d95, late, undelivered) = if is_lockstep {
+                    // The virtual clock has no latency observables; the
+                    // nominal commit latency is the round count priced at
+                    // the timed modes' round duration.
+                    let nominal = rounds * DEFAULT_ROUND_MS as f64;
+                    (nominal, nominal, nominal, 0.0, 0.0, 0.0, 0.0)
+                } else {
+                    (
+                        cell.mean("latency_commit_p50_ms"),
+                        cell.mean("latency_commit_p95_ms"),
+                        cell.mean("latency_commit_p99_ms"),
+                        cell.mean("latency_delay_p50_ms"),
+                        cell.mean("latency_delay_p95_ms"),
+                        cell.mean("latency_late_deliveries"),
+                        cell.mean("latency_undelivered"),
+                    )
+                };
+                row(&[
+                    cell.scenario.label.clone(),
+                    ok,
+                    format!("{rounds:.1}"),
+                    format!("{p50:.1}"),
+                    format!("{p95:.1}"),
+                    format!("{p99:.1}"),
+                    format!("{d50:.1}"),
+                    format!("{d95:.1}"),
+                    format!("{late:.0}"),
+                    format!("{undelivered:.0}"),
+                ]);
+            }
+            println!();
+        }
+        println!("lockstep commit latency is nominal (rounds x {DEFAULT_ROUND_MS} ms virtual");
+        println!("rounds); latency cells price delivery slip and the GST hold-back in");
+        println!("simulated milliseconds; tcp cells are genuine wall-clock loopback numbers.");
+    }
+    cli.write_outputs(&reports);
+}

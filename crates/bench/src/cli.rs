@@ -13,6 +13,15 @@
 //!   materialize only active nodes; sparse-capable protocol families are
 //!   byte-identical to dense and the rest silently fall back, so this is
 //!   a resource knob like `--sim-threads`;
+//! * `--transport lockstep|latency[:k=v,...]|tcp` — delivery transport
+//!   applied to every scenario (default: scenario-specified, usually
+//!   lockstep). Unlike `--sim-threads`/`--population` this is a
+//!   *protocol-affecting* axis (see docs/NETWORKING.md);
+//! * `--round-ms MS` / `--gst MS` / `--delay-dist DIST` — shorthand knobs
+//!   for the latency transport's round duration, global stabilization
+//!   time, and per-link delay distribution (`zero`, `uniform:LO..HI`,
+//!   `exp:MEAN`); imply `--transport latency` when it is not given, and
+//!   refuse to combine with an explicit non-latency `--transport`;
 //! * `--workers N` — distribute the grid's cells across `N` worker
 //!   *subprocesses* instead of in-process threads (crash-recovering; see
 //!   docs/DISTRIBUTED.md). Outputs are byte-identical to the in-process
@@ -28,7 +37,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ba_sim::PopulationMode;
+use ba_sim::{DelayDist, PopulationMode, TransportSpec};
 
 use crate::dist::{self, DistConfig};
 use crate::report::{quarantine_summary, to_csv, to_json};
@@ -61,6 +70,16 @@ pub struct Cli {
     /// `--population` override: population engine applied to every scenario
     /// in every sweep (`None` = keep scenario-specified values).
     pub population: Option<PopulationMode>,
+    /// `--transport` override: delivery transport applied to every scenario
+    /// in every sweep (`None` = keep scenario-specified values, unless one
+    /// of the latency shorthand knobs below implies a latency transport).
+    pub transport: Option<TransportSpec>,
+    /// `--round-ms` shorthand: latency-transport round duration override.
+    pub round_ms: Option<u64>,
+    /// `--gst` shorthand: latency-transport global stabilization time.
+    pub gst: Option<u64>,
+    /// `--delay-dist` shorthand: latency-transport delay distribution.
+    pub delay_dist: Option<DelayDist>,
     /// `--workers`: distribute cells across this many worker subprocesses
     /// (`None` = in-process execution on [`Cli::threads`]).
     pub workers: Option<usize>,
@@ -105,6 +124,10 @@ impl Cli {
             threads: default_threads(),
             sim_threads: None,
             population: None,
+            transport: None,
+            round_ms: None,
+            gst: None,
+            delay_dist: None,
             workers: None,
             worker_cmd: None,
             worker_mode: false,
@@ -146,6 +169,27 @@ impl Cli {
                 "--population" => {
                     let raw = value("--population");
                     cli.population = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
+                }
+                "--transport" => {
+                    let raw = value("--transport");
+                    cli.transport = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
+                }
+                "--round-ms" => {
+                    let ms: u64 = value("--round-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("--round-ms: not a number"));
+                    if ms == 0 {
+                        die("--round-ms must be positive");
+                    }
+                    cli.round_ms = Some(ms);
+                }
+                "--gst" => {
+                    cli.gst =
+                        Some(value("--gst").parse().unwrap_or_else(|_| die("--gst: not a number")))
+                }
+                "--delay-dist" => {
+                    let raw = value("--delay-dist");
+                    cli.delay_dist = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
                 }
                 "--workers" => {
                     let w: usize = value("--workers")
@@ -198,6 +242,8 @@ impl Cli {
                         "{experiment} — see EXPERIMENTS.md\n\n\
                          USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
                          \x20                 [--sim-threads N] [--population sparse|dense]\n\
+                         \x20                 [--transport lockstep|latency[:k=v,..]|tcp]\n\
+                         \x20                 [--round-ms MS] [--gst MS] [--delay-dist DIST]\n\
                          \x20                 [--workers N] [--worker-cmd CMD]\n\
                          \x20                 [--format md,csv,json|all] [--out DIR]\n\
                          \x20      {experiment} --worker   (serve the distributed wire protocol;\n\
@@ -226,6 +272,34 @@ impl Cli {
         self.emit_md
     }
 
+    /// Resolves `--transport` and the latency shorthand knobs into one
+    /// grid-wide transport override (`None` = keep scenario-specified
+    /// transports). `--round-ms`/`--gst`/`--delay-dist` imply a latency
+    /// transport when `--transport` is absent and refuse to modify an
+    /// explicit non-latency one.
+    pub fn transport_override(&self) -> Option<TransportSpec> {
+        let knobs = self.round_ms.is_some() || self.gst.is_some() || self.delay_dist.is_some();
+        let base = match self.transport {
+            Some(t) => t,
+            None if knobs => TransportSpec::latency_zero(),
+            None => return None,
+        };
+        if !knobs {
+            return Some(base);
+        }
+        let TransportSpec::Latency { round_ms, gst_ms, dist } = base else {
+            die(&format!(
+                "--round-ms/--gst/--delay-dist configure the latency transport, \
+                 but --transport is {base}"
+            ));
+        };
+        Some(TransportSpec::Latency {
+            round_ms: self.round_ms.unwrap_or(round_ms),
+            gst_ms: self.gst.unwrap_or(gst_ms),
+            dist: self.delay_dist.unwrap_or(dist),
+        })
+    }
+
     /// Executes the sweeps on the configured worker count — in-process
     /// threads, or (under `--workers`) a crash-recovering pool of worker
     /// subprocesses producing byte-identical reports — applying any
@@ -242,6 +316,13 @@ impl Cli {
             for sweep in &mut sweeps {
                 for scenario in &mut sweep.scenarios {
                     scenario.population = population;
+                }
+            }
+        }
+        if let Some(transport) = self.transport_override() {
+            for sweep in &mut sweeps {
+                for scenario in &mut sweep.scenarios {
+                    scenario.transport = transport;
                 }
             }
         }
@@ -368,6 +449,51 @@ mod tests {
             Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]).run(1);
         assert_eq!(reports[0].cells[0].samples("multicasts"), dense.cells[0].samples("multicasts"));
         assert_eq!(parse(&[]).population, None);
+    }
+
+    #[test]
+    fn transport_flag_overrides_scenarios() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let cli = parse(&["--transport", "latency:round_ms=5,gst_ms=0,dist=zero"]);
+        assert_eq!(
+            cli.transport_override(),
+            Some(TransportSpec::Latency { round_ms: 5, gst_ms: 0, dist: DelayDist::Zero })
+        );
+        // Zero-delay latency with GST 0 is provably equivalent to lockstep:
+        // the overridden run must match a lockstep one observable for
+        // observable (modulo the latency-only observables).
+        let sweep = Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]);
+        let reports = cli.run(vec![sweep]);
+        let lockstep =
+            Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]).run(1);
+        assert_eq!(
+            reports[0].cells[0].samples("multicasts"),
+            lockstep.cells[0].samples("multicasts")
+        );
+        assert_eq!(reports[0].cells[0].samples("rounds"), lockstep.cells[0].samples("rounds"));
+        // The latency transport reports what lockstep cannot: delivery stats.
+        assert!(!reports[0].cells[0].samples("latency_delivered").is_empty());
+        assert!(lockstep.cells[0].samples("latency_delivered").is_empty());
+    }
+
+    #[test]
+    fn latency_knobs_imply_latency_transport() {
+        let cli = parse(&["--gst", "40", "--delay-dist", "uniform:1..5", "--round-ms", "20"]);
+        assert_eq!(
+            cli.transport_override(),
+            Some(TransportSpec::Latency {
+                round_ms: 20,
+                gst_ms: 40,
+                dist: DelayDist::Uniform { lo_ms: 1, hi_ms: 5 },
+            })
+        );
+        // Knobs patch an explicit latency transport rather than replacing it.
+        let cli = parse(&["--transport", "latency:round_ms=7", "--gst", "3"]);
+        assert_eq!(
+            cli.transport_override(),
+            Some(TransportSpec::Latency { round_ms: 7, gst_ms: 3, dist: DelayDist::Zero })
+        );
+        assert_eq!(parse(&[]).transport_override(), None);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `e10_comparison` | §1 — the cross-protocol property table |
 //! | `e11_gauntlet` | the adversary gauntlet matrix (family × adversary × model × `f'`) |
 //! | `e12_population` | Thm 2 at population scale — sparse engine, n = 10⁵…10⁶ |
+//! | `e13_realclock` | the transport matrix — lockstep vs simulated partial synchrony vs TCP |
 //!
 //! Two more binaries ride on the same engine: `soak` cycles the gauntlet
 //! under a wall-clock/cell budget and streams per-cell JSON lines to disk,

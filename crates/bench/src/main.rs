@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! ba-bench diff <baseline.json> <candidate.json>
-//!               [--abs-tol X] [--rel-tol Y] [--ignore m1,m2] [--quiet]
+//!               [--abs-tol X] [--rel-tol Y] [--ignore m1,m2]
+//!               [--ignore-observable GLOB] [--quiet]
 //! ba-bench worker [--fail-after N] [--fail-mode exit|abort|kill]
 //! ```
 //!
@@ -11,8 +12,11 @@
 //! `ba-bench/sweep-report/v1`) cell by cell and exits 0 when the candidate
 //! matches the baseline within tolerance, 1 on drift, 2 on usage or I/O
 //! errors. The default tolerance is exact equality — the CI configuration,
-//! since the smoke grid is deterministic. See EXPERIMENTS.md ("Baselines")
-//! for the regeneration workflow.
+//! since the smoke grid is deterministic. Ignore entries (both the
+//! comma-separated `--ignore` list and the repeatable
+//! `--ignore-observable`) are glob patterns: `--ignore-observable
+//! 'latency_*'` exempts every wall-clock latency observable at once. See
+//! EXPERIMENTS.md ("Baselines") for the regeneration workflow.
 //!
 //! `worker` serves the distributed sweep wire protocol (schema
 //! `ba-bench/cell-stream/v1`) on stdin/stdout: one cell descriptor in, one
@@ -34,7 +38,8 @@ fn main() {
             println!(
                 "ba-bench — report maintenance and distributed-worker tool\n\n\
                  USAGE:\n  ba-bench diff <baseline.json> <candidate.json>\n\
-                 \x20              [--abs-tol X] [--rel-tol Y] [--ignore m1,m2] [--quiet]\n\
+                 \x20              [--abs-tol X] [--rel-tol Y] [--ignore m1,m2]\n\
+                 \x20              [--ignore-observable GLOB] [--quiet]\n\
                  \x20 ba-bench worker [--fail-after N] [--fail-mode exit|abort|kill]\n\n\
                  diff exits 0 when the candidate matches the baseline within tolerance,\n\
                  1 on drift, 2 on usage/IO errors. worker serves the distributed sweep\n\
@@ -88,6 +93,7 @@ fn diff_cmd(args: Vec<String>) {
                     value("--rel-tol").parse().unwrap_or_else(|_| die("--rel-tol: not a number"))
             }
             "--ignore" => tol.ignore.extend(value("--ignore").split(',').map(str::to_string)),
+            "--ignore-observable" => tol.ignore.push(value("--ignore-observable")),
             "--quiet" => quiet = true,
             other if other.starts_with("--") => die(&format!("unknown flag {other:?}")),
             path => files.push(path.to_string()),

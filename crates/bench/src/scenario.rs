@@ -31,7 +31,7 @@ use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, R
 use ba_lowerbound::{theorem3, theorem4};
 use ba_sim::{
     AdvCtx, Adversary, Bit, CorruptionModel, NodeId, Passive, PopulationMode, RunReport, SimConfig,
-    Verdict,
+    TransportSpec, Verdict,
 };
 
 use crate::sweep::RunRecord;
@@ -382,6 +382,13 @@ pub struct Scenario {
     /// and the report JSON. Large-`n` grids want [`PopulationMode::Sparse`];
     /// `--population` on experiment binaries overrides it grid-wide.
     pub population: PopulationMode,
+    /// Delivery transport (`SimConfig::transport`). Unlike
+    /// [`Scenario::sim_threads`] and [`Scenario::population`] this is a
+    /// *protocol-affecting* axis — the latency transport can deliver
+    /// messages rounds after they were sent — so it appears in
+    /// [`Scenario::describe`] and the report JSON. `--transport` on
+    /// experiment binaries overrides it grid-wide.
+    pub transport: TransportSpec,
 }
 
 impl Scenario {
@@ -410,6 +417,7 @@ impl Scenario {
             seeds: None,
             sim_threads: 1,
             population: PopulationMode::Dense,
+            transport: TransportSpec::Lockstep,
         }
     }
 
@@ -477,6 +485,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the delivery transport (see [`Scenario::transport`];
+    /// `--transport` on experiment binaries overrides it grid-wide).
+    pub fn transport(mut self, transport: TransportSpec) -> Scenario {
+        self.transport = transport;
+        self
+    }
+
     /// Key/value description of the configuration (report metadata).
     pub fn describe(&self) -> Vec<(&'static str, String)> {
         vec![
@@ -499,6 +514,7 @@ impl Scenario {
                     EligSeed::Fixed(s) => format!("fixed({s})"),
                 },
             ),
+            ("transport", self.transport.to_string()),
         ]
     }
 
@@ -539,7 +555,8 @@ impl Scenario {
     fn execute_shared(&self, seed: u64, shared: &SharedElig) -> ScenarioRun {
         let sim = SimConfig::new(self.n.max(1), self.f, self.model, seed)
             .with_threads(self.sim_threads)
-            .with_population(self.population);
+            .with_population(self.population)
+            .with_transport(self.transport);
         match &self.protocol {
             ProtocolSpec::SubqHalf { lambda, max_iters } => {
                 let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));
@@ -753,6 +770,22 @@ impl Scenario {
         record.push("corruptions", m.corruptions as f64);
         record.push("removals", m.removals as f64);
         record.push("dropped_sends", m.dropped_sends as f64);
+        // Substrate gauges: excluded from `Metrics` equality (they vary
+        // between the dense and sparse engines), so baseline diffs across
+        // engines ignore them (`--ignore-observable 'peak_*'`).
+        record.push("peak_live_nodes", m.peak_live_nodes as f64);
+        record.push("peak_resident_msgs", m.peak_resident_msgs as f64);
+        if let Some(lat) = &m.latency {
+            record.push("latency_commit_p50_ms", lat.commit_p50_ms);
+            record.push("latency_commit_p95_ms", lat.commit_p95_ms);
+            record.push("latency_commit_p99_ms", lat.commit_p99_ms);
+            record.push("latency_delay_p50_ms", lat.delay_p50_ms);
+            record.push("latency_delay_p95_ms", lat.delay_p95_ms);
+            record.push("latency_delay_p99_ms", lat.delay_p99_ms);
+            record.push("latency_delivered", lat.delivered as f64);
+            record.push("latency_late_deliveries", lat.late_deliveries as f64);
+            record.push("latency_undelivered", lat.undelivered as f64);
+        }
         record.push_flag("consistent", verdict.consistent);
         record.push_flag("valid", verdict.valid);
         record.push_flag("terminated", verdict.terminated);

@@ -36,7 +36,7 @@ use crate::baseline::{parse_json, Json};
 use crate::report::{json_escape, json_number, to_json_cell_line, CELL_STREAM_SCHEMA};
 use crate::scenario::{AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario};
 use crate::sweep::{RunRecord, Sweep};
-use ba_sim::{CorruptionModel, PopulationMode};
+use ba_sim::{CorruptionModel, PopulationMode, TransportSpec};
 
 /// One unit of distributed work: a single sweep cell, self-contained.
 #[derive(Clone, Debug, PartialEq)]
@@ -243,7 +243,7 @@ fn scenario_spec(sc: &Scenario) -> String {
          \"inputs\": {}, \"adversary\": {}, \"protocol\": {}, \
          \"elig\": \"{elig}\", \"elig_seed\": {elig_seed}, \
          \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}, \
-         \"population\": \"{}\"}}",
+         \"population\": \"{}\", \"transport\": \"{}\"}}",
         json_escape(&sc.label),
         sc.n,
         sc.f,
@@ -254,6 +254,7 @@ fn scenario_spec(sc: &Scenario) -> String {
         jopt_u64(sc.seeds),
         sc.sim_threads,
         sc.population,
+        sc.transport,
     )
 }
 
@@ -484,6 +485,19 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
                 })?;
                 s.parse()
                     .map_err(|e: String| WireError::Invalid { field: "population", detail: e })?
+            }
+        },
+        // Same legacy tolerance as `population`: absent = lockstep, the
+        // only transport pre-transport coordinators could produce.
+        transport: match obj.get("transport") {
+            None => TransportSpec::Lockstep,
+            Some(v) => {
+                let s = v.as_str().ok_or(WireError::Invalid {
+                    field: "transport",
+                    detail: "expected a string".into(),
+                })?;
+                s.parse()
+                    .map_err(|e: String| WireError::Invalid { field: "transport", detail: e })?
             }
         },
     })
@@ -729,6 +743,11 @@ mod tests {
             .seeds(5)
             .sim_threads(2)
             .population(PopulationMode::Sparse)
+            .transport(TransportSpec::Latency {
+                round_ms: 20,
+                gst_ms: 35,
+                dist: ba_sim::DelayDist::Uniform { lo_ms: 1, hi_ms: 9 },
+            })
     }
 
     #[test]
@@ -778,6 +797,28 @@ mod tests {
         assert!(matches!(
             decode_descriptor(&mangled),
             Err(WireError::Invalid { field: "population", .. })
+        ));
+    }
+
+    #[test]
+    fn transport_field_is_optional_on_decode() {
+        // Descriptors from pre-transport coordinators lack the field
+        // entirely; they decode as lockstep. A malformed value is refused.
+        let desc = CellDescriptor {
+            id: 6,
+            sweep: "s".into(),
+            seeds: 1,
+            scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf),
+        };
+        let line = encode_descriptor(&desc);
+        let legacy = line.replace(", \"transport\": \"lockstep\"", "");
+        assert_ne!(line, legacy, "expected the transport field to be encoded");
+        assert_eq!(decode_descriptor(&legacy).expect("legacy line decodes"), desc);
+        let mangled =
+            line.replace("\"transport\": \"lockstep\"", "\"transport\": \"carrier-pigeon\"");
+        assert!(matches!(
+            decode_descriptor(&mangled),
+            Err(WireError::Invalid { field: "transport", .. })
         ));
     }
 

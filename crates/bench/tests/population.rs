@@ -2,16 +2,20 @@
 //!
 //! The contract under test: [`ba_sim::PopulationMode::Sparse`] is a pure
 //! resource knob. Sparse-capable cells (mined iteration/epoch families)
-//! produce **byte-identical** reports to the dense engine at every
-//! sim-thread count; non-capable cells silently fall back to dense. On top
-//! of the identity, the engine's peak-live gauge must scale with the
-//! committee, not the population.
+//! produce **identical** protocol observables to the dense engine at every
+//! sim-thread count — the only licensed difference is the substrate gauges
+//! (`peak_live_nodes`/`peak_resident_msgs`), which measure the engine
+//! itself and differ between engines by design (CI diffs them away with
+//! `--ignore-observable 'peak_*'`). Non-capable cells silently fall back
+//! to dense and match on *every* observable, gauges included. On top of
+//! the identity, the peak-live gauge must scale with the committee, not
+//! the population.
 //!
 //! Layers:
 //!
-//! * the full e11 smoke gauntlet under `--population sparse`, byte-compared
-//!   to the dense run AND to the committed CI baseline
-//!   (`baselines/smoke/BENCH_e11_gauntlet.json`);
+//! * the full e11 smoke gauntlet under `--population sparse`, compared
+//!   to the dense run modulo `peak_*` AND byte-compared to the committed
+//!   CI baseline (`baselines/smoke/BENCH_e11_gauntlet.json`);
 //! * an explicit family × adversary matrix with named adversary-attribution
 //!   observables (`dropped_sends`, `corrupt_bits`, ...) — lazily
 //!   instantiated nodes must attribute exactly like dense ones;
@@ -21,11 +25,32 @@
 
 use ba_bench::gauntlet::gauntlet_sweeps;
 use ba_bench::{
-    to_json, AdversarySpec, Grid, InputPattern, ProtocolSpec, RunRecord, Scenario, Sweep,
-    SweepReport,
+    diff_reports, to_json, AdversarySpec, Grid, InputPattern, ProtocolSpec, RunRecord, Scenario,
+    Sweep, SweepReport, Tolerance,
 };
 use ba_sim::{CorruptionModel, PopulationMode};
 use proptest::prelude::*;
+
+/// The CI tolerance for cross-engine comparison: exact on every protocol
+/// observable, ignoring only the engine-substrate gauges.
+fn modulo_gauges() -> Tolerance {
+    Tolerance { ignore: vec!["peak_*".into()], ..Tolerance::default() }
+}
+
+/// Strips the substrate gauges from records for direct record equality.
+fn without_gauges(runs: &[RunRecord]) -> Vec<RunRecord> {
+    runs.iter()
+        .map(|r| RunRecord {
+            seed: r.seed,
+            values: r
+                .values
+                .iter()
+                .filter(|(name, _)| !name.starts_with("peak_"))
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
 
 /// Runs the whole smoke gauntlet under the given engine/thread combination.
 fn gauntlet_reports(population: PopulationMode, sim_threads: usize) -> Vec<SweepReport> {
@@ -41,17 +66,20 @@ fn gauntlet_reports(population: PopulationMode, sim_threads: usize) -> Vec<Sweep
 
 /// The satellite acceptance check: the full e11 smoke gauntlet — every
 /// family, every adversary, every corruption model — rendered under the
-/// sparse engine is byte-identical (`cmp`-identical as a file) to the dense
-/// render and to the committed CI baseline.
+/// sparse engine matches the dense render on every protocol observable
+/// (the CI comparison: exact modulo `peak_*` gauges), and the dense render
+/// is byte-identical to the committed CI baseline.
 #[test]
 fn sparse_gauntlet_byte_identical_to_dense_and_committed_baseline() {
     let dense = to_json("e11_gauntlet", &gauntlet_reports(PopulationMode::Dense, 1));
     for sim_threads in [1usize, 4] {
         let sparse =
             to_json("e11_gauntlet", &gauntlet_reports(PopulationMode::Sparse, sim_threads));
-        assert_eq!(
-            sparse, dense,
-            "sparse gauntlet (sim_threads={sim_threads}) diverged from dense"
+        let diff = diff_reports(&dense, &sparse, &modulo_gauges()).expect("both parse");
+        assert!(
+            diff.passed(),
+            "sparse gauntlet (sim_threads={sim_threads}) diverged from dense:\n{}",
+            diff.render()
         );
     }
     let baseline_path =
@@ -167,7 +195,8 @@ fn sparse_matches_dense_across_families_adversaries_and_threads() {
         for sim_threads in [1usize, 4] {
             let sparse = records(sc, 2, PopulationMode::Sparse, sim_threads);
             assert_eq!(
-                sparse, dense,
+                without_gauges(&sparse),
+                without_gauges(&dense),
                 "{name}: sparse records (sim_threads={sim_threads}) diverged from dense"
             );
         }
@@ -222,7 +251,7 @@ proptest! {
             .seed_offset(seed_offset);
         let dense = records(&sc, 1, PopulationMode::Dense, 1);
         let sparse = records(&sc, 1, PopulationMode::Sparse, 1);
-        prop_assert_eq!(sparse, dense);
+        prop_assert_eq!(without_gauges(&sparse), without_gauges(&dense));
     }
 }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use ba_fmine::Keychain;
 use ba_sim::{
     evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
-    RunReport, Sim, SimConfig, Verdict,
+    RunReport, SimConfig, Verdict,
 };
 
 use crate::dolev_strong::{DsConfig, DsMsg, DsNode};
@@ -125,7 +125,7 @@ pub fn run<A: Adversary<TaggedDsMsg> + Send>(
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(f as u64 + 4);
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, _seed| {
+    let report = ba_net::execute(&sim_cfg, inputs, adversary, move |id, _seed| {
         Box::new(ParallelBbNode::new(n, f, id, inputs_for_factory[id.index()], keychain.clone()))
     });
     let verdict = evaluate(Problem::Agreement, &report);

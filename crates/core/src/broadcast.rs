@@ -11,7 +11,7 @@ use std::sync::Arc;
 use ba_fmine::{Keychain, Sig};
 use ba_sim::{
     evaluate, Adversary, Bit, BoxedProtocol, Incoming, Message, NodeId, Outbox, Problem, Protocol,
-    Round, RunReport, Sim, SimConfig, Verdict,
+    Round, RunReport, SimConfig, Verdict,
 };
 
 use crate::iter::{IterConfig, IterMsg, IterNode};
@@ -144,7 +144,7 @@ pub fn run_iter_bb<A: Adversary<BbMsg<IterMsg>> + Send>(
     let mut inputs = vec![false; cfg.n];
     inputs[sender.index()] = sender_input;
     let cfg_for_factory = cfg.clone();
-    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
+    let report = ba_net::execute(&sim_cfg, inputs, adversary, move |id, seed| {
         let inner_cfg = cfg_for_factory.clone();
         Box::new(BbNode::new(id, sender, sender_input, keychain.clone(), move |bit| {
             Box::new(IterNode::new(inner_cfg, id, bit, seed))

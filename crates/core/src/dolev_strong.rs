@@ -19,7 +19,7 @@ use ba_fmine::{Keychain, Sig};
 use crate::runnable::Runnable;
 use ba_sim::{
     evaluate, Adversary, Bit, Incoming, Message, NodeId, Outbox, Problem, Protocol, Round,
-    RunReport, Sim, SimConfig, Verdict,
+    RunReport, SimConfig, Verdict,
 };
 
 /// A signature chain entry: the signer and its signature over the value.
@@ -185,7 +185,7 @@ pub fn run<A: Adversary<DsMsg> + Send>(
     inputs[cfg.sender.index()] = sender_input;
     let cfg_for_factory = cfg.clone();
     let inputs_for_factory = inputs.clone();
-    let report = Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, _seed| {
+    let report = ba_net::execute(&sim_cfg, inputs, adversary, move |id, _seed| {
         Box::new(DsNode::new(cfg_for_factory.clone(), id, inputs_for_factory[id.index()]))
     });
     let verdict = evaluate(Problem::Broadcast { sender: cfg.sender }, &report);

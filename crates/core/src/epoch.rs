@@ -38,8 +38,8 @@ use ba_crypto::hmac::HmacDrbg;
 use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind, NeverMine};
 use ba_sim::{
     evaluate, run_sparse, ActivationOracle, Adversary, Bit, BoxedProtocol, Incoming, Message,
-    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, Sim, SimConfig,
-    SparseSpec, Verdict,
+    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, SimConfig, SparseSpec,
+    TransportSpec, Verdict,
 };
 
 use crate::auth::{Auth, Evidence, FsService};
@@ -476,15 +476,20 @@ pub fn run<A: Adversary<EpochMsg> + Send>(
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.max(cfg.total_rounds() + 1);
     let spec = match sim_cfg.population {
-        PopulationMode::Sparse => sparse_spec(cfg, &inputs, &sim_cfg),
-        PopulationMode::Dense => None,
+        // The sparse engine composes only with the lockstep transport (the
+        // retained multicast history assumes synchronous delivery); other
+        // transports fall back to dense.
+        PopulationMode::Sparse if sim_cfg.transport == TransportSpec::Lockstep => {
+            sparse_spec(cfg, &inputs, &sim_cfg)
+        }
+        _ => None,
     };
     let report = match spec {
         Some(spec) => run_sparse(&sim_cfg, inputs, adversary, spec),
         None => {
             let cfg_for_factory = cfg.clone();
             let inputs_for_factory = inputs.clone();
-            Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
+            ba_net::execute(&sim_cfg, inputs, adversary, move |id, seed| {
                 Box::new(EpochNode::new(
                     cfg_for_factory.clone(),
                     id,

@@ -38,8 +38,8 @@ use ba_crypto::hmac::HmacDrbg;
 use ba_fmine::{Eligibility, Keychain, MineTag, MsgKind, NeverMine};
 use ba_sim::{
     evaluate, run_sparse, ActivationOracle, Adversary, Bit, BoxedProtocol, Incoming, Message,
-    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, Sim, SimConfig,
-    SparseSpec, Verdict,
+    NodeId, Outbox, PopulationMode, Problem, Protocol, Round, RunReport, SimConfig, SparseSpec,
+    TransportSpec, Verdict,
 };
 
 use crate::auth::{Auth, Evidence};
@@ -735,7 +735,12 @@ fn sparse_spec(cfg: &IterConfig, inputs: &[Bit], sim: &SimConfig) -> Option<Spar
 /// Runs one execution of an iteration-family protocol and evaluates the
 /// agreement verdict. Honors [`SimConfig::population`]: sparse-capable
 /// configurations run under the sparse engine (byte-identical report);
-/// others silently use the dense engine.
+/// others silently use the dense engine. The sparse engine composes only
+/// with the lockstep transport — under a latency/TCP transport the
+/// multicast history no longer describes every silent node's inbox, so
+/// those configurations fall back to dense. Delivery itself goes through
+/// [`ba_net::execute`], which realizes whatever [`SimConfig::transport`]
+/// names.
 pub fn run<A: Adversary<IterMsg> + Send>(
     cfg: &IterConfig,
     sim: &SimConfig,
@@ -745,15 +750,17 @@ pub fn run<A: Adversary<IterMsg> + Send>(
     let mut sim_cfg = sim.clone();
     sim_cfg.max_rounds = sim_cfg.max_rounds.min(cfg.total_rounds() + 2);
     let spec = match sim_cfg.population {
-        PopulationMode::Sparse => sparse_spec(cfg, &inputs, &sim_cfg),
-        PopulationMode::Dense => None,
+        PopulationMode::Sparse if sim_cfg.transport == TransportSpec::Lockstep => {
+            sparse_spec(cfg, &inputs, &sim_cfg)
+        }
+        _ => None,
     };
     let report = match spec {
         Some(spec) => run_sparse(&sim_cfg, inputs, adversary, spec),
         None => {
             let cfg_for_factory = cfg.clone();
             let inputs_for_factory = inputs.clone();
-            Sim::run_boxed(&sim_cfg, inputs, adversary, move |id, seed| {
+            ba_net::execute(&sim_cfg, inputs, adversary, move |id, seed| {
                 Box::new(IterNode::new(
                     cfg_for_factory.clone(),
                     id,

@@ -25,6 +25,9 @@ use crate::message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 use crate::metrics::Metrics;
 use crate::population::PopulationMode;
 use crate::protocol::Protocol;
+use crate::transport::latency::LatencyTransport;
+use crate::transport::lockstep::LockstepTransport;
+use crate::transport::{finalize_latency, Transport, TransportSpec};
 
 /// The per-node deterministic seed handed to protocol factories — shared by
 /// the dense and sparse engines so a lazily materialized node draws exactly
@@ -61,6 +64,11 @@ pub struct SimConfig {
     /// sparsely (full-participation regimes, id-dependent leader oracles)
     /// silently fall back to the dense engine.
     pub population: PopulationMode,
+    /// Delivery backend for this execution (see [`crate::transport`]). The
+    /// default lockstep backend reproduces the pre-seam engine
+    /// byte-for-byte; the latency backend changes *when* messages arrive
+    /// and is therefore a protocol-visible parameter, not a resource knob.
+    pub transport: TransportSpec,
 }
 
 impl SimConfig {
@@ -74,6 +82,7 @@ impl SimConfig {
             seed,
             threads: 1,
             population: PopulationMode::Dense,
+            transport: TransportSpec::Lockstep,
         }
     }
 
@@ -86,6 +95,12 @@ impl SimConfig {
     /// Sets the population engine (builder style).
     pub fn with_population(mut self, population: PopulationMode) -> SimConfig {
         self.population = population;
+        self
+    }
+
+    /// Sets the delivery backend (builder style).
+    pub fn with_transport(mut self, transport: TransportSpec) -> SimConfig {
+        self.transport = transport;
         self
     }
 }
@@ -175,6 +190,10 @@ pub struct Sim<M, A> {
     /// In-execution worker count (see [`SimConfig::threads`]).
     threads: usize,
     rng: StdRng,
+    /// Delivery backend (see [`crate::transport`]). The engine validates
+    /// envelopes (removal flags, unicast ranges) and meters them; the
+    /// transport alone decides arrival rounds.
+    transport: Box<dyn Transport<M>>,
 }
 
 /// What one node's step produced, captured per node so honest steps can run
@@ -192,7 +211,7 @@ pub(crate) struct NodeStep<M> {
     pub(crate) halted: bool,
 }
 
-impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
+impl<M: Message + Send + Sync + 'static, A: Adversary<M>> Sim<M, A> {
     /// Builds an execution. `factory(id, seed)` constructs node `id`'s
     /// protocol instance; `seed` is a per-node deterministic seed derived
     /// from `config.seed`.
@@ -204,7 +223,30 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
         config: &SimConfig,
         inputs: Vec<Bit>,
         adversary: A,
+        factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
+    ) -> Sim<M, A> {
+        let transport: Box<dyn Transport<M>> = match config.transport {
+            TransportSpec::Lockstep => Box::new(LockstepTransport::new()),
+            TransportSpec::Latency { round_ms, gst_ms, dist } => {
+                Box::new(LatencyTransport::new(config.n, round_ms, gst_ms, dist, config.seed))
+            }
+            TransportSpec::Tcp => panic!(
+                "the TCP transport needs real sockets, which live outside ba-sim; \
+                 construct the execution through ba-net (or Sim::new_with_transport)"
+            ),
+        };
+        Sim::new_with_transport(config, inputs, adversary, factory, transport)
+    }
+
+    /// Like [`Sim::new`], with a caller-provided delivery backend — the
+    /// injection point for transports `ba-sim` cannot build itself (real
+    /// I/O, e.g. `ba-net`'s TCP loopback backend).
+    pub fn new_with_transport(
+        config: &SimConfig,
+        inputs: Vec<Bit>,
+        adversary: A,
         mut factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
+        transport: Box<dyn Transport<M>>,
     ) -> Sim<M, A> {
         assert_eq!(inputs.len(), config.n, "one input per node");
         assert!(config.f < config.n, "corruption budget must leave one honest node");
@@ -235,6 +277,7 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
             max_rounds: config.max_rounds,
             threads: config.threads.max(1),
             rng: StdRng::seed_from_u64(config.seed ^ 0xAD5E_55A1_D0BE_EF00),
+            transport,
         }
     }
 
@@ -265,6 +308,18 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
         A: Send,
     {
         Sim::run_protocol(config, inputs, adversary, factory)
+    }
+
+    /// Builds with an injected delivery backend and runs to completion (see
+    /// [`Sim::new_with_transport`]).
+    pub fn run_with_transport(
+        config: &SimConfig,
+        inputs: Vec<Bit>,
+        adversary: A,
+        factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
+        transport: Box<dyn Transport<M>>,
+    ) -> RunReport {
+        Sim::new_with_transport(config, inputs, adversary, factory, transport).run()
     }
 
     /// Runs the execution to completion (all honest nodes halted, or the
@@ -299,6 +354,10 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
         self.metrics.corruptions =
             self.world.corrupt_at.iter().filter(|c| c.is_some()).count() as u64;
         self.metrics.removals = self.world.removals as u64;
+        self.metrics.latency = self
+            .transport
+            .finish(rounds_used)
+            .map(|stats| finalize_latency(stats, &self.output_rounds, &self.world.corrupt_at));
         RunReport {
             outputs: self.world.outputs.clone(),
             output_rounds: self.output_rounds.clone(),
@@ -466,45 +525,43 @@ impl<M: Message + Send + Sync, A: Adversary<M>> Sim<M, A> {
         let mut deliverable = std::mem::take(&mut self.world.pending);
         deliverable.extend(injected);
 
-        // 5. Deliver surviving messages into next round's inboxes. A
-        // multicast shares one `Arc` across all n recipients — no payload
-        // deep-clone in the fan-out.
-        for env in deliverable {
+        // 5. Validate what survived and hand it to the transport, which
+        // alone decides each copy's arrival round; then drain everything
+        // arriving by the start of the next round into the inboxes. (Under
+        // lockstep that is the entire submission, reproducing the pre-seam
+        // engine byte-for-byte; a multicast still shares one `Arc` across
+        // all n recipients — no payload deep-clone in the fan-out.)
+        let mut dropped = 0u64;
+        deliverable.retain(|env| {
             if env.removed {
-                continue;
+                return false;
             }
-            match env.to {
-                Recipient::All => {
-                    for inbox in self.inboxes.iter_mut() {
-                        inbox.push(Incoming {
-                            from: env.from,
-                            msg: std::sync::Arc::clone(&env.msg),
-                        });
-                    }
-                }
-                Recipient::One(target) => {
-                    if target.index() < n {
-                        self.inboxes[target.index()]
-                            .push(Incoming { from: env.from, msg: env.msg });
-                    } else {
-                        // Out-of-range unicasts cannot be delivered. Honest
-                        // protocol code addressing a nonexistent node is a
-                        // bug, not a modelling choice; adversarial
-                        // injections may aim anywhere, and are merely
-                        // counted instead of being lost without a trace.
-                        debug_assert!(
-                            !env.honest_send,
-                            "honest node {:?} unicast to out-of-range node {:?}",
-                            env.from, target
-                        );
-                        self.metrics.dropped_sends += 1;
-                    }
+            if let Recipient::One(target) = env.to {
+                if target.index() >= n {
+                    // Out-of-range unicasts cannot be delivered. Honest
+                    // protocol code addressing a nonexistent node is a bug,
+                    // not a modelling choice; adversarial injections may aim
+                    // anywhere, and are merely counted instead of being lost
+                    // without a trace.
+                    debug_assert!(
+                        !env.honest_send,
+                        "honest node {:?} unicast to out-of-range node {:?}",
+                        env.from, target
+                    );
+                    dropped += 1;
+                    return false;
                 }
             }
-        }
+            true
+        });
+        self.metrics.dropped_sends += dropped;
+        self.transport.submit(round, deliverable);
+        self.transport.deliver(round.next(), &mut self.inboxes);
 
-        // Resident-message gauge: everything now queued for next round.
-        let resident: u64 = self.inboxes.iter().map(|b| b.len() as u64).sum();
+        // Resident-message gauge: everything queued for next round plus
+        // whatever the transport still holds in flight.
+        let resident: u64 = self.inboxes.iter().map(|b| b.len() as u64).sum::<u64>()
+            + self.transport.in_flight() as u64;
         self.metrics.peak_resident_msgs = self.metrics.peak_resident_msgs.max(resident);
     }
 }

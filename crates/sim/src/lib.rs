@@ -27,13 +27,15 @@ pub mod message;
 pub mod metrics;
 pub mod population;
 pub mod protocol;
+pub mod transport;
 pub mod verdict;
 
 pub use adversary::{AdvActionError, AdvCtx, Adversary, CorruptionModel, Passive};
 pub use engine::{BoxedProtocol, RunReport, Sim, SimConfig};
 pub use ids::{Bit, NodeId, Round};
 pub use message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
-pub use metrics::Metrics;
+pub use metrics::{LatencyStats, Metrics};
 pub use population::{run_sparse, ActivationOracle, PopulationMode, SparseSpec};
 pub use protocol::Protocol;
+pub use transport::{DelayDist, Transport, TransportSpec, TransportStats, DEFAULT_ROUND_MS};
 pub use verdict::{evaluate, Problem, Verdict};

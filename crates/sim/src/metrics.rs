@@ -58,11 +58,46 @@ pub struct Metrics {
     /// the sparse engine, so the two modes gauge differently by design.
     /// Excluded from equality like [`Metrics::peak_live_nodes`].
     pub peak_resident_msgs: u64,
+    /// Clock-time measurements from transports that keep a clock (the
+    /// simulated-latency and TCP backends); `None` under lockstep. Like the
+    /// peak gauges these describe the *delivery substrate*, not the
+    /// protocol, and are excluded from equality — a zero-delay latency run
+    /// compares equal to its lockstep twin.
+    pub latency: Option<LatencyStats>,
+}
+
+/// Per-run latency percentiles derived from a transport's clock (virtual
+/// milliseconds for the simulated backend, wall-clock for TCP).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Commit latency (ms from run start to a node's first output),
+    /// percentiled over the forever-honest nodes that produced an output.
+    pub commit_p50_ms: f64,
+    /// 95th percentile commit latency (ms).
+    pub commit_p95_ms: f64,
+    /// 99th percentile commit latency (ms).
+    pub commit_p99_ms: f64,
+    /// Per-copy delivery delay (ms past the nominal send time).
+    pub delay_p50_ms: f64,
+    /// 95th percentile delivery delay (ms).
+    pub delay_p95_ms: f64,
+    /// 99th percentile delivery delay (ms).
+    pub delay_p99_ms: f64,
+    /// Message copies delivered (a multicast counts once per recipient).
+    pub delivered: u64,
+    /// Copies that missed the classic synchronous bound (arrived after the
+    /// start of `send_round + 1`) — deliveries lockstep cannot express.
+    pub late_deliveries: u64,
+    /// Copies still in flight when the run ended.
+    pub undelivered: u64,
 }
 
 /// Manual equality: protocol observables only. The two `peak_*` gauges
 /// describe how the engine resided in memory, not what the protocol did, and
-/// differ between byte-identical sparse and dense executions.
+/// differ between byte-identical sparse and dense executions; `latency`
+/// describes how the transport's clock ran, and differs between a lockstep
+/// run and its zero-delay latency twin even though the protocol behaved
+/// identically.
 impl PartialEq for Metrics {
     fn eq(&self, other: &Metrics) -> bool {
         self.honest_multicasts == other.honest_multicasts
@@ -114,6 +149,12 @@ impl Metrics {
         // Gauges aggregate as high-water marks, not sums.
         self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
         self.peak_resident_msgs = self.peak_resident_msgs.max(other.peak_resident_msgs);
+        // Percentiles don't compose; an aggregate keeps the first run's
+        // stats (sweep-level aggregation percentiles per-run observables
+        // instead of merging Metrics).
+        if self.latency.is_none() {
+            self.latency = other.latency.clone();
+        }
     }
 }
 

@@ -1,0 +1,286 @@
+//! Simulated-clock latency transport with partial synchrony.
+//!
+//! # Timing model
+//!
+//! A round occupies `round_ms` of virtual time: node steps for round `r`
+//! happen at `t = r · round_ms`, and the round's sends become visible on the
+//! wire at the round's end, `t_send = (r + 1) · round_ms` — nodes pace
+//! themselves by timeout, stepping into the next round whether or not
+//! traffic has arrived (there is no global delivery barrier). Each
+//! `(message, receiver)` copy then travels independently:
+//!
+//! ```text
+//! depart  = max(t_send, gst_ms)          // pre-GST the network may stall
+//! arrival = depart + delay(seed, msg, receiver)
+//! deliver_round = ceil(arrival / round_ms)
+//! ```
+//!
+//! A copy is placed in its receiver's inbox at the start of
+//! `deliver_round`. With a zero-delay distribution and `gst_ms = 0` this
+//! collapses exactly to lockstep (`deliver_round = r + 1` always), which is
+//! what the transport-equivalence property tests pin down. Any copy with
+//! `deliver_round > r + 1` is **late** by the classic synchronous bound —
+//! the receiver has already timed out past the round that lockstep would
+//! have delivered it into, so the protocol sees it stale (or, if the run
+//! ends first, never sees it at all).
+//!
+//! # Determinism
+//!
+//! Delays come from [`super::link_delay_ms`] — a pure function of
+//! `(seed, message id, receiver)` — and all round mapping is exact integer
+//! arithmetic, so a report is a pure function of the run seed: replaying the
+//! same seed, at any thread count, reproduces it byte-identically.
+
+use std::sync::Arc;
+
+use crate::ids::{NodeId, Round};
+use crate::message::{Envelope, Incoming, Message, Recipient};
+
+use super::{link_delay_ms, percentile_ms, DelayDist, Transport, TransportStats};
+
+/// One in-flight message copy (a multicast fans into `n` flights, each with
+/// its own link delay).
+struct Flight<M> {
+    deliver_round: u64,
+    /// Observed delay (ms): arrival − nominal send time, GST hold included.
+    observed_ms: u64,
+    late: bool,
+    from: NodeId,
+    receiver: usize,
+    msg: Arc<M>,
+}
+
+/// See the [module docs](self).
+pub struct LatencyTransport<M> {
+    n: usize,
+    round_ms: u64,
+    gst_ms: u64,
+    dist: DelayDist,
+    seed: u64,
+    /// Send order (= message-id order within a round, rounds in sequence);
+    /// delivery preserves this order among copies maturing the same round.
+    in_flight: Vec<Flight<M>>,
+    /// Observed delay of every delivered copy (ms) for the percentile
+    /// stats.
+    delivered_ms: Vec<f64>,
+    late_deliveries: u64,
+}
+
+impl<M> LatencyTransport<M> {
+    /// Builds the transport for an `n`-node population (multicasts fan out
+    /// at submission, one independently-delayed copy per receiver). `seed`
+    /// should be the run seed — the transport whitens it, so the
+    /// adversary's and nodes' RNG streams stay untouched.
+    pub fn new(
+        n: usize,
+        round_ms: u64,
+        gst_ms: u64,
+        dist: DelayDist,
+        seed: u64,
+    ) -> LatencyTransport<M> {
+        assert!(round_ms > 0, "round_ms must be positive");
+        LatencyTransport {
+            n,
+            round_ms,
+            gst_ms,
+            dist,
+            seed: super::splitmix64(seed ^ 0x7EA5_9057_11E7_C0DE),
+            in_flight: Vec::new(),
+            delivered_ms: Vec::new(),
+            late_deliveries: 0,
+        }
+    }
+
+    /// Computes one copy's flight plan; exact integer arithmetic throughout.
+    fn flight(&self, round: Round, env: &Envelope<M>, receiver: usize) -> Flight<M> {
+        let t_send = (round.0 + 1) * self.round_ms;
+        let depart = t_send.max(self.gst_ms);
+        let delay_ms = link_delay_ms(self.seed, env.id.0, receiver, &self.dist) as u64;
+        let arrival = depart + delay_ms;
+        let deliver_round = arrival.div_ceil(self.round_ms).max(round.0 + 1);
+        Flight {
+            deliver_round,
+            observed_ms: arrival - t_send,
+            late: deliver_round > round.0 + 1,
+            from: env.from,
+            receiver,
+            msg: Arc::clone(&env.msg),
+        }
+    }
+}
+
+impl<M: Message + Send + Sync> Transport<M> for LatencyTransport<M> {
+    fn submit(&mut self, round: Round, envelopes: Vec<Envelope<M>>) {
+        for env in envelopes {
+            match env.to {
+                Recipient::All => {
+                    for receiver in 0..self.n {
+                        self.in_flight.push(self.flight(round, &env, receiver));
+                    }
+                }
+                Recipient::One(target) => {
+                    // The engine validated the range before submitting.
+                    self.in_flight.push(self.flight(round, &env, target.index()));
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inboxes: &mut [Vec<Incoming<M>>]) {
+        let mut kept = Vec::with_capacity(self.in_flight.len());
+        for fl in self.in_flight.drain(..) {
+            if fl.deliver_round <= round.0 {
+                self.delivered_ms.push(fl.observed_ms as f64);
+                if fl.late {
+                    self.late_deliveries += 1;
+                }
+                inboxes[fl.receiver].push(Incoming { from: fl.from, msg: fl.msg });
+            } else {
+                kept.push(fl);
+            }
+        }
+        self.in_flight = kept;
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn finish(&mut self, rounds_used: u64) -> Option<TransportStats> {
+        let delivered = self.delivered_ms.len() as u64;
+        let mut delays = std::mem::take(&mut self.delivered_ms);
+        Some(TransportStats {
+            round_end_ms: (0..rounds_used).map(|r| ((r + 1) * self.round_ms) as f64).collect(),
+            delay_p50_ms: percentile_ms(&mut delays, 50.0),
+            delay_p95_ms: percentile_ms(&mut delays, 95.0),
+            delay_p99_ms: percentile_ms(&mut delays, 99.0),
+            delivered,
+            late_deliveries: self.late_deliveries,
+            undelivered: self.in_flight.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgId;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Word(u64);
+
+    impl Message for Word {
+        fn size_bits(&self) -> usize {
+            64
+        }
+    }
+
+    fn env(id: u64, from: usize, to: Recipient, payload: u64) -> Envelope<Word> {
+        Envelope {
+            id: MsgId(id),
+            from: NodeId(from),
+            to,
+            round: Round(0),
+            honest_send: true,
+            removed: false,
+            msg: Arc::new(Word(payload)),
+        }
+    }
+
+    fn payloads(inbox: &[Incoming<Word>]) -> Vec<u64> {
+        inbox.iter().map(|m| m.msg.0).collect()
+    }
+
+    #[test]
+    fn zero_delay_no_gst_behaves_like_lockstep() {
+        let mut t = LatencyTransport::new(3, 10, 0, DelayDist::Zero, 42);
+        t.submit(
+            Round(0),
+            vec![
+                env(0, 0, Recipient::All, 10),
+                env(1, 1, Recipient::One(NodeId(2)), 11),
+                env(2, 2, Recipient::All, 12),
+            ],
+        );
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new()];
+        t.deliver(Round(1), &mut inboxes);
+        assert_eq!(payloads(&inboxes[0]), vec![10, 12]);
+        assert_eq!(payloads(&inboxes[1]), vec![10, 12]);
+        assert_eq!(payloads(&inboxes[2]), vec![10, 11, 12]);
+        assert_eq!(t.in_flight(), 0);
+        let stats = t.finish(2).expect("latency transport keeps a clock");
+        assert_eq!(stats.delivered, 7);
+        assert_eq!(stats.late_deliveries, 0);
+        assert_eq!(stats.undelivered, 0);
+        assert_eq!(stats.delay_p99_ms, 0.0);
+        assert_eq!(stats.round_end_ms, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn long_delays_arrive_late_and_are_counted() {
+        // round_ms = 10, every link delayed 25ms: sent at t=10, arrives
+        // t=35 → start of round 4 (ceil(35/10) = 4), two rounds late.
+        let dist = DelayDist::Uniform { lo_ms: 25, hi_ms: 25 };
+        let mut t = LatencyTransport::new(2, 10, 0, dist, 7);
+        t.submit(Round(0), vec![env(0, 0, Recipient::All, 1)]);
+        let mut inboxes = vec![Vec::new(), Vec::new()];
+        t.deliver(Round(1), &mut inboxes);
+        assert!(inboxes.iter().all(|b| b.is_empty()), "too early");
+        assert_eq!(t.in_flight(), 2);
+        t.deliver(Round(4), &mut inboxes);
+        assert_eq!(payloads(&inboxes[0]), vec![1]);
+        assert_eq!(payloads(&inboxes[1]), vec![1]);
+        let stats = t.finish(5).unwrap();
+        assert_eq!(stats.late_deliveries, 2);
+        assert_eq!(stats.delay_p50_ms, 25.0);
+    }
+
+    #[test]
+    fn pre_gst_sends_are_held_until_stabilization() {
+        // GST at t=100: a round-0 send (t_send = 10) departs at 100 and
+        // (zero link delay) arrives at start of round 10; observed delay is
+        // the 90ms hold.
+        let mut t = LatencyTransport::new(1, 10, 100, DelayDist::Zero, 3);
+        t.submit(Round(0), vec![env(0, 0, Recipient::All, 9)]);
+        let mut inboxes = vec![Vec::new()];
+        t.deliver(Round(9), &mut inboxes);
+        assert!(inboxes[0].is_empty());
+        t.deliver(Round(10), &mut inboxes);
+        assert_eq!(payloads(&inboxes[0]), vec![9]);
+        let stats = t.finish(11).unwrap();
+        assert_eq!(stats.late_deliveries, 1);
+        assert_eq!(stats.delay_p50_ms, 90.0);
+        // Post-GST sends are back to the synchronous bound.
+        let mut t = LatencyTransport::new(1, 10, 100, DelayDist::Zero, 3);
+        t.submit(Round(20), vec![env(0, 0, Recipient::All, 9)]);
+        let mut inboxes = vec![Vec::new()];
+        t.deliver(Round(21), &mut inboxes);
+        assert_eq!(payloads(&inboxes[0]), vec![9]);
+        assert_eq!(t.finish(22).unwrap().late_deliveries, 0);
+    }
+
+    #[test]
+    fn undelivered_copies_are_reported_not_lost() {
+        let dist = DelayDist::Uniform { lo_ms: 1000, hi_ms: 1000 };
+        let mut t = LatencyTransport::new(2, 10, 0, dist, 1);
+        t.submit(Round(0), vec![env(0, 0, Recipient::All, 1)]);
+        let mut inboxes = vec![Vec::new(), Vec::new()];
+        t.deliver(Round(1), &mut inboxes);
+        let stats = t.finish(1).unwrap();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.undelivered, 2);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let dist = DelayDist::Uniform { lo_ms: 0, hi_ms: 40 };
+        let schedule = |seed: u64| -> Vec<u64> {
+            let t = LatencyTransport::<Word>::new(4, 10, 0, dist, seed);
+            (0..20u64)
+                .map(|id| t.flight(Round(3), &env(id, 0, Recipient::All, 0), 2).deliver_round)
+                .collect()
+        };
+        assert_eq!(schedule(9), schedule(9));
+        assert_ne!(schedule(9), schedule(10), "different seed should reshuffle delays");
+    }
+}

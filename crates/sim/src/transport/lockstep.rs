@@ -1,0 +1,127 @@
+//! The classic synchronous transport, extracted from the engine's delivery
+//! loop: everything sent in round `r` arrives at the start of round `r + 1`,
+//! in send (message-id) order, a multicast sharing one `Arc` across all `n`
+//! recipients.
+//!
+//! This file **is** the byte-identity contract for the transport seam: the
+//! fan-out below is line-for-line the pre-seam engine's phase 5, so every
+//! committed baseline reproduces `cmp`-identically through the seam. It
+//! keeps no clock and reports no stats, leaving lockstep reports free of
+//! latency observables.
+
+use std::sync::Arc;
+
+use crate::ids::Round;
+use crate::message::{Envelope, Incoming, Message, Recipient};
+
+use super::{Transport, TransportStats};
+
+/// See the [module docs](self).
+#[derive(Default)]
+pub struct LockstepTransport<M> {
+    /// The one round currently in flight (submit and deliver alternate, so
+    /// at most one round's envelopes are ever held).
+    queued: Vec<Envelope<M>>,
+}
+
+impl<M> LockstepTransport<M> {
+    /// Builds the transport (stateless beyond the one-round queue).
+    pub fn new() -> LockstepTransport<M> {
+        LockstepTransport { queued: Vec::new() }
+    }
+}
+
+impl<M: Message + Send + Sync> Transport<M> for LockstepTransport<M> {
+    fn submit(&mut self, _round: Round, envelopes: Vec<Envelope<M>>) {
+        debug_assert!(self.queued.is_empty(), "lockstep holds at most one round");
+        self.queued = envelopes;
+    }
+
+    fn deliver(&mut self, _round: Round, inboxes: &mut [Vec<Incoming<M>>]) {
+        for env in self.queued.drain(..) {
+            match env.to {
+                Recipient::All => {
+                    for inbox in inboxes.iter_mut() {
+                        inbox.push(Incoming { from: env.from, msg: Arc::clone(&env.msg) });
+                    }
+                }
+                Recipient::One(target) => {
+                    // The engine validated the range before submitting.
+                    inboxes[target.index()].push(Incoming { from: env.from, msg: env.msg });
+                }
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        // Empty whenever the engine gauges residency (deliver drained it).
+        self.queued.len()
+    }
+
+    fn finish(&mut self, _rounds_used: u64) -> Option<TransportStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::message::MsgId;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Word(u64);
+
+    impl Message for Word {
+        fn size_bits(&self) -> usize {
+            64
+        }
+    }
+
+    fn env(id: u64, from: usize, to: Recipient, payload: u64) -> Envelope<Word> {
+        Envelope {
+            id: MsgId(id),
+            from: NodeId(from),
+            to,
+            round: Round(0),
+            honest_send: true,
+            removed: false,
+            msg: Arc::new(Word(payload)),
+        }
+    }
+
+    #[test]
+    fn delivers_everything_next_round_in_send_order() {
+        let mut t = LockstepTransport::new();
+        t.submit(
+            Round(0),
+            vec![
+                env(0, 0, Recipient::All, 10),
+                env(1, 1, Recipient::One(NodeId(2)), 11),
+                env(2, 2, Recipient::All, 12),
+            ],
+        );
+        assert_eq!(t.in_flight(), 3);
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new()];
+        t.deliver(Round(1), &mut inboxes);
+        assert_eq!(t.in_flight(), 0);
+        let payloads =
+            |i: usize| inboxes[i].iter().map(|m: &Incoming<Word>| m.msg.0).collect::<Vec<_>>();
+        assert_eq!(payloads(0), vec![10, 12]);
+        assert_eq!(payloads(1), vec![10, 12]);
+        assert_eq!(payloads(2), vec![10, 11, 12]);
+        assert!(t.finish(1).is_none(), "lockstep has no clock");
+    }
+
+    #[test]
+    fn multicast_shares_one_arc() {
+        let mut t = LockstepTransport::new();
+        let e = env(0, 0, Recipient::All, 5);
+        let payload = Arc::clone(&e.msg);
+        t.submit(Round(0), vec![e]);
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        t.deliver(Round(1), &mut inboxes);
+        // 1 (ours) + 4 inbox clones, no deep copies.
+        assert_eq!(Arc::strong_count(&payload), 5);
+    }
+}

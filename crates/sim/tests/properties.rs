@@ -29,6 +29,7 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             dropped_sends: cs / 2,
             peak_live_nodes: hm % 17,
             peak_resident_msgs: hmb % 31,
+            latency: None,
         })
 }
 
