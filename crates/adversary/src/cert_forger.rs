@@ -16,11 +16,48 @@
 //!   `f/n` crosses 1/2 — the measured success rate traces the resilience
 //!   threshold.
 
-use ba_core::auth::Auth;
-use ba_core::cert::{Certificate, CommitRef, VoteRef};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ba_core::auth::{Auth, Evidence};
+use ba_core::cert::{
+    AggregateQuorum, CertBody, CertEncoding, Certificate, CommitQuorum, CommitRef, VoteRef,
+};
 use ba_core::iter::IterMsg;
 use ba_fmine::{MineTag, MsgKind};
 use ba_sim::{AdvCtx, Adversary, Bit, NodeId, Recipient};
+
+/// Shared counters for the adversary's *aggregate-forgery* side channel:
+/// certificate shapes that only exist under the aggregate encoding (inflated
+/// bitmaps, duplicate signers, cross-statement aggregates). Every attempt is
+/// checked against the protocol's own verifier **locally** — a rejected
+/// forgery is never sent, so the attack leaves the honest transcript
+/// untouched and the counters are pure diagnostics.
+#[derive(Default, Debug)]
+pub struct ForgeStats {
+    attempts: AtomicU64,
+    blocked: AtomicU64,
+}
+
+impl ForgeStats {
+    /// Aggregate-forgery shapes tried so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Attempts the verifier rejected. Soundness of the aggregate encoding
+    /// means this always equals [`ForgeStats::attempts`].
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, rejected: bool) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.blocked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
 
 /// How the forged `Terminate` is delivered.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,8 +82,14 @@ pub struct CertForger {
     pub delivery: Delivery,
     /// Authentication services (shared with the protocol).
     pub auth: Auth,
+    /// Certificate encoding the attacked protocol runs under; the forged
+    /// `Terminate` mimics it so the forgery is indistinguishable from an
+    /// honest message of the same run.
+    pub encoding: CertEncoding,
     /// Statistics: whether the full chain was forged.
     pub forged: bool,
+    /// Aggregate-forgery attempt counters (see [`ForgeStats`]).
+    pub stats: Arc<ForgeStats>,
 }
 
 impl CertForger {
@@ -58,7 +101,9 @@ impl CertForger {
             quorum,
             delivery: Delivery::All,
             auth,
+            encoding: CertEncoding::Vector,
             forged: false,
+            stats: Arc::new(ForgeStats::default()),
         }
     }
 
@@ -66,6 +111,71 @@ impl CertForger {
     pub fn with_split_delivery(mut self) -> CertForger {
         self.delivery = Delivery::HalfHonest;
         self
+    }
+
+    /// Selects the certificate encoding to mimic.
+    pub fn with_encoding(mut self, encoding: CertEncoding) -> CertForger {
+        self.encoding = encoding;
+        self
+    }
+
+    /// A clone of the forgery-statistics handle (survives moving the
+    /// adversary into an execution).
+    pub fn stats(&self) -> Arc<ForgeStats> {
+        self.stats.clone()
+    }
+
+    /// Aggregates the corrupt nodes' own (valid) commit evidence — the
+    /// starting material for the forgery shapes below, and the quorum body
+    /// of the forged `Terminate` when the protocol runs aggregate-encoded.
+    fn aggregate_commits(&self, tag: &MineTag, refs: &[CommitRef]) -> Option<AggregateQuorum> {
+        let n = self.auth.aggregation_domain()?;
+        let mut sorted: Vec<&CommitRef> = refs.iter().collect();
+        sorted.sort_by_key(|r| r.from.0);
+        let claims: Vec<(NodeId, &Evidence)> = sorted.iter().map(|r| (r.from, &r.ev)).collect();
+        let agg = self.auth.aggregate(tag, &claims)?;
+        Some(AggregateQuorum { n, signers: sorted.iter().map(|r| r.from).collect(), agg })
+    }
+
+    /// Tries the certificate shapes that only the aggregate encoding could
+    /// even express, checking each against [`Auth::verify_aggregate`]
+    /// locally. Nothing here is ever injected: a sound verifier rejects all
+    /// of them, and sending a rejected message would only perturb the
+    /// corrupt-traffic observables.
+    fn attempt_aggregate_forgeries(&self, iter: u64, bit: Bit, commits: &[CommitRef]) {
+        if commits.is_empty() {
+            return;
+        }
+        let tag = MineTag::new(MsgKind::Commit, iter, bit);
+        let Some(base) = self.aggregate_commits(&tag, commits) else {
+            return; // regime has no aggregation; nothing to forge
+        };
+
+        // Bitmap inflation: keep the honest aggregate but claim one extra
+        // signer that never signed. Padding the bitmap is free — if this
+        // verified, quorum counting under aggregation would be meaningless.
+        let extra = (0..base.n).map(NodeId).find(|id| !base.signers.contains(id));
+        if let Some(extra) = extra {
+            let mut signers = base.signers.clone();
+            signers.push(extra);
+            signers.sort_by_key(|id| id.0);
+            let inflated = AggregateQuorum { n: base.n, signers, agg: base.agg };
+            self.stats.record(!self.auth.verify_aggregate(&tag, &inflated));
+        }
+
+        // Duplicate signer: list the same signer twice to double-count it
+        // toward the quorum.
+        let mut signers = base.signers.clone();
+        signers.insert(0, signers[0]);
+        let duplicated = AggregateQuorum { n: base.n, signers, agg: base.agg };
+        self.stats.record(!self.auth.verify_aggregate(&tag, &duplicated));
+
+        // Mixed statement: a perfectly valid aggregate — over *this*
+        // iteration's commit statement — replayed as a commit quorum for
+        // the next iteration, which none of the signers ever signed. The
+        // signatures are real; only the statement is swapped.
+        let next_tag = MineTag::new(MsgKind::Commit, iter + 1, bit);
+        self.stats.record(!self.auth.verify_aggregate(&next_tag, &base));
     }
 }
 
@@ -95,12 +205,9 @@ impl Adversary<IterMsg> for CertForger {
                 votes.push(VoteRef { from: node, ev });
             }
         }
-        if votes.len() < self.quorum {
-            return; // Lemma 11 held: not enough corrupt eligible voters
-        }
-        let cert = Certificate { iter, bit, votes };
-
-        // 2. Commit quorum.
+        // 2. Commit quorum (gathered before the quorum bail-outs so the
+        // local aggregate-forgery probes run even when Lemma 11 holds and
+        // the chain itself cannot be completed).
         let commit_tag = MineTag::new(MsgKind::Commit, iter, bit);
         let mut commits: Vec<CommitRef> = Vec::new();
         for &node in &self.corrupt {
@@ -111,6 +218,12 @@ impl Adversary<IterMsg> for CertForger {
                 commits.push(CommitRef { from: node, ev });
             }
         }
+        self.attempt_aggregate_forgeries(iter, bit, &commits);
+
+        if votes.len() < self.quorum {
+            return; // Lemma 11 held: not enough corrupt eligible voters
+        }
+        let cert = Certificate { iter, bit, body: CertBody::Vector(votes) };
         if commits.len() < self.quorum {
             return;
         }
@@ -125,7 +238,14 @@ impl Adversary<IterMsg> for CertForger {
             return;
         };
 
-        let msg = IterMsg::Terminate { iter, bit, commits, ev: term_ev };
+        let quorum_body = if self.encoding == CertEncoding::Aggregate {
+            self.aggregate_commits(&commit_tag, &commits)
+                .map(CommitQuorum::Aggregate)
+                .unwrap_or(CommitQuorum::Vector(commits))
+        } else {
+            CommitQuorum::Vector(commits)
+        };
+        let msg = IterMsg::Terminate { iter, bit, commits: quorum_body, ev: term_ev };
         let _ = cert; // the commit quorum alone decides; cert kept for clarity
         match self.delivery {
             Delivery::All => {
@@ -155,14 +275,25 @@ mod tests {
     use ba_sim::{CorruptionModel, SimConfig};
 
     fn run_attack_quadratic(n: usize, f: usize, seed: u64) -> bool {
-        let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
-        let cfg = IterConfig::quadratic_half(n, kc, seed);
-        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone());
+        run_attack_quadratic_enc(n, f, seed, SigMode::Ideal, CertEncoding::Vector).0
+    }
+
+    fn run_attack_quadratic_enc(
+        n: usize,
+        f: usize,
+        seed: u64,
+        sig_mode: SigMode,
+        encoding: CertEncoding,
+    ) -> (bool, Arc<ForgeStats>) {
+        let kc = Arc::new(Keychain::from_seed(seed, n, sig_mode));
+        let cfg = IterConfig::quadratic_half(n, kc, seed).with_cert_encoding(encoding);
+        let adv = CertForger::new(n, f, true, cfg.quorum, cfg.auth.clone()).with_encoding(encoding);
+        let stats = adv.stats();
         let sim = SimConfig::new(n, f, CorruptionModel::Static, seed);
         // Honest nodes all input 0; a validity violation means some honest
         // node output 1.
         let (_report, verdict) = iter::run(&cfg, &sim, vec![false; n], adv);
-        !verdict.all_ok()
+        (!verdict.all_ok(), stats)
     }
 
     fn run_attack_subq(n: usize, f: usize, lambda: f64, seed: u64) -> bool {
@@ -214,6 +345,46 @@ mod tests {
             }
         }
         assert!(wins >= 4, "forgery should usually succeed at f = 0.7n: wins={wins}");
+    }
+
+    #[test]
+    fn aggregate_forgeries_all_blocked_under_ideal_signatures() {
+        for seed in 0..3 {
+            // Safe regime: the honest run is untouched, but the forger still
+            // probes the aggregate verifier with every forged shape.
+            let (broken, stats) =
+                run_attack_quadratic_enc(9, 4, seed, SigMode::Ideal, CertEncoding::Aggregate);
+            assert!(!broken, "seed={seed}");
+            assert_eq!(stats.attempts(), 3, "seed={seed}");
+            assert_eq!(stats.blocked(), 3, "all forged shapes must be rejected (seed={seed})");
+        }
+    }
+
+    #[test]
+    fn aggregate_forgeries_all_blocked_under_real_signatures() {
+        let (broken, stats) =
+            run_attack_quadratic_enc(9, 4, 0, SigMode::Real, CertEncoding::Aggregate);
+        assert!(!broken);
+        assert_eq!(stats.attempts(), 3);
+        assert_eq!(stats.blocked(), 3, "real multi-signature verifier must reject all shapes");
+    }
+
+    #[test]
+    fn aggregate_encoded_attack_matches_vector_outcome() {
+        // The resilience boundary is an encoding-independent protocol fact:
+        // the forged Terminate carries the corrupt nodes' own valid commit
+        // credentials either way, so the attack lands (or fails)
+        // identically under both encodings.
+        for seed in 0..3 {
+            for &(f, expect_broken) in &[(4usize, false), (5usize, true)] {
+                let (vec_broken, _) =
+                    run_attack_quadratic_enc(9, f, seed, SigMode::Ideal, CertEncoding::Vector);
+                let (agg_broken, _) =
+                    run_attack_quadratic_enc(9, f, seed, SigMode::Ideal, CertEncoding::Aggregate);
+                assert_eq!(vec_broken, expect_broken, "vector f={f} seed={seed}");
+                assert_eq!(agg_broken, expect_broken, "aggregate f={f} seed={seed}");
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod silence_burst;
 pub mod vote_flipper;
 
 pub use adaptive_eclipse::AdaptiveEclipse;
-pub use cert_forger::{CertForger, Delivery};
+pub use cert_forger::{CertForger, Delivery, ForgeStats};
 pub use committee_eraser::CommitteeEraser;
 pub use compose::EclipseBurst;
 pub use crash::{CrashAt, Omission};

@@ -463,9 +463,16 @@ fn diff_sweep(report: &mut DiffReport, path: &str, base: &Json, cand: &Json, tol
 
 fn diff_cell(report: &mut DiffReport, path: &str, base: &Json, cand: &Json, tol: &Tolerance) {
     // The scenario configuration must match exactly — a changed n/f/
-    // protocol/adversary makes value comparison meaningless.
+    // protocol/adversary makes value comparison meaningless. Ignore globs
+    // apply here too, so a deliberate cross-config diff can exempt the one
+    // axis it varies (e.g. `--ignore-observable 'cert_*'` exempts both the
+    // `cert_bits` observables and the `cert_encoding` scenario key when
+    // diffing an aggregate-encoded run against the vector baseline).
     if let (Some(Json::Obj(b)), Some(Json::Obj(c))) = (base.get("scenario"), cand.get("scenario")) {
         for (key, bv) in b {
+            if tol.ignores(key) {
+                continue;
+            }
             let cv = c.iter().find(|(k, _)| k == key).map(|(_, v)| v);
             if cv != Some(bv) {
                 report.push(
@@ -478,7 +485,7 @@ fn diff_cell(report: &mut DiffReport, path: &str, base: &Json, cand: &Json, tol:
         // A candidate-only config key is schema drift too (the baseline
         // predates a new `Scenario::describe` field — regenerate it).
         for (key, _) in c {
-            if !b.iter().any(|(k, _)| k == key) {
+            if !tol.ignores(key) && !b.iter().any(|(k, _)| k == key) {
                 report.push(
                     DriftKind::Structural,
                     format!("{path}[{key}]"),

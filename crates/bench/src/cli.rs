@@ -17,6 +17,11 @@
 //!   applied to every scenario (default: scenario-specified, usually
 //!   lockstep). Unlike `--sim-threads`/`--population` this is a
 //!   *protocol-affecting* axis (see docs/NETWORKING.md);
+//! * `--cert-encoding vector|aggregate` — quorum-certificate encoding
+//!   applied to every scenario (default: scenario-specified, usually
+//!   vector). Protocol-affecting like `--transport` in that it changes
+//!   message sizes, but decision observables are provably identical
+//!   across encodings (see docs/CERTIFICATES.md);
 //! * `--round-ms MS` / `--gst MS` / `--delay-dist DIST` — shorthand knobs
 //!   for the latency transport's round duration, global stabilization
 //!   time, and per-link delay distribution (`zero`, `uniform:LO..HI`,
@@ -37,6 +42,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use ba_core::cert::CertEncoding;
 use ba_sim::{DelayDist, PopulationMode, TransportSpec};
 
 use crate::dist::{self, DistConfig};
@@ -74,6 +80,10 @@ pub struct Cli {
     /// in every sweep (`None` = keep scenario-specified values, unless one
     /// of the latency shorthand knobs below implies a latency transport).
     pub transport: Option<TransportSpec>,
+    /// `--cert-encoding` override: quorum-certificate encoding applied to
+    /// every scenario in every sweep (`None` = keep scenario-specified
+    /// values).
+    pub cert_encoding: Option<CertEncoding>,
     /// `--round-ms` shorthand: latency-transport round duration override.
     pub round_ms: Option<u64>,
     /// `--gst` shorthand: latency-transport global stabilization time.
@@ -125,6 +135,7 @@ impl Cli {
             sim_threads: None,
             population: None,
             transport: None,
+            cert_encoding: None,
             round_ms: None,
             gst: None,
             delay_dist: None,
@@ -173,6 +184,10 @@ impl Cli {
                 "--transport" => {
                     let raw = value("--transport");
                     cli.transport = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
+                }
+                "--cert-encoding" => {
+                    let raw = value("--cert-encoding");
+                    cli.cert_encoding = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
                 }
                 "--round-ms" => {
                     let ms: u64 = value("--round-ms")
@@ -243,6 +258,7 @@ impl Cli {
                          USAGE: {experiment} [--seeds N] [--grid full|smoke] [--threads N]\n\
                          \x20                 [--sim-threads N] [--population sparse|dense]\n\
                          \x20                 [--transport lockstep|latency[:k=v,..]|tcp]\n\
+                         \x20                 [--cert-encoding vector|aggregate]\n\
                          \x20                 [--round-ms MS] [--gst MS] [--delay-dist DIST]\n\
                          \x20                 [--workers N] [--worker-cmd CMD]\n\
                          \x20                 [--format md,csv,json|all] [--out DIR]\n\
@@ -323,6 +339,13 @@ impl Cli {
             for sweep in &mut sweeps {
                 for scenario in &mut sweep.scenarios {
                     scenario.transport = transport;
+                }
+            }
+        }
+        if let Some(encoding) = self.cert_encoding {
+            for sweep in &mut sweeps {
+                for scenario in &mut sweep.scenarios {
+                    scenario.cert_encoding = encoding;
                 }
             }
         }
@@ -474,6 +497,32 @@ mod tests {
         // The latency transport reports what lockstep cannot: delivery stats.
         assert!(!reports[0].cells[0].samples("latency_delivered").is_empty());
         assert!(lockstep.cells[0].samples("latency_delivered").is_empty());
+    }
+
+    #[test]
+    fn cert_encoding_flag_overrides_scenarios() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let cli = parse(&["--cert-encoding", "aggregate"]);
+        assert_eq!(cli.cert_encoding, Some(CertEncoding::Aggregate));
+        // Aggregate certificates change message sizes but provably not the
+        // protocol's decisions: every non-bit observable must match the
+        // vector run.
+        let sweep = Sweep::new("t", 2, vec![Scenario::new("q", 9, ProtocolSpec::QuadraticHalf)]);
+        let reports = cli.run(vec![sweep]);
+        let vector =
+            Sweep::new("t", 2, vec![Scenario::new("q", 9, ProtocolSpec::QuadraticHalf)]).run(1);
+        for obs in ["rounds", "multicasts", "unicasts", "decision", "all_ok"] {
+            assert_eq!(
+                reports[0].cells[0].samples(obs),
+                vector.cells[0].samples(obs),
+                "{obs} must be encoding-independent"
+            );
+        }
+        // ...while the certificate share of the bits genuinely shrinks.
+        let agg_bits = reports[0].cells[0].samples("cert_bits");
+        let vec_bits = vector.cells[0].samples("cert_bits");
+        assert!(agg_bits.iter().sum::<f64>() < vec_bits.iter().sum::<f64>());
+        assert_eq!(parse(&[]).cert_encoding, None);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use ba_adversary::{
 use ba_core::auth::FsService;
 use ba_core::ba_from_bb;
 use ba_core::broadcast;
+use ba_core::cert::CertEncoding;
 use ba_core::dolev_strong::{self, DsConfig};
 use ba_core::epoch::{self, EpochConfig, EpochMsg};
 use ba_core::iter::{self, IterConfig};
@@ -389,6 +390,17 @@ pub struct Scenario {
     /// [`Scenario::describe`] and the report JSON. `--transport` on
     /// experiment binaries overrides it grid-wide.
     pub transport: TransportSpec,
+    /// Quorum-certificate encoding for the iteration family: a vector of
+    /// individually signed votes, or one aggregate multi-signature plus a
+    /// signer bitmap. Like [`Scenario::transport`] this is a
+    /// *protocol-affecting* axis — it changes the certificate share of
+    /// every message (`cert_bits` and the `*_bits` observables) while
+    /// provably leaving all decision observables untouched — so it
+    /// appears in [`Scenario::describe`] and the report JSON;
+    /// `--cert-encoding` on experiment binaries overrides it grid-wide.
+    /// Families whose regime cannot aggregate (mined eligibility) fall
+    /// back to the vector encoding.
+    pub cert_encoding: CertEncoding,
 }
 
 impl Scenario {
@@ -418,6 +430,7 @@ impl Scenario {
             sim_threads: 1,
             population: PopulationMode::Dense,
             transport: TransportSpec::Lockstep,
+            cert_encoding: CertEncoding::Vector,
         }
     }
 
@@ -492,6 +505,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the certificate encoding (see [`Scenario::cert_encoding`];
+    /// `--cert-encoding` on experiment binaries overrides it grid-wide).
+    pub fn cert_encoding(mut self, encoding: CertEncoding) -> Scenario {
+        self.cert_encoding = encoding;
+        self
+    }
+
     /// Key/value description of the configuration (report metadata).
     pub fn describe(&self) -> Vec<(&'static str, String)> {
         vec![
@@ -515,6 +535,7 @@ impl Scenario {
                 },
             ),
             ("transport", self.transport.to_string()),
+            ("cert_encoding", self.cert_encoding.to_string()),
         ]
     }
 
@@ -559,7 +580,8 @@ impl Scenario {
             .with_transport(self.transport);
         match &self.protocol {
             ProtocolSpec::SubqHalf { lambda, max_iters } => {
-                let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));
+                let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda))
+                    .with_cert_encoding(self.cert_encoding);
                 if let Some(mi) = max_iters {
                     cfg.max_iters = *mi;
                 }
@@ -567,7 +589,9 @@ impl Scenario {
             }
             ProtocolSpec::QuadraticHalf => {
                 let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
-                self.run_iter(IterConfig::quadratic_half(self.n, kc, seed), &sim, seed)
+                let cfg = IterConfig::quadratic_half(self.n, kc, seed)
+                    .with_cert_encoding(self.cert_encoding);
+                self.run_iter(cfg, &sim, seed)
             }
             ProtocolSpec::WarmupThird { epochs } => {
                 let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
@@ -605,7 +629,8 @@ impl Scenario {
                 self.finish(seed, runnable.execute(&sim), Vec::new())
             }
             ProtocolSpec::IterBroadcast { lambda } => {
-                let cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda));
+                let cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda))
+                    .with_cert_encoding(self.cert_encoding);
                 let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
                 let runnable = self.typed_runnable(seed, Some(cfg.quorum), |adv| {
                     broadcast::runnable_iter_bb(
@@ -701,17 +726,28 @@ impl Scenario {
 
     fn run_iter(&self, cfg: IterConfig, sim: &SimConfig, seed: u64) -> ScenarioRun {
         let inputs = self.inputs.generate(self.n, seed);
-        let runnable = match self.adversary {
+        match self.adversary {
             AdversarySpec::CertForger { target } => {
-                let adv = CertForger::new(self.n, self.f, target, cfg.quorum, cfg.auth.clone());
-                iter::runnable(&cfg, inputs, adv)
+                let adv = CertForger::new(self.n, self.f, target, cfg.quorum, cfg.auth.clone())
+                    .with_encoding(cfg.effective_cert_encoding());
+                let stats = adv.stats();
+                let outcome = iter::runnable(&cfg, inputs, adv).execute(sim);
+                // Local probe counters only — a blocked forgery is never
+                // sent, so these ride under the `cert_*` observable prefix
+                // that encoding diffs already ignore.
+                let extras = vec![
+                    ("cert_forge_attempts", stats.attempts() as f64),
+                    ("cert_forge_blocked", stats.blocked() as f64),
+                ];
+                self.finish(seed, outcome, extras)
             }
             _ => {
                 let quorum = cfg.quorum;
-                self.typed_runnable(seed, Some(quorum), |adv| iter::runnable(&cfg, inputs, adv))
+                let runnable = self
+                    .typed_runnable(seed, Some(quorum), |adv| iter::runnable(&cfg, inputs, adv));
+                self.finish(seed, runnable.execute(sim), Vec::new())
             }
-        };
-        self.finish(seed, runnable.execute(sim), Vec::new())
+        }
     }
 
     fn run_epoch(&self, cfg: EpochConfig, sim: &SimConfig, seed: u64) -> ScenarioRun {
@@ -762,6 +798,7 @@ impl Scenario {
         record.push("multicasts", m.honest_multicasts as f64);
         record.push("multicast_bits", m.honest_multicast_bits as f64);
         record.push("kbits", m.honest_multicast_bits as f64 / 1000.0);
+        record.push("cert_bits", m.honest_cert_bits as f64);
         record.push("unicasts", m.honest_unicasts as f64);
         record.push("classical_msgs", m.classical_messages(self.n) as f64);
         record.push("corrupt_sends", m.corrupt_sends as f64);

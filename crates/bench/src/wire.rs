@@ -36,6 +36,7 @@ use crate::baseline::{parse_json, Json};
 use crate::report::{json_escape, json_number, to_json_cell_line, CELL_STREAM_SCHEMA};
 use crate::scenario::{AdversarySpec, EligMode, EligSeed, InputPattern, ProtocolSpec, Scenario};
 use crate::sweep::{RunRecord, Sweep};
+use ba_core::cert::CertEncoding;
 use ba_sim::{CorruptionModel, PopulationMode, TransportSpec};
 
 /// One unit of distributed work: a single sweep cell, self-contained.
@@ -243,7 +244,8 @@ fn scenario_spec(sc: &Scenario) -> String {
          \"inputs\": {}, \"adversary\": {}, \"protocol\": {}, \
          \"elig\": \"{elig}\", \"elig_seed\": {elig_seed}, \
          \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}, \
-         \"population\": \"{}\", \"transport\": \"{}\"}}",
+         \"population\": \"{}\", \"transport\": \"{}\", \
+         \"cert_encoding\": \"{}\"}}",
         json_escape(&sc.label),
         sc.n,
         sc.f,
@@ -255,6 +257,7 @@ fn scenario_spec(sc: &Scenario) -> String {
         sc.sim_threads,
         sc.population,
         sc.transport,
+        sc.cert_encoding,
     )
 }
 
@@ -498,6 +501,19 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
                 })?;
                 s.parse()
                     .map_err(|e: String| WireError::Invalid { field: "transport", detail: e })?
+            }
+        },
+        // Same legacy tolerance again: absent = vector, the only encoding
+        // pre-aggregation coordinators could produce.
+        cert_encoding: match obj.get("cert_encoding") {
+            None => CertEncoding::Vector,
+            Some(v) => {
+                let s = v.as_str().ok_or(WireError::Invalid {
+                    field: "cert_encoding",
+                    detail: "expected a string".into(),
+                })?;
+                s.parse()
+                    .map_err(|e: String| WireError::Invalid { field: "cert_encoding", detail: e })?
             }
         },
     })
@@ -798,6 +814,26 @@ mod tests {
             decode_descriptor(&mangled),
             Err(WireError::Invalid { field: "population", .. })
         ));
+    }
+
+    #[test]
+    fn cert_encoding_field_is_optional_on_decode() {
+        // Descriptors from pre-aggregation coordinators lack the field
+        // entirely; absent must decode as the vector encoding.
+        let d = CellDescriptor {
+            id: 3,
+            sweep: "s".into(),
+            seeds: 2,
+            scenario: Scenario::new("q", 9, ProtocolSpec::QuadraticHalf)
+                .cert_encoding(CertEncoding::Aggregate),
+        };
+        let line = encode_descriptor(&d);
+        let back = decode_descriptor(&line).unwrap();
+        assert_eq!(back.scenario.cert_encoding, CertEncoding::Aggregate);
+        let legacy = line.replace(", \"cert_encoding\": \"aggregate\"", "");
+        assert!(!legacy.contains("cert_encoding"));
+        let back = decode_descriptor(&legacy).unwrap();
+        assert_eq!(back.scenario.cert_encoding, CertEncoding::Vector);
     }
 
     #[test]

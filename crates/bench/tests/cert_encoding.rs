@@ -1,0 +1,197 @@
+//! Certificate-encoding differential suite — the PR's headline
+//! deliverable: the vector and aggregate certificate encodings are
+//! **decision-identical**.
+//!
+//! * The whole smoke gauntlet matrix (family × adversary × corruption
+//!   model × fraction) runs under both encodings; the reports must agree
+//!   on every protocol observable modulo the axes that legitimately move —
+//!   `cert_*` (the encoding itself plus the forger's probe counters),
+//!   `*bits` (message sizes change by construction), and `peak_*` (the
+//!   resident-message gauge tracks message identity, not protocol state).
+//! * A proptest sweeps random mined-family scenarios: `F_mine` tickets
+//!   cannot be aggregated, so the aggregate-encoded run must be
+//!   **byte-identical** (bits included) to the vector run.
+//! * Pinned-seed goldens for one aggregate e2-style cell, one e14 cell,
+//!   and the cert forger's aggregate-forgery counters: every forged
+//!   certificate shape is attempted and every one is blocked.
+
+use ba_bench::gauntlet::gauntlet_sweeps;
+use ba_bench::{
+    diff_reports, to_json, Grid, ProtocolSpec, Scenario, Sweep, SweepReport, Tolerance,
+};
+use ba_core::cert::CertEncoding;
+use proptest::prelude::*;
+
+/// Runs the full smoke gauntlet with every scenario forced to `encoding`.
+fn gauntlet_reports(encoding: CertEncoding) -> Vec<SweepReport> {
+    let mut sweeps = gauntlet_sweeps(Grid::Smoke, 2);
+    for sweep in &mut sweeps {
+        for scenario in &mut sweep.scenarios {
+            scenario.cert_encoding = encoding;
+        }
+    }
+    sweeps.iter().map(|s| s.run(4)).collect()
+}
+
+#[test]
+fn gauntlet_decision_identical_across_encodings() {
+    let vector = to_json("e11_gauntlet", &gauntlet_reports(CertEncoding::Vector));
+    let aggregate = to_json("e11_gauntlet", &gauntlet_reports(CertEncoding::Aggregate));
+    // `cert_*` exempts the encoding key and the forger's probe counters,
+    // `*bits` the message sizes, `peak_*` the resident-message gauge.
+    // Everything else — rounds, send counts, verdicts, decisions,
+    // corruptions, drops — must match seed for seed across the whole
+    // matrix.
+    let tol = Tolerance {
+        ignore: vec!["cert_*".into(), "*bits".into(), "peak_*".into()],
+        ..Tolerance::default()
+    };
+    let diff = diff_reports(&vector, &aggregate, &tol).expect("both reports parse");
+    assert!(diff.passed(), "aggregate encoding changed protocol decisions:\n{}", diff.render());
+    // And the comparison is not vacuous: the encodings genuinely differ.
+    assert_ne!(vector, aggregate, "aggregate run was byte-identical — encoding not applied?");
+}
+
+/// The signed quadratic family under aggregate encoding: an e2-style cell
+/// (multicast complexity) pinned per seed. Regenerate by printing
+/// `samples` on the cell if the protocol or encoding changes semantics.
+#[test]
+fn golden_aggregate_e2_cell() {
+    let sweep = Sweep::new(
+        "e2/quadratic_half",
+        2,
+        vec![Scenario::new("n=16", 16, ProtocolSpec::QuadraticHalf)
+            .cert_encoding(CertEncoding::Aggregate)],
+    );
+    let report = sweep.run(1);
+    let cell = report.cell("n=16");
+    assert_eq!(cell.samples("rounds"), GOLDEN_E2_ROUNDS);
+    assert_eq!(cell.samples("multicasts"), GOLDEN_E2_MULTICASTS);
+    assert_eq!(cell.samples("cert_bits"), GOLDEN_E2_CERT_BITS);
+    assert_eq!(cell.samples("multicast_bits"), GOLDEN_E2_MULTICAST_BITS);
+    assert_eq!(cell.samples("all_ok"), [1.0, 1.0]);
+    // The same cell under vector encoding: identical decisions, larger
+    // certificates.
+    let vector = Sweep::new(
+        "e2/quadratic_half",
+        2,
+        vec![Scenario::new("n=16", 16, ProtocolSpec::QuadraticHalf)],
+    )
+    .run(1);
+    let vcell = vector.cell("n=16");
+    assert_eq!(vcell.samples("rounds"), GOLDEN_E2_ROUNDS);
+    assert_eq!(vcell.samples("multicasts"), GOLDEN_E2_MULTICASTS);
+    assert_eq!(vcell.samples("cert_bits"), GOLDEN_E2_VECTOR_CERT_BITS);
+}
+
+const GOLDEN_E2_ROUNDS: [f64; 2] = [7.0, 7.0];
+const GOLDEN_E2_MULTICASTS: [f64; 2] = [81.0, 81.0];
+const GOLDEN_E2_CERT_BITS: [f64; 2] = [18048.0, 18048.0];
+const GOLDEN_E2_MULTICAST_BITS: [f64; 2] = [74218.0, 74218.0];
+const GOLDEN_E2_VECTOR_CERT_BITS: [f64; 2] = [157824.0, 157824.0];
+
+/// One e14 smoke cell (subq_half n=64 under aggregate encoding): the mined
+/// regime cannot aggregate, so its certificate bits must equal the vector
+/// run's exactly — pinned per seed.
+#[test]
+fn golden_e14_mined_fallback_cell() {
+    let agg = Sweep::new(
+        "e14/subq_half",
+        2,
+        vec![Scenario::new("n=64", 64, ProtocolSpec::SubqHalf { lambda: 24.0, max_iters: None })
+            .cert_encoding(CertEncoding::Aggregate)],
+    )
+    .run(1);
+    let cell = agg.cell("n=64");
+    assert_eq!(cell.samples("rounds"), GOLDEN_E14_ROUNDS);
+    assert_eq!(cell.samples("cert_bits"), GOLDEN_E14_CERT_BITS);
+    assert_eq!(cell.samples("all_ok"), [1.0, 1.0]);
+    let vector = Sweep::new(
+        "e14/subq_half",
+        2,
+        vec![Scenario::new("n=64", 64, ProtocolSpec::SubqHalf { lambda: 24.0, max_iters: None })],
+    )
+    .run(1);
+    assert_eq!(vector.cell("n=64").samples("cert_bits"), GOLDEN_E14_CERT_BITS);
+}
+
+const GOLDEN_E14_ROUNDS: [f64; 2] = [15.0, 27.0];
+const GOLDEN_E14_CERT_BITS: [f64; 2] = [1438704.0, 609912.0];
+
+/// The cert forger's aggregate-forgery probes, pinned per seed: under the
+/// signed regime every forged certificate shape (inflated bitmap,
+/// duplicate signer, swapped statement) is attempted and every one is
+/// blocked; under the mined regime there is nothing to aggregate and no
+/// probe fires.
+#[test]
+fn golden_forger_probes_all_blocked() {
+    let reports = gauntlet_reports(CertEncoding::Aggregate);
+    let cell = |sweep: &str, label: &str, metric: &str| -> Vec<f64> {
+        reports
+            .iter()
+            .find(|r| r.title == sweep)
+            .unwrap_or_else(|| panic!("no sweep {sweep:?}"))
+            .cell(label)
+            .samples(metric)
+    };
+    // Signed regime (quadratic_half, smoke n=9, f_max=4): three probe
+    // shapes per run, all rejected.
+    let attempts = cell("iter/quadratic_half", "cert_forger@static/f=4", "cert_forge_attempts");
+    let blocked = cell("iter/quadratic_half", "cert_forger@static/f=4", "cert_forge_blocked");
+    assert_eq!(attempts, [3.0, 3.0]);
+    assert_eq!(blocked, attempts, "an aggregate forgery was accepted");
+    // Mined regime: no signing keys behind the tickets, no probes.
+    let attempts = cell("iter/subq_half", "cert_forger@static/f=19", "cert_forge_attempts");
+    assert_eq!(attempts, [0.0, 0.0]);
+}
+
+/// Strategy for a random mined-family scenario: sizes, committee
+/// parameter, adversary, and corruption model drawn at random.
+fn arb_mined_scenario() -> impl Strategy<Value = Scenario> {
+    (16usize..64, 8u64..16, 0usize..4, any::<bool>()).prop_map(|(n, lam, adv, strongly)| {
+        use ba_bench::AdversarySpec as A;
+        use ba_sim::CorruptionModel as M;
+        let f = n / 3;
+        let (adversary, model, f) = match adv {
+            0 => (A::Passive, M::Static, 0),
+            1 => (A::CrashTail { at_round: 1 }, M::Static, f),
+            2 => (A::AdaptiveEclipse { per_round: 0 }, M::Adaptive, f),
+            _ => (A::StarveQuorum, if strongly { M::StronglyAdaptive } else { M::Adaptive }, f),
+        };
+        Scenario::new(
+            format!("n={n}/lam={lam}/adv={adv}"),
+            n,
+            ProtocolSpec::SubqHalf { lambda: lam as f64, max_iters: Some(6) },
+        )
+        .f(f)
+        .model(model)
+        .adversary(adversary)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Mined regimes have no signing keys, so requesting aggregate
+    /// certificates must change nothing at all: the two reports render to
+    /// byte-identical JSON (bits, gauges and every observable included).
+    #[test]
+    fn mined_family_aggregate_request_is_byte_identical(scenario in arb_mined_scenario()) {
+        let vector = Sweep::new("prop", 2, vec![scenario.clone()]).run(1);
+        let aggregate = Sweep::new(
+            "prop",
+            2,
+            vec![scenario.cert_encoding(CertEncoding::Aggregate)],
+        )
+        .run(1);
+        let vjson = to_json("prop", &[vector]);
+        let ajson = to_json("prop", &[aggregate]);
+        // The scenario descriptor records the requested encoding (that is
+        // the one legitimate difference); the runs themselves must match
+        // byte for byte.
+        prop_assert_eq!(
+            vjson.replace("\"cert_encoding\": \"vector\"", ""),
+            ajson.replace("\"cert_encoding\": \"aggregate\"", "")
+        );
+    }
+}

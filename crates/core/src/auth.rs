@@ -18,8 +18,10 @@ use std::sync::{Arc, Mutex};
 use ba_crypto::forward_secure::{
     ForwardSecureKey, ForwardSecurePublicKey, ForwardSecureSignature, SignSlotError,
 };
-use ba_fmine::{Eligibility, Keychain, MineTag, Sig, Ticket, SIG_BITS, TICKET_BITS};
+use ba_fmine::{AggSig, Eligibility, Keychain, MineTag, Sig, Ticket, SIG_BITS, TICKET_BITS};
 use ba_sim::NodeId;
+
+use crate::cert::AggregateQuorum;
 
 /// Authentication evidence attached to a protocol message.
 #[derive(Clone, Debug, PartialEq)]
@@ -272,6 +274,50 @@ impl Auth {
             // Forward-secure signatures have no batch form; fall through.
             Auth::FsMined { .. } => per_item(claims),
         }
+    }
+
+    /// Whether this regime can compress a quorum of evidence into one
+    /// aggregate signature. Only [`Auth::Signed`] can: mined tickets prove
+    /// *eligibility* (a VRF evaluation), which has no joint-signing
+    /// analogue — configurations requesting aggregate certificates under a
+    /// mined regime fall back to the vector encoding.
+    pub fn supports_aggregation(&self) -> bool {
+        matches!(self, Auth::Signed { .. })
+    }
+
+    /// The signer-bitmap width for aggregate quorums (the enrolled node
+    /// count), when this regime supports aggregation.
+    pub fn aggregation_domain(&self) -> Option<usize> {
+        match self {
+            Auth::Signed { keychain } => Some(keychain.n()),
+            _ => None,
+        }
+    }
+
+    /// Aggregates a quorum's evidence on the shared statement `tag` into
+    /// one [`AggSig`]. `claims` must be in strictly increasing node order
+    /// and every evidence must be a valid [`Evidence::Sig`] on `tag` — the
+    /// keychain screens the inputs and refuses otherwise (see
+    /// [`Keychain::aggregate`]). `None` under non-signed regimes.
+    pub fn aggregate(&self, tag: &MineTag, claims: &[(NodeId, &Evidence)]) -> Option<AggSig> {
+        let Auth::Signed { keychain } = self else { return None };
+        let mut sigs: Vec<(NodeId, &Sig)> = Vec::with_capacity(claims.len());
+        for (node, ev) in claims {
+            let Evidence::Sig(sig) = ev else { return None };
+            sigs.push((*node, sig));
+        }
+        keychain.aggregate(&sigs, &tag.to_bytes())
+    }
+
+    /// Verifies an aggregate quorum claim for the statement `tag`: the
+    /// bitmap width must match the enrolled population and the aggregate
+    /// must verify against exactly the listed signers
+    /// ([`Keychain::verify_aggregate`] — Straus fast path + claim cache).
+    /// Always `false` under regimes that cannot aggregate.
+    pub fn verify_aggregate(&self, tag: &MineTag, quorum: &AggregateQuorum) -> bool {
+        let Auth::Signed { keychain } = self else { return false };
+        quorum.n == keychain.n()
+            && keychain.verify_aggregate(&quorum.signers, &tag.to_bytes(), &quorum.agg)
     }
 
     /// Round-boundary hygiene: in the memory-erasure regime every honest

@@ -43,7 +43,9 @@ use ba_sim::{
 };
 
 use crate::auth::{Auth, Evidence};
-use crate::cert::{verify_commit_quorum, Certificate, CommitRef, VoteRef};
+use crate::cert::{
+    AggregateQuorum, CertBody, CertEncoding, Certificate, CommitQuorum, CommitRef, VoteRef,
+};
 use crate::runnable::Runnable;
 
 /// Reference to a leader proposal, attached to votes as justification.
@@ -108,8 +110,8 @@ pub enum IterMsg {
         iter: u64,
         /// Decided bit.
         bit: Bit,
-        /// Quorum of commit references for `(iter, bit)`.
-        commits: Vec<CommitRef>,
+        /// Quorum of commits for `(iter, bit)`, in the sender's encoding.
+        commits: CommitQuorum,
         /// Authorization evidence for `(Terminate, b)`.
         ev: Evidence,
     },
@@ -119,21 +121,29 @@ impl Message for IterMsg {
     fn size_bits(&self) -> usize {
         let header = 8 + 64 + 2;
         match self {
-            IterMsg::Status { cert, ev, .. } => {
-                header + cert.as_ref().map_or(0, |c| c.size_bits()) + ev.size_bits()
-            }
-            IterMsg::Propose { cert, ev, .. } => {
-                header + cert.as_ref().map_or(0, |c| c.size_bits()) + ev.size_bits()
+            IterMsg::Status { ev, .. } | IterMsg::Propose { ev, .. } => {
+                header + self.cert_bits() + ev.size_bits()
             }
             IterMsg::Vote { just, ev, .. } => {
                 header + just.as_ref().map_or(0, |j| 32 + j.ev.size_bits()) + ev.size_bits()
             }
-            IterMsg::Commit { cert, ev, .. } => header + cert.size_bits() + ev.size_bits(),
-            IterMsg::Terminate { commits, ev, .. } => {
-                header
-                    + commits.iter().map(|c| 32 + c.ev.size_bits()).sum::<usize>()
-                    + ev.size_bits()
+            IterMsg::Commit { ev, .. } | IterMsg::Terminate { ev, .. } => {
+                header + self.cert_bits() + ev.size_bits()
             }
+        }
+    }
+
+    /// The certificate share of the wire size: attached vote certificates
+    /// and commit quorums. Vote justifications are *not* certificates
+    /// (footnote 11) and don't count.
+    fn cert_bits(&self) -> usize {
+        match self {
+            IterMsg::Status { cert, .. } | IterMsg::Propose { cert, .. } => {
+                cert.as_ref().map_or(0, |c| c.size_bits())
+            }
+            IterMsg::Vote { .. } => 0,
+            IterMsg::Commit { cert, .. } => cert.size_bits(),
+            IterMsg::Terminate { commits, .. } => commits.size_bits(),
         }
     }
 }
@@ -164,6 +174,10 @@ pub struct IterConfig {
     pub leader: IterLeaderMode,
     /// Iteration cap (liveness safety net; expected O(1) needed).
     pub max_iters: u64,
+    /// Requested wire encoding for certificates and commit quorums. The
+    /// encoding actually used is [`IterConfig::effective_cert_encoding`]:
+    /// regimes that cannot aggregate fall back to the vector transcript.
+    pub cert_encoding: CertEncoding,
 }
 
 impl IterConfig {
@@ -175,6 +189,7 @@ impl IterConfig {
             auth: Auth::Signed { keychain },
             leader: IterLeaderMode::Oracle { seed: leader_seed },
             max_iters: 64,
+            cert_encoding: CertEncoding::Vector,
         }
     }
 
@@ -187,6 +202,27 @@ impl IterConfig {
             auth: Auth::Mined { elig, bit_specific: true, keychain: None },
             leader: IterLeaderMode::Mined,
             max_iters: 64,
+            cert_encoding: CertEncoding::Vector,
+        }
+    }
+
+    /// Requests a certificate encoding (builder style).
+    pub fn with_cert_encoding(mut self, encoding: CertEncoding) -> IterConfig {
+        self.cert_encoding = encoding;
+        self
+    }
+
+    /// The encoding certificates are actually built with: the requested
+    /// [`IterConfig::cert_encoding`] when the regime supports aggregation
+    /// ([`Auth::supports_aggregation`]), else [`CertEncoding::Vector`].
+    /// Mined tickets prove eligibility and cannot be jointly signed, so
+    /// requesting `aggregate` under a mined regime is a silent no-op — the
+    /// differential suite relies on the fallback being byte-identical.
+    pub fn effective_cert_encoding(&self) -> CertEncoding {
+        if self.auth.supports_aggregation() {
+            self.cert_encoding
+        } else {
+            CertEncoding::Vector
         }
     }
 
@@ -257,6 +293,10 @@ pub struct IterNode {
     votes: HashMap<(u64, bool), Vec<VoteRef>>,
     /// Deduplicated valid commits per `(iter, bit)`.
     commits: HashMap<(u64, bool), Vec<CommitRef>>,
+    /// Verified aggregate-encoded commit quorums received in `Terminate`
+    /// messages. An aggregate carries no individual commit evidence to
+    /// record into `commits`, so the quorum itself is kept for relaying.
+    term_quorums: HashMap<(u64, bool), CommitQuorum>,
     /// Per-iteration highest proposal rank per bit, `None` = no proposal.
     proposals: HashMap<u64, [Option<u64>; 2]>,
     /// The proposal evidence to attach as vote justification.
@@ -278,6 +318,7 @@ impl IterNode {
             best: [None, None],
             votes: HashMap::new(),
             commits: HashMap::new(),
+            term_quorums: HashMap::new(),
             proposals: HashMap::new(),
             proposal_refs: HashMap::new(),
             coins: HmacDrbg::new(&seed.to_be_bytes(), b"iter-coins"),
@@ -311,6 +352,47 @@ impl IterNode {
         }
     }
 
+    /// Compresses a sorted, deduplicated quorum of evidence into an
+    /// [`AggregateQuorum`] under the effective aggregate encoding.
+    fn aggregate_quorum(
+        &self,
+        tag: &MineTag,
+        refs: &[(NodeId, &Evidence)],
+    ) -> Option<AggregateQuorum> {
+        let n = self.cfg.auth.aggregation_domain()?;
+        let agg = self.cfg.auth.aggregate(tag, refs)?;
+        Some(AggregateQuorum { n, signers: refs.iter().map(|(id, _)| *id).collect(), agg })
+    }
+
+    /// Builds the certificate for a sorted quorum prefix of votes, in the
+    /// effective encoding. Falls back to the vector transcript if
+    /// aggregation unexpectedly fails (it cannot for honest evidence under
+    /// a signed regime, which is the only regime that reaches the
+    /// aggregate arm).
+    fn build_certificate(&self, iter: u64, bit: Bit, votes: &[VoteRef]) -> Certificate {
+        if self.cfg.effective_cert_encoding() == CertEncoding::Aggregate {
+            let tag = MineTag::new(MsgKind::Vote, iter, bit);
+            let refs: Vec<(NodeId, &Evidence)> = votes.iter().map(|v| (v.from, &v.ev)).collect();
+            if let Some(q) = self.aggregate_quorum(&tag, &refs) {
+                return Certificate { iter, bit, body: CertBody::Aggregate(q) };
+            }
+        }
+        Certificate::from_votes(iter, bit, votes.to_vec())
+    }
+
+    /// Builds the commit quorum for a `Terminate` message from a sorted
+    /// quorum of commit references, in the effective encoding.
+    fn build_commit_quorum(&self, iter: u64, bit: Bit, commits: &[CommitRef]) -> CommitQuorum {
+        if self.cfg.effective_cert_encoding() == CertEncoding::Aggregate {
+            let tag = MineTag::new(MsgKind::Commit, iter, bit);
+            let refs: Vec<(NodeId, &Evidence)> = commits.iter().map(|c| (c.from, &c.ev)).collect();
+            if let Some(q) = self.aggregate_quorum(&tag, &refs) {
+                return CommitQuorum::Aggregate(q);
+            }
+        }
+        CommitQuorum::Vector(commits.to_vec())
+    }
+
     fn record_vote(&mut self, iter: u64, bit: Bit, from: NodeId, ev: Evidence) {
         let quorum = self.cfg.quorum;
         let pool = self.votes.entry((iter, bit)).or_default();
@@ -323,7 +405,7 @@ impl IterNode {
         if pool.len() >= quorum && Certificate::rank(&self.best[bit as usize]) < iter {
             pool.sort_by_key(|v| v.from);
             let votes = pool[..quorum].to_vec();
-            self.best[bit as usize] = Some(Certificate { iter, bit, votes });
+            self.best[bit as usize] = Some(self.build_certificate(iter, bit, &votes));
         }
     }
 
@@ -362,8 +444,11 @@ impl IterNode {
             return;
         }
         fn push_cert<'a>(claims: &mut Vec<(NodeId, MineTag, &'a Evidence)>, cert: &'a Certificate) {
+            // Aggregate bodies carry no individual evidence; they verify
+            // through their own fast path (one Straus check + claim cache).
+            let CertBody::Vector(votes) = &cert.body else { return };
             let tag = MineTag::new(MsgKind::Vote, cert.iter, cert.bit);
-            for v in &cert.votes {
+            for v in votes {
                 claims.push((v.from, tag, &v.ev));
             }
         }
@@ -398,9 +483,11 @@ impl IterNode {
                 }
                 IterMsg::Terminate { iter, bit, commits, ev } => {
                     claims.push((m.from, MineTag::terminate(*bit), ev));
-                    let tag = MineTag::new(MsgKind::Commit, *iter, *bit);
-                    for c in commits {
-                        claims.push((c.from, tag, &c.ev));
+                    if let CommitQuorum::Vector(refs) = commits {
+                        let tag = MineTag::new(MsgKind::Commit, *iter, *bit);
+                        for c in refs {
+                            claims.push((c.from, tag, &c.ev));
+                        }
                     }
                 }
             }
@@ -486,12 +573,22 @@ impl IterNode {
                     if !self.cfg.auth.verify(m.from, &tag, ev) {
                         continue;
                     }
-                    if !verify_commit_quorum(commits, *iter, *bit, &self.cfg.auth, self.cfg.quorum)
-                    {
+                    if !commits.verify(*iter, *bit, &self.cfg.auth, self.cfg.quorum) {
                         continue;
                     }
-                    for c in commits {
-                        self.record_commit(*iter, *bit, c.from, c.ev.clone());
+                    match commits {
+                        CommitQuorum::Vector(refs) => {
+                            for c in refs {
+                                self.record_commit(*iter, *bit, c.from, c.ev.clone());
+                            }
+                        }
+                        CommitQuorum::Aggregate(_) => {
+                            // No individual evidence to record; keep the
+                            // verified quorum for relaying in `finish`.
+                            self.term_quorums
+                                .entry((*iter, *bit))
+                                .or_insert_with(|| commits.clone());
+                        }
                     }
                     if self.decided.is_none() {
                         self.decided = Some((*iter, *bit));
@@ -509,7 +606,15 @@ impl IterNode {
             commits.sort_by_key(|c| c.from);
             commits.truncate(self.cfg.quorum);
             if commits.len() >= self.cfg.quorum {
-                out.multicast(IterMsg::Terminate { iter, bit, commits, ev });
+                let quorum = self.build_commit_quorum(iter, bit, &commits);
+                out.multicast(IterMsg::Terminate { iter, bit, commits: quorum, ev });
+            } else if let Some(stashed) = self.term_quorums.get(&(iter, bit)) {
+                // An aggregate-encoded Terminate carried no individual
+                // commit evidence to rebuild a quorum from; relay the
+                // verified quorum as received. (Under vector encoding this
+                // branch is unreachable: ingesting a Terminate records its
+                // commits, so the pool above already holds a quorum.)
+                out.multicast(IterMsg::Terminate { iter, bit, commits: stashed.clone(), ev });
             }
         }
         self.output = Some(bit);
@@ -603,7 +708,7 @@ impl Protocol<IterMsg> for IterNode {
                         let pool = self.votes.get_mut(&(iter, bit)).expect("nonempty pool");
                         pool.sort_by_key(|v| v.from);
                         let votes = pool[..self.cfg.quorum].to_vec();
-                        let cert = Certificate { iter, bit, votes };
+                        let cert = self.build_certificate(iter, bit, &votes);
                         let tag = MineTag::new(MsgKind::Commit, iter, bit);
                         if let Some(ev) = self.cfg.auth.attest(self.id, &tag) {
                             self.record_commit(iter, bit, self.id, ev.clone());

@@ -56,5 +56,7 @@ pub mod ledger;
 pub mod runnable;
 
 pub use auth::{Auth, Evidence, FsService};
-pub use cert::{Certificate, CommitRef, VoteRef};
+pub use cert::{
+    AggregateQuorum, CertBody, CertEncoding, Certificate, CommitQuorum, CommitRef, VoteRef,
+};
 pub use runnable::Runnable;

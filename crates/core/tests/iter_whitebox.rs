@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ba_core::auth::Auth;
-use ba_core::cert::{Certificate, CommitRef, VoteRef};
+use ba_core::cert::{CertBody, Certificate, CommitRef, VoteRef};
 use ba_core::iter::{IterConfig, IterMsg, IterNode, ProposalRef};
 use ba_fmine::{Keychain, MineTag, MsgKind, SigMode};
 use ba_sim::{Incoming, NodeId, Outbox, Protocol, Round};
@@ -44,13 +44,15 @@ fn cert_for(auth: &Auth, iter: u64, bit: bool, voters: &[usize]) -> Certificate 
     Certificate {
         iter,
         bit,
-        votes: voters
-            .iter()
-            .map(|&i| VoteRef {
-                from: NodeId(i),
-                ev: attest(auth, i, MineTag::new(MsgKind::Vote, iter, bit)),
-            })
-            .collect(),
+        body: CertBody::Vector(
+            voters
+                .iter()
+                .map(|&i| VoteRef {
+                    from: NodeId(i),
+                    ev: attest(auth, i, MineTag::new(MsgKind::Vote, iter, bit)),
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -266,7 +268,7 @@ fn valid_terminate_adopts_and_relays() {
         IterMsg::Terminate {
             iter: 1,
             bit: true,
-            commits,
+            commits: ba_core::CommitQuorum::Vector(commits),
             ev: attest(&auth, 1, MineTag::terminate(true)),
         },
     );
@@ -298,7 +300,7 @@ fn terminate_with_underfilled_commits_is_rejected() {
         IterMsg::Terminate {
             iter: 1,
             bit: true,
-            commits,
+            commits: ba_core::CommitQuorum::Vector(commits),
             ev: attest(&auth, 1, MineTag::terminate(true)),
         },
     );

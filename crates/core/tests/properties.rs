@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use ba_core::auth::Auth;
-use ba_core::cert::{verify_commit_quorum, Certificate, CommitRef, VoteRef};
+use ba_core::cert::{verify_commit_quorum, CertBody, Certificate, CommitRef, VoteRef};
 use ba_fmine::{Keychain, MineTag, MsgKind, SigMode};
 use ba_sim::NodeId;
 use proptest::prelude::*;
@@ -69,7 +69,7 @@ proptest! {
             .iter()
             .map(|&i| VoteRef { from: NodeId(i), ev: auth.attest(NodeId(i), &tag).unwrap() })
             .collect();
-        let cert = Certificate { iter, bit, votes };
+        let cert = Certificate { iter, bit, body: CertBody::Vector(votes) };
         prop_assert_eq!(cert.verify(&auth, quorum), voters.len() >= quorum);
     }
 
@@ -89,7 +89,7 @@ proptest! {
         for _ in 0..dup_count {
             votes.push(first.clone());
         }
-        let cert = Certificate { iter, bit: true, votes };
+        let cert = Certificate { iter, bit: true, body: CertBody::Vector(votes) };
         // Quorum above the distinct count must fail despite padding.
         prop_assert!(!cert.verify(&auth, voters.len() + 1));
     }
@@ -134,10 +134,10 @@ proptest! {
             Some(Certificate {
                 iter: it,
                 bit: true,
-                votes: vec![VoteRef {
+                body: CertBody::Vector(vec![VoteRef {
                     from: NodeId(0),
                     ev: auth.attest(NodeId(0), &tag(it)).unwrap(),
-                }],
+                }]),
             })
         };
         let c1 = mk(i1);

@@ -1,0 +1,444 @@
+//! Deterministic multi-signature aggregation over the crate's Schnorr group.
+//!
+//! A quorum certificate carries `q` signatures on the **same** statement.
+//! Plain Schnorr signatures cannot be compressed after the fact (each one
+//! binds its own nonce commitment into its challenge), so this module
+//! implements the standard fix: a MuSig-style two-round co-signing ceremony
+//! that produces a *single* 64-byte `(R, s)` pair valid for the whole signer
+//! set. The ceremony is run by whichever party holds (or collects material
+//! from) all the signing keys — in this workspace the `ba-fmine` keychain,
+//! which already plays the trusted-PKI role.
+//!
+//! ## Scheme
+//!
+//! For an ordered signer list with digest `L` and message `m`:
+//!
+//! ```text
+//! a_j  = H("agg-coeff/v1"     || L || pk_j)            key coefficient
+//! k_j  = HMAC(sk_j, "agg-nonce/v1" || L || m)          deterministic nonce
+//! R    = prod_j g^{k_j}
+//! apk  = prod_j pk_j^{a_j}                             aggregate key
+//! e    = H("agg-challenge/v1" || L || R || apk || m)
+//! s_j  = k_j + e * a_j * sk_j                          partial signature
+//! s    = sum_j s_j
+//! ```
+//!
+//! and verification checks `g^s == R * apk^e`, which expands to the product
+//! of the per-signer Schnorr equations. The per-key coefficients `a_j` are
+//! what defeats rogue-key attacks: without them an adversary who registers
+//! `pk' = g^x * pk_victim^{-1}` could sign for `{pk_victim, pk'}` alone
+//! (the keys cancel in the unweighted product); with `a_j` bound to the
+//! whole key list the cancellation no longer lines up (see the
+//! `rogue_key_substitution_rejected` test).
+//!
+//! Partial signatures are individually checkable against the shared `R`
+//! (`g^{s_j} == R_j * pk_j^{e * a_j}`), so a combiner can attribute a bad
+//! contribution before aggregation — the "exactly one invalid input"
+//! must-reject path.
+//!
+//! ## Fast and slow verifiers
+//!
+//! [`verify_aggregate`] is the production path: two Straus/interleaved
+//! multi-exponentiations ([`Group::multi_pow_mixed`]) that consult the
+//! process-wide fixed-base table cache for registered public keys.
+//! [`verify_aggregate_slow`] is the pinned reference: independent
+//! square-and-multiply exponentiations and the defining subgroup-membership
+//! test, sharing no code with the fast path beyond the group arithmetic
+//! itself. Property tests keep the two in exact agreement.
+
+use crate::group::{Element, Group, Scalar};
+use crate::hmac::hmac_sha256;
+use crate::schnorr::{SigningKey, VerifyingKey};
+use crate::sha256::Sha256;
+
+/// An aggregate Schnorr signature `(R, s)` for an ordered signer list.
+///
+/// Exactly the size of one individual [`crate::schnorr::Signature`],
+/// independent of the number of signers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AggregateSignature {
+    /// Combined commitment `R = prod_j g^{k_j}`.
+    pub r: Element,
+    /// Combined response `s = sum_j s_j (mod q)`.
+    pub s: Scalar,
+}
+
+impl AggregateSignature {
+    /// Canonical 64-byte encoding (R || s).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_bytes());
+        out[32..].copy_from_slice(&self.s.to_bytes());
+        out
+    }
+}
+
+/// Digest `L` of the ordered signer list; every per-signer quantity is
+/// bound to it.
+pub fn key_list_digest(keys: &[VerifyingKey]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"agg-keylist/v1");
+    for k in keys {
+        h.update(&k.to_bytes());
+    }
+    h.finalize()
+}
+
+/// The rogue-key-defeating coefficient `a_j` for `pk` under list digest `l`.
+fn coefficient(l: &[u8; 32], pk: &VerifyingKey) -> Scalar {
+    let g = Group::standard();
+    let d = Sha256::digest_parts(&[b"agg-coeff/v1", l, &pk.to_bytes()]);
+    let a = g.scalar_from_digest(&d);
+    if a.is_zero() {
+        // Cryptographically unreachable; keep the coefficient invertible.
+        g.scalar_from_u64(1)
+    } else {
+        a
+    }
+}
+
+/// The deterministic nonce `k_j = HMAC(sk_j, "agg-nonce/v1" || L || m)`.
+fn nonce(key: &SigningKey, l: &[u8; 32], msg: &[u8]) -> Scalar {
+    let g = Group::standard();
+    let mut input = Vec::with_capacity(16 + 32 + msg.len());
+    input.extend_from_slice(b"agg-nonce/v1");
+    input.extend_from_slice(l);
+    input.extend_from_slice(msg);
+    let mut k = g.scalar_from_digest(&hmac_sha256(&key.secret_scalar().to_bytes(), &input));
+    if k.is_zero() {
+        k = g.scalar_from_u64(1);
+    }
+    k
+}
+
+/// The shared challenge `e = H("agg-challenge/v1" || L || R || apk || m)`.
+fn challenge(l: &[u8; 32], r: &Element, apk: &Element, msg: &[u8]) -> Scalar {
+    let g = Group::standard();
+    let d = Sha256::digest_parts(&[b"agg-challenge/v1", l, &r.to_bytes(), &apk.to_bytes(), msg]);
+    g.scalar_from_digest(&d)
+}
+
+/// The aggregate public key `apk = prod_j pk_j^{a_j}`, evaluated as one
+/// interleaved multi-exponentiation with cached tables where available.
+pub fn aggregate_key(keys: &[VerifyingKey]) -> Element {
+    let g = Group::standard();
+    let l = key_list_digest(keys);
+    let mut tables = Vec::new();
+    let mut tabled_exps = Vec::new();
+    let mut plain = Vec::new();
+    for k in keys {
+        let a = coefficient(&l, k);
+        match g.cached_table(&k.0) {
+            Some(t) => {
+                tables.push(t);
+                tabled_exps.push(a);
+            }
+            None => plain.push((k.0, a)),
+        }
+    }
+    let tabled: Vec<_> = tables.iter().zip(tabled_exps.iter()).map(|(t, e)| (&**t, *e)).collect();
+    g.multi_pow_mixed(&tabled, &plain)
+}
+
+/// Round 1 of the ceremony: signer `key`'s nonce commitment `R_j = g^{k_j}`.
+pub fn partial_commit(key: &SigningKey, keys: &[VerifyingKey], msg: &[u8]) -> Element {
+    let g = Group::standard();
+    let l = key_list_digest(keys);
+    g.pow_g(&nonce(key, &l, msg))
+}
+
+/// Round 2: signer `key`'s partial signature `s_j = k_j + e * a_j * sk_j`,
+/// given the combined commitment `r` from round 1.
+pub fn partial_sign(key: &SigningKey, keys: &[VerifyingKey], msg: &[u8], r: &Element) -> Scalar {
+    let g = Group::standard();
+    let l = key_list_digest(keys);
+    let apk = aggregate_key(keys);
+    let e = challenge(&l, r, &apk, msg);
+    let a = coefficient(&l, &key.verifying_key());
+    let k = nonce(key, &l, msg);
+    g.scalar_add(&k, &g.scalar_mul(&e, &g.scalar_mul(&a, key.secret_scalar())))
+}
+
+/// Checks one partial signature against the shared commitment:
+/// `g^{s_j} == R_j * pk_j^{e * a_j}`. Lets a combiner attribute exactly
+/// which contribution is bad before aggregating.
+pub fn verify_partial(
+    key: &VerifyingKey,
+    keys: &[VerifyingKey],
+    msg: &[u8],
+    r: &Element,
+    r_j: &Element,
+    s_j: &Scalar,
+) -> bool {
+    let g = Group::standard();
+    if !g.is_valid_element(r_j) || !g.is_valid_element(&key.0) {
+        return false;
+    }
+    let l = key_list_digest(keys);
+    let apk = aggregate_key(keys);
+    let e = challenge(&l, r, &apk, msg);
+    let a = coefficient(&l, key);
+    g.pow_g(s_j) == g.mul(r_j, &g.pow(&key.0, &g.scalar_mul(&e, &a)))
+}
+
+/// Combines round-1 commitments and round-2 partials into the aggregate.
+///
+/// Does **not** validate the partials — callers that accept third-party
+/// contributions must screen them with [`verify_partial`] first (the final
+/// [`verify_aggregate`] still catches any bad combination, it just cannot
+/// say whose contribution was at fault).
+pub fn combine(commits: &[Element], partials: &[Scalar]) -> AggregateSignature {
+    assert_eq!(commits.len(), partials.len(), "commitment/partial count mismatch");
+    assert!(!commits.is_empty(), "cannot combine an empty signer set");
+    let g = Group::standard();
+    let mut r = commits[0];
+    for c in &commits[1..] {
+        r = g.mul(&r, c);
+    }
+    let mut s = g.scalar_from_u64(0);
+    for p in partials {
+        s = g.scalar_add(&s, p);
+    }
+    AggregateSignature { r, s }
+}
+
+/// Runs the whole two-round ceremony for a party holding every signing key.
+///
+/// # Panics
+///
+/// Panics on an empty signer set.
+///
+/// # Examples
+///
+/// ```
+/// use ba_crypto::aggregate::{sign_aggregate, verify_aggregate};
+/// use ba_crypto::schnorr::SigningKey;
+///
+/// let keys: Vec<SigningKey> =
+///     (0..3u32).map(|i| SigningKey::from_seed(&i.to_be_bytes())).collect();
+/// let refs: Vec<&SigningKey> = keys.iter().collect();
+/// let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+/// let agg = sign_aggregate(&refs, b"vote");
+/// assert!(verify_aggregate(&vks, b"vote", &agg));
+/// ```
+pub fn sign_aggregate(keys: &[&SigningKey], msg: &[u8]) -> AggregateSignature {
+    assert!(!keys.is_empty(), "cannot aggregate an empty signer set");
+    let vks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+    let commits: Vec<Element> = keys.iter().map(|k| partial_commit(k, &vks, msg)).collect();
+    let g = Group::standard();
+    let mut r = commits[0];
+    for c in &commits[1..] {
+        r = g.mul(&r, c);
+    }
+    let partials: Vec<Scalar> = keys.iter().map(|k| partial_sign(k, &vks, msg, &r)).collect();
+    combine(&commits, &partials)
+}
+
+/// Verifies an aggregate signature against the ordered signer list — the
+/// production fast path.
+///
+/// Two Straus multi-exponentiations: one for `apk` (via [`aggregate_key`],
+/// cached tables where registered) and one for the final
+/// `g^s == R * prod_j pk_j^{e * a_j}` check, which folds `apk^e` into the
+/// same interleaved evaluation instead of exponentiating the combined key.
+pub fn verify_aggregate(keys: &[VerifyingKey], msg: &[u8], agg: &AggregateSignature) -> bool {
+    if keys.is_empty() {
+        return false;
+    }
+    let g = Group::standard();
+    if !g.is_valid_element(&agg.r) {
+        return false;
+    }
+    let mut tables = Vec::with_capacity(keys.len());
+    for k in keys {
+        let table = g.cached_table(&k.0);
+        if table.is_none() && !g.is_valid_element(&k.0) {
+            return false;
+        }
+        tables.push(table);
+    }
+    let l = key_list_digest(keys);
+    let apk = aggregate_key(keys);
+    let e = challenge(&l, &agg.r, &apk, msg);
+    // g^s * R^{-1} == prod_j pk_j^{e * a_j}   (== apk^e)
+    let mut tabled_refs = Vec::new();
+    let mut tabled_exps = Vec::new();
+    let mut plain = Vec::new();
+    for (k, table) in keys.iter().zip(tables.iter()) {
+        let ea = g.scalar_mul(&e, &coefficient(&l, k));
+        match table {
+            Some(t) => {
+                tabled_refs.push(t.clone());
+                tabled_exps.push(ea);
+            }
+            None => plain.push((k.0, ea)),
+        }
+    }
+    let tabled: Vec<_> =
+        tabled_refs.iter().zip(tabled_exps.iter()).map(|(t, e)| (&**t, *e)).collect();
+    let lhs = g.mul(&g.pow_g(&agg.s), &g.inv(&agg.r));
+    lhs == g.multi_pow_mixed(&tabled, &plain)
+}
+
+/// The pinned slow reference verifier: independent square-and-multiply
+/// exponentiations, the defining subgroup-membership test, and the textbook
+/// `g^s == R * apk^e` equation. Shares no fast-path code with
+/// [`verify_aggregate`]; property tests pin the two to exact agreement.
+pub fn verify_aggregate_slow(keys: &[VerifyingKey], msg: &[u8], agg: &AggregateSignature) -> bool {
+    if keys.is_empty() {
+        return false;
+    }
+    let g = Group::standard();
+    if !g.is_valid_element_slow(&agg.r) {
+        return false;
+    }
+    for k in keys {
+        if !g.is_valid_element_slow(&k.0) {
+            return false;
+        }
+    }
+    let l = key_list_digest(keys);
+    let mut apk: Option<Element> = None;
+    for k in keys {
+        let term = g.pow(&k.0, &coefficient(&l, k));
+        apk = Some(match apk {
+            None => term,
+            Some(acc) => g.mul(&acc, &term),
+        });
+    }
+    let apk = apk.expect("non-empty signer set");
+    let e = challenge(&l, &agg.r, &apk, msg);
+    g.pow(&g.generator(), &agg.s) == g.mul(&agg.r, &g.pow(&apk, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyring(n: u32) -> Vec<SigningKey> {
+        (0..n).map(|i| SigningKey::from_seed(&i.to_be_bytes())).collect()
+    }
+
+    fn vks(keys: &[SigningKey]) -> Vec<VerifyingKey> {
+        keys.iter().map(|k| k.verifying_key()).collect()
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        for n in [1u32, 2, 3, 7] {
+            let keys = keyring(n);
+            let refs: Vec<&SigningKey> = keys.iter().collect();
+            let agg = sign_aggregate(&refs, b"statement");
+            assert!(verify_aggregate(&vks(&keys), b"statement", &agg), "n={n}");
+            assert!(verify_aggregate_slow(&vks(&keys), b"statement", &agg), "n={n}");
+        }
+    }
+
+    #[test]
+    fn aggregation_is_deterministic() {
+        let keys = keyring(4);
+        let refs: Vec<&SigningKey> = keys.iter().collect();
+        assert_eq!(sign_aggregate(&refs, b"m").to_bytes(), sign_aggregate(&refs, b"m").to_bytes());
+        assert_ne!(sign_aggregate(&refs, b"m").to_bytes(), sign_aggregate(&refs, b"n").to_bytes());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let keys = keyring(3);
+        let refs: Vec<&SigningKey> = keys.iter().collect();
+        let agg = sign_aggregate(&refs, b"m");
+        assert!(!verify_aggregate(&vks(&keys), b"n", &agg));
+        assert!(!verify_aggregate_slow(&vks(&keys), b"n", &agg));
+    }
+
+    #[test]
+    fn wrong_key_list_rejected() {
+        let keys = keyring(4);
+        let refs: Vec<&SigningKey> = keys.iter().collect();
+        let agg = sign_aggregate(&refs, b"m");
+        let all = vks(&keys);
+        // Subset, superset, reordering: all bind a different key list.
+        assert!(!verify_aggregate(&all[..3], b"m", &agg));
+        let extra = SigningKey::from_seed(b"extra").verifying_key();
+        let mut superset = all.clone();
+        superset.push(extra);
+        assert!(!verify_aggregate(&superset, b"m", &agg));
+        let mut reordered = all.clone();
+        reordered.swap(0, 1);
+        assert!(!verify_aggregate(&reordered, b"m", &agg));
+    }
+
+    #[test]
+    fn tampered_aggregate_rejected() {
+        let g = Group::standard();
+        let keys = keyring(3);
+        let refs: Vec<&SigningKey> = keys.iter().collect();
+        let agg = sign_aggregate(&refs, b"m");
+        let bad_s = AggregateSignature { r: agg.r, s: g.scalar_add(&agg.s, &g.scalar_from_u64(1)) };
+        assert!(!verify_aggregate(&vks(&keys), b"m", &bad_s));
+        let bad_r = AggregateSignature { r: g.mul(&agg.r, &g.generator()), s: agg.s };
+        assert!(!verify_aggregate(&vks(&keys), b"m", &bad_r));
+    }
+
+    #[test]
+    fn one_bad_partial_breaks_aggregate_and_is_attributable() {
+        let g = Group::standard();
+        let keys = keyring(3);
+        let list = vks(&keys);
+        let commits: Vec<Element> = keys.iter().map(|k| partial_commit(k, &list, b"m")).collect();
+        let mut r = commits[0];
+        for c in &commits[1..] {
+            r = g.mul(&r, c);
+        }
+        let mut partials: Vec<Scalar> =
+            keys.iter().map(|k| partial_sign(k, &list, b"m", &r)).collect();
+        // All partials screen clean; corrupt exactly one.
+        for (i, (c, p)) in commits.iter().zip(partials.iter()).enumerate() {
+            assert!(verify_partial(&list[i], &list, b"m", &r, c, p));
+        }
+        partials[1] = g.scalar_add(&partials[1], &g.scalar_from_u64(1));
+        assert!(!verify_partial(&list[1], &list, b"m", &r, &commits[1], &partials[1]));
+        assert!(verify_partial(&list[0], &list, b"m", &r, &commits[0], &partials[0]));
+        let agg = combine(&commits, &partials);
+        assert!(!verify_aggregate(&list, b"m", &agg));
+        assert!(!verify_aggregate_slow(&list, b"m", &agg));
+    }
+
+    #[test]
+    fn rogue_key_substitution_rejected() {
+        // The adversary registers pk' = g^x * pk_victim^{-1}. Under
+        // *unweighted* aggregation the victim's key cancels out of the
+        // combined key, so the adversary can sign for {victim, rogue}
+        // alone. The coefficients a_j must defeat exactly this.
+        let g = Group::standard();
+        let victim = SigningKey::from_seed(b"victim");
+        let x = g.scalar_from_bytes(b"rogue-secret");
+        let rogue_pk = VerifyingKey(g.mul(&g.pow_g(&x), &g.inv(&victim.verifying_key().0)));
+        let list = [victim.verifying_key(), rogue_pk];
+        let l = key_list_digest(&list);
+
+        // Forge the signature that *would* verify without coefficients:
+        // naive apk = pk_victim * pk' = g^x, a plain Schnorr key the
+        // adversary controls.
+        let naive_apk = g.mul(&victim.verifying_key().0, &rogue_pk.0);
+        assert_eq!(naive_apk, g.pow_g(&x), "rogue-key cancellation holds");
+        let k = g.scalar_from_bytes(b"rogue-nonce");
+        let r = g.pow_g(&k);
+        let e = challenge(&l, &r, &naive_apk, b"m");
+        let forged = AggregateSignature { r, s: g.scalar_add(&k, &g.scalar_mul(&e, &x)) };
+        // Sanity: the forgery satisfies the unweighted equation.
+        assert_eq!(g.pow_g(&forged.s), g.mul(&forged.r, &g.pow(&naive_apk, &e)));
+        // But both real verifiers bind apk through the coefficients.
+        assert!(!verify_aggregate(&list, b"m", &forged));
+        assert!(!verify_aggregate_slow(&list, b"m", &forged));
+    }
+
+    #[test]
+    fn empty_signer_set_rejected() {
+        let keys = keyring(2);
+        let refs: Vec<&SigningKey> = keys.iter().collect();
+        let agg = sign_aggregate(&refs, b"m");
+        assert!(!verify_aggregate(&[], b"m", &agg));
+        assert!(!verify_aggregate_slow(&[], b"m", &agg));
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`group`] — the order-`q` subgroup of `Z_p^*` for the safe prime
 //!   `p = 2^256 − 36113`;
 //! * [`schnorr`] — signatures ("all messages are signed");
+//! * [`aggregate`] — deterministic MuSig-style multi-signatures that
+//!   compress a quorum certificate to one 64-byte signature + bitmap;
 //! * [`dleq`] — Chaum–Pedersen DLEQ NIZK (the Appendix D NIZK);
 //! * [`vrf`] — the DDH-based adaptively-secure VRF used for **bit-specific
 //!   eligibility election** (the paper's key insight, §3.2);
@@ -49,6 +51,7 @@
 //! # let _ = eligible;
 //! ```
 
+pub mod aggregate;
 mod batch;
 pub mod bigint;
 pub mod commit;

@@ -5,6 +5,7 @@
 //! against per-signature / per-ticket verification — including the
 //! must-reject case where exactly one member of a batch is invalid.
 
+use ba_crypto::aggregate;
 use ba_crypto::bigint::{jacobi, ModCtx, U256};
 use ba_crypto::group::Group;
 use ba_crypto::schnorr::{self, SigningKey};
@@ -244,4 +245,56 @@ fn batch_must_reject_regression_through_cios_path() {
         .map(|i| schnorr::BatchItem { key: &vks[i], msg: &msgs[i], sig: &sigs[i] })
         .collect();
     assert!(!schnorr::verify_batch(&tampered), "one bad signature must sink the batch");
+}
+
+/// A deterministic pool of signing keys plus a random quorum drawn from it.
+fn key_pool(size: usize) -> Vec<SigningKey> {
+    (0..size as u32).map(|i| SigningKey::from_seed(&i.to_be_bytes())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The aggregate fast path (two Straus multi-exponentiations over the
+    /// cached fixed-base tables) agrees exactly with the pinned slow
+    /// reference over random quorums: both accept the honest aggregate and
+    /// both reject a tampered response, a swapped statement, and a
+    /// substituted co-signer key.
+    #[test]
+    fn aggregate_fast_path_matches_slow_reference(
+        mask in 1u16..u16::MAX,
+        msg in any::<[u8; 8]>(),
+    ) {
+        let g = Group::standard();
+        let pool = key_pool(16);
+        let quorum: Vec<&SigningKey> =
+            (0..16).filter(|i| mask & (1 << i) != 0).map(|i| &pool[i]).collect();
+        let keys: Vec<_> = quorum.iter().map(|k| k.verifying_key()).collect();
+
+        let agg = aggregate::sign_aggregate(&quorum, &msg);
+        prop_assert!(aggregate::verify_aggregate(&keys, &msg, &agg));
+        prop_assert!(aggregate::verify_aggregate_slow(&keys, &msg, &agg));
+
+        // Tampered response: both paths must reject.
+        let bad = aggregate::AggregateSignature {
+            r: agg.r,
+            s: g.scalar_add(&agg.s, &g.scalar_from_u64(1)),
+        };
+        prop_assert!(!aggregate::verify_aggregate(&keys, &msg, &bad));
+        prop_assert!(!aggregate::verify_aggregate_slow(&keys, &msg, &bad));
+
+        // Swapped statement: both paths must reject.
+        let mut other = msg;
+        other[0] ^= 1;
+        prop_assert!(!aggregate::verify_aggregate(&keys, &other, &agg));
+        prop_assert!(!aggregate::verify_aggregate_slow(&keys, &other, &agg));
+
+        // Substituted co-signer (a key that never signed): both paths must
+        // reject — the per-key coefficients bind the exact signer list.
+        let outsider = SigningKey::from_seed(b"outsider").verifying_key();
+        let mut swapped = keys.clone();
+        swapped[0] = outsider;
+        prop_assert!(!aggregate::verify_aggregate(&swapped, &msg, &agg));
+        prop_assert!(!aggregate::verify_aggregate_slow(&swapped, &msg, &agg));
+    }
 }

@@ -29,6 +29,6 @@ pub mod tag;
 pub use eligibility::{Eligibility, NeverMine, Ticket, TICKET_BITS};
 pub use ideal::IdealMine;
 pub use params::{probability_to_threshold, MineParams};
-pub use pki::{Keychain, Sig, SigMode, SIG_BITS};
+pub use pki::{AggSig, Keychain, Sig, SigMode, AGG_SIG_BITS, SIG_BITS};
 pub use real::RealMine;
 pub use tag::{MineTag, MsgKind};

@@ -14,6 +14,7 @@
 use std::collections::HashSet;
 use std::sync::Mutex;
 
+use ba_crypto::aggregate::{self, AggregateSignature};
 use ba_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use ba_sim::NodeId;
 
@@ -48,6 +49,34 @@ impl Sig {
     }
 }
 
+/// One aggregate signature standing in for a whole quorum's worth of
+/// [`Sig`]s on a shared statement. Produced by [`Keychain::aggregate`].
+///
+/// Mirrors [`Sig`]'s two modes: real MuSig-style aggregation over the
+/// Schnorr group, or the ideal functionality (the registry already records
+/// exactly who signed what, so an ideal aggregate is pure accounting).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum AggSig {
+    /// A real aggregate Schnorr signature.
+    Real(AggregateSignature),
+    /// A handle into the ideal registry (valid iff every claimed signer
+    /// actually signed the statement).
+    Ideal,
+}
+
+/// Nominal aggregate-signature wire size in bits — one Schnorr `(R, s)`
+/// pair, independent of the signer count. This constant *is* the
+/// communication win: a quorum certificate shrinks from `quorum × SIG_BITS`
+/// of evidence to `AGG_SIG_BITS` plus a signer bitmap.
+pub const AGG_SIG_BITS: usize = 512;
+
+impl AggSig {
+    /// Wire size in bits (identical across variants by design).
+    pub fn size_bits(&self) -> usize {
+        AGG_SIG_BITS
+    }
+}
+
 /// The signing service for one execution: all nodes' keys plus the ideal
 /// registry. Produced by trusted setup ([`Keychain::from_seed`]).
 #[derive(Debug)]
@@ -69,10 +98,17 @@ pub struct Keychain {
     /// to per-signature verification. Only positive results are cached, so
     /// a later genuine signature is never masked by an earlier forgery.
     proven: Mutex<ProvenSet>,
+    /// Real-mode cache of aggregate verifications already proven valid,
+    /// keyed on the full `(signer list, message, aggregate bytes)` claim —
+    /// certificates are relayed and re-verified many times per execution.
+    agg_proven: Mutex<AggProvenSet>,
 }
 
 /// `(signer, message, signature-bytes)` triples proven valid.
 type ProvenSet = HashSet<(NodeId, Vec<u8>, [u8; 64])>;
+
+/// `(signer list, message, aggregate-bytes)` claims proven valid.
+type AggProvenSet = HashSet<(Vec<NodeId>, Vec<u8>, [u8; 64])>;
 
 impl Keychain {
     /// Trusted setup: deterministically generates `n` key pairs.
@@ -115,6 +151,7 @@ impl Keychain {
             _pk_tables: pk_tables,
             registry: Mutex::new(HashSet::new()),
             proven: Mutex::new(HashSet::new()),
+            agg_proven: Mutex::new(HashSet::new()),
         }
     }
 
@@ -227,6 +264,75 @@ impl Keychain {
             }
         }
     }
+
+    /// Aggregates a quorum's individual signatures on the shared `msg` into
+    /// one [`AggSig`]. `claims` must list signers in strictly increasing
+    /// `NodeId` order (sorted, duplicate-free — the canonical bitmap order).
+    ///
+    /// The keychain plays the trusted co-signing service here: it **verifies
+    /// every input signature first** and refuses to aggregate if any claim
+    /// is invalid or substituted, so a bad input can never be laundered
+    /// into a valid-looking aggregate. Returns `None` on any malformed or
+    /// unverifiable input.
+    pub fn aggregate(&self, claims: &[(NodeId, &Sig)], msg: &[u8]) -> Option<AggSig> {
+        if claims.is_empty() || !claims.windows(2).all(|w| w[0].0 < w[1].0) {
+            return None;
+        }
+        if claims.last().expect("non-empty").0.index() >= self.n() {
+            return None;
+        }
+        let items: Vec<(NodeId, &[u8], &Sig)> =
+            claims.iter().map(|(node, sig)| (*node, msg, *sig)).collect();
+        if !self.verify_batch(&items) {
+            return None;
+        }
+        match self.mode {
+            SigMode::Real => {
+                let keys: Vec<&SigningKey> =
+                    claims.iter().map(|(node, _)| &self.signing_keys[node.index()]).collect();
+                Some(AggSig::Real(aggregate::sign_aggregate(&keys, msg)))
+            }
+            SigMode::Ideal => Some(AggSig::Ideal),
+        }
+    }
+
+    /// Verifies that exactly the nodes in `signers` (strictly increasing)
+    /// jointly signed `msg`.
+    ///
+    /// Rejects structurally bad claims regardless of mode: an empty signer
+    /// set, an unsorted or duplicate-bearing list (a bitmap cannot name a
+    /// node twice), or an out-of-range signer. In real mode the aggregate
+    /// is checked against the listed public keys via the Straus fast path
+    /// (with a positive-result cache keyed on the full claim); in ideal
+    /// mode every listed signer must appear in the registry for `msg`.
+    pub fn verify_aggregate(&self, signers: &[NodeId], msg: &[u8], agg: &AggSig) -> bool {
+        if signers.is_empty() || !signers.windows(2).all(|w| w[0] < w[1]) {
+            return false;
+        }
+        if signers.last().expect("non-empty").index() >= self.n() {
+            return false;
+        }
+        match (self.mode, agg) {
+            (SigMode::Real, AggSig::Real(a)) => {
+                let key = (signers.to_vec(), msg.to_vec(), a.to_bytes());
+                if self.agg_proven.lock().expect("poisoned").contains(&key) {
+                    return true;
+                }
+                let keys: Vec<VerifyingKey> =
+                    signers.iter().map(|node| self.verifying_keys[node.index()]).collect();
+                let ok = aggregate::verify_aggregate(&keys, msg, a);
+                if ok {
+                    self.agg_proven.lock().expect("poisoned").insert(key);
+                }
+                ok
+            }
+            (SigMode::Ideal, AggSig::Ideal) => {
+                let registry = self.registry.lock().expect("poisoned");
+                signers.iter().all(|node| registry.contains(&(*node, msg.to_vec())))
+            }
+            _ => false, // mode/variant mismatch is a wiring bug, never valid
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +404,134 @@ mod tests {
             let oob = vec![(NodeId(99), msgs[0].as_slice(), &sigs[0])];
             assert!(!chain.verify_batch(&oob), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn aggregate_roundtrip_in_both_modes() {
+        for mode in [SigMode::Real, SigMode::Ideal] {
+            let chain = Keychain::from_seed(3, 5, mode);
+            let msg = b"(Vote, iter=1, bit=0)";
+            let sigs: Vec<Sig> = (0..4).map(|i| chain.sign(NodeId(i), msg)).collect();
+            let claims: Vec<(NodeId, &Sig)> = (0..4).map(|i| (NodeId(i), &sigs[i])).collect();
+            let agg = chain.aggregate(&claims, msg).expect("valid quorum aggregates");
+            assert_eq!(agg.size_bits(), AGG_SIG_BITS, "{mode:?}");
+            let signers: Vec<NodeId> = (0..4).map(NodeId).collect();
+            assert!(chain.verify_aggregate(&signers, msg, &agg), "{mode:?}");
+            // Twice: the second hit exercises the real-mode proven cache.
+            assert!(chain.verify_aggregate(&signers, msg, &agg), "{mode:?}");
+            assert!(!chain.verify_aggregate(&signers, b"other", &agg), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_refuses_invalid_or_substituted_input() {
+        for mode in [SigMode::Real, SigMode::Ideal] {
+            let chain = Keychain::from_seed(4, 4, mode);
+            let msg = b"stmt";
+            // Nodes 0 and 2 sign the statement; node 1 signs something else.
+            let s0 = chain.sign(NodeId(0), msg);
+            let s2 = chain.sign(NodeId(2), msg);
+            let substituted = chain.sign(NodeId(1), b"other-stmt");
+            // Node 1's slot carries a signature on a different statement.
+            // The ceremony must screen it out, not launder it.
+            let claims = [(NodeId(0), &s0), (NodeId(1), &substituted), (NodeId(2), &s2)];
+            assert!(chain.aggregate(&claims, msg).is_none(), "{mode:?}");
+        }
+        // Wrong-signer substitution (node 2's signature presented as node
+        // 1's) is a real-mode concern: an ideal `Sig` carries no bytes, so
+        // the claim "node 1 signed msg" is judged purely by the registry.
+        let chain = Keychain::from_seed(4, 4, SigMode::Real);
+        let msg = b"stmt";
+        let sigs: Vec<Sig> = (0..3).map(|i| chain.sign(NodeId(i), msg)).collect();
+        let claims = [(NodeId(0), &sigs[0]), (NodeId(1), &sigs[2]), (NodeId(2), &sigs[2])];
+        assert!(chain.aggregate(&claims, msg).is_none());
+    }
+
+    #[test]
+    fn aggregate_requires_strictly_increasing_signers() {
+        for mode in [SigMode::Real, SigMode::Ideal] {
+            let chain = Keychain::from_seed(5, 4, mode);
+            let msg = b"stmt";
+            let sigs: Vec<Sig> = (0..3).map(|i| chain.sign(NodeId(i), msg)).collect();
+            let dup = [(NodeId(1), &sigs[1]), (NodeId(1), &sigs[1])];
+            assert!(chain.aggregate(&dup, msg).is_none(), "{mode:?}: duplicate");
+            let unsorted = [(NodeId(2), &sigs[2]), (NodeId(0), &sigs[0])];
+            assert!(chain.aggregate(&unsorted, msg).is_none(), "{mode:?}: unsorted");
+            assert!(chain.aggregate(&[], msg).is_none(), "{mode:?}: empty");
+        }
+    }
+
+    #[test]
+    fn verify_aggregate_rejects_bad_signer_lists() {
+        for mode in [SigMode::Real, SigMode::Ideal] {
+            let chain = Keychain::from_seed(6, 4, mode);
+            let msg = b"stmt";
+            let sigs: Vec<Sig> = (0..3).map(|i| chain.sign(NodeId(i), msg)).collect();
+            let claims: Vec<(NodeId, &Sig)> = (0..3).map(|i| (NodeId(i), &sigs[i])).collect();
+            let agg = chain.aggregate(&claims, msg).expect("valid quorum");
+            // Bitmap inflation: claiming a signer who never signed.
+            assert!(
+                !chain.verify_aggregate(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)], msg, &agg),
+                "{mode:?}: inflated bitmap"
+            );
+            // Duplicate and unsorted bitmaps are structurally invalid.
+            assert!(
+                !chain.verify_aggregate(&[NodeId(0), NodeId(1), NodeId(1)], msg, &agg),
+                "{mode:?}: duplicate signer"
+            );
+            assert!(
+                !chain.verify_aggregate(&[NodeId(1), NodeId(0), NodeId(2)], msg, &agg),
+                "{mode:?}: unsorted"
+            );
+            // A deflated signer set binds a different key list — rejected
+            // in real mode. (The ideal functionality accepts it: "nodes 0
+            // and 1 signed msg" is a true statement in the registry.)
+            if mode == SigMode::Real {
+                assert!(!chain.verify_aggregate(&[NodeId(0), NodeId(1)], msg, &agg), "subset");
+            }
+            // Out-of-range signer.
+            assert!(
+                !chain.verify_aggregate(&[NodeId(0), NodeId(99)], msg, &agg),
+                "{mode:?}: out of range"
+            );
+            assert!(!chain.verify_aggregate(&[], msg, &agg), "{mode:?}: empty");
+        }
+    }
+
+    #[test]
+    fn aggregate_mode_mismatch_rejected() {
+        let real = Keychain::from_seed(7, 2, SigMode::Real);
+        let ideal = Keychain::from_seed(7, 2, SigMode::Ideal);
+        let msg = b"m";
+        let rsigs: Vec<Sig> = (0..2).map(|i| real.sign(NodeId(i), msg)).collect();
+        let isigs: Vec<Sig> = (0..2).map(|i| ideal.sign(NodeId(i), msg)).collect();
+        let ragg = real
+            .aggregate(&[(NodeId(0), &rsigs[0]), (NodeId(1), &rsigs[1])], msg)
+            .expect("real aggregate");
+        let iagg = ideal
+            .aggregate(&[(NodeId(0), &isigs[0]), (NodeId(1), &isigs[1])], msg)
+            .expect("ideal aggregate");
+        let signers = [NodeId(0), NodeId(1)];
+        assert!(!real.verify_aggregate(&signers, msg, &iagg));
+        assert!(!ideal.verify_aggregate(&signers, msg, &ragg));
+    }
+
+    #[test]
+    fn cached_aggregate_still_rejects_tampered_aggregate() {
+        let chain = Keychain::from_seed(8, 3, SigMode::Real);
+        let msg = b"stmt";
+        let sigs: Vec<Sig> = (0..3).map(|i| chain.sign(NodeId(i), msg)).collect();
+        let claims: Vec<(NodeId, &Sig)> = (0..3).map(|i| (NodeId(i), &sigs[i])).collect();
+        let agg = chain.aggregate(&claims, msg).expect("valid quorum");
+        let signers = [NodeId(0), NodeId(1), NodeId(2)];
+        assert!(chain.verify_aggregate(&signers, msg, &agg), "prime the cache");
+        let AggSig::Real(real) = agg else { unreachable!() };
+        let g = ba_crypto::group::Group::standard();
+        let forged = AggSig::Real(ba_crypto::aggregate::AggregateSignature {
+            r: real.r,
+            s: g.scalar_add(&real.s, &g.scalar_from_u64(1)),
+        });
+        assert!(!chain.verify_aggregate(&signers, msg, &forged));
     }
 
     #[test]

@@ -17,6 +17,15 @@ use crate::ids::{NodeId, Round};
 pub trait Message: Clone + std::fmt::Debug {
     /// Estimated serialized size in bits.
     fn size_bits(&self) -> usize;
+
+    /// The portion of [`Message::size_bits`] spent on quorum certificates
+    /// (vote certificates and commit quorums). Zero for protocols that
+    /// don't carry certificates; the default suits them. Metered separately
+    /// so experiments can attribute how much of the wire a certificate
+    /// encoding costs (the paper's dominant constant).
+    fn cert_bits(&self) -> usize {
+        0
+    }
 }
 
 /// Addressing mode of an outgoing message.

@@ -23,6 +23,13 @@ pub struct Metrics {
     pub honest_unicasts: u64,
     /// Total bits unicast by so-far-honest nodes.
     pub honest_unicast_bits: u64,
+    /// The certificate share of honest send bits ([`Message::cert_bits`]
+    /// summed over honest multicasts and unicasts): what quorum
+    /// certificates — the dominant constant in the paper's bit bounds —
+    /// cost on the wire under the encoding in force.
+    ///
+    /// [`Message::cert_bits`]: crate::message::Message::cert_bits
+    pub honest_cert_bits: u64,
     /// Messages sent by corrupt nodes (multicasts and unicasts), including
     /// adversary injections.
     pub corrupt_sends: u64,
@@ -104,6 +111,7 @@ impl PartialEq for Metrics {
             && self.honest_multicast_bits == other.honest_multicast_bits
             && self.honest_unicasts == other.honest_unicasts
             && self.honest_unicast_bits == other.honest_unicast_bits
+            && self.honest_cert_bits == other.honest_cert_bits
             && self.corrupt_sends == other.corrupt_sends
             && self.corrupt_bits == other.corrupt_bits
             && self.injected_sends == other.injected_sends
@@ -139,6 +147,7 @@ impl Metrics {
         self.honest_multicast_bits += other.honest_multicast_bits;
         self.honest_unicasts += other.honest_unicasts;
         self.honest_unicast_bits += other.honest_unicast_bits;
+        self.honest_cert_bits += other.honest_cert_bits;
         self.corrupt_sends += other.corrupt_sends;
         self.corrupt_bits += other.corrupt_bits;
         self.injected_sends += other.injected_sends;

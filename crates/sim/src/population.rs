@@ -468,10 +468,12 @@ impl<M: Message + Send + Sync, A: Adversary<M>> SparseSim<M, A> {
                 (true, Recipient::All) => {
                     self.metrics.honest_multicasts += 1;
                     self.metrics.honest_multicast_bits += env.msg.size_bits() as u64;
+                    self.metrics.honest_cert_bits += env.msg.cert_bits() as u64;
                 }
                 (true, Recipient::One(_)) => {
                     self.metrics.honest_unicasts += 1;
                     self.metrics.honest_unicast_bits += env.msg.size_bits() as u64;
+                    self.metrics.honest_cert_bits += env.msg.cert_bits() as u64;
                 }
                 (false, _) => {
                     self.metrics.corrupt_sends += 1;

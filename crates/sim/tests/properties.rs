@@ -20,6 +20,7 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             honest_multicast_bits: hmb,
             honest_unicasts: hu,
             honest_unicast_bits: hub,
+            honest_cert_bits: hub / 2,
             corrupt_sends: cs,
             corrupt_bits: cs * 100,
             injected_sends: cs / 3,
