@@ -33,6 +33,16 @@
 //! protocols they dismantle. The full catalog — threat model, the paper
 //! assumption each strategy probes, and the observables it can and cannot
 //! move — is in `docs/ADVERSARIES.md`.
+//!
+//! One adversarial capability deliberately does *not* live in this crate:
+//! the **adversarial delivery scheduler** (`sched=adversarial` in a
+//! [`ba_sim::FaultPlan`]) is a property of the network, not of a corrupt
+//! node, so it lives on the transport seam
+//! ([`ba_sim::FaultyTransport`]). It reorders each round's inboxes within
+//! the synchronous model's legal envelope — corrupt traffic delivered
+//! first, the latest honest sends last — and composes with every strategy
+//! above. See `docs/FAULTS.md` for the legal-envelope argument and
+//! `docs/ADVERSARIES.md` for its catalog entry.
 
 pub mod adaptive_eclipse;
 pub mod cert_forger;

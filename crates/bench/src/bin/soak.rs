@@ -23,6 +23,15 @@
 //! is not `all_ok`, or any honest execution with nonzero `dropped_sends`)
 //! is counted and reported in the exit summary; the process exits nonzero
 //! if any were seen, so a soak doubles as a long-horizon correctness test.
+//!
+//! With `--faults`, each pass additionally layers a fault plan over every
+//! cell, cycling through the *legal-envelope* plans (adversarial
+//! scheduling, duplication, and their composition — see docs/FAULTS.md).
+//! Those are the faults a model-legal adversary could have produced, so
+//! the passive expectations stay theorems for every protocol in the
+//! matrix and the same violation checks apply unchanged. Beyond-envelope
+//! chaos (loss, partitions) deliberately stays out of the soak: there
+//! safety erosion is a *measured finding* (`e15_faults`), not a bug.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -32,6 +41,7 @@ use ba_bench::gauntlet::gauntlet_sweeps;
 use ba_bench::report::to_json_cell_line;
 use ba_bench::sweep::default_threads;
 use ba_bench::{Grid, Sweep};
+use ba_sim::FaultPlan;
 
 struct SoakArgs {
     duration: Duration,
@@ -40,6 +50,18 @@ struct SoakArgs {
     threads: usize,
     grid: Grid,
     out: PathBuf,
+    faults: bool,
+}
+
+/// The legal-envelope plan for a given soak pass (cycled, starting
+/// fault-free so pass 0 reproduces the classic soak exactly).
+fn pass_plan(pass: u64) -> FaultPlan {
+    let text = match pass % 3 {
+        0 => "none",
+        1 => "sched=adversarial",
+        _ => "dup:p=0.2,sched=adversarial",
+    };
+    text.parse().expect("a canonical plan string")
 }
 
 fn parse_args() -> SoakArgs {
@@ -50,6 +72,7 @@ fn parse_args() -> SoakArgs {
         threads: default_threads(),
         grid: Grid::Smoke,
         out: PathBuf::from("."),
+        faults: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -84,13 +107,17 @@ fn parse_args() -> SoakArgs {
                 }
             }
             "--out" => args.out = PathBuf::from(value("--out")),
+            "--faults" => args.faults = true,
             "--help" | "-h" => {
                 println!(
                     "soak — long-running gauntlet sweep, streaming cells to disk\n\n\
                      USAGE: soak [--duration SECS] [--max-cells N] [--seeds N]\n\
-                     \x20           [--threads N] [--grid smoke|full] [--out DIR]\n\n\
+                     \x20           [--threads N] [--grid smoke|full] [--out DIR]\n\
+                     \x20           [--faults]\n\n\
                      Appends one JSON line per finished cell to SOAK_gauntlet.jsonl\n\
-                     in --out (flushed per cell; see EXPERIMENTS.md)."
+                     in --out (flushed per cell; see EXPERIMENTS.md).\n\
+                     --faults cycles legal-envelope fault plans across passes\n\
+                     (docs/FAULTS.md); passive-cell checks must still hold."
                 );
                 std::process::exit(0);
             }
@@ -138,6 +165,9 @@ fn main() {
             }
             let mut sc = scenario.clone();
             sc.seed_offset = scenario.seed_offset + pass * args.seeds;
+            if args.faults {
+                sc.fault_plan = Some(pass_plan(pass));
+            }
             let report = Sweep::new(title.clone(), args.seeds, vec![sc]).run(args.threads);
             let cell = &report.cells[0];
             // Long-horizon correctness: honest cells must stay clean on
@@ -146,7 +176,16 @@ fn main() {
             let passive = cell.scenario.label.starts_with("passive");
             if passive && (cell.count("all_ok") != cell.runs.len()) {
                 violations += 1;
-                eprintln!("[soak] VIOLATION: {title}/{} failed honestly", cell.scenario.label);
+                // Safety (agreement/validity) and liveness (termination)
+                // misses are both violations, but the distinction matters
+                // when triaging a faulted soak: legal-envelope plans may
+                // never move safety (docs/FAULTS.md), while a liveness
+                // miss can also be the families' w.h.p. tail at soak
+                // horizons.
+                let runs = cell.runs.len();
+                let safety = cell.count("consistent") != runs || cell.count("valid") != runs;
+                let kind = if safety { "SAFETY VIOLATION" } else { "VIOLATION" };
+                eprintln!("[soak] {kind}: {title}/{} failed honestly", cell.scenario.label);
             }
             if passive && cell.total("dropped_sends") != 0.0 {
                 violations += 1;

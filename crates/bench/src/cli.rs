@@ -22,6 +22,12 @@
 //!   vector). Protocol-affecting like `--transport` in that it changes
 //!   message sizes, but decision observables are provably identical
 //!   across encodings (see docs/CERTIFICATES.md);
+//! * `--faults PLAN` — network-fault plan layered over every scenario's
+//!   transport (`none`, or comma-joined `drop:p=R[:from=A][:until=B]`,
+//!   `dup:p=R`, `reorder:p=R[:budget=K]`, `partition:A..B=SPLIT`,
+//!   `sched=adversarial`; see docs/FAULTS.md). Injection is
+//!   seed-deterministic; safety observables are invariant under every
+//!   plan, liveness observables may move;
 //! * `--round-ms MS` / `--gst MS` / `--delay-dist DIST` — shorthand knobs
 //!   for the latency transport's round duration, global stabilization
 //!   time, and per-link delay distribution (`zero`, `uniform:LO..HI`,
@@ -43,7 +49,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ba_core::cert::CertEncoding;
-use ba_sim::{DelayDist, PopulationMode, TransportSpec};
+use ba_sim::{DelayDist, FaultPlan, PopulationMode, TransportSpec};
 
 use crate::dist::{self, DistConfig};
 use crate::report::{quarantine_summary, to_csv, to_json};
@@ -84,6 +90,9 @@ pub struct Cli {
     /// every scenario in every sweep (`None` = keep scenario-specified
     /// values).
     pub cert_encoding: Option<CertEncoding>,
+    /// `--faults` override: network-fault plan layered over every
+    /// scenario's transport (`None` = keep scenario-specified plans).
+    pub faults: Option<FaultPlan>,
     /// `--round-ms` shorthand: latency-transport round duration override.
     pub round_ms: Option<u64>,
     /// `--gst` shorthand: latency-transport global stabilization time.
@@ -136,6 +145,7 @@ impl Cli {
             population: None,
             transport: None,
             cert_encoding: None,
+            faults: None,
             round_ms: None,
             gst: None,
             delay_dist: None,
@@ -188,6 +198,10 @@ impl Cli {
                 "--cert-encoding" => {
                     let raw = value("--cert-encoding");
                     cli.cert_encoding = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
+                }
+                "--faults" => {
+                    let raw = value("--faults");
+                    cli.faults = Some(raw.parse().unwrap_or_else(|e: String| die(&e)));
                 }
                 "--round-ms" => {
                     let ms: u64 = value("--round-ms")
@@ -259,6 +273,7 @@ impl Cli {
                          \x20                 [--sim-threads N] [--population sparse|dense]\n\
                          \x20                 [--transport lockstep|latency[:k=v,..]|tcp]\n\
                          \x20                 [--cert-encoding vector|aggregate]\n\
+                         \x20                 [--faults PLAN]\n\
                          \x20                 [--round-ms MS] [--gst MS] [--delay-dist DIST]\n\
                          \x20                 [--workers N] [--worker-cmd CMD]\n\
                          \x20                 [--format md,csv,json|all] [--out DIR]\n\
@@ -346,6 +361,13 @@ impl Cli {
             for sweep in &mut sweeps {
                 for scenario in &mut sweep.scenarios {
                     scenario.cert_encoding = encoding;
+                }
+            }
+        }
+        if let Some(plan) = self.faults {
+            for sweep in &mut sweeps {
+                for scenario in &mut sweep.scenarios {
+                    scenario.fault_plan = Some(plan);
                 }
             }
         }
@@ -523,6 +545,36 @@ mod tests {
         let vec_bits = vector.cells[0].samples("cert_bits");
         assert!(agg_bits.iter().sum::<f64>() < vec_bits.iter().sum::<f64>());
         assert_eq!(parse(&[]).cert_encoding, None);
+    }
+
+    #[test]
+    fn faults_flag_overrides_scenarios() {
+        use crate::scenario::{ProtocolSpec, Scenario};
+        let cli = parse(&["--faults", "none"]);
+        assert_eq!(cli.faults, Some(FaultPlan::default()));
+        // An empty plan wraps every transport in the fault layer but is a
+        // structural pass-through: observables match the bare run exactly
+        // and no fault stats are recorded.
+        let sweep = Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]);
+        let reports = cli.run(vec![sweep]);
+        let bare =
+            Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]).run(1);
+        assert_eq!(reports[0].cells[0].samples("multicasts"), bare.cells[0].samples("multicasts"));
+        assert_eq!(reports[0].cells[0].samples("rounds"), bare.cells[0].samples("rounds"));
+        assert!(
+            reports[0].cells[0].samples("faults_dropped").is_empty(),
+            "empty plan keeps no fault stats"
+        );
+        // A certain-drop plan parses, records fault stats, and degrades
+        // liveness without touching safety.
+        let cli = parse(&["--faults", "drop:p=1"]);
+        let sweep = Sweep::new("t", 1, vec![Scenario::new("q", 5, ProtocolSpec::QuadraticHalf)]);
+        let reports = cli.run(vec![sweep]);
+        let cell = &reports[0].cells[0];
+        assert!(cell.samples("faults_dropped").iter().sum::<f64>() > 0.0);
+        assert_eq!(cell.count("consistent"), 1, "safety holds under total drop");
+        assert_eq!(cell.count("valid"), 1);
+        assert_eq!(parse(&[]).faults, None);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | `e11_gauntlet` | the adversary gauntlet matrix (family × adversary × model × `f'`) |
 //! | `e12_population` | Thm 2 at population scale — sparse engine, n = 10⁵…10⁶ |
 //! | `e13_realclock` | the transport matrix — lockstep vs simulated partial synchrony vs TCP |
+//! | `e14_certificates` | footnote 11 — vector vs aggregate certificate encodings, decision-identical |
+//! | `e15_faults` | the chaos matrix — deterministic fault plans over every backend; safety asserted inside the legal envelope, measured beyond it |
 //!
 //! Two more binaries ride on the same engine: `soak` cycles the gauntlet
 //! under a wall-clock/cell budget and streams per-cell JSON lines to disk,

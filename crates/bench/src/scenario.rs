@@ -31,8 +31,8 @@ use ba_core::runnable::Runnable;
 use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode};
 use ba_lowerbound::{theorem3, theorem4};
 use ba_sim::{
-    AdvCtx, Adversary, Bit, CorruptionModel, NodeId, Passive, PopulationMode, RunReport, SimConfig,
-    TransportSpec, Verdict,
+    AdvCtx, Adversary, Bit, CorruptionModel, FaultPlan, NodeId, Passive, PopulationMode, RunReport,
+    SimConfig, TransportSpec, Verdict,
 };
 
 use crate::sweep::RunRecord;
@@ -401,6 +401,15 @@ pub struct Scenario {
     /// Families whose regime cannot aggregate (mined eligibility) fall
     /// back to the vector encoding.
     pub cert_encoding: CertEncoding,
+    /// Declarative network-fault plan layered over [`Scenario::transport`]
+    /// at execution time (`None` = no fault layer). A *network-affecting*
+    /// axis: faults may delay or destroy copies, so liveness observables
+    /// can move — safety observables must not. Appears in
+    /// [`Scenario::describe`] and the report JSON only when the plan is
+    /// non-empty (an empty plan is a structural pass-through and keeps
+    /// reports byte-identical to the bare transport); `--faults` on
+    /// experiment binaries overrides it grid-wide.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -431,6 +440,7 @@ impl Scenario {
             population: PopulationMode::Dense,
             transport: TransportSpec::Lockstep,
             cert_encoding: CertEncoding::Vector,
+            fault_plan: None,
         }
     }
 
@@ -512,9 +522,17 @@ impl Scenario {
         self
     }
 
+    /// Layers a network-fault plan over the transport (see
+    /// [`Scenario::fault_plan`]; `--faults` on experiment binaries
+    /// overrides it grid-wide).
+    pub fn faults(mut self, plan: FaultPlan) -> Scenario {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Key/value description of the configuration (report metadata).
     pub fn describe(&self) -> Vec<(&'static str, String)> {
-        vec![
+        let mut desc = vec![
             ("protocol", self.protocol.name()),
             ("adversary", self.adversary.name()),
             ("inputs", self.inputs.name()),
@@ -536,7 +554,16 @@ impl Scenario {
             ),
             ("transport", self.transport.to_string()),
             ("cert_encoding", self.cert_encoding.to_string()),
-        ]
+        ];
+        // Only a non-empty plan is an experimental axis; an empty plan is a
+        // structural pass-through, and omitting it keeps pre-fault reports
+        // (and their committed baselines) byte-identical.
+        if let Some(plan) = &self.fault_plan {
+            if !plan.is_empty() {
+                desc.push(("faults", plan.to_string()));
+            }
+        }
+        desc
     }
 
     fn build_elig(&self, seed: u64, shared: &SharedElig, lambda: f64) -> Arc<dyn Eligibility> {
@@ -574,10 +601,17 @@ impl Scenario {
     }
 
     fn execute_shared(&self, seed: u64, shared: &SharedElig) -> ScenarioRun {
+        // The fault layer wraps whatever base transport the scenario names;
+        // empty plans still wrap (structural pass-through), so `--faults
+        // none` exercises the wrapper itself.
+        let transport = match self.fault_plan {
+            Some(plan) => self.transport.with_fault_plan(plan),
+            None => self.transport,
+        };
         let sim = SimConfig::new(self.n.max(1), self.f, self.model, seed)
             .with_threads(self.sim_threads)
             .with_population(self.population)
-            .with_transport(self.transport);
+            .with_transport(transport);
         match &self.protocol {
             ProtocolSpec::SubqHalf { lambda, max_iters } => {
                 let mut cfg = IterConfig::subq_half(self.n, self.build_elig(seed, shared, *lambda))
@@ -822,6 +856,18 @@ impl Scenario {
             record.push("latency_delivered", lat.delivered as f64);
             record.push("latency_late_deliveries", lat.late_deliveries as f64);
             record.push("latency_undelivered", lat.undelivered as f64);
+        }
+        // Fault observables are seed-deterministic (injection decisions
+        // hash only seed, plan, message id, and receiver), so unlike the
+        // latency gauges they are stable across backends and belong in
+        // committed baselines.
+        if let Some(faults) = &m.faults {
+            record.push("faults_dropped", faults.dropped as f64);
+            record.push("faults_duplicated", faults.duplicated as f64);
+            record.push("faults_reordered", faults.reordered as f64);
+            record.push("faults_partitioned", faults.partitioned as f64);
+            record.push("faults_undelivered", faults.undelivered as f64);
+            record.push("partition_rounds", faults.partition_rounds as f64);
         }
         record.push_flag("consistent", verdict.consistent);
         record.push_flag("valid", verdict.valid);

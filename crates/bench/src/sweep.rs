@@ -63,16 +63,33 @@ impl RunRecord {
     }
 }
 
-/// A structured record of a cell the distributed coordinator quarantined:
-/// the cell's work never completed because every dispatch attempt killed
-/// the worker executing it (see `crate::dist`). Quarantined cells surface
-/// in the markdown and JSON renderers instead of silently vanishing.
+/// A structured record of a quarantined cell: the cell's work never
+/// completed because every dispatch attempt killed the worker executing it
+/// (see `crate::dist`), or because its transport failed unrecoverably
+/// mid-run (a [`ba_sim::TransportError`] caught by [`catch_transport`]).
+/// Quarantined cells surface in the markdown and JSON renderers instead of
+/// silently vanishing.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellError {
     /// Worker deaths attributed to this cell before it was quarantined.
     pub attempts: u32,
     /// Human-readable description of the last observed failure.
     pub detail: String,
+}
+
+/// Runs one cell execution, converting an unrecoverable transport failure
+/// (raised as a [`ba_sim::TransportError`] panic payload — e.g. a TCP peer
+/// that died and could not be reconnected) into a [`CellError`] so the
+/// sweep can quarantine the cell and keep going. Any other panic is a
+/// harness bug and is re-raised unchanged.
+pub fn catch_transport(f: impl FnOnce() -> RunRecord) -> Result<RunRecord, CellError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(record) => Ok(record),
+        Err(payload) => match payload.downcast_ref::<ba_sim::TransportError>() {
+            Some(error) => Err(CellError { attempts: 1, detail: error.to_string() }),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
 }
 
 /// One scenario's executed cell: the scenario plus its per-seed records
@@ -110,7 +127,9 @@ impl CellReport {
 
     /// Sum of the samples under `name`.
     pub fn total(&self, name: &str) -> f64 {
-        self.samples(name).iter().sum()
+        // + 0.0 normalizes the empty sum (f64's additive identity is -0.0,
+        // which would render as "-0" in tables).
+        self.samples(name).iter().sum::<f64>() + 0.0
     }
 
     /// Fraction of runs whose flag `name` is nonzero.
@@ -164,14 +183,25 @@ impl Sweep {
         // fixed-seed scenarios; per-run scenarios ignore it).
         let shared: Vec<SharedElig> = self.scenarios.iter().map(|_| SharedElig::new()).collect();
         let slots: Vec<OnceLock<RunRecord>> = tasks.iter().map(|_| OnceLock::new()).collect();
+        let cell_errors: Vec<OnceLock<CellError>> =
+            self.scenarios.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
 
         let worker = || loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(&(cell, s)) = tasks.get(i) else { break };
+            if cell_errors[cell].get().is_some() {
+                continue; // cell already quarantined; don't burn its other seeds
+            }
             let scenario = &self.scenarios[cell];
-            let record = scenario.run_seed(scenario.seed_offset + s, &shared[cell]);
-            slots[i].set(record).expect("each slot is written exactly once");
+            match catch_transport(|| scenario.run_seed(scenario.seed_offset + s, &shared[cell])) {
+                Ok(record) => {
+                    slots[i].set(record).expect("each slot is written exactly once");
+                }
+                Err(error) => {
+                    let _ = cell_errors[cell].set(error); // first failure wins
+                }
+            }
         };
         if threads <= 1 {
             worker();
@@ -187,19 +217,25 @@ impl Sweep {
         }
 
         let mut slot_iter = slots.into_iter();
+        let mut error_iter = cell_errors.into_iter();
         let cells = (0..self.scenarios.len())
-            .map(|c| CellReport {
-                scenario: self.scenarios[c].clone(),
-                runs: (0..self.seeds_of(c))
-                    .map(|_| {
-                        slot_iter
-                            .next()
-                            .expect("one slot per task")
-                            .into_inner()
-                            .expect("worker filled the slot")
-                    })
-                    .collect(),
-                error: None,
+            .map(|c| {
+                let error = error_iter.next().expect("one error slot per cell").into_inner();
+                let cell_slots: Vec<_> = (0..self.seeds_of(c))
+                    .map(|_| slot_iter.next().expect("one slot per task"))
+                    .collect();
+                // A quarantined cell drops any seeds that did complete:
+                // which ones finished before the failure depends on worker
+                // scheduling, and a partial sample set would make the
+                // report thread-count-dependent.
+                let runs = match error {
+                    Some(_) => Vec::new(),
+                    None => cell_slots
+                        .into_iter()
+                        .map(|s| s.into_inner().expect("worker filled the slot"))
+                        .collect(),
+                };
+                CellReport { scenario: self.scenarios[c].clone(), runs, error }
             })
             .collect();
         SweepReport { title: self.title.clone(), seeds: self.seeds, cells }
@@ -239,4 +275,40 @@ impl SweepReport {
 /// The default worker count: every available core.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::TransportError;
+
+    #[test]
+    fn catch_transport_passes_successful_records_through() {
+        let mut record = RunRecord::new(7);
+        record.push("rounds", 3.0);
+        let got = catch_transport(|| record.clone()).expect("no failure");
+        assert_eq!(got, record);
+    }
+
+    #[test]
+    fn catch_transport_quarantines_structured_transport_failures() {
+        let error = catch_transport(|| -> RunRecord {
+            std::panic::panic_any(TransportError {
+                node: Some(3),
+                detail: "peer connection died".into(),
+            })
+        })
+        .expect_err("transport failure is caught");
+        assert_eq!(error.attempts, 1);
+        assert!(error.detail.contains("node 3"), "detail: {}", error.detail);
+        assert!(error.detail.contains("peer connection died"));
+    }
+
+    #[test]
+    fn catch_transport_rethrows_unrelated_panics() {
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = catch_transport(|| -> RunRecord { panic!("harness bug") });
+        });
+        assert!(outcome.is_err(), "non-transport panics must propagate");
+    }
 }

@@ -239,13 +239,20 @@ fn scenario_spec(sc: &Scenario) -> String {
         EligSeed::PerRun => "{\"kind\": \"per_run\"}".to_string(),
         EligSeed::Fixed(s) => format!("{{\"kind\": \"fixed\", \"seed\": {}}}", ju64(s)),
     };
+    // Encoded whenever set — even an empty plan — so the descriptor is a
+    // lossless scenario image (the human-oriented `describe()` rendering,
+    // by contrast, omits empty plans).
+    let faults = match &sc.fault_plan {
+        Some(plan) => format!(", \"faults\": \"{plan}\""),
+        None => String::new(),
+    };
     format!(
         "{{\"label\": \"{}\", \"n\": {}, \"f\": {}, \"model\": \"{model}\", \
          \"inputs\": {}, \"adversary\": {}, \"protocol\": {}, \
          \"elig\": \"{elig}\", \"elig_seed\": {elig_seed}, \
          \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}, \
          \"population\": \"{}\", \"transport\": \"{}\", \
-         \"cert_encoding\": \"{}\"}}",
+         \"cert_encoding\": \"{}\"{faults}}}",
         json_escape(&sc.label),
         sc.n,
         sc.f,
@@ -452,6 +459,18 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
             })
         }
     };
+    let fault_plan = match obj.get("faults") {
+        // Same legacy tolerance as the other optional axes: absent = no
+        // fault layer, the only state pre-chaos coordinators could produce.
+        None => None,
+        Some(v) => {
+            let s = v.as_str().ok_or(WireError::Invalid {
+                field: "faults",
+                detail: "expected a string".into(),
+            })?;
+            Some(s.parse().map_err(|e: String| WireError::Invalid { field: "faults", detail: e })?)
+        }
+    };
     let es_obj = field(obj, "elig_seed")?;
     let elig_seed = match dec_str(es_obj, "kind")?.as_str() {
         "per_run" => EligSeed::PerRun,
@@ -516,6 +535,7 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
                     .map_err(|e: String| WireError::Invalid { field: "cert_encoding", detail: e })?
             }
         },
+        fault_plan,
     })
 }
 
@@ -764,6 +784,12 @@ mod tests {
                 gst_ms: 35,
                 dist: ba_sim::DelayDist::Uniform { lo_ms: 1, hi_ms: 9 },
             })
+            .faults(
+                "drop:p=0.25:from=1:until=9,dup:p=0.1,reorder:p=0.05:budget=3,\
+                 partition:2..5=24,sched=adversarial"
+                    .parse()
+                    .expect("a canonical fault plan"),
+            )
     }
 
     #[test]
@@ -855,6 +881,41 @@ mod tests {
         assert!(matches!(
             decode_descriptor(&mangled),
             Err(WireError::Invalid { field: "transport", .. })
+        ));
+    }
+
+    #[test]
+    fn faults_field_is_optional_on_decode() {
+        use ba_sim::FaultPlan;
+        // Descriptors from pre-chaos coordinators lack the field entirely;
+        // they decode with no fault layer. A malformed plan is refused.
+        let desc = CellDescriptor {
+            id: 8,
+            sweep: "s".into(),
+            seeds: 1,
+            scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf)
+                .faults("drop:p=0.5".parse().expect("a drop plan")),
+        };
+        let line = encode_descriptor(&desc);
+        let back = decode_descriptor(&line).expect("decodes");
+        assert_eq!(back.scenario.fault_plan, desc.scenario.fault_plan);
+        // An explicitly empty plan also survives the wire (it is not the
+        // same scenario as one with no fault layer at all).
+        let empty = CellDescriptor {
+            scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf)
+                .faults(FaultPlan::default()),
+            ..desc.clone()
+        };
+        let back = decode_descriptor(&encode_descriptor(&empty)).expect("decodes");
+        assert_eq!(back.scenario.fault_plan, Some(FaultPlan::default()));
+        let legacy = line.replace(", \"faults\": \"drop:p=0.5\"", "");
+        assert_ne!(line, legacy, "expected the faults field to be encoded");
+        let back = decode_descriptor(&legacy).expect("legacy line decodes");
+        assert_eq!(back.scenario.fault_plan, None);
+        let mangled = line.replace("\"faults\": \"drop:p=0.5\"", "\"faults\": \"meteor:p=1\"");
+        assert!(matches!(
+            decode_descriptor(&mangled),
+            Err(WireError::Invalid { field: "faults", .. })
         ));
     }
 

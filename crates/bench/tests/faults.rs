@@ -1,0 +1,269 @@
+//! Fault-layer regression tests at the bench layer.
+//!
+//! The chaos contract under test (tentpole of the fault-injection PR;
+//! docs/FAULTS.md is the prose version):
+//!
+//! * **Pass-through** — an *empty* [`FaultPlan`] is structural: the
+//!   wrapper forwards submits untouched and reports no fault stats, so a
+//!   wrapped backend is byte-identical to the bare one. Proven for all
+//!   three delivery backends (TCP compared on protocol observables only —
+//!   its `latency_*` gauges are wall-clock).
+//! * **Legal-envelope safety** — plans a model-legal adversary could have
+//!   produced (adversarial scheduling, duplication) can never break
+//!   agreement or validity, for either mined family. Random plans over
+//!   those axes are safe by property test. Beyond-envelope plans (loss,
+//!   cross-round deferral) are *not* asserted safe — e15 measures their
+//!   erosion — but they must stay deterministic.
+//! * **Replayability and backend-invariance** — fault decisions hash only
+//!   (seed, plan, message id, receiver), so a faulted cell re-run is
+//!   byte-identical *including* the `faults_*` observables, and lockstep
+//!   and zero-delay latency agree on every protocol and fault observable
+//!   under arbitrary plans.
+//! * **Pinned goldens** — one dropped, one healed-partition, and one
+//!   adversarially scheduled trajectory are frozen, so a drift in fault
+//!   hashing, hold/release order, or scheduler sorting trips a test even
+//!   if the change is internally consistent.
+
+use ba_bench::{InputPattern, ProtocolSpec, RunRecord, Scenario, Sweep};
+use ba_sim::{
+    DelayDist, DropFault, DupFault, FaultPlan, PartitionFault, ReorderFault, Scheduler,
+    TransportSpec, DEFAULT_ROUND_MS,
+};
+use proptest::prelude::*;
+
+fn records(sc: &Scenario, seeds: u64) -> Vec<RunRecord> {
+    let report = Sweep::new("faults", seeds, vec![sc.clone()]).run(1);
+    report.cells[0].runs.clone()
+}
+
+/// Strips the wall-clock substrate (`latency_*`) and engine gauges,
+/// keeping protocol *and* `faults_*` observables — both are covered by
+/// the determinism contract.
+fn deterministic_observables(runs: &[RunRecord]) -> Vec<RunRecord> {
+    runs.iter()
+        .map(|r| RunRecord {
+            seed: r.seed,
+            values: r
+                .values
+                .iter()
+                .filter(|(name, _)| !name.starts_with("latency_") && !name.starts_with("peak_"))
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+fn value(run: &RunRecord, name: &str) -> f64 {
+    run.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
+}
+
+fn delayed_latency() -> TransportSpec {
+    TransportSpec::Latency {
+        round_ms: DEFAULT_ROUND_MS,
+        gst_ms: 0,
+        dist: DelayDist::Uniform { lo_ms: 1, hi_ms: 5 },
+    }
+}
+
+/// Satellite: the empty-plan wrapper is a structural no-op on every
+/// backend. Lockstep and latency compare full records (`latency_*`
+/// included — the wrapper must not perturb delay sampling); TCP compares
+/// the deterministic observables.
+#[test]
+fn empty_plan_wrapper_is_identical_to_the_bare_backend() {
+    let sc = Scenario::new("id", 21, ProtocolSpec::SubqThird { lambda: 10.0, epochs: 5 })
+        .inputs(InputPattern::Alternating);
+    for (name, transport, exact) in [
+        ("lockstep", TransportSpec::Lockstep, true),
+        ("latency", delayed_latency(), true),
+        ("tcp", TransportSpec::Tcp, false),
+    ] {
+        let bare = records(&sc.clone().transport(transport), 2);
+        let wrapped = records(&sc.clone().transport(transport).faults(FaultPlan::default()), 2);
+        if exact {
+            assert_eq!(wrapped, bare, "{name}: empty-plan wrapper perturbed the run");
+        } else {
+            assert_eq!(
+                deterministic_observables(&wrapped),
+                deterministic_observables(&bare),
+                "{name}: empty-plan wrapper perturbed the run"
+            );
+        }
+        for run in &wrapped {
+            assert_eq!(value(run, "faults_dropped"), 0.0, "{name}: empty plan reported faults");
+        }
+    }
+}
+
+/// A faulted TCP cell replays: real sockets underneath, but the fault
+/// decisions key on (seed, plan, message id, receiver), so everything
+/// except wall-clock gauges is reproducible.
+#[test]
+fn faulted_tcp_cell_replays_on_deterministic_observables() {
+    let plan: FaultPlan = "drop:p=0.2,dup:p=0.1,sched=adversarial".parse().expect("plan");
+    let sc =
+        Scenario::new("replay", 12, ProtocolSpec::SubqHalf { lambda: 10.0, max_iters: Some(6) })
+            .transport(TransportSpec::Tcp)
+            .faults(plan);
+    let a = records(&sc, 2);
+    let b = records(&sc, 2);
+    assert_eq!(deterministic_observables(&a), deterministic_observables(&b));
+    assert!(a.iter().any(|r| value(r, "faults_dropped") > 0.0), "plan never fired");
+}
+
+fn mined_family(which: u8, lambda: f64) -> ProtocolSpec {
+    match which {
+        0 => ProtocolSpec::SubqHalf { lambda, max_iters: Some(5) },
+        _ => ProtocolSpec::SubqThird { lambda, epochs: 5 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random *legal-envelope* plans (duplication at any rate, either
+    /// scheduler) never break agreement or validity on honest cells of
+    /// either mined family: duplicates cannot add quorum weight (tallies
+    /// key by sender) and delivery order within a round is the model
+    /// adversary's to pick, so the paper's safety proofs apply verbatim.
+    #[test]
+    fn legal_envelope_plans_preserve_safety_on_random_cells(
+        dup_ppm in 0u32..600_001,
+        adversarial in any::<bool>(),
+        family in 0u8..2,
+        n in 16usize..40,
+        lambda in 8u32..14,
+        seed_offset in 0u64..1000,
+        unanimous in any::<Option<bool>>(),
+    ) {
+        let plan = FaultPlan {
+            duplicate: (dup_ppm > 0).then_some(DupFault { ppm: dup_ppm }),
+            scheduler: if adversarial { Scheduler::Adversarial } else { Scheduler::Honest },
+            ..FaultPlan::default()
+        };
+        let inputs = match unanimous {
+            Some(b) => InputPattern::Unanimous(b),
+            None => InputPattern::Alternating,
+        };
+        let sc = Scenario::new("legal", n, mined_family(family, lambda as f64))
+            .inputs(inputs)
+            .seed_offset(seed_offset)
+            .faults(plan);
+        for run in records(&sc, 1) {
+            prop_assert_eq!(value(&run, "consistent"), 1.0, "agreement broke in-envelope");
+            prop_assert_eq!(value(&run, "valid"), 1.0, "validity broke in-envelope");
+        }
+    }
+
+    /// Arbitrary plans — including beyond-envelope loss, deferral, and
+    /// partitions — are pure functions of (seed, plan): a re-run is
+    /// byte-identical, and the zero-delay latency backend reproduces
+    /// lockstep observable-for-observable under the same plan.
+    #[test]
+    fn arbitrary_plans_replay_and_are_backend_invariant(
+        drop_ppm in 0u32..300_001,
+        dup_ppm in 0u32..300_001,
+        reorder_ppm in 0u32..300_001,
+        budget in 1u64..4,
+        partitioned in any::<bool>(),
+        adversarial in any::<bool>(),
+        family in 0u8..2,
+        seed_offset in 0u64..1000,
+    ) {
+        let n = 20;
+        let plan = FaultPlan {
+            drop: (drop_ppm > 0)
+                .then_some(DropFault { ppm: drop_ppm, from: 0, until: u64::MAX }),
+            duplicate: (dup_ppm > 0).then_some(DupFault { ppm: dup_ppm }),
+            reorder: (reorder_ppm > 0).then_some(ReorderFault { ppm: reorder_ppm, budget }),
+            partition: partitioned
+                .then_some(PartitionFault { from: 1, until: 3, split: n / 2 }),
+            scheduler: if adversarial { Scheduler::Adversarial } else { Scheduler::Honest },
+        };
+        let sc = Scenario::new("replay", n, mined_family(family, 10.0))
+            .seed_offset(seed_offset)
+            .faults(plan);
+        let lockstep = records(&sc, 1);
+        prop_assert_eq!(&records(&sc, 1), &lockstep, "faulted lockstep cell failed to replay");
+        let latency = records(
+            &sc.clone().transport(TransportSpec::latency_zero()).faults(plan),
+            1,
+        );
+        prop_assert_eq!(
+            deterministic_observables(&latency),
+            deterministic_observables(&lockstep),
+            "fault layer diverged across backends"
+        );
+    }
+}
+
+// Pinned goldens (seeds 0 and 1, lockstep, n = 24). The replay tests
+// above prove these cells are deterministic; the constants pin the
+// trajectories themselves, so a drift in fault hashing, partition
+// hold/release, or scheduler sorting trips a test even when it stays
+// self-consistent.
+
+fn golden_cell(sc: Scenario) -> Vec<RunRecord> {
+    records(&sc, 2)
+}
+
+fn pick(runs: &[RunRecord], name: &str) -> Vec<f64> {
+    runs.iter().map(|r| value(r, name)).collect()
+}
+
+/// A quarter of all copies dropped: the certificate-gated iteration
+/// family keeps safety and pays (at most) extra iterations.
+#[test]
+fn golden_dropped_cell() {
+    let sc =
+        Scenario::new("golden", 24, ProtocolSpec::SubqHalf { lambda: 12.0, max_iters: Some(8) })
+            .inputs(InputPattern::Unanimous(true))
+            .faults("drop:p=0.25".parse().expect("plan"));
+    let runs = golden_cell(sc);
+    assert_eq!(pick(&runs, "consistent"), [1.0, 1.0]);
+    assert_eq!(pick(&runs, "valid"), [1.0, 1.0]);
+    assert_eq!(pick(&runs, "rounds"), GOLDEN_DROP_ROUNDS);
+    assert_eq!(pick(&runs, "faults_dropped"), GOLDEN_DROP_DROPPED);
+    assert_eq!(pick(&runs, "faults_undelivered"), GOLDEN_DROP_UNDELIVERED);
+}
+
+/// A hard split over rounds 1..3 healing at round 3: held copies land
+/// after the heal and the cell recovers.
+#[test]
+fn golden_healed_partition_cell() {
+    let sc =
+        Scenario::new("golden", 24, ProtocolSpec::SubqHalf { lambda: 12.0, max_iters: Some(8) })
+            .inputs(InputPattern::Unanimous(true))
+            .faults("partition:1..3=12".parse().expect("plan"));
+    let runs = golden_cell(sc);
+    assert_eq!(pick(&runs, "all_ok"), [1.0, 1.0], "partition cell must recover after heal");
+    assert_eq!(pick(&runs, "rounds"), GOLDEN_PART_ROUNDS);
+    assert_eq!(pick(&runs, "partition_rounds"), GOLDEN_PART_PART_ROUNDS);
+    assert_eq!(pick(&runs, "faults_partitioned"), GOLDEN_PART_HELD);
+}
+
+/// The adversarial scheduler alone (legal envelope): safety must hold,
+/// and the whole trajectory is pinned — scheduling is the one fault axis
+/// that leaves no `faults_*` trace, so only the golden catches drift.
+#[test]
+fn golden_adversarial_scheduler_cell() {
+    let sc = Scenario::new("golden", 24, ProtocolSpec::SubqThird { lambda: 10.0, epochs: 5 })
+        .inputs(InputPattern::Alternating)
+        .faults("sched=adversarial".parse().expect("plan"));
+    let runs = golden_cell(sc);
+    assert_eq!(pick(&runs, "consistent"), [1.0, 1.0]);
+    assert_eq!(pick(&runs, "valid"), [1.0, 1.0]);
+    assert_eq!(pick(&runs, "rounds"), GOLDEN_SCHED_ROUNDS);
+    assert_eq!(pick(&runs, "multicasts"), GOLDEN_SCHED_MULTICASTS);
+    assert_eq!(pick(&runs, "kbits"), GOLDEN_SCHED_KBITS);
+}
+
+const GOLDEN_DROP_ROUNDS: [f64; 2] = [4.0, 3.0];
+const GOLDEN_DROP_DROPPED: [f64; 2] = [185.0, 264.0];
+const GOLDEN_DROP_UNDELIVERED: [f64; 2] = [0.0, 0.0];
+const GOLDEN_PART_ROUNDS: [f64; 2] = [5.0, 3.0];
+const GOLDEN_PART_PART_ROUNDS: [f64; 2] = [2.0, 2.0];
+const GOLDEN_PART_HELD: [f64; 2] = [288.0, 360.0];
+const GOLDEN_SCHED_ROUNDS: [f64; 2] = [11.0, 11.0];
+const GOLDEN_SCHED_MULTICASTS: [f64; 2] = [56.0, 50.0];
+const GOLDEN_SCHED_KBITS: [f64; 2] = [61.432, 54.85];

@@ -21,7 +21,8 @@ use ba_sim::adversary::Adversary;
 use ba_sim::engine::{BoxedProtocol, RunReport, Sim, SimConfig};
 use ba_sim::ids::{Bit, NodeId};
 use ba_sim::message::Message;
-use ba_sim::transport::TransportSpec;
+use ba_sim::transport::fault::FaultyTransport;
+use ba_sim::transport::{BaseTransport, TransportSpec};
 
 pub use tcp::TcpTransport;
 
@@ -49,6 +50,12 @@ where
     match config.transport {
         TransportSpec::Tcp => {
             let transport = TcpTransport::new(config.n).expect("bind TCP loopback transport");
+            Sim::run_with_transport(config, inputs, adversary, factory, Box::new(transport))
+        }
+        TransportSpec::Faulty { inner: BaseTransport::Tcp, plan } => {
+            let tcp: TcpTransport<M> =
+                TcpTransport::new(config.n).expect("bind TCP loopback transport");
+            let transport = FaultyTransport::new(Box::new(tcp), plan, config.n, config.seed);
             Sim::run_with_transport(config, inputs, adversary, factory, Box::new(transport))
         }
         _ => Sim::run_boxed(config, inputs, adversary, factory),
@@ -108,6 +115,20 @@ mod tests {
         let report = run_with(TransportSpec::Lockstep);
         assert!(report.outputs.iter().all(|o| *o == Some(true)));
         assert!(report.metrics.latency.is_none(), "lockstep keeps no clock");
+    }
+
+    #[test]
+    fn faulty_wrapper_with_empty_plan_matches_bare_tcp() {
+        use ba_sim::transport::fault::FaultPlan;
+        let bare = run_with(TransportSpec::Tcp);
+        let wrapped = run_with(TransportSpec::Faulty {
+            inner: BaseTransport::Tcp,
+            plan: FaultPlan::default(),
+        });
+        assert_eq!(wrapped, bare, "empty fault plan is a structural pass-through");
+        assert!(wrapped.metrics.faults.is_none(), "empty plan keeps no fault stats");
+        let latency = wrapped.metrics.latency.as_ref().expect("inner tcp still measures");
+        assert_eq!(latency.delivered, 25);
     }
 
     #[test]

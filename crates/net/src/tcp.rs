@@ -12,12 +12,27 @@
 //!
 //! # What crosses the wire
 //!
-//! One frame per `(message, receiver)` copy: a 12-byte header (sequence
-//! number + payload length) followed by `ceil(size_bits / 8)` payload bytes
-//! (capped at 1 MiB), so bandwidth on the loopback device scales with the
-//! protocol's real bit complexity. The typed payload itself does not need a
-//! serialization format — it crosses via an `Arc` side table keyed by the
-//! sequence number, which is also what keeps this backend protocol-agnostic.
+//! One frame per `(message, receiver)` copy: a 16-byte header (sequence
+//! number + payload length + CRC-32 of the first 12 bytes) followed by
+//! `ceil(size_bits / 8)` payload bytes (capped at 1 MiB), so bandwidth on
+//! the loopback device scales with the protocol's real bit complexity. The
+//! typed payload itself does not need a serialization format — it crosses
+//! via an `Arc` side table keyed by the sequence number, which is also what
+//! keeps this backend protocol-agnostic.
+//!
+//! # Failure semantics
+//!
+//! A peer connection dying mid-round is survivable: the reader task
+//! reports a structured peer-down event (clean close, mid-frame EOF, CRC
+//! mismatch, or I/O error — it never panics), and the transport
+//! reconnects with bounded backoff, respawns the reader, and resends
+//! every frame the dead connection had not delivered (sequence numbers
+//! deduplicate the race where a frame arrived just as the connection
+//! died). When the network is genuinely gone — the listener is sealed, or
+//! every backoff attempt fails — the transport raises a structured
+//! [`TransportError`] via `std::panic::panic_any` instead of hanging or
+//! losing the detail, so a supervising layer can `catch_unwind` +
+//! `downcast` it into a quarantined cell error.
 //!
 //! # Timing semantics
 //!
@@ -32,17 +47,18 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ba_sim::ids::{NodeId, Round};
 use ba_sim::message::{Envelope, Incoming, Message, Recipient};
-use ba_sim::transport::{Transport, TransportStats};
+use ba_sim::transport::{Transport, TransportError, TransportStats};
 
-/// Sequence + payload length, little-endian.
-const HEADER_BYTES: usize = 12;
+/// Sequence + payload length + CRC-32 of the preceding 12 bytes, all
+/// little-endian.
+const HEADER_BYTES: usize = 16;
 /// Ceiling on per-copy payload bytes pushed through the socket (a guard for
 /// pathological message sizes; the byte count is still metered from
 /// `size_bits` upstream).
@@ -50,11 +66,32 @@ const MAX_PAYLOAD_BYTES: usize = 1 << 20;
 /// How long `deliver` waits for any single arrival before declaring the
 /// loopback wedged.
 const ARRIVAL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Backoff schedule for re-establishing a dead peer connection; when the
+/// last attempt fails the transport raises a [`TransportError`].
+const RECONNECT_BACKOFF_MS: [u64; 3] = [1, 10, 50];
 
-/// An arrival report from a node task.
-struct Arrival {
-    seq: u64,
-    at: Instant,
+/// CRC-32 (IEEE 802.3, reflected polynomial) over `data` — bitwise, no
+/// table; headers are 12 bytes so throughput is irrelevant.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What a node task reports back to the engine side.
+enum NetEvent {
+    /// A frame was fully read off the socket.
+    Arrival { seq: u64, at: Instant },
+    /// The connection is unusable; `gen` identifies which incarnation of
+    /// the node's connection died (reconnects bump it, so stale reports
+    /// from an already-replaced reader are ignored).
+    PeerDown { node: usize, gen: u64, detail: String },
 }
 
 /// A copy written to the wire and not yet handed to an inbox.
@@ -63,18 +100,33 @@ struct Outstanding<M> {
     from: NodeId,
     msg: Arc<M>,
     sent_at: Instant,
+    payload_len: usize,
 }
 
 /// See the [module docs](self).
 pub struct TcpTransport<M> {
+    /// Kept open so dead peer connections can be re-accepted; [`Self::seal`]
+    /// drops it to make peer death unrecoverable (test hook).
+    listener: Option<TcpListener>,
+    addr: SocketAddr,
     writers: Vec<BufWriter<TcpStream>>,
     readers: Vec<std::thread::JoinHandle<()>>,
-    arrivals: mpsc::Receiver<Arrival>,
+    /// Connection generation per node; bumped by every reconnect.
+    gens: Vec<u64>,
+    events: mpsc::Receiver<NetEvent>,
+    events_tx: mpsc::Sender<NetEvent>,
+    /// Peer-down reports observed while draining the channel outside
+    /// `deliver` (e.g. during a recovery resend), replayed before waiting.
+    pending_down: Vec<(usize, u64, String)>,
     started: Instant,
     next_seq: u64,
     /// Keyed by sequence number (= send order) so delivery drains
     /// deterministically even though arrivals race.
     outstanding: BTreeMap<u64, Outstanding<M>>,
+    /// Arrival timestamps keyed by sequence number (persists across the
+    /// deliver loop so a recovery can tell delivered frames from lost ones).
+    arrived: BTreeMap<u64, Instant>,
+    reconnects: u64,
     delivered_ms: Vec<f64>,
     round_end_ms: Vec<f64>,
 }
@@ -85,7 +137,7 @@ impl<M> TcpTransport<M> {
     pub fn new(n: usize) -> io::Result<TcpTransport<M>> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let (tx, arrivals) = mpsc::channel::<Arrival>();
+        let (events_tx, events) = mpsc::channel::<NetEvent>();
         let mut writers = Vec::with_capacity(n);
         let mut readers = Vec::with_capacity(n);
         for node in 0..n {
@@ -95,27 +147,76 @@ impl<M> TcpTransport<M> {
             writer.set_nodelay(true)?;
             let (reader, _) = listener.accept()?;
             reader.set_nodelay(true)?;
-            let tx = tx.clone();
+            let tx = events_tx.clone();
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("ba-net-node-{node}"))
-                    .spawn(move || node_task(reader, tx))?,
+                    .spawn(move || node_task(node, 0, reader, tx))?,
             );
             writers.push(BufWriter::new(writer));
         }
         Ok(TcpTransport {
+            listener: Some(listener),
+            addr,
             writers,
             readers,
-            arrivals,
+            gens: vec![0; n],
+            events,
+            events_tx,
+            pending_down: Vec::new(),
             started: Instant::now(),
             next_seq: 0,
             outstanding: BTreeMap::new(),
+            arrived: BTreeMap::new(),
+            reconnects: 0,
             delivered_ms: Vec::new(),
             round_end_ms: Vec::new(),
         })
     }
 
-    /// Writes one copy's frame to `receiver`'s socket and records it.
+    /// Number of reconnections performed over the transport's lifetime.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Fault-injection hook: kills `node`'s peer connection (both
+    /// directions), as if the peer died mid-round. The next write or the
+    /// reader's EOF report triggers recovery.
+    pub fn sever(&mut self, node: usize) {
+        let _ = self.writers[node].get_ref().shutdown(Shutdown::Both);
+    }
+
+    /// Fault-injection hook: drops the listener, so a severed peer can
+    /// never be re-accepted — the next recovery attempt must surface a
+    /// structured [`TransportError`] instead of hanging.
+    pub fn seal(&mut self) {
+        self.listener = None;
+    }
+
+    /// Encodes one frame header.
+    fn header(seq: u64, payload_len: usize) -> [u8; HEADER_BYTES] {
+        let mut header = [0u8; HEADER_BYTES];
+        header[..8].copy_from_slice(&seq.to_le_bytes());
+        header[8..12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        let crc = crc32(&header[..12]);
+        header[12..].copy_from_slice(&crc.to_le_bytes());
+        header
+    }
+
+    /// Writes one frame to `receiver`'s buffered writer.
+    fn write_frame(&mut self, receiver: usize, seq: u64, payload_len: usize) -> io::Result<()> {
+        let header = Self::header(seq, payload_len);
+        let w = &mut self.writers[receiver];
+        w.write_all(&header)?;
+        // The payload bytes only need to exist on the wire; zeros carry the
+        // size. io::repeat keeps this allocation-free for large messages.
+        io::copy(&mut io::repeat(0).take(payload_len as u64), w)?;
+        Ok(())
+    }
+
+    /// Records one copy and writes its frame; a write failure triggers
+    /// recovery (which resends everything unarrived for that peer,
+    /// including this frame).
     fn send_copy(&mut self, env: &Envelope<M>, receiver: usize)
     where
         M: Message,
@@ -123,60 +224,182 @@ impl<M> TcpTransport<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let payload_len = env.msg.size_bits().div_ceil(8).min(MAX_PAYLOAD_BYTES);
-        let mut header = [0u8; HEADER_BYTES];
-        header[..8].copy_from_slice(&seq.to_le_bytes());
-        header[8..].copy_from_slice(&(payload_len as u32).to_le_bytes());
-        let sent_at = Instant::now();
-        let w = &mut self.writers[receiver];
-        w.write_all(&header).expect("write frame header to loopback");
-        // The payload bytes only need to exist on the wire; zeros carry the
-        // size. io::repeat keeps this allocation-free for large messages.
-        io::copy(&mut io::repeat(0).take(payload_len as u64), w)
-            .expect("write frame payload to loopback");
         self.outstanding.insert(
             seq,
-            Outstanding { receiver, from: env.from, msg: Arc::clone(&env.msg), sent_at },
+            Outstanding {
+                receiver,
+                from: env.from,
+                msg: Arc::clone(&env.msg),
+                sent_at: Instant::now(),
+                payload_len,
+            },
         );
+        if let Err(e) = self.write_frame(receiver, seq, payload_len) {
+            self.recover(receiver, &format!("write failed: {e}"));
+        }
+    }
+
+    /// True if some frame addressed to `node` has not arrived yet.
+    fn has_unarrived(&self, node: usize) -> bool {
+        self.outstanding
+            .iter()
+            .any(|(seq, out)| out.receiver == node && !self.arrived.contains_key(seq))
+    }
+
+    /// Absorbs every event already sitting in the channel without blocking
+    /// (arrival timestamps recorded, peer-down reports queued).
+    fn drain_ready_events(&mut self) {
+        while let Ok(event) = self.events.try_recv() {
+            match event {
+                NetEvent::Arrival { seq, at } => {
+                    self.arrived.insert(seq, at);
+                }
+                NetEvent::PeerDown { node, gen, detail } => {
+                    self.pending_down.push((node, gen, detail));
+                }
+            }
+        }
+    }
+
+    /// Re-establishes `node`'s connection with bounded backoff and resends
+    /// every frame the dead connection had not delivered. Raises a
+    /// structured [`TransportError`] when recovery is impossible.
+    fn recover(&mut self, node: usize, why: &str)
+    where
+        M: Message,
+    {
+        // A frame may have landed just before the connection died; count it
+        // delivered rather than resending it.
+        self.drain_ready_events();
+        self.gens[node] += 1;
+        let gen = self.gens[node];
+        let mut last_err = String::new();
+        for backoff_ms in RECONNECT_BACKOFF_MS {
+            std::thread::sleep(Duration::from_millis(backoff_ms));
+            let Some(listener) = &self.listener else {
+                last_err = "listener is gone".into();
+                break;
+            };
+            let attempt = (|| -> io::Result<(TcpStream, TcpStream)> {
+                let writer = TcpStream::connect(self.addr)?;
+                writer.set_nodelay(true)?;
+                let (reader, _) = listener.accept()?;
+                reader.set_nodelay(true)?;
+                Ok((writer, reader))
+            })();
+            let (writer, reader) = match attempt {
+                Ok(pair) => pair,
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            };
+            let tx = self.events_tx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("ba-net-node-{node}-g{gen}"))
+                .spawn(move || node_task(node, gen, reader, tx));
+            match spawned {
+                Ok(handle) => self.readers.push(handle),
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            }
+            self.writers[node] = BufWriter::new(writer);
+            // Resend everything the dead connection swallowed.
+            let resend: Vec<(u64, usize)> = self
+                .outstanding
+                .iter()
+                .filter(|(seq, out)| out.receiver == node && !self.arrived.contains_key(seq))
+                .map(|(seq, out)| (*seq, out.payload_len))
+                .collect();
+            let result = (|| -> io::Result<()> {
+                for (seq, payload_len) in resend {
+                    self.write_frame(node, seq, payload_len)?;
+                }
+                self.writers[node].flush()
+            })();
+            match result {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    return;
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        std::panic::panic_any(TransportError {
+            node: Some(node),
+            detail: format!("peer connection died ({why}) and could not be restored: {last_err}"),
+        });
     }
 }
 
-/// The per-node I/O task: block on the socket, timestamp each fully-read
-/// frame, report it. Exits when the engine drops the write half.
-fn node_task(mut stream: TcpStream, tx: mpsc::Sender<Arrival>) {
+/// The per-node I/O task: block on the socket, verify each header's CRC,
+/// timestamp each fully-read frame, report it. Never panics — every
+/// failure shape becomes a structured peer-down event, and a clean close
+/// at a frame boundary reports as `connection closed` (which the engine
+/// side ignores unless frames are missing).
+fn node_task(node: usize, gen: u64, mut stream: TcpStream, tx: mpsc::Sender<NetEvent>) {
     let mut header = [0u8; HEADER_BYTES];
     let mut scratch = vec![0u8; 64 * 1024];
+    let down = |detail: String| NetEvent::PeerDown { node, gen, detail };
     loop {
-        if read_exact_or_eof(&mut stream, &mut header) {
+        match read_exact_or_eof(&mut stream, &mut header) {
+            ReadOutcome::CleanEof => {
+                let _ = tx.send(down("connection closed".into()));
+                return;
+            }
+            ReadOutcome::Failed(detail) => {
+                let _ = tx.send(down(detail));
+                return;
+            }
+            ReadOutcome::Filled => {}
+        }
+        let claimed = u32::from_le_bytes(header[12..].try_into().expect("4 crc bytes"));
+        if claimed != crc32(&header[..12]) {
+            let _ = tx.send(down("frame header failed its CRC check".into()));
             return;
         }
         let seq = u64::from_le_bytes(header[..8].try_into().expect("8 header bytes"));
         let mut remaining =
-            u32::from_le_bytes(header[8..].try_into().expect("4 header bytes")) as usize;
+            u32::from_le_bytes(header[8..12].try_into().expect("4 header bytes")) as usize;
         while remaining > 0 {
             let take = remaining.min(scratch.len());
-            stream.read_exact(&mut scratch[..take]).expect("read frame payload");
+            if let Err(e) = stream.read_exact(&mut scratch[..take]) {
+                let _ = tx.send(down(format!("frame payload read failed: {e}")));
+                return;
+            }
             remaining -= take;
         }
-        if tx.send(Arrival { seq, at: Instant::now() }).is_err() {
+        if tx.send(NetEvent::Arrival { seq, at: Instant::now() }).is_err() {
             return; // transport dropped mid-flight (engine panicked)
         }
     }
 }
 
-/// `read_exact`, except a clean EOF before the first byte returns `true`
-/// (the engine closed the connection: normal shutdown).
-fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> bool {
+/// Outcome of reading one full buffer off the socket.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Filled,
+    /// Clean EOF before the first byte (the write half was closed at a
+    /// frame boundary: normal shutdown, or a severed connection at rest).
+    CleanEof,
+    /// Mid-frame EOF or an I/O error.
+    Failed(String),
+}
+
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return true,
-            Ok(0) => panic!("loopback peer closed mid-frame"),
+            Ok(0) if filled == 0 => return ReadOutcome::CleanEof,
+            Ok(0) => return ReadOutcome::Failed("peer closed mid-frame".into()),
             Ok(k) => filled += k,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => panic!("loopback read failed: {e}"),
+            Err(e) => return ReadOutcome::Failed(format!("read failed: {e}")),
         }
     }
-    false
+    ReadOutcome::Filled
 }
 
 impl<M: Message + Send + Sync> Transport<M> for TcpTransport<M> {
@@ -192,25 +415,51 @@ impl<M: Message + Send + Sync> Transport<M> for TcpTransport<M> {
                 Recipient::One(target) => self.send_copy(&env, target.index()),
             }
         }
-        for w in &mut self.writers {
-            w.flush().expect("flush loopback writer");
+        for node in 0..n {
+            if let Err(e) = self.writers[node].flush() {
+                self.recover(node, &format!("flush failed: {e}"));
+            }
         }
     }
 
     fn deliver(&mut self, _round: Round, inboxes: &mut [Vec<Incoming<M>>]) {
         // Wait for the wire to drain: every outstanding copy must land.
-        let mut arrived: BTreeMap<u64, Instant> = BTreeMap::new();
-        while arrived.len() < self.outstanding.len() {
-            let arrival = self
-                .arrivals
-                .recv_timeout(ARRIVAL_TIMEOUT)
-                .expect("loopback arrival within timeout");
-            arrived.insert(arrival.seq, arrival.at);
+        loop {
+            // Replay peer-down reports gathered earlier (or just drained),
+            // recovering only when the dead incarnation is current and
+            // actually swallowed frames.
+            for (node, gen, detail) in std::mem::take(&mut self.pending_down) {
+                if gen == self.gens[node] && self.has_unarrived(node) {
+                    self.recover(node, &detail);
+                }
+            }
+            if self.outstanding.keys().all(|seq| self.arrived.contains_key(seq)) {
+                break;
+            }
+            match self.events.recv_timeout(ARRIVAL_TIMEOUT) {
+                Ok(NetEvent::Arrival { seq, at }) => {
+                    self.arrived.insert(seq, at);
+                }
+                Ok(NetEvent::PeerDown { node, gen, detail }) => {
+                    self.pending_down.push((node, gen, detail));
+                }
+                Err(_) => std::panic::panic_any(TransportError {
+                    node: None,
+                    detail: format!(
+                        "no loopback arrival within {}s ({} copies missing)",
+                        ARRIVAL_TIMEOUT.as_secs(),
+                        self.outstanding
+                            .keys()
+                            .filter(|seq| !self.arrived.contains_key(seq))
+                            .count()
+                    ),
+                }),
+            }
         }
         // Hand copies to inboxes in send (sequence) order — arrival order
         // raced, delivery order must not.
         for (seq, copy) in std::mem::take(&mut self.outstanding) {
-            let at = arrived.remove(&seq).expect("every outstanding seq arrived");
+            let at = self.arrived.remove(&seq).expect("every outstanding seq arrived");
             self.delivered_ms.push(at.duration_since(copy.sent_at).as_secs_f64() * 1e3);
             inboxes[copy.receiver].push(Incoming { from: copy.from, msg: copy.msg });
         }
@@ -288,6 +537,12 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn frames_cross_real_sockets_and_land_in_send_order() {
         let mut t: TcpTransport<Blob> = TcpTransport::new(3).expect("bind loopback");
         t.submit(
@@ -322,5 +577,53 @@ mod tests {
         t.deliver(Round(1), &mut inboxes);
         assert!(inboxes.iter().all(|b| b.is_empty()));
         assert_eq!(t.finish(1).unwrap().delivered, 0);
+    }
+
+    #[test]
+    fn reconnects_when_a_peer_connection_dies_mid_run() {
+        let mut t: TcpTransport<Blob> = TcpTransport::new(3).expect("bind loopback");
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new()];
+        t.submit(Round(0), vec![env(0, 0, Recipient::All, 64)]);
+        t.deliver(Round(1), &mut inboxes);
+        assert_eq!(inboxes[1].len(), 1);
+        // Kill node 1's connection between rounds; the next round's flush
+        // hits the dead socket and must transparently re-establish it.
+        t.sever(1);
+        inboxes.iter_mut().for_each(Vec::clear);
+        t.submit(Round(1), vec![env(1, 2, Recipient::All, 64)]);
+        t.deliver(Round(2), &mut inboxes);
+        assert_eq!(inboxes[1].len(), 1, "frame re-sent over the restored connection");
+        assert_eq!(inboxes[0].len(), 1);
+        assert_eq!(t.reconnects(), 1);
+        let stats = t.finish(2).expect("tcp measures wall clock");
+        assert_eq!(stats.delivered, 6);
+        assert_eq!(stats.undelivered, 0);
+    }
+
+    #[test]
+    fn unrecoverable_peer_death_surfaces_a_structured_error() {
+        let mut t: TcpTransport<Blob> = TcpTransport::new(2).expect("bind loopback");
+        t.sever(1);
+        t.seal();
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.submit(Round(0), vec![env(0, 0, Recipient::All, 64)]);
+            let mut inboxes = vec![Vec::new(), Vec::new()];
+            t.deliver(Round(1), &mut inboxes);
+        }));
+        let payload = outcome.expect_err("a sealed transport cannot recover");
+        let error = payload
+            .downcast_ref::<TransportError>()
+            .expect("the failure is a structured TransportError");
+        assert_eq!(error.node, Some(1));
+        assert!(
+            error.detail.contains("could not be restored"),
+            "detail should describe the failed recovery: {}",
+            error.detail
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "failure must surface in bounded time, not hang"
+        );
     }
 }

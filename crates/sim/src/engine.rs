@@ -25,15 +25,35 @@ use crate::message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 use crate::metrics::Metrics;
 use crate::population::PopulationMode;
 use crate::protocol::Protocol;
+use crate::transport::fault::FaultyTransport;
 use crate::transport::latency::LatencyTransport;
 use crate::transport::lockstep::LockstepTransport;
-use crate::transport::{finalize_latency, Transport, TransportSpec};
+use crate::transport::{finalize_latency, BaseTransport, Transport, TransportSpec};
 
 /// The per-node deterministic seed handed to protocol factories — shared by
 /// the dense and sparse engines so a lazily materialized node draws exactly
 /// the randomness its dense twin drew.
 pub(crate) fn node_seed(run_seed: u64, node: usize) -> u64 {
     run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(node as u64)
+}
+
+/// Builds one of the base delivery backends `ba-sim` can construct itself
+/// (shared by the bare dispatch in [`Sim::new`] and the fault wrapper's
+/// inner-backend construction).
+fn build_base_transport<M: Message + Send + Sync + 'static>(
+    config: &SimConfig,
+    base: BaseTransport,
+) -> Box<dyn Transport<M>> {
+    match base {
+        BaseTransport::Lockstep => Box::new(LockstepTransport::new()),
+        BaseTransport::Latency { round_ms, gst_ms, dist } => {
+            Box::new(LatencyTransport::new(config.n, round_ms, gst_ms, dist, config.seed))
+        }
+        BaseTransport::Tcp => panic!(
+            "the TCP transport needs real sockets, which live outside ba-sim; \
+             construct the execution through ba-net (or Sim::new_with_transport)"
+        ),
+    }
 }
 
 /// Static configuration of an execution.
@@ -226,14 +246,17 @@ impl<M: Message + Send + Sync + 'static, A: Adversary<M>> Sim<M, A> {
         factory: impl FnMut(NodeId, u64) -> BoxedProtocol<M>,
     ) -> Sim<M, A> {
         let transport: Box<dyn Transport<M>> = match config.transport {
-            TransportSpec::Lockstep => Box::new(LockstepTransport::new()),
+            TransportSpec::Lockstep => build_base_transport(config, BaseTransport::Lockstep),
             TransportSpec::Latency { round_ms, gst_ms, dist } => {
-                Box::new(LatencyTransport::new(config.n, round_ms, gst_ms, dist, config.seed))
+                build_base_transport(config, BaseTransport::Latency { round_ms, gst_ms, dist })
             }
-            TransportSpec::Tcp => panic!(
-                "the TCP transport needs real sockets, which live outside ba-sim; \
-                 construct the execution through ba-net (or Sim::new_with_transport)"
-            ),
+            TransportSpec::Tcp => build_base_transport(config, BaseTransport::Tcp),
+            TransportSpec::Faulty { inner, plan } => Box::new(FaultyTransport::new(
+                build_base_transport(config, inner),
+                plan,
+                config.n,
+                config.seed,
+            )),
         };
         Sim::new_with_transport(config, inputs, adversary, factory, transport)
     }
@@ -358,6 +381,9 @@ impl<M: Message + Send + Sync + 'static, A: Adversary<M>> Sim<M, A> {
             .transport
             .finish(rounds_used)
             .map(|stats| finalize_latency(stats, &self.output_rounds, &self.world.corrupt_at));
+        // Read after finish(): still-held copies have been folded into the
+        // fault wrapper's undelivered count by then.
+        self.metrics.faults = self.transport.fault_stats();
         RunReport {
             outputs: self.world.outputs.clone(),
             output_rounds: self.output_rounds.clone(),

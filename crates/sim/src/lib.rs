@@ -37,5 +37,12 @@ pub use message::{Envelope, Incoming, Message, MsgId, Outbox, Recipient};
 pub use metrics::{LatencyStats, Metrics};
 pub use population::{run_sparse, ActivationOracle, PopulationMode, SparseSpec};
 pub use protocol::Protocol;
-pub use transport::{DelayDist, Transport, TransportSpec, TransportStats, DEFAULT_ROUND_MS};
+pub use transport::fault::{
+    DropFault, DupFault, FaultPlan, FaultStats, FaultyTransport, PartitionFault, ReorderFault,
+    Scheduler,
+};
+pub use transport::{
+    BaseTransport, DelayDist, Transport, TransportError, TransportSpec, TransportStats,
+    DEFAULT_ROUND_MS,
+};
 pub use verdict::{evaluate, Problem, Verdict};

@@ -71,6 +71,15 @@ pub struct Metrics {
     /// protocol, and are excluded from equality — a zero-delay latency run
     /// compares equal to its lockstep twin.
     pub latency: Option<LatencyStats>,
+    /// Fault-injection accounting from the [`fault`] transport wrapper;
+    /// `None` for bare backends and for `Faulty` wraps with an empty plan.
+    /// Measures the injected chaos, not the protocol, and is excluded from
+    /// equality like [`Metrics::latency`] — the safety-under-chaos suite
+    /// compares protocol observables across fault plans and across inner
+    /// backends, which these counters describe rather than perturb.
+    ///
+    /// [`fault`]: crate::transport::fault
+    pub faults: Option<crate::transport::fault::FaultStats>,
 }
 
 /// Per-run latency percentiles derived from a transport's clock (virtual
@@ -163,6 +172,9 @@ impl Metrics {
         // instead of merging Metrics).
         if self.latency.is_none() {
             self.latency = other.latency.clone();
+        }
+        if self.faults.is_none() {
+            self.faults = other.faults;
         }
     }
 }

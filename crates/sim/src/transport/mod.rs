@@ -23,16 +23,25 @@
 //!   delays, one reader task per node. Lives outside `ba-sim` so the
 //!   simulation core itself stays free of I/O.
 //!
+//! A fourth, composable layer wraps any of the three:
+//! [`fault::FaultyTransport`] applies a declarative, seed-deterministic
+//! [`fault::FaultPlan`] — drops, duplication, bounded reordering,
+//! partitions with a heal round, and an adversarial scheduler — selected
+//! via [`TransportSpec::Faulty`]; see `docs/FAULTS.md`.
+//!
 //! Delivery-delay and commit-latency percentiles surface through
 //! [`TransportStats`] into [`crate::metrics::Metrics::latency`]; like the
 //! engine-memory gauges they are *measurements of the execution substrate*,
 //! not protocol observables, and are excluded from `Metrics` equality.
 
+pub mod fault;
 pub mod latency;
 pub mod lockstep;
 
 use crate::ids::Round;
 use crate::message::{Envelope, Incoming, Message};
+
+use fault::{FaultPlan, FaultStats};
 
 /// Declarative transport selection carried by `SimConfig` (and, upstream, by
 /// benchmark scenarios and the shared experiment CLI).
@@ -62,6 +71,63 @@ pub enum TransportSpec {
     /// Real TCP loopback delivery (constructed by `ba-net`): every timing
     /// number is measured wall clock, so this variant carries no knobs.
     Tcp,
+    /// Any base backend wrapped in the deterministic fault-injection
+    /// layer ([`fault::FaultyTransport`]). A `Faulty` spec whose plan is
+    /// empty routes through the wrapper but is byte-identical to the bare
+    /// inner backend (the anchoring identity, asserted in CI).
+    Faulty {
+        /// The wrapped delivery backend.
+        inner: BaseTransport,
+        /// The declarative fault plan.
+        plan: FaultPlan,
+    },
+}
+
+/// The backends a [`TransportSpec::Faulty`] wrapper can enclose — the
+/// three base variants of [`TransportSpec`], minus `Faulty` itself (fault
+/// layers do not nest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseTransport {
+    /// See [`TransportSpec::Lockstep`].
+    Lockstep,
+    /// See [`TransportSpec::Latency`].
+    Latency {
+        /// Virtual duration of one protocol round in milliseconds.
+        round_ms: u64,
+        /// Global stabilization time in milliseconds.
+        gst_ms: u64,
+        /// Per-link delay distribution.
+        dist: DelayDist,
+    },
+    /// See [`TransportSpec::Tcp`].
+    Tcp,
+}
+
+impl From<BaseTransport> for TransportSpec {
+    fn from(base: BaseTransport) -> TransportSpec {
+        match base {
+            BaseTransport::Lockstep => TransportSpec::Lockstep,
+            BaseTransport::Latency { round_ms, gst_ms, dist } => {
+                TransportSpec::Latency { round_ms, gst_ms, dist }
+            }
+            BaseTransport::Tcp => TransportSpec::Tcp,
+        }
+    }
+}
+
+impl TryFrom<TransportSpec> for BaseTransport {
+    type Error = String;
+
+    fn try_from(spec: TransportSpec) -> Result<BaseTransport, String> {
+        match spec {
+            TransportSpec::Lockstep => Ok(BaseTransport::Lockstep),
+            TransportSpec::Latency { round_ms, gst_ms, dist } => {
+                Ok(BaseTransport::Latency { round_ms, gst_ms, dist })
+            }
+            TransportSpec::Tcp => Ok(BaseTransport::Tcp),
+            TransportSpec::Faulty { .. } => Err("fault layers do not nest".into()),
+        }
+    }
 }
 
 /// Default virtual round duration (ms) when a latency/tcp spec is built
@@ -75,18 +141,33 @@ impl TransportSpec {
         TransportSpec::Latency { round_ms: DEFAULT_ROUND_MS, gst_ms: 0, dist: DelayDist::Zero }
     }
 
-    /// Canonical backend name (`lockstep` / `latency` / `tcp`).
+    /// Canonical backend name (`lockstep` / `latency` / `tcp` / `faulty`).
     pub fn kind(&self) -> &'static str {
         match self {
             TransportSpec::Lockstep => "lockstep",
             TransportSpec::Latency { .. } => "latency",
             TransportSpec::Tcp => "tcp",
+            TransportSpec::Faulty { .. } => "faulty",
+        }
+    }
+
+    /// Wraps this spec (or re-plans an already-`Faulty` spec) with `plan`.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> TransportSpec {
+        match self {
+            TransportSpec::Faulty { inner, .. } => TransportSpec::Faulty { inner, plan },
+            base => TransportSpec::Faulty {
+                inner: BaseTransport::try_from(base).expect("non-faulty specs always convert"),
+                plan,
+            },
         }
     }
 }
 
 /// Canonical textual form, accepted back by [`std::str::FromStr`]:
-/// `lockstep`, `tcp`, `latency:round_ms=10,gst_ms=0,dist=uniform:1..5`.
+/// `lockstep`, `tcp`, `latency:round_ms=10,gst_ms=0,dist=uniform:1..5`,
+/// `faulty:<plan>;<inner>` (a `;` separates the plan from the wrapped
+/// spec since both use `:` and `,` internally), e.g.
+/// `faulty:drop:p=0.25;lockstep` or `faulty:none;tcp`.
 impl std::fmt::Display for TransportSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -95,6 +176,9 @@ impl std::fmt::Display for TransportSpec {
                 write!(f, "latency:round_ms={round_ms},gst_ms={gst_ms},dist={dist}")
             }
             TransportSpec::Tcp => f.write_str("tcp"),
+            TransportSpec::Faulty { inner, plan } => {
+                write!(f, "faulty:{plan};{}", TransportSpec::from(*inner))
+            }
         }
     }
 }
@@ -144,7 +228,17 @@ impl std::str::FromStr for TransportSpec {
                 None | Some("") => Ok(TransportSpec::Tcp),
                 Some(r) => Err(format!("tcp takes no parameters (got '{r}')")),
             },
-            other => Err(format!("unknown transport '{other}' (want lockstep|latency|tcp)")),
+            "faulty" => {
+                let body = rest.unwrap_or("");
+                let (plan, inner) = body
+                    .split_once(';')
+                    .ok_or_else(|| format!("faulty spec '{body}' (want faulty:<plan>;<inner>)"))?;
+                let plan: FaultPlan = plan.parse()?;
+                let inner: TransportSpec = inner.parse()?;
+                let inner = BaseTransport::try_from(inner)?;
+                Ok(TransportSpec::Faulty { inner, plan })
+            }
+            other => Err(format!("unknown transport '{other}' (want lockstep|latency|tcp|faulty)")),
         }
     }
 }
@@ -346,7 +440,40 @@ pub trait Transport<M: Message>: Send {
     /// End-of-run measurements; `None` for backends with no clock
     /// (lockstep), keeping their reports free of latency observables.
     fn finish(&mut self, rounds_used: u64) -> Option<TransportStats>;
+
+    /// Fault-injection accounting; `Some` only for the fault wrapper with
+    /// a non-empty plan (read after [`Transport::finish`], which folds
+    /// still-held copies into the undelivered count), keeping unfaulted
+    /// reports free of `faults_*` observables.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
+
+/// A structured, non-panicking description of a transport that cannot make
+/// progress — a peer connection that died and could not be re-established,
+/// or an arrival that never came. Real-I/O backends raise it via
+/// `std::panic::panic_any` (the [`Transport`] methods return `()`), so a
+/// supervising layer can `catch_unwind` + `downcast` it into a quarantined
+/// cell error instead of hanging or losing the detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportError {
+    /// The peer the failure is attributed to, when known.
+    pub node: Option<usize>,
+    /// Human-readable failure description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(node) => write!(f, "transport failure at node {node}: {}", self.detail),
+            None => write!(f, "transport failure: {}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 #[cfg(test)]
 mod tests {
@@ -364,6 +491,19 @@ mod tests {
             },
             TransportSpec::Latency { round_ms: 5, gst_ms: 0, dist: DelayDist::Exp { mean_ms: 7 } },
             TransportSpec::Tcp,
+            TransportSpec::Faulty { inner: BaseTransport::Lockstep, plan: FaultPlan::default() },
+            TransportSpec::Faulty {
+                inner: BaseTransport::Tcp,
+                plan: "drop:p=0.25,sched=adversarial".parse().unwrap(),
+            },
+            TransportSpec::Faulty {
+                inner: BaseTransport::Latency {
+                    round_ms: 10,
+                    gst_ms: 50,
+                    dist: DelayDist::Uniform { lo_ms: 1, hi_ms: 5 },
+                },
+                plan: "partition:2..5=8".parse().unwrap(),
+            },
         ];
         for spec in specs {
             let parsed: TransportSpec = spec.to_string().parse().expect("round trip");
@@ -395,6 +535,36 @@ mod tests {
         assert!("latency:dist=uniform:9..2".parse::<TransportSpec>().is_err());
         assert!("latency:dist=normal:3".parse::<TransportSpec>().is_err());
         assert!("tcp:round_ms=10".parse::<TransportSpec>().is_err());
+        // Faulty needs the ';' separator, a valid plan, and a base inner.
+        assert!("faulty".parse::<TransportSpec>().is_err());
+        assert!("faulty:drop:p=0.5".parse::<TransportSpec>().is_err());
+        assert!("faulty:warp:p=0.5;lockstep".parse::<TransportSpec>().is_err());
+        assert!("faulty:none;faulty:none;lockstep".parse::<TransportSpec>().is_err());
+    }
+
+    #[test]
+    fn faulty_spec_parses_and_reports_kind() {
+        let spec: TransportSpec = "faulty:drop:p=0.5;lockstep".parse().unwrap();
+        assert_eq!(spec.kind(), "faulty");
+        let TransportSpec::Faulty { inner, plan } = spec else { panic!("faulty") };
+        assert_eq!(inner, BaseTransport::Lockstep);
+        assert!(!plan.is_empty());
+        // with_fault_plan wraps base specs and re-plans faulty ones.
+        let wrapped = TransportSpec::Tcp.with_fault_plan(plan);
+        assert_eq!(wrapped, TransportSpec::Faulty { inner: BaseTransport::Tcp, plan });
+        let replanned = wrapped.with_fault_plan(FaultPlan::default());
+        assert_eq!(
+            replanned,
+            TransportSpec::Faulty { inner: BaseTransport::Tcp, plan: FaultPlan::default() }
+        );
+    }
+
+    #[test]
+    fn transport_error_displays_with_and_without_node() {
+        let e = TransportError { node: Some(3), detail: "connection reset".into() };
+        assert_eq!(e.to_string(), "transport failure at node 3: connection reset");
+        let e = TransportError { node: None, detail: "arrival timeout".into() };
+        assert_eq!(e.to_string(), "transport failure: arrival timeout");
     }
 
     #[test]

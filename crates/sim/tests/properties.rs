@@ -31,6 +31,7 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
             peak_live_nodes: hm % 17,
             peak_resident_msgs: hmb % 31,
             latency: None,
+            faults: None,
         })
 }
 
