@@ -1,11 +1,17 @@
 //! E10 — the paper's §1 comparison, measured: which protocol achieves which
-//! properties simultaneously.
+//! properties simultaneously, now head-to-head against the competitor BA
+//! protocols (Momose–Ren, Cohen–Keidar–Spiegelman).
 //!
-//! For each protocol: resilience used, termination, mean rounds, honest
-//! multicasts, and multicast kbits — under honest mixed-input executions at
-//! matched `n`.
+//! For each protocol: resilience used, the paper's claimed word bound,
+//! termination, mean rounds, honest multicasts, multicast kbits, measured
+//! classical messages, and the measured/claimed ratio — under honest
+//! mixed-input executions at matched `n`. Claimed bounds hide constants, so
+//! the ratio column is read for *shape* (how it moves with `n`), not for
+//! its absolute value; the competitor rows use the aggregate certificate
+//! encoding, their papers' intended instantiation.
 
 use ba_bench::{header, row, CellReport, Cli, InputPattern, ProtocolSpec, Scenario, Sweep};
+use ba_core::cert::CertEncoding;
 
 fn main() {
     let cli = Cli::parse("e10_comparison");
@@ -17,12 +23,25 @@ fn main() {
         "protocol_comparison",
         seeds,
         vec![
-            Scenario::new("subq_half", n, ProtocolSpec::SubqHalf { lambda, max_iters: None }),
-            Scenario::new("quadratic_half", n, ProtocolSpec::QuadraticHalf),
-            Scenario::new("subq_third", n, ProtocolSpec::SubqThird { lambda, epochs: 12 }),
-            Scenario::new("warmup_third", n, ProtocolSpec::WarmupThird { epochs: 12 }),
+            Scenario::new("subq_half", n, ProtocolSpec::SubqHalf { lambda, max_iters: None })
+                .with_claimed_bound(),
+            Scenario::new("quadratic_half", n, ProtocolSpec::QuadraticHalf).with_claimed_bound(),
+            Scenario::new("subq_third", n, ProtocolSpec::SubqThird { lambda, epochs: 12 })
+                .with_claimed_bound(),
+            Scenario::new("warmup_third", n, ProtocolSpec::WarmupThird { epochs: 12 })
+                .with_claimed_bound(),
+            // Competitors run their intended aggregate-signature
+            // instantiation; the view/phase caps are liveness headroom only
+            // (honest runs decide under the first leader).
+            Scenario::new("mr_half", n, ProtocolSpec::MomoseRenHalf { views: 8 })
+                .cert_encoding(CertEncoding::Aggregate)
+                .with_claimed_bound(),
+            Scenario::new("cks_adaptive", n, ProtocolSpec::CksAdaptive { phases: 8 })
+                .cert_encoding(CertEncoding::Aggregate)
+                .with_claimed_bound(),
             Scenario::new("dolev_strong", n, ProtocolSpec::DolevStrong { ds_f: n / 4 })
-                .inputs(InputPattern::SenderParity),
+                .inputs(InputPattern::SenderParity)
+                .with_claimed_bound(),
         ],
     );
     let reports = cli.run(vec![sweep]);
@@ -32,33 +51,50 @@ fn main() {
         header(&[
             "protocol",
             "resilience",
-            "rounds (paper)",
+            "claimed words",
             "success",
             "mean rounds",
             "mean multicasts",
             "mean kbits",
+            "measured msgs",
+            "meas/claim",
         ]);
-        let print_row = |label: &str, name: &str, resilience: &str, expected_rounds: &str| {
+        let print_row = |label: &str, name: &str, resilience: &str, claimed: &str| {
             let cell: &CellReport = reports[0].cell(label);
+            let claimed_words = cell.mean("claimed_bound_words");
+            let measured = cell.mean("classical_msgs");
             row(&[
                 name.to_string(),
                 resilience.to_string(),
-                expected_rounds.to_string(),
+                claimed.to_string(),
                 format!("{}/{seeds}", cell.count("all_ok")),
                 format!("{:.1}", cell.mean("rounds")),
                 format!("{:.0}", cell.mean("multicasts")),
                 format!("{:.0}", cell.mean("kbits")),
+                format!("{measured:.0}"),
+                format!("{:.2}", measured / claimed_words),
             ]);
         };
-        print_row("subq_half", "subq_half (C.2, Thm 2)", "(1/2-e)n", "O(1)");
-        print_row("quadratic_half", "quadratic_half (C.1)", "n/2", "O(1)");
-        print_row("subq_third", "subq_third (3.2)", "(1/3-e)n", "fixed R");
-        print_row("warmup_third", "warmup_third (3.1)", "n/3", "fixed R");
-        print_row("dolev_strong", "dolev_strong (BB, f=n/4)", "n-1", "f+1 (worst)");
+        print_row("subq_half", "subq_half (C.2, Thm 2)", "(1/2-e)n", "n polylog n");
+        print_row("quadratic_half", "quadratic_half (C.1)", "n/2", "n^2");
+        print_row("subq_third", "subq_third (3.2)", "(1/3-e)n", "n polylog n");
+        print_row("warmup_third", "warmup_third (3.1)", "n/3", "n^2");
+        print_row("mr_half", "momose_ren (2007.13175)", "(n-1)/2", "n^2");
+        print_row("cks_adaptive", "cks (2202.09123)", "(n-1)/3*", "(f+1)n");
+        print_row("dolev_strong", "dolev_strong (BB, f=n/4)", "n-1", "n^2");
 
+        println!("\n*cks instantiated at t < n/3 quorums (repro simplification; the paper");
+        println!("reaches t < n/2 with a VRF-elected sub-quadratic certificate layer).");
         println!("\nExpected shape: only subq_half combines near-half resilience, O(1)");
         println!("expected rounds, and n-independent multicasts — the Theorem 2 claim that");
-        println!("no prior work achieves all properties simultaneously.");
+        println!("no prior work achieves all properties simultaneously. The competitor");
+        println!("rows bound the trade-off: momose_ren buys optimal resilience with n^2");
+        println!("words every run; cks_adaptive's view phases cost O(n) unicasts here");
+        println!("precisely because honest runs have f = 0 — its bound degrades with");
+        println!("actual faults, not with n. Its large ratio is the halting tail, not the");
+        println!("agreement phases: every node echoes the decide quorum once (an n^2");
+        println!("message cascade, robust against leaders that crash mid-multicast) and");
+        println!("the adaptive (f+1)n claim does not cover that relay.");
     }
     cli.write_outputs(&reports);
 }

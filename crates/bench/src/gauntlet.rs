@@ -30,20 +30,33 @@
 //! * **real-eligibility rows** (`passive_real@static/f=0` on the mined
 //!   families) run the honest baseline through the Appendix D VRF
 //!   compiler: committee draws differ, safety observables must not.
+//! * **competitor rows** (`mr/half`, `cks/adaptive`) run the Momose–Ren
+//!   and Cohen–Keidar–Spiegelman implementations through the shared
+//!   battery: leader-based quorum protocols must hold safety everywhere
+//!   (their committees are the whole population, so the committee-centric
+//!   attacks degenerate to crash/silence pressure).
+//! * **ablation rows** close the roadmap's open matrix: `epoch/chen_micali`
+//!   is expected to hold like the other epoch rows, while
+//!   `epoch/subq_shared` reuses one committee per epoch and is *insecure by
+//!   design* under adaptive corruption — its passive rows must stay clean,
+//!   and its defeats are recorded, not asserted away.
 
 use crate::cli::Grid;
 use crate::scenario::{AdversarySpec, InputPattern, ProtocolSpec, Scenario};
 use crate::sweep::Sweep;
 use ba_sim::CorruptionModel;
 
-/// Which of the two protocol families a gauntlet entry belongs to (decides
-/// which family-specific adversaries apply).
+/// Which protocol family a gauntlet entry belongs to (decides which
+/// family-specific adversaries apply).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Family {
     /// Iteration family (`ba-core::iter`) — the certificate forger applies.
     Iter,
     /// Epoch family (`ba-core::epoch`) — flipper and spammer apply.
     Epoch,
+    /// Competitor BA families (`ba-core::momose_ren`, `ba-core::cks`) —
+    /// only the family-agnostic attacks apply.
+    Competitor,
 }
 
 /// One protocol under test: its spec, sizes, and resilience budget.
@@ -62,6 +75,7 @@ fn entries(grid: Grid) -> Vec<Entry> {
     let smoke = grid == Grid::Smoke;
     let (n_subq, n_quad, n_epoch, n_warm) =
         if smoke { (48, 9, 36, 12) } else { (200, 25, 150, 30) };
+    let n_mr = if smoke { 16 } else { 48 };
     let (iters, epochs) = if smoke { (6, 6) } else { (12, 10) };
     vec![
         Entry {
@@ -92,6 +106,43 @@ fn entries(grid: Grid) -> Vec<Entry> {
             n: n_warm,
             f_max: (n_warm - 1) / 3,
             protocol: ProtocolSpec::WarmupThird { epochs },
+        },
+        // Competitor protocols, sized so the view/phase cap always reaches
+        // an honest leader (`f_max + 2` round-robin rotations).
+        Entry {
+            title: "mr/half",
+            family: Family::Competitor,
+            n: n_mr,
+            f_max: (n_mr - 1) / 2,
+            protocol: ProtocolSpec::MomoseRenHalf { views: ((n_mr - 1) / 2 + 2) as u64 },
+        },
+        Entry {
+            title: "cks/adaptive",
+            family: Family::Competitor,
+            n: n_mr,
+            f_max: (n_mr - 1) / 3,
+            protocol: ProtocolSpec::CksAdaptive { phases: ((n_mr - 1) / 3 + 2) as u64 },
+        },
+        // The remaining ablation rows from the roadmap's open matrix: the
+        // Chen–Micali baseline under the full attack battery…
+        Entry {
+            title: "epoch/chen_micali",
+            family: Family::Epoch,
+            n: n_epoch,
+            f_max: n_epoch * 3 / 10,
+            protocol: ProtocolSpec::ChenMicali { lambda: 16.0, epochs, erasure: true },
+        },
+        // …and the shared-committee ablation, which is *insecure by
+        // design* against adaptive corruption (one committee per epoch, so
+        // eclipsing it starves the epoch): its passive rows must stay
+        // clean, while adaptive attacks are licensed to defeat it — the
+        // gauntlet records the defeat instead of asserting it away.
+        Entry {
+            title: "epoch/subq_shared",
+            family: Family::Epoch,
+            n: n_epoch,
+            f_max: n_epoch * 3 / 10,
+            protocol: ProtocolSpec::SubqShared { lambda: 16.0, epochs },
         },
     ]
 }
@@ -131,6 +182,9 @@ fn attacks(family: Family) -> Vec<(AdversarySpec, CorruptionModel)> {
             rows.push((A::VoteFlipper, M::Adaptive));
             rows.push((A::EquivocationSpammer, M::Static));
         }
+        // The competitor families have no mined committees to flip or
+        // forge against; they face exactly the shared battery.
+        Family::Competitor => {}
     }
     rows
 }
@@ -226,12 +280,18 @@ mod tests {
     #[test]
     fn smoke_grid_covers_every_combination() {
         let sweeps = gauntlet_sweeps(Grid::Smoke, 2);
-        assert_eq!(sweeps.len(), 4, "four protocol entries");
+        assert_eq!(sweeps.len(), 8, "eight protocol entries");
         for sweep in &sweeps {
             // 1 passive (+1 real-eligibility passive for mined families)
             // + per-family attacks × 2 fractions.
-            let family_attacks = if sweep.title.starts_with("iter/") { 8 } else { 9 };
-            let mined = sweep.title.contains("subq");
+            let family_attacks = if sweep.title.starts_with("iter/") {
+                8
+            } else if sweep.title.starts_with("epoch/") {
+                9
+            } else {
+                7 // competitor families: the shared battery only
+            };
+            let mined = matches!(sweep.title.as_str(), "iter/subq_half" | "epoch/subq_third");
             assert_eq!(
                 sweep.scenarios.len(),
                 1 + mined as usize + family_attacks * fractions(Grid::Smoke).len(),

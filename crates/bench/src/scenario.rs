@@ -24,9 +24,11 @@ use ba_core::auth::FsService;
 use ba_core::ba_from_bb;
 use ba_core::broadcast;
 use ba_core::cert::CertEncoding;
+use ba_core::cks::{self, CksConfig};
 use ba_core::dolev_strong::{self, DsConfig};
 use ba_core::epoch::{self, EpochConfig, EpochMsg};
 use ba_core::iter::{self, IterConfig};
+use ba_core::momose_ren::{self, MrConfig};
 use ba_core::runnable::Runnable;
 use ba_fmine::{Eligibility, IdealMine, Keychain, MineParams, MineTag, MsgKind, RealMine, SigMode};
 use ba_lowerbound::{theorem3, theorem4};
@@ -227,6 +229,20 @@ pub enum ProtocolSpec {
         /// Whether the memory-erasure discipline is enforced.
         erasure: bool,
     },
+    /// Competitor: Momose–Ren's O(n²)-words authenticated BA at optimal
+    /// resilience `t < n/2` (arXiv 2007.13175).
+    MomoseRenHalf {
+        /// View cap (liveness safety net; honest leaders are reached within
+        /// `t + 1` round-robin views).
+        views: u64,
+    },
+    /// Competitor: Cohen–Keidar–Spiegelman's adaptive O((f+1)·n)-words BA
+    /// (arXiv 2202.09123), instantiated at `t < n/3` quorums.
+    CksAdaptive {
+        /// Phase cap (liveness safety net; an honest leader is reached
+        /// within `f + 1` round-robin phases).
+        phases: u64,
+    },
     /// The Dolev–Strong broadcast baseline.
     DolevStrong {
         /// The protocol's resilience parameter (round count `f + 1`);
@@ -288,6 +304,8 @@ impl ProtocolSpec {
             ProtocolSpec::ChenMicali { lambda, epochs, erasure } => {
                 format!("epoch/chen_micali(lambda={lambda},R={epochs},erasure={erasure})")
             }
+            ProtocolSpec::MomoseRenHalf { views } => format!("mr/half(views={views})"),
+            ProtocolSpec::CksAdaptive { phases } => format!("cks/adaptive(P={phases})"),
             ProtocolSpec::DolevStrong { ds_f } => format!("dolev_strong(f={ds_f})"),
             ProtocolSpec::BaFromBb { ds_f } => format!("ba_from_bb(f={ds_f})"),
             ProtocolSpec::IterBroadcast { lambda } => {
@@ -306,6 +324,47 @@ impl ProtocolSpec {
             ProtocolSpec::CommitteeSample { lambda } => {
                 format!("fmine/committee_sample(lambda={lambda})")
             }
+        }
+    }
+
+    /// The source paper's claimed total word complexity for this family,
+    /// evaluated at population `n` with corruption budget `f` (`None` for
+    /// measurement workloads, which have no such claim). A comparison
+    /// curve, not a ceiling: the papers hide constants, so measured words
+    /// are read *against the shape* of this bound across a sweep, not
+    /// against its absolute value at one point.
+    ///
+    /// Polylog factors are instantiated as `⌈log₂(n+1)⌉²` — bit-length
+    /// arithmetic, so the curve is integer-exact and platform-stable
+    /// (committed baselines depend on it).
+    pub fn claimed_bound_words(&self, n: usize, f: usize) -> Option<f64> {
+        let nf = n as f64;
+        // Bit length of n = ⌈log₂(n+1)⌉; 0 for n = 0.
+        let lg = (usize::BITS - n.leading_zeros()) as f64;
+        match self {
+            // Abraham et al.: O(n·polylog n) words (Theorems 1/2 and the
+            // broadcast reduction inherit the same bound).
+            ProtocolSpec::SubqHalf { .. }
+            | ProtocolSpec::SubqThird { .. }
+            | ProtocolSpec::SubqShared { .. }
+            | ProtocolSpec::ChenMicali { .. }
+            | ProtocolSpec::IterBroadcast { .. } => Some(nf * lg * lg),
+            // Appendix C baselines and Momose–Ren: O(n²) words. Dolev–
+            // Strong is O(n²) messages of up to f+1 signatures; the n²
+            // curve tracks its message complexity.
+            ProtocolSpec::QuadraticHalf
+            | ProtocolSpec::WarmupThird { .. }
+            | ProtocolSpec::MomoseRenHalf { .. }
+            | ProtocolSpec::DolevStrong { .. } => Some(nf * nf),
+            // n parallel Dolev–Strong instances.
+            ProtocolSpec::BaFromBb { .. } => Some(nf * nf * nf),
+            // Cohen–Keidar–Spiegelman: adaptive O((f+1)·n) expected words.
+            ProtocolSpec::CksAdaptive { .. } => Some((f as f64 + 1.0) * nf),
+            ProtocolSpec::Theorem4 { .. }
+            | ProtocolSpec::Theorem3 { .. }
+            | ProtocolSpec::GoodIteration { .. }
+            | ProtocolSpec::CommitteeTails { .. }
+            | ProtocolSpec::CommitteeSample { .. } => None,
         }
     }
 }
@@ -410,6 +469,14 @@ pub struct Scenario {
     /// reports byte-identical to the bare transport); `--faults` on
     /// experiment binaries overrides it grid-wide.
     pub fault_plan: Option<FaultPlan>,
+    /// When set, the finished record carries a `claimed_bound_words`
+    /// observable: the source paper's claimed word-complexity curve for
+    /// this protocol family, evaluated at this `(n, f)` (see
+    /// [`ProtocolSpec::claimed_bound_words`]). Opt-in and omitted from
+    /// [`Scenario::describe`] / the wire descriptor when off, so
+    /// pre-existing reports and their committed baselines stay
+    /// byte-identical.
+    pub claimed_bound: bool,
 }
 
 impl Scenario {
@@ -441,6 +508,7 @@ impl Scenario {
             transport: TransportSpec::Lockstep,
             cert_encoding: CertEncoding::Vector,
             fault_plan: None,
+            claimed_bound: false,
         }
     }
 
@@ -530,6 +598,13 @@ impl Scenario {
         self
     }
 
+    /// Enables the `claimed_bound_words` observable (see
+    /// [`Scenario::claimed_bound`]).
+    pub fn with_claimed_bound(mut self) -> Scenario {
+        self.claimed_bound = true;
+        self
+    }
+
     /// Key/value description of the configuration (report metadata).
     pub fn describe(&self) -> Vec<(&'static str, String)> {
         let mut desc = vec![
@@ -562,6 +637,12 @@ impl Scenario {
             if !plan.is_empty() {
                 desc.push(("faults", plan.to_string()));
             }
+        }
+        // Like `faults`: only present when switched on, so reports (and
+        // their committed baselines) from before the observable existed
+        // stay byte-identical.
+        if self.claimed_bound {
+            desc.push(("claimed_bound", "on".into()));
         }
         desc
     }
@@ -645,6 +726,26 @@ impl Scenario {
                 let fs = Arc::new(FsService::from_seed(seed, self.n, *epochs as usize + 1));
                 let cfg = EpochConfig::chen_micali(self.n, *epochs, elig, fs, *erasure);
                 self.run_epoch(cfg, &sim, seed)
+            }
+            ProtocolSpec::MomoseRenHalf { views } => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                let cfg = MrConfig::half(self.n, *views, kc).with_cert_encoding(self.cert_encoding);
+                let inputs = self.inputs.generate(self.n, seed);
+                let quorum = cfg.quorum;
+                let runnable = self.typed_runnable(seed, Some(quorum), |adv| {
+                    momose_ren::runnable(&cfg, inputs, adv)
+                });
+                self.finish(seed, runnable.execute(&sim), Vec::new())
+            }
+            ProtocolSpec::CksAdaptive { phases } => {
+                let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
+                let cfg =
+                    CksConfig::adaptive(self.n, *phases, kc).with_cert_encoding(self.cert_encoding);
+                let inputs = self.inputs.generate(self.n, seed);
+                let quorum = cfg.quorum;
+                let runnable =
+                    self.typed_runnable(seed, Some(quorum), |adv| cks::runnable(&cfg, inputs, adv));
+                self.finish(seed, runnable.execute(&sim), Vec::new())
             }
             ProtocolSpec::DolevStrong { ds_f } => {
                 let kc = Arc::new(Keychain::from_seed(seed, self.n, SigMode::Ideal));
@@ -876,6 +977,11 @@ impl Scenario {
         record.push_flag("defeated", !verdict.all_ok());
         if verdict.terminated {
             record.push("rounds_terminated", report.rounds_used as f64);
+        }
+        if self.claimed_bound {
+            if let Some(words) = self.protocol.claimed_bound_words(self.n, self.f) {
+                record.push("claimed_bound_words", words);
+            }
         }
         if let Some(bit) = report.forever_honest().next().and_then(|i| report.outputs[i.index()]) {
             record.push("decision", bit as u64 as f64);

@@ -194,6 +194,12 @@ fn protocol_obj(protocol: &ProtocolSpec) -> String {
             json_number(*lambda),
             ju64(*epochs)
         ),
+        ProtocolSpec::MomoseRenHalf { views } => {
+            format!("{{\"kind\": \"momose_ren\", \"views\": {}}}", ju64(*views))
+        }
+        ProtocolSpec::CksAdaptive { phases } => {
+            format!("{{\"kind\": \"cks\", \"phases\": {}}}", ju64(*phases))
+        }
         ProtocolSpec::DolevStrong { ds_f } => {
             format!("{{\"kind\": \"dolev_strong\", \"ds_f\": {ds_f}}}")
         }
@@ -246,13 +252,17 @@ fn scenario_spec(sc: &Scenario) -> String {
         Some(plan) => format!(", \"faults\": \"{plan}\""),
         None => String::new(),
     };
+    // Encoded only when on — off is the only state pre-claimed-bound
+    // coordinators could produce, so old and new descriptors for an
+    // unmarked scenario stay byte-identical.
+    let claimed = if sc.claimed_bound { ", \"claimed_bound\": true" } else { "" };
     format!(
         "{{\"label\": \"{}\", \"n\": {}, \"f\": {}, \"model\": \"{model}\", \
          \"inputs\": {}, \"adversary\": {}, \"protocol\": {}, \
          \"elig\": \"{elig}\", \"elig_seed\": {elig_seed}, \
          \"seed_offset\": {}, \"seeds\": {}, \"sim_threads\": {}, \
          \"population\": \"{}\", \"transport\": \"{}\", \
-         \"cert_encoding\": \"{}\"{faults}}}",
+         \"cert_encoding\": \"{}\"{faults}{claimed}}}",
         json_escape(&sc.label),
         sc.n,
         sc.f,
@@ -419,6 +429,8 @@ fn dec_protocol(v: &Json) -> Result<ProtocolSpec, WireError> {
             epochs: dec_u64(obj, "epochs")?,
             erasure: dec_bool(obj, "erasure")?,
         }),
+        "momose_ren" => Ok(ProtocolSpec::MomoseRenHalf { views: dec_u64(obj, "views")? }),
+        "cks" => Ok(ProtocolSpec::CksAdaptive { phases: dec_u64(obj, "phases")? }),
         "dolev_strong" => Ok(ProtocolSpec::DolevStrong { ds_f: dec_usize(obj, "ds_f")? }),
         "ba_from_bb" => Ok(ProtocolSpec::BaFromBb { ds_f: dec_usize(obj, "ds_f")? }),
         "iter_broadcast" => Ok(ProtocolSpec::IterBroadcast { lambda: dec_f64(obj, "lambda")? }),
@@ -536,6 +548,12 @@ fn dec_scenario(v: &Json) -> Result<Scenario, WireError> {
             }
         },
         fault_plan,
+        // Same legacy tolerance: absent = off, the only state
+        // pre-claimed-bound coordinators could produce.
+        claimed_bound: match obj.get("claimed_bound") {
+            None => false,
+            Some(_) => dec_bool(obj, "claimed_bound")?,
+        },
     })
 }
 
@@ -917,6 +935,47 @@ mod tests {
             decode_descriptor(&mangled),
             Err(WireError::Invalid { field: "faults", .. })
         ));
+    }
+
+    #[test]
+    fn competitor_protocol_kinds_roundtrip() {
+        for protocol in
+            [ProtocolSpec::MomoseRenHalf { views: 9 }, ProtocolSpec::CksAdaptive { phases: 7 }]
+        {
+            let desc = CellDescriptor {
+                id: 11,
+                sweep: "s".into(),
+                seeds: 2,
+                scenario: Scenario::new("c", 16, protocol)
+                    .f(5)
+                    .cert_encoding(CertEncoding::Aggregate),
+            };
+            let line = encode_descriptor(&desc);
+            assert_eq!(decode_descriptor(&line).expect("decodes"), desc);
+        }
+    }
+
+    #[test]
+    fn claimed_bound_field_is_optional_on_decode() {
+        // Off (the default) is not encoded at all — descriptors for
+        // unmarked scenarios stay byte-identical to pre-claimed-bound
+        // coordinators' output — and absent decodes as off.
+        let plain = CellDescriptor {
+            id: 12,
+            sweep: "s".into(),
+            seeds: 1,
+            scenario: Scenario::new("c", 5, ProtocolSpec::QuadraticHalf),
+        };
+        let line = encode_descriptor(&plain);
+        assert!(!line.contains("claimed_bound"));
+        assert!(!decode_descriptor(&line).expect("decodes").scenario.claimed_bound);
+        let marked = CellDescriptor {
+            scenario: plain.scenario.clone().with_claimed_bound(),
+            ..plain.clone()
+        };
+        let marked_line = encode_descriptor(&marked);
+        assert_eq!(marked_line.replace(", \"claimed_bound\": true", ""), line);
+        assert!(decode_descriptor(&marked_line).expect("decodes").scenario.claimed_bound);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! acceptance criteria of the coordinator/worker engine:
 //!
 //! * in-process `--threads 1`, `--workers 1`, and `--workers 3` render
-//!   **byte-identical** JSON over a mixed 9-family grid and over the full
-//!   e11 gauntlet smoke matrix;
+//!   **byte-identical** JSON over a mixed 11-family grid (including the
+//!   competitor BA families, whose descriptors carry the aggregate
+//!   cert-encoding and claimed-bound wire fields) and over the full e11
+//!   gauntlet smoke matrix;
 //! * a worker that dies mid-cell (clean exit or SIGKILL) has its in-flight
 //!   cell requeued, and the recovered report is still byte-identical;
 //! * a poisoned cell that kills two workers is quarantined into a
@@ -19,6 +21,7 @@ use ba_bench::{
     gauntlet_sweeps, quarantine_summary, run_sweeps_distributed, to_json, AdversarySpec, Grid,
     InputPattern, ProtocolSpec, Scenario, Sweep, SweepReport,
 };
+use ba_core::cert::CertEncoding;
 use ba_sim::CorruptionModel;
 
 /// The `ba-bench worker` command line, plus optional fault-injection flags.
@@ -33,8 +36,8 @@ fn dist_cfg(workers: usize, extra: &[&str]) -> DistConfig {
 }
 
 /// The deliberately mixed grid of `sweep_determinism.rs`: three protocol
-/// families, broadcasts, a lower-bound workload, and an `F_mine` sampling
-/// workload in one sweep.
+/// families, the competitor BA families, broadcasts, a lower-bound
+/// workload, and an `F_mine` sampling workload in one sweep.
 fn mixed_sweep() -> Sweep {
     Sweep::new(
         "determinism_grid",
@@ -50,6 +53,15 @@ fn mixed_sweep() -> Sweep {
                 .inputs(InputPattern::Unanimous(true)),
             Scenario::new("iter_bb", 40, ProtocolSpec::IterBroadcast { lambda: 14.0 })
                 .inputs(InputPattern::SenderParity),
+            // The competitor families ride the wire with their optional
+            // descriptor fields set: aggregate certificates and the
+            // claimed-bound observable must survive the worker roundtrip.
+            Scenario::new("mr", 13, ProtocolSpec::MomoseRenHalf { views: 8 })
+                .cert_encoding(CertEncoding::Aggregate)
+                .with_claimed_bound(),
+            Scenario::new("cks", 13, ProtocolSpec::CksAdaptive { phases: 6 })
+                .cert_encoding(CertEncoding::Aggregate)
+                .with_claimed_bound(),
             Scenario::new("thm4", 30, ProtocolSpec::Theorem4 { fanout: 2 })
                 .f(10)
                 .model(CorruptionModel::StronglyAdaptive),

@@ -258,6 +258,31 @@ fn golden_adversarial_scheduler_cell() {
     assert_eq!(pick(&runs, "kbits"), GOLDEN_SCHED_KBITS);
 }
 
+/// PR 9's chaos finding, pinned as a synchrony-boundary golden: under 20%
+/// cross-round reordering the §3.1-style epoch family **forks without ever
+/// slowing** — fixed `2R` pacing means deferred acks silently miss their
+/// tally round, so different receivers see different quorums while every
+/// node still terminates on schedule. The stale-vote audit ruled out an
+/// accumulation bug (`tally_acks` rejects cross-epoch acks, replayed
+/// evidence, and duplicate voters — pinned by a `ba-core` unit test), so
+/// this inconsistency is the protocol's documented behavior outside its
+/// synchrony envelope, not a defect: reorder20 is a beyond-envelope plan.
+/// The constants freeze both the fork pattern and the never-slows shape.
+#[test]
+fn golden_reorder20_epoch_fork_is_a_synchrony_artifact() {
+    let sc = Scenario::new("golden", 24, ProtocolSpec::SubqThird { lambda: 10.0, epochs: 5 })
+        .inputs(InputPattern::Alternating)
+        .faults("reorder:p=0.2".parse().expect("plan"));
+    let runs = records(&sc, 5);
+    assert_eq!(pick(&runs, "consistent"), GOLDEN_REORDER_CONSISTENT);
+    assert_eq!(pick(&runs, "rounds"), GOLDEN_REORDER_ROUNDS, "fixed pacing must never slow");
+    assert_eq!(pick(&runs, "faults_reordered"), GOLDEN_REORDER_REORDERED);
+}
+
+const GOLDEN_REORDER_CONSISTENT: [f64; 5] = [1.0, 1.0, 1.0, 1.0, 0.0];
+const GOLDEN_REORDER_ROUNDS: [f64; 5] = [11.0; 5];
+const GOLDEN_REORDER_REORDERED: [f64; 5] = [244.0, 246.0, 243.0, 230.0, 190.0];
+
 const GOLDEN_DROP_ROUNDS: [f64; 2] = [4.0, 3.0];
 const GOLDEN_DROP_DROPPED: [f64; 2] = [185.0, 264.0];
 const GOLDEN_DROP_UNDELIVERED: [f64; 2] = [0.0, 0.0];

@@ -193,6 +193,35 @@ const GOLDEN_EB_ITER_INJECTED: [f64; 2] = [5.0, 6.0];
 const GOLDEN_EB_EPOCH_ROUNDS: [f64; 2] = [13.0, 13.0];
 const GOLDEN_EB_EPOCH_CORRUPTIONS: [f64; 2] = [10.0, 10.0];
 
+/// The competitor-family differential satellite: across their entire
+/// smoke matrices — every adversary, every corruption model, every
+/// fraction — Momose–Ren and CKS must hold *safety* (agreement and
+/// validity) and never drop a send. Liveness is allowed exactly one
+/// documented defeat: `mr/half` under the strongly adaptive
+/// starve-quorum eraser, which retracts already-sent votes — outside
+/// Momose–Ren's model, where a sent message is irrevocable. That cell is
+/// pinned non-terminated-but-consistent; everything else terminates.
+#[test]
+fn competitor_families_hold_safety_under_every_attack() {
+    let reports = smoke_reports(2);
+    for sweep in ["mr/half", "cks/adaptive"] {
+        let report = reports.iter().find(|r| r.title == sweep).expect("competitor sweep exists");
+        for cell in &report.cells {
+            let label = format!("{sweep}/{}", cell.scenario.label);
+            assert_eq!(cell.count("consistent"), cell.runs.len(), "{label}: agreement broken");
+            assert_eq!(cell.count("valid"), cell.runs.len(), "{label}: validity broken");
+            assert_eq!(cell.total("dropped_sends"), 0.0, "{label}: dropped a unicast");
+            let erased =
+                sweep == "mr/half" && cell.scenario.label.starts_with("starve_quorum@strong");
+            if erased {
+                assert_eq!(cell.count("terminated"), 0, "{label}: pinned liveness defeat moved");
+            } else {
+                assert_eq!(cell.count("terminated"), cell.runs.len(), "{label}: liveness lost");
+            }
+        }
+    }
+}
+
 #[test]
 fn model_legality_edges_hold() {
     let reports = smoke_reports(2);

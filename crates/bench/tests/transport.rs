@@ -13,8 +13,8 @@
 //! * **Replayability** — a delaying latency cell is a pure function of
 //!   the seed: per-message delays come from a deterministic RNG, so two
 //!   runs agree byte-for-byte *including* the `latency_*` observables.
-//!   Pinned-seed goldens (uniform delays only — `DelayDist::Exp` is
-//!   deterministic per platform, not across platforms) freeze one delayed
+//!   Pinned-seed goldens freeze one uniformly delayed, one exponentially
+//!   delayed (bit-stable everywhere since the fixed-point `Exp` sampler),
 //!   and one post-GST trajectory.
 //! * **Real sockets** — the TCP loopback transport produces the same
 //!   verdicts and protocol observables as lockstep; only wall-clock
@@ -156,12 +156,13 @@ proptest! {
     }
 }
 
-// Pinned goldens (seeds 0 and 1) for two latency cells: one uniformly
-// delayed, one GST-holdback. The replayability test above proves these
-// cells are deterministic; the constants pin the trajectory itself, so a
-// drift in delay sampling, round pacing, or GST holdback trips them.
-// Uniform/zero distributions only — `DelayDist::Exp` goes through
-// `f64::ln` and is not bit-stable across platforms.
+// Pinned goldens (seeds 0 and 1) for three latency cells: one uniformly
+// delayed, one exponentially delayed, one GST-holdback. The replayability
+// test above proves these cells are deterministic; the constants pin the
+// trajectory itself, so a drift in delay sampling, round pacing, or GST
+// holdback trips them. `DelayDist::Exp` qualifies since its sampler moved
+// to Q32 fixed-point arithmetic (bit-stable across platforms and libms);
+// earlier revisions had to skip it.
 
 #[test]
 fn golden_delayed_latency_cell() {
@@ -179,6 +180,29 @@ fn golden_delayed_latency_cell() {
     assert_eq!(pick("latency_late_deliveries"), GOLDEN_DELAYED_LATE);
     assert_eq!(pick("latency_delay_p50_ms"), GOLDEN_DELAYED_DELAY_P50);
     assert_eq!(pick("latency_commit_p99_ms"), GOLDEN_DELAYED_COMMIT_P99);
+}
+
+#[test]
+fn golden_exp_delay_cell() {
+    let sc = Scenario::new("golden", 24, ProtocolSpec::SubqThird { lambda: 10.0, epochs: 5 });
+    let transport = TransportSpec::Latency {
+        round_ms: DEFAULT_ROUND_MS,
+        gst_ms: 0,
+        dist: DelayDist::Exp { mean_ms: 3 },
+    };
+    let cell_runs = records(&sc, 2, transport);
+    let pick = |name: &str| -> Vec<f64> {
+        cell_runs
+            .iter()
+            .flat_map(|r| r.values.iter().filter(|(n, _)| n == name).map(|(_, v)| *v))
+            .collect()
+    };
+    assert_eq!(pick("rounds"), GOLDEN_EXP_ROUNDS);
+    assert_eq!(pick("multicasts"), GOLDEN_EXP_MULTICASTS);
+    assert_eq!(pick("latency_delivered"), GOLDEN_EXP_DELIVERED);
+    assert_eq!(pick("latency_late_deliveries"), GOLDEN_EXP_LATE);
+    assert_eq!(pick("latency_delay_p50_ms"), GOLDEN_EXP_DELAY_P50);
+    assert_eq!(pick("latency_commit_p99_ms"), GOLDEN_EXP_COMMIT_P99);
 }
 
 #[test]
@@ -207,6 +231,12 @@ const GOLDEN_DELAYED_DELIVERED: [f64; 2] = [1320.0, 1272.0];
 const GOLDEN_DELAYED_LATE: [f64; 2] = [1320.0, 1272.0];
 const GOLDEN_DELAYED_DELAY_P50: [f64; 2] = [3.0, 3.0];
 const GOLDEN_DELAYED_COMMIT_P99: [f64; 2] = [110.0, 110.0];
+const GOLDEN_EXP_ROUNDS: [f64; 2] = [11.0, 11.0];
+const GOLDEN_EXP_MULTICASTS: [f64; 2] = [54.0, 53.0];
+const GOLDEN_EXP_DELIVERED: [f64; 2] = [1288.0, 1269.0];
+const GOLDEN_EXP_LATE: [f64; 2] = [935.0, 894.0];
+const GOLDEN_EXP_DELAY_P50: [f64; 2] = [2.0, 2.0];
+const GOLDEN_EXP_COMMIT_P99: [f64; 2] = [110.0, 110.0];
 const GOLDEN_GST_ROUNDS: [f64; 2] = [11.0, 11.0];
 const GOLDEN_GST_LATE: [f64; 2] = [504.0, 624.0];
 const GOLDEN_GST_DELAY_P95: [f64; 2] = [40.0, 40.0];

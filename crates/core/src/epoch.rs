@@ -533,6 +533,43 @@ mod tests {
     }
 
     #[test]
+    fn tally_rejects_stale_and_cross_epoch_acks() {
+        // PR 9's chaos suite showed `subq_third` forking under 20% message
+        // reordering while never slowing down. This pins the stale-vote
+        // audit's conclusion: ack accumulation is *not* the culprit —
+        // cross-epoch acks, evidence replayed from another epoch's tag,
+        // and duplicate voters are all rejected, so the fork is a
+        // synchrony-boundary artifact of the fixed 2R pacing (pinned as a
+        // golden in `crates/bench/tests/faults.rs`), not a hygiene bug.
+        let cfg = warmup_cfg(4, 4);
+        let quorum = cfg.quorum;
+        let mk_ack = |from: usize, claimed_epoch: u64, attested_epoch: u64, bit: Bit| {
+            let tag = MineTag::new(MsgKind::Ack, attested_epoch, bit);
+            let ev = cfg.auth.attest(NodeId(from), &tag).expect("signed regime always attests");
+            Incoming::new(NodeId(from), EpochMsg::Ack { epoch: claimed_epoch, bit, ev })
+        };
+        let mut node = EpochNode::new(cfg.clone(), NodeId(0), false, 0);
+        // A full quorum of acks for bit 1, all claiming epoch 2 while the
+        // node tallies epoch 1: cross-epoch, must not count.
+        let cross: Vec<_> = (0..4).map(|i| mk_ack(i, 2, 2, true)).collect();
+        node.tally_acks(1, &cross);
+        assert!(!node.sticky && !node.belief, "cross-epoch acks must not reach quorum");
+        // Evidence attested under epoch 0's tag replayed with an epoch-1
+        // claim: the signature check must fail.
+        let stale: Vec<_> = (0..4).map(|i| mk_ack(i, 1, 0, true)).collect();
+        node.tally_acks(1, &stale);
+        assert!(!node.sticky && !node.belief, "replayed evidence must not reach quorum");
+        // One sender repeated four times: dedup keeps it a single vote.
+        let dup: Vec<_> = (0..4).map(|_| mk_ack(3, 1, 1, true)).collect();
+        node.tally_acks(1, &dup);
+        assert!(!node.sticky, "duplicate voters must not reach quorum");
+        // The genuine quorum for the same epoch does flip the belief.
+        let good: Vec<_> = (0..quorum).map(|i| mk_ack(i, 1, 1, true)).collect();
+        node.tally_acks(1, &good);
+        assert!(node.sticky && node.belief, "a genuine quorum must be counted");
+    }
+
+    #[test]
     fn warmup_validity_unanimous_inputs() {
         for bit in [false, true] {
             let cfg = warmup_cfg(7, 6);

@@ -16,6 +16,8 @@
 //! | [`iter::IterConfig::subq_half`] | App. C.2 (**Theorem 2**) | `< (1/2−ε)n` | expected O(1) | `Θ(λ)`/round |
 //! | [`dolev_strong::DsConfig`] | baseline \[13\] | `< n − 1` | `f + 2` | `Θ(n)` |
 //! | [`broadcast::run_iter_bb`] | §1.1 reduction | inherits BA | BA + 1 | BA + 1 |
+//! | [`momose_ren::MrConfig::half`] | competitor: Momose–Ren (arXiv 2007.13175) | `< n/2` | `O(t)` views | `O(1)`/view + O(n) unicasts |
+//! | [`cks::CksConfig::adaptive`] | competitor: Cohen–Keidar–Spiegelman (arXiv 2202.09123) | `< n/3`(repro) | `O(f)` phases | `O(1)`/phase + O(n) unicasts |
 //!
 //! All protocols run over [`ba_sim`]'s synchronous engine under any of the
 //! paper's three corruption models, and over either eligibility backend
@@ -49,10 +51,12 @@ pub mod auth;
 pub mod ba_from_bb;
 pub mod broadcast;
 pub mod cert;
+pub mod cks;
 pub mod dolev_strong;
 pub mod epoch;
 pub mod iter;
 pub mod ledger;
+pub mod momose_ren;
 pub mod runnable;
 
 pub use auth::{Auth, Evidence, FsService};

@@ -2,7 +2,8 @@
 //!
 //! Every protocol family in this crate exposes a `runnable(...)`
 //! constructor (`iter::runnable`, `epoch::runnable`, `dolev_strong::runnable`,
-//! `ba_from_bb::runnable`, `broadcast::runnable_iter_bb`) returning a
+//! `ba_from_bb::runnable`, `broadcast::runnable_iter_bb`,
+//! `momose_ren::runnable`, `cks::runnable`) returning a
 //! [`Runnable`]: one fully configured execution — protocol configuration,
 //! environment inputs, and adversary — erased down to a `Send` closure over
 //! the [`SimConfig`] it will eventually run under.
@@ -67,14 +68,16 @@ mod tests {
     use ba_fmine::{IdealMine, Keychain, MineParams, SigMode};
     use ba_sim::{CorruptionModel, NodeId, Passive, SimConfig};
 
+    use crate::cks::{self, CksConfig};
     use crate::epoch::{self, EpochConfig};
     use crate::iter::{self, IterConfig};
+    use crate::momose_ren::{self, MrConfig};
     use crate::{ba_from_bb, broadcast, dolev_strong};
 
     fn assert_send<T: Send>(_: &T) {}
 
     #[test]
-    fn all_five_families_construct_and_execute() {
+    fn all_seven_families_construct_and_execute() {
         let n = 24;
         let seed = 5;
         let kc = Arc::new(Keychain::from_seed(seed, n, SigMode::Ideal));
@@ -92,11 +95,13 @@ mod tests {
             ba_from_bb::runnable(n, 3, kc.clone(), vec![true; n], Passive),
             broadcast::runnable_iter_bb(
                 &IterConfig::subq_half(n, elig),
-                kc,
+                kc.clone(),
                 NodeId(0),
                 true,
                 Passive,
             ),
+            momose_ren::runnable(&MrConfig::half(n, 6, kc.clone()), vec![true; n], Passive),
+            cks::runnable(&CksConfig::adaptive(n, 6, kc), vec![true; n], Passive),
         ];
         for runnable in runnables {
             assert_send(&runnable);

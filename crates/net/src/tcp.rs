@@ -28,8 +28,9 @@
 //! reconnects with bounded backoff, respawns the reader, and resends
 //! every frame the dead connection had not delivered (sequence numbers
 //! deduplicate the race where a frame arrived just as the connection
-//! died). When the network is genuinely gone — the listener is sealed, or
-//! every backoff attempt fails — the transport raises a structured
+//! died). When the network is genuinely gone — the listener is sealed,
+//! every backoff attempt fails, or a perpetually dying peer exhausts the
+//! lifetime reconnect budget — the transport raises a structured
 //! [`TransportError`] via `std::panic::panic_any` instead of hanging or
 //! losing the detail, so a supervising layer can `catch_unwind` +
 //! `downcast` it into a quarantined cell error.
@@ -69,6 +70,14 @@ const ARRIVAL_TIMEOUT: Duration = Duration::from_secs(30);
 /// Backoff schedule for re-establishing a dead peer connection; when the
 /// last attempt fails the transport raises a [`TransportError`].
 const RECONNECT_BACKOFF_MS: [u64; 3] = [1, 10, 50];
+/// Default ceiling on *total* successful reconnections over the transport's
+/// lifetime. Each incident's backoff is bounded above, but a peer that dies
+/// again after every recovery would otherwise cycle
+/// sever → reconnect → sever forever — each success resets the arrival
+/// watchdog, so the run spins past it without ever surfacing an error.
+/// Exceeding the budget raises a structured [`TransportError`] instead
+/// (tune per transport via [`TcpTransport::with_reconnect_budget`]).
+const DEFAULT_RECONNECT_BUDGET: u64 = 16;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial) over `data` — bitwise, no
 /// table; headers are 12 bytes so throughput is irrelevant.
@@ -127,6 +136,9 @@ pub struct TcpTransport<M> {
     /// deliver loop so a recovery can tell delivered frames from lost ones).
     arrived: BTreeMap<u64, Instant>,
     reconnects: u64,
+    /// Lifetime ceiling on successful reconnections (see
+    /// [`DEFAULT_RECONNECT_BUDGET`]).
+    reconnect_budget: u64,
     delivered_ms: Vec<f64>,
     round_end_ms: Vec<f64>,
 }
@@ -169,6 +181,7 @@ impl<M> TcpTransport<M> {
             outstanding: BTreeMap::new(),
             arrived: BTreeMap::new(),
             reconnects: 0,
+            reconnect_budget: DEFAULT_RECONNECT_BUDGET,
             delivered_ms: Vec::new(),
             round_end_ms: Vec::new(),
         })
@@ -177,6 +190,13 @@ impl<M> TcpTransport<M> {
     /// Number of reconnections performed over the transport's lifetime.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Overrides the lifetime reconnect budget (builder style). A `budget`
+    /// of 0 makes any peer death immediately fatal.
+    pub fn with_reconnect_budget(mut self, budget: u64) -> TcpTransport<M> {
+        self.reconnect_budget = budget;
+        self
     }
 
     /// Fault-injection hook: kills `node`'s peer connection (both
@@ -271,6 +291,16 @@ impl<M> TcpTransport<M> {
         // A frame may have landed just before the connection died; count it
         // delivered rather than resending it.
         self.drain_ready_events();
+        if self.reconnects >= self.reconnect_budget {
+            std::panic::panic_any(TransportError {
+                node: Some(node),
+                detail: format!(
+                    "peer connection died ({why}) after the reconnect budget was spent \
+                     ({} reconnections): treating the peer as permanently dead",
+                    self.reconnects
+                ),
+            });
+        }
         self.gens[node] += 1;
         let gen = self.gens[node];
         let mut last_err = String::new();
@@ -598,6 +628,41 @@ mod tests {
         let stats = t.finish(2).expect("tcp measures wall clock");
         assert_eq!(stats.delivered, 6);
         assert_eq!(stats.undelivered, 0);
+    }
+
+    #[test]
+    fn perpetually_dying_peer_exhausts_the_reconnect_budget() {
+        // Kill-and-never-restart: the peer dies again after every recovery.
+        // Per-incident backoff succeeds each time (the listener stays up),
+        // so without a lifetime budget this cycles forever — every success
+        // resets the arrival watchdog. The budget must cut it off with a
+        // structured error in bounded time.
+        let mut t: TcpTransport<Blob> =
+            TcpTransport::new(2).expect("bind loopback").with_reconnect_budget(2);
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for round in 0..8u64 {
+                t.sever(1);
+                t.submit(Round(round), vec![env(round, 0, Recipient::All, 64)]);
+                let mut inboxes = vec![Vec::new(), Vec::new()];
+                t.deliver(Round(round + 1), &mut inboxes);
+            }
+        }));
+        let payload = outcome.expect_err("the budget must stop the sever/reconnect cycle");
+        let error = payload
+            .downcast_ref::<TransportError>()
+            .expect("the failure is a structured TransportError");
+        assert_eq!(error.node, Some(1));
+        assert!(
+            error.detail.contains("reconnect budget"),
+            "detail should name the exhausted budget: {}",
+            error.detail
+        );
+        assert_eq!(t.reconnects(), 2, "exactly the budgeted reconnections happened");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "budget exhaustion must surface in bounded time, not spin"
+        );
     }
 
     #[test]

@@ -248,10 +248,10 @@ impl std::str::FromStr for TransportSpec {
 /// Samples are a pure function of `(transport seed, message id, receiver)`
 /// — see [`link_delay_ms`] — so the same seed replays the same network no
 /// matter how many threads step the protocol or in which order envelopes are
-/// examined. `Uniform` and `Zero` sample in exact integer arithmetic;
-/// `Exp`'s inverse-CDF uses `f64::ln`, which is deterministic per platform
-/// but may differ in the last ulp across libm implementations — pinned-seed
-/// goldens therefore stick to `Uniform`.
+/// examined. All three variants sample in exact integer arithmetic — `Exp`'s
+/// inverse-CDF runs on a Q32 fixed-point base-2 logarithm instead of
+/// `f64::ln`, so pinned-seed goldens are bit-identical across platforms and
+/// libm implementations for every distribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DelayDist {
     /// Every link delivers instantly (within the send round).
@@ -318,14 +318,41 @@ impl DelayDist {
                 (lo_ms + bits % (hi_ms - lo_ms + 1)) as f64
             }
             DelayDist::Exp { mean_ms } => {
-                // Inverse CDF on a uniform in (0, 1]; never exactly zero so
-                // ln is finite. Truncate to whole ms to keep round mapping
-                // integer-exact.
-                let u = ((bits >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
-                (-(mean_ms as f64) * u.ln()).floor()
+                // Inverse CDF on u = k/2^53 for k = (bits >> 11) + 1 in
+                // [1, 2^53], evaluated entirely in fixed point:
+                // −ln u = (53 − log2 k)·ln 2, so the delay is
+                // ⌊mean · (53·2^32 − log2_q32(k)) · ln2_q32 / 2^64⌋ ms.
+                // Integer-only — bit-identical on every platform, where
+                // `f64::ln` may differ in the last ulp across libms.
+                let k = (bits >> 11) + 1;
+                let neg_log2_u_q32 = (53u64 << 32) - log2_fixed_q32(k);
+                // floor(ln 2 · 2^32)
+                const LN2_Q32: u128 = 2_977_044_471;
+                ((mean_ms as u128 * neg_log2_u_q32 as u128 * LN2_Q32) >> 64) as f64
             }
         }
     }
+}
+
+/// `log2(x)` for `x ≥ 1` in unsigned Q32 fixed point, by the classic
+/// integer square-and-shift digit recurrence: exact normalization, then 32
+/// binary fraction digits from repeated squaring of the mantissa. Pure
+/// integer arithmetic — no libm, no platform variance.
+fn log2_fixed_q32(x: u64) -> u64 {
+    debug_assert!(x >= 1);
+    let int_part = 63 - u64::from(x.leading_zeros());
+    // Mantissa x / 2^int_part in [1, 2), held as Q63.
+    let mut m = (x as u128) << (63 - int_part);
+    let mut frac = 0u64;
+    for _ in 0..32 {
+        m = (m * m) >> 63;
+        frac <<= 1;
+        if m >= 1u128 << 64 {
+            frac |= 1;
+            m >>= 1;
+        }
+    }
+    (int_part << 32) | frac
 }
 
 /// `splitmix64` — the standard 64-bit finalizer used to hash
@@ -610,6 +637,29 @@ mod tests {
         }
         let mean = total / 2000.0;
         assert!((10.0..40.0).contains(&mean), "empirical mean {mean} far from 20");
+    }
+
+    #[test]
+    fn fixed_point_log2_tracks_f64() {
+        for x in [1u64, 2, 3, 7, 100, 1 << 20, (1 << 53) - 1, 1 << 53, u64::MAX] {
+            let fixed = log2_fixed_q32(x) as f64 / (1u64 << 32) as f64;
+            let float = (x as f64).log2();
+            assert!((fixed - float).abs() < 1e-6, "log2({x}): fixed {fixed} vs f64 {float}");
+        }
+    }
+
+    #[test]
+    fn exp_dist_samples_are_pinned() {
+        // Cross-platform determinism golden: exact draws for a pinned
+        // (seed, msg, receiver) lattice. These values must never change —
+        // CI's transport-matrix job replays an exp-delay run on this
+        // guarantee, and any drift here invalidates every exp golden.
+        let dist = DelayDist::Exp { mean_ms: 20 };
+        let draws: Vec<u64> = (0..8u64).map(|msg| link_delay_ms(3, msg, 1, &dist) as u64).collect();
+        assert_eq!(draws, vec![16, 11, 70, 51, 20, 4, 54, 15]);
+        let dist = DelayDist::Exp { mean_ms: 7 };
+        let draws: Vec<u64> = (0..8u64).map(|msg| link_delay_ms(9, msg, 2, &dist) as u64).collect();
+        assert_eq!(draws, vec![5, 9, 7, 4, 1, 7, 0, 1]);
     }
 
     #[test]
